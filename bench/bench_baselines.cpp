@@ -1,0 +1,193 @@
+// E10 — baseline zoo sanity: regenerates the classical scalings the
+// paper's related-work section leans on, validating every substrate
+// implementation against its published behaviour.
+//
+//  * THRESHOLD[1], m = n:      rounds ≈ ln ln n + O(1)     [Adler et al.]
+//  * heavy THRESHOLD[m/n + 1]: O(log log (m/n) + log* n)   [Lenzen et al.]
+//  * static one-choice, m = n: max ≈ ln n / ln ln n        [Raab–Steger]
+//  * static GREEDY[d], m = n:  max ≈ ln ln n / ln d + O(1) [Azar et al.]
+//  * repeated balls-into-bins: O(n) recovery to O(log n)   [Becchetti+]
+//  * Adler d-copy FIFO:        O(1) expected wait          [Adler–B.–S.]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/adler_fifo.hpp"
+#include "core/becchetti.hpp"
+#include "core/collision.hpp"
+#include "core/reallocation.hpp"
+#include "core/static_allocation.hpp"
+#include "core/threshold.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iba;
+  io::ArgParser parser("bench_baselines",
+                       "related-work scalings of every substrate process");
+  bench::add_standard_flags(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  const auto options = bench::read_standard_flags(parser);
+  const auto seed = options.seed;
+
+  // --- THRESHOLD[1] and static allocations across n -----------------------
+  io::Table tstatic({"n", "thr1_rounds", "lnln_n", "one_choice_max",
+                     "ln/lnln", "greedy2_max", "greedy3_max"});
+  tstatic.set_title("Static protocols, m = n");
+  std::vector<std::vector<double>> static_rows;
+  for (std::uint32_t log_n = 10; log_n <= 16; ++log_n) {
+    const std::uint32_t n = 1u << log_n;
+    const double ln_n = std::log(static_cast<double>(n));
+    const auto thr = core::run_threshold(n, n, 1, core::Engine(seed + log_n));
+    const auto oc = core::one_choice(n, n, core::Engine(seed + 100 + log_n));
+    const auto g2 = core::greedy_d(n, n, 2, core::Engine(seed + 200 + log_n));
+    const auto g3 = core::greedy_d(n, n, 3, core::Engine(seed + 300 + log_n));
+    tstatic.add_row(
+        {io::Table::format_number(n),
+         io::Table::format_number(static_cast<double>(thr.rounds)),
+         io::Table::format_number(std::log(ln_n)),
+         io::Table::format_number(static_cast<double>(oc.max_load)),
+         io::Table::format_number(ln_n / std::log(ln_n)),
+         io::Table::format_number(static_cast<double>(g2.max_load)),
+         io::Table::format_number(static_cast<double>(g3.max_load))});
+    static_rows.push_back({static_cast<double>(n),
+                           static_cast<double>(thr.rounds), std::log(ln_n),
+                           static_cast<double>(oc.max_load),
+                           ln_n / std::log(ln_n),
+                           static_cast<double>(g2.max_load),
+                           static_cast<double>(g3.max_load)});
+  }
+  bench::emit(tstatic, options, "baselines_static",
+              {"n", "threshold1_rounds", "lnln_n", "one_choice_max",
+               "ln_over_lnln", "greedy2_max", "greedy3_max"},
+              static_rows);
+
+  // --- ALWAYS-GO-LEFT and the Stemann collision protocol ------------------
+  io::Table tleft({"n", "greedy2_max", "left2_max", "collision_rounds",
+                   "collision_max"});
+  tleft.set_title("Asymmetric tie-breaking + collision protocol, m = n");
+  std::vector<std::vector<double>> left_rows;
+  for (std::uint32_t log_n = 12; log_n <= 16; ++log_n) {
+    const std::uint32_t n = 1u << log_n;
+    const auto g2 = core::greedy_d(n, n, 2, core::Engine(seed + 400 + log_n));
+    const auto left =
+        core::always_go_left(n, n, 2, core::Engine(seed + 500 + log_n));
+    const auto collision = core::run_collision_protocol(
+        n, n, 2, 2, core::Engine(seed + 600 + log_n));
+    tleft.add_row(
+        {io::Table::format_number(n),
+         io::Table::format_number(static_cast<double>(g2.max_load)),
+         io::Table::format_number(static_cast<double>(left.max_load)),
+         io::Table::format_number(static_cast<double>(collision.rounds)),
+         io::Table::format_number(static_cast<double>(collision.max_load))});
+    left_rows.push_back({static_cast<double>(n),
+                         static_cast<double>(g2.max_load),
+                         static_cast<double>(left.max_load),
+                         static_cast<double>(collision.rounds),
+                         static_cast<double>(collision.max_load)});
+  }
+  bench::emit(tleft, options, "baselines_left_collision",
+              {"n", "greedy2_max", "always_go_left2_max",
+               "collision_rounds", "collision_max"},
+              left_rows);
+
+  // --- Infinite sequential reallocation (Azar et al. / Cole et al.) -------
+  io::Table trealloc({"d", "max_load_seen", "lnln_over_lnd"});
+  trealloc.set_title(
+      "Sequential reallocation, n = 4096 balls, 500 rounds of n steps");
+  std::vector<std::vector<double>> realloc_rows;
+  for (const std::uint32_t d : {1u, 2u, 3u}) {
+    auto chain = core::SequentialReallocation::round_robin(
+        4096, d, core::Engine(seed + 700 + d));
+    std::uint64_t worst = 0;
+    for (int round = 0; round < 500; ++round) {
+      worst = std::max(worst, chain.step().max_load);
+    }
+    const double lnln = std::log(std::log(4096.0));
+    const double predicted = d == 1 ? std::log(4096.0) / lnln
+                                    : lnln / std::log(static_cast<double>(d));
+    trealloc.add_row(
+        {io::Table::format_number(d),
+         io::Table::format_number(static_cast<double>(worst)),
+         io::Table::format_number(predicted)});
+    realloc_rows.push_back(
+        {static_cast<double>(d), static_cast<double>(worst), predicted});
+  }
+  bench::emit(trealloc, options, "baselines_reallocation",
+              {"d", "max_load_seen", "prediction"}, realloc_rows);
+
+  // --- Heavily loaded threshold (Lenzen et al. regime) --------------------
+  io::Table theavy({"m/n", "threshold", "rounds", "max_load"});
+  theavy.set_title("Heavily loaded THRESHOLD, n = 4096");
+  std::vector<std::vector<double>> heavy_rows;
+  for (std::uint64_t factor : {2ull, 8ull, 32ull, 128ull}) {
+    const std::uint32_t n = 4096;
+    const std::uint64_t m = factor * n;
+    const auto result =
+        core::run_threshold(n, m, factor + 1, core::Engine(seed + factor));
+    theavy.add_row({io::Table::format_number(static_cast<double>(factor)),
+                    io::Table::format_number(static_cast<double>(factor + 1)),
+                    io::Table::format_number(
+                        static_cast<double>(result.rounds)),
+                    io::Table::format_number(
+                        static_cast<double>(result.max_load))});
+    heavy_rows.push_back({static_cast<double>(factor),
+                          static_cast<double>(factor + 1),
+                          static_cast<double>(result.rounds),
+                          static_cast<double>(result.max_load)});
+  }
+  bench::emit(theavy, options, "baselines_heavy_threshold",
+              {"m_over_n", "threshold", "rounds", "max_load"}, heavy_rows);
+
+  // --- Repeated balls-into-bins recovery ----------------------------------
+  io::Table trec({"n", "rounds_to_log_n", "max_load_after"});
+  trec.set_title("Repeated balls-into-bins: adversarial recovery");
+  std::vector<std::vector<double>> rec_rows;
+  for (std::uint32_t log_n = 8; log_n <= 12; ++log_n) {
+    const std::uint32_t n = 1u << log_n;
+    auto process =
+        core::RepeatedBallsIntoBins::adversarial(n, core::Engine(seed));
+    const auto target = static_cast<std::uint64_t>(
+        2.0 * std::log2(static_cast<double>(n)));
+    std::uint64_t rounds = 0;
+    while (process.max_load() > target && rounds < 100ull * n) {
+      (void)process.step();
+      ++rounds;
+    }
+    trec.add_row({io::Table::format_number(n),
+                  io::Table::format_number(static_cast<double>(rounds)),
+                  io::Table::format_number(
+                      static_cast<double>(process.max_load()))});
+    rec_rows.push_back({static_cast<double>(n), static_cast<double>(rounds),
+                        static_cast<double>(process.max_load())});
+  }
+  bench::emit(trec, options, "baselines_becchetti",
+              {"n", "rounds_to_2log2n", "max_load_after"}, rec_rows);
+
+  // --- Adler d-copy FIFO ----------------------------------------------------
+  io::Table tadler({"d", "m", "wait_avg", "wait_max", "in_flight"});
+  tadler.set_title("Adler d-copy FIFO, n = 4096, 5000 rounds");
+  std::vector<std::vector<double>> adler_rows;
+  for (std::uint32_t d : {2u, 3u}) {
+    const std::uint32_t n = 4096;
+    // Largest m within the theory's bound m < n/(3de).
+    const auto m = static_cast<std::uint64_t>(
+        static_cast<double>(n) / (3.0 * d * 2.718281828) * 0.9);
+    core::AdlerFifoConfig config{.n = n, .d = d, .m = m};
+    core::AdlerFifo process(config, core::Engine(seed + d));
+    for (int i = 0; i < 5000; ++i) (void)process.step();
+    tadler.add_row(
+        {io::Table::format_number(d),
+         io::Table::format_number(static_cast<double>(m)),
+         io::Table::format_number(process.waits().mean()),
+         io::Table::format_number(static_cast<double>(process.waits().max())),
+         io::Table::format_number(static_cast<double>(process.in_flight()))});
+    adler_rows.push_back({static_cast<double>(d), static_cast<double>(m),
+                          process.waits().mean(),
+                          static_cast<double>(process.waits().max()),
+                          static_cast<double>(process.in_flight())});
+  }
+  bench::emit(tadler, options, "baselines_adler",
+              {"d", "m", "wait_avg", "wait_max", "in_flight"}, adler_rows);
+
+  return 0;
+}

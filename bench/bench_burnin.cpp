@@ -1,0 +1,105 @@
+// E16 — burn-in calibration: the paper measures "a stabilized system
+// after a burn-in phase of suitable length" without quantifying it.
+// This bench traces the pool ramp from the empty start and measures the
+// empirical relaxation time (rounds to reach 99% of the steady level),
+// validating the 5/(1−λ) rule the other benches use and the mean-field
+// prediction that relaxation scales like 1/(1−λ).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/capped.hpp"
+#include "io/plot.hpp"
+#include "sim/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iba;
+  io::ArgParser parser("bench_burnin",
+                       "relaxation time of CAPPED from the empty start");
+  bench::add_standard_flags(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  const auto options = bench::read_standard_flags(parser);
+
+  const std::uint32_t c = 1;
+  const std::vector<std::uint32_t> lambda_exponents = {2, 4, 6, 8};
+
+  io::Table table({"lambda", "steady_pool/n", "rounds_to_99pct",
+                   "1/(1-lambda)", "ratio", "suggested_burn_in"});
+  table.set_title("Relaxation from empty start (c = 1)");
+  std::vector<std::vector<double>> csv_rows;
+
+  io::AsciiPlot plot(56, 12);
+  plot.set_title("Pool ramp-up (pool/n vs round/relaxation-scale)");
+  plot.set_x_label("round * (1-lambda)");
+
+  for (const std::uint32_t i : lambda_exponents) {
+    if ((static_cast<std::uint64_t>(options.n) % (1ull << i)) != 0) continue;
+    const double lambda = sim::lambda_one_minus_2pow(i);
+    const double slack = 1.0 - lambda;
+    core::CappedConfig config;
+    config.n = options.n;
+    config.capacity = c;
+    config.lambda_n = sim::lambda_n_for(options.n, i);
+    std::fprintf(stderr, "[cell] ramp lambda=1-2^-%u ...\n", i);
+    core::Capped process(config, core::Engine(options.seed));
+
+    // Trace the ramp for 10 relaxation scales, then measure the steady
+    // level over 2 more.
+    const auto ramp_rounds =
+        static_cast<std::uint64_t>(std::ceil(10.0 / slack));
+    sim::TraceRecorder trace;
+    for (std::uint64_t t = 0; t < ramp_rounds; ++t) {
+      trace.observe(process.step());
+    }
+    double steady = 0;
+    const auto steady_rounds =
+        static_cast<std::uint64_t>(std::ceil(2.0 / slack));
+    for (std::uint64_t t = 0; t < steady_rounds; ++t) {
+      steady += static_cast<double>(process.step().pool_size);
+    }
+    steady /= static_cast<double>(steady_rounds);
+
+    // First round at which the pool reaches 99% of the steady level.
+    std::uint64_t t99 = ramp_rounds;
+    for (std::size_t t = 0; t < trace.pool().size(); ++t) {
+      if (trace.pool()[t] >= 0.99 * steady) {
+        t99 = t + 1;
+        break;
+      }
+    }
+
+    table.add_row(
+        {"1-2^-" + std::to_string(i),
+         io::Table::format_number(steady / options.n),
+         io::Table::format_number(static_cast<double>(t99)),
+         io::Table::format_number(1.0 / slack),
+         io::Table::format_number(static_cast<double>(t99) * slack),
+         io::Table::format_number(
+             static_cast<double>(sim::suggested_burn_in(lambda)))});
+    csv_rows.push_back({lambda, steady / options.n,
+                        static_cast<double>(t99), 1.0 / slack,
+                        static_cast<double>(t99) * slack,
+                        static_cast<double>(sim::suggested_burn_in(lambda))});
+
+    // Normalized ramp curve (subsampled to ~25 points).
+    std::vector<double> xs, ys;
+    const std::size_t stride =
+        std::max<std::size_t>(1, trace.pool().size() / 25);
+    for (std::size_t t = 0; t < trace.pool().size(); t += stride) {
+      xs.push_back(static_cast<double>(t + 1) * slack);
+      ys.push_back(trace.pool()[t] / options.n / std::max(1e-9, steady /
+                                                          options.n));
+    }
+    plot.add_series("lambda=1-2^-" + std::to_string(i), xs, ys);
+  }
+
+  plot.print();
+  std::printf("\n");
+  bench::emit(table, options, "burnin",
+              {"lambda", "steady_pool_over_n", "rounds_to_99pct",
+               "relaxation_scale", "ratio", "suggested_burn_in"},
+              csv_rows);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Shared plumbing of the experiment benches: standard CLI flags (--n,
+// --rounds, --seed, --csv-dir, ...), cell execution with the principled
+// burn-in, and combined table + CSV reporting. Every bench prints the
+// paper's series as an aligned table and mirrors it to CSV.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "sim/config.hpp"
+#include "sim/runner.hpp"
+
+namespace iba::bench {
+
+/// The knobs every experiment bench exposes.
+struct BenchOptions {
+  std::uint32_t n = 1u << 13;
+  std::uint64_t rounds = 1000;
+  std::uint64_t seed = 2021;  // ICDCS 2021
+  std::uint64_t burn_in_override = 0;  ///< 0 = suggested_burn_in(λ)
+  std::string csv_dir = ".";
+  bool write_csv = true;
+};
+
+/// Declares the standard flags on `parser`.
+inline void add_standard_flags(io::ArgParser& parser) {
+  parser.add_flag("n", "number of bins (paper: 32768)", "8192");
+  parser.add_flag("rounds", "measured rounds per cell (paper: 1000)", "1000");
+  parser.add_flag("seed", "master seed", "2021");
+  parser.add_flag("burnin", "burn-in rounds (0 = auto 5/(1-lambda)+2000)",
+                  "0");
+  parser.add_flag("csv-dir", "directory for CSV output (created if missing)",
+                  "results");
+  parser.add_flag("csv", "write CSV files", "true");
+}
+
+/// Reads the standard flags back.
+inline BenchOptions read_standard_flags(const io::ArgParser& parser) {
+  BenchOptions options;
+  options.n = static_cast<std::uint32_t>(parser.get_uint("n"));
+  options.rounds = parser.get_uint("rounds");
+  options.seed = parser.get_uint("seed");
+  options.burn_in_override = parser.get_uint("burnin");
+  options.csv_dir = parser.get("csv-dir");
+  options.write_csv = parser.get_bool("csv");
+  return options;
+}
+
+/// Builds the SimConfig for one cell under `options`.
+inline sim::SimConfig make_cell(const BenchOptions& options,
+                                std::uint32_t capacity,
+                                std::uint64_t lambda_n) {
+  sim::SimConfig config;
+  config.n = options.n;
+  config.capacity = capacity;
+  config.lambda_n = lambda_n;
+  config.measure_rounds = options.rounds;
+  config.auto_burn_in = false;  // benches use the principled fixed burn-in
+  config.burn_in = options.burn_in_override != 0
+                       ? options.burn_in_override
+                       : sim::suggested_burn_in(config.lambda());
+  config.seed = options.seed;
+  return config;
+}
+
+/// Runs one CAPPED cell and logs progress to stderr.
+inline sim::RunResult run_cell(const sim::SimConfig& config) {
+  std::fprintf(stderr, "[cell] %s burn_in=%llu rounds=%llu ...\n",
+               config.label().c_str(),
+               static_cast<unsigned long long>(config.burn_in),
+               static_cast<unsigned long long>(config.measure_rounds));
+  return sim::run_capped(config);
+}
+
+/// Writes `table` to stdout and its numeric mirror to csv_dir/name.csv.
+inline void emit(const io::Table& table, const BenchOptions& options,
+                 const std::string& name,
+                 const std::vector<std::string>& columns,
+                 const std::vector<std::vector<double>>& rows) {
+  table.print();
+  std::printf("\n");
+  if (!options.write_csv) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options.csv_dir, ec);
+  const std::string path = options.csv_dir + "/" + name + ".csv";
+  io::CsvWriter csv(path);
+  csv.header(columns);
+  for (const auto& row : rows) csv.row(row);
+  std::fprintf(stderr, "[csv] wrote %s (%zu rows)\n", path.c_str(),
+               rows.size());
+}
+
+}  // namespace iba::bench

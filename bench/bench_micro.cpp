@@ -1,0 +1,190 @@
+// E11 — engineering microbenchmarks (google-benchmark): per-round and
+// per-ball cost of every process, the RNG substrate, and the two design
+// ablations called out in DESIGN.md §7 (age-bucketed pool vs explicit
+// balls; flat bin table ops).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/greedy.hpp"
+#include "core/modcapped.hpp"
+#include "core/oracle.hpp"
+#include "queueing/aged_pool.hpp"
+#include "queueing/bin_table.hpp"
+#include "rng/alias.hpp"
+#include "stats/histogram.hpp"
+#include "stats/p2_quantile.hpp"
+#include "rng/bounded.hpp"
+#include "rng/philox.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace iba;
+
+void BM_Xoshiro256pp(benchmark::State& state) {
+  core::Engine engine(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += engine();
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Xoshiro256pp);
+
+void BM_Philox4x32(benchmark::State& state) {
+  rng::Philox4x32 engine(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += engine();
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Philox4x32);
+
+void BM_BoundedDraw(benchmark::State& state) {
+  core::Engine engine(1);
+  const auto range = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += rng::bounded(engine, range);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_BoundedDraw)->Arg(1 << 10)->Arg(1 << 15)->Arg((1 << 20) + 7);
+
+void BM_BinTablePushPop(benchmark::State& state) {
+  queueing::BinTable bins(1 << 10, 4);
+  std::uint32_t bin = 0;
+  for (auto _ : state) {
+    bins.push(bin, 1);
+    benchmark::DoNotOptimize(bins.pop_front(bin));
+    bin = (bin + 1) & ((1 << 10) - 1);
+  }
+}
+BENCHMARK(BM_BinTablePushPop);
+
+void BM_AliasSample(benchmark::State& state) {
+  std::vector<double> weights(1 << 13);
+  core::Engine seed_engine(5);
+  for (auto& w : weights) w = 1.0 + rng::uniform01(seed_engine) * 3.0;
+  const rng::AliasTable table(weights);
+  core::Engine engine(6);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += table.sample(engine);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_AliasSample);
+
+void BM_P2QuantileAdd(benchmark::State& state) {
+  stats::P2Quantile p99(0.99);
+  core::Engine engine(7);
+  for (auto _ : state) p99.add(rng::uniform01(engine));
+  benchmark::DoNotOptimize(p99.value());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void BM_Log2HistogramAdd(benchmark::State& state) {
+  stats::Log2Histogram histogram;
+  core::Engine engine(8);
+  for (auto _ : state) histogram.add(engine() >> 48);
+  benchmark::DoNotOptimize(histogram.total());
+}
+BENCHMARK(BM_Log2HistogramAdd);
+
+void BM_AgedPoolCycle(benchmark::State& state) {
+  queueing::AgedPool pool;
+  std::uint64_t label = 0;
+  for (auto _ : state) {
+    ++label;
+    pool.add(label, 64);
+    if (pool.total() > 4096) pool.clear();
+    benchmark::DoNotOptimize(pool.total());
+  }
+}
+BENCHMARK(BM_AgedPoolCycle);
+
+// Steady-state per-round cost of CAPPED(c, λ). Counters report ns/ball.
+void BM_CappedRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto c = static_cast<std::uint32_t>(state.range(1));
+  core::CappedConfig config;
+  config.n = n;
+  config.capacity = c;
+  config.lambda_n = n - n / 16;  // λ = 15/16
+  core::Capped process(config, core::Engine(7));
+  for (int i = 0; i < 2000; ++i) (void)process.step();  // reach steady state
+
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    const auto m = process.step();
+    balls += m.thrown;
+  }
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(balls), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CappedRound)
+    ->Args({1 << 10, 1})
+    ->Args({1 << 13, 1})
+    ->Args({1 << 13, 3})
+    ->Args({1 << 15, 3});
+
+// Ablation: the explicit-ball oracle on the same workload (small n only —
+// it is O(m log m) per round).
+void BM_OracleCappedRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::CappedConfig config;
+  config.n = n;
+  config.capacity = 1;
+  config.lambda_n = n - n / 16;
+  core::OracleCapped process(config, core::Engine(7));
+  for (int i = 0; i < 500; ++i) (void)process.step();
+
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    const auto m = process.step();
+    balls += m.thrown;
+  }
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(balls), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OracleCappedRound)->Arg(1 << 10);
+
+void BM_ModCappedRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::ModCappedConfig config;
+  config.n = n;
+  config.capacity = 3;
+  config.lambda_n = n - n / 16;
+  core::ModCapped process(config, core::Engine(7));
+  for (int i = 0; i < 200; ++i) (void)process.step();
+
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    const auto m = process.step();
+    balls += m.thrown;
+  }
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(balls), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModCappedRound)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_BatchGreedyRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto d = static_cast<std::uint32_t>(state.range(1));
+  core::BatchGreedyConfig config;
+  config.n = n;
+  config.d = d;
+  config.lambda_n = n / 2;  // moderate λ keeps queues (and memory) bounded
+  core::BatchGreedy process(config, core::Engine(7));
+  for (int i = 0; i < 500; ++i) (void)process.step();
+
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    const auto m = process.step();
+    balls += m.thrown;
+  }
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(balls), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchGreedyRound)->Args({1 << 13, 1})->Args({1 << 13, 2});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E19 — the supermarket model (Mitzenmacher, reference [16]): steady-
+// state queue-tail fractions vs the classical fixed point
+// λ^((d^k − 1)/(d − 1)), plus sojourn times — anchoring the continuous-
+// time related-work substrate to its closed form.
+//
+// Expected shape: d = 1 tails are geometric (λ^k); d = 2 tails are
+// doubly exponential — visibly collapsing after k = 2–3; sojourn times
+// shrink by a large factor at high load.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/supermarket.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iba;
+  io::ArgParser parser("bench_supermarket",
+                       "queue tails vs the two-choice fixed point");
+  bench::add_standard_flags(parser);
+  parser.add_flag("horizon", "measured time units after warm-up", "300");
+  if (!parser.parse(argc, argv)) return 0;
+  const auto options = bench::read_standard_flags(parser);
+  const double horizon = parser.get_double("horizon");
+
+  io::Table table({"lambda", "d", "k", "tail_measured", "tail_fixed_point",
+                   "sojourn_mean"});
+  table.set_title("Supermarket model: Pr[queue >= k] vs fixed point");
+  std::vector<std::vector<double>> csv_rows;
+
+  for (const double lambda : {0.7, 0.9, 0.98}) {
+    for (const std::uint32_t d : {1u, 2u}) {
+      core::SupermarketConfig config;
+      config.n = options.n;
+      config.d = d;
+      config.lambda = lambda;
+      std::fprintf(stderr, "[cell] supermarket lambda=%.2f d=%u ...\n",
+                   lambda, d);
+      core::Supermarket system(config, core::Engine(options.seed));
+      // Warm-up scales with the M/M/1 relaxation time.
+      system.advance(50.0 + 5.0 / ((1 - lambda) * (1 - lambda)));
+      system.reset_sojourn_stats();
+
+      std::vector<double> tails(6, 0.0);
+      const int samples = 60;
+      for (int s = 0; s < samples; ++s) {
+        system.advance(horizon / samples);
+        for (std::uint64_t k = 1; k <= 5; ++k) {
+          tails[k] += system.tail_fraction(k);
+        }
+      }
+      for (auto& t : tails) t /= samples;
+
+      for (std::uint64_t k = 1; k <= 5; ++k) {
+        const double fixed_point =
+            core::Supermarket::fixed_point_tail(lambda, d, k);
+        table.add_row({io::Table::format_number(lambda),
+                       io::Table::format_number(d),
+                       io::Table::format_number(static_cast<double>(k)),
+                       io::Table::format_number(tails[k]),
+                       io::Table::format_number(fixed_point),
+                       k == 1 ? io::Table::format_number(
+                                    system.sojourn().mean())
+                              : ""});
+        csv_rows.push_back({lambda, static_cast<double>(d),
+                            static_cast<double>(k), tails[k], fixed_point,
+                            system.sojourn().mean()});
+      }
+    }
+  }
+
+  bench::emit(table, options, "supermarket",
+              {"lambda", "d", "k", "tail_measured", "tail_fixed_point",
+               "sojourn_mean"},
+              csv_rows);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// make_report — post-processes the CSV output of the bench suite into a
+// single Markdown summary (results/REPORT.md): one section per
+// experiment with the key columns and automatic pass/fail shape checks.
+// Demonstrates the CSV-reader half of the IO library.
+//
+//   $ for b in build/bench/bench_*; do $b; done   # writes results/*.csv
+//   $ ./build/examples/make_report --dir results
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/cli.hpp"
+#include "io/csv_reader.hpp"
+
+namespace {
+
+using iba::io::CsvDocument;
+using iba::io::read_csv_file;
+
+struct Check {
+  std::string description;
+  bool passed;
+};
+
+std::vector<Check> check_figure4(const CsvDocument& doc) {
+  std::vector<Check> checks;
+  const auto pool = doc.numeric_column("pool_over_n");
+  const auto reference = doc.numeric_column("reference");
+  bool below = true;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    below = below && pool[i] <= reference[i];
+  }
+  checks.push_back({"every point below the dashed reference", below});
+  return checks;
+}
+
+std::vector<Check> check_figure5(const CsvDocument& doc) {
+  std::vector<Check> checks;
+  const auto wait_max = doc.numeric_column("wait_max");
+  const auto reference = doc.numeric_column("reference");
+  bool below = true;
+  for (std::size_t i = 0; i < wait_max.size(); ++i) {
+    below = below && wait_max[i] <= reference[i];
+  }
+  checks.push_back({"max waiting time below the reference", below});
+  return checks;
+}
+
+std::vector<Check> check_theory(const CsvDocument& doc) {
+  const auto holds = doc.numeric_column("holds");
+  bool all = true;
+  for (const double h : holds) all = all && h > 0.5;
+  return {{"Theorem 1/2 bounds hold at every grid cell", all}};
+}
+
+std::vector<Check> check_modcapped(const CsvDocument& doc) {
+  const auto violations = doc.numeric_column("violations");
+  bool none = true;
+  for (const double v : violations) none = none && v == 0.0;
+  return {{"zero coupling-dominance violations", none}};
+}
+
+void emit_section(std::ofstream& out, const std::string& title,
+                  const std::string& path,
+                  const std::vector<Check>& checks) {
+  out << "## " << title << "\n\n";
+  out << "Source: `" << path << "`\n\n";
+  for (const Check& check : checks) {
+    out << "- " << (check.passed ? "✅" : "❌") << " " << check.description
+        << "\n";
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iba::io::ArgParser parser("make_report",
+                            "summarize bench CSVs into Markdown");
+  parser.add_flag("dir", "directory containing the bench CSVs", "results");
+  parser.add_flag("out", "output Markdown path (default <dir>/REPORT.md)",
+                  "");
+  if (!parser.parse(argc, argv)) return 0;
+  const std::string dir = parser.get("dir");
+  const std::string out_path =
+      parser.get("out").empty() ? dir + "/REPORT.md" : parser.get("out");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "# iba bench report\n\n"
+      << "Automated shape checks over the CSVs in `" << dir << "`.\n\n";
+
+  struct Section {
+    const char* file;
+    const char* title;
+    std::vector<Check> (*checker)(const CsvDocument&);
+  };
+  const std::vector<Section> sections = {
+      {"fig4_pool_vs_c.csv", "Figure 4 (left)", &check_figure4},
+      {"fig4_pool_vs_lambda.csv", "Figure 4 (right)", &check_figure4},
+      {"fig5_wait_vs_c.csv", "Figure 5 (left)", &check_figure5},
+      {"fig5_wait_vs_lambda.csv", "Figure 5 (right)", &check_figure5},
+      {"theory_vs_sim.csv", "Theorem slack", &check_theory},
+      {"modcapped.csv", "MODCAPPED coupling", &check_modcapped},
+  };
+
+  int sections_written = 0, failures = 0;
+  for (const Section& section : sections) {
+    const std::string path = dir + "/" + section.file;
+    if (!std::filesystem::exists(path)) {
+      std::fprintf(stderr, "[skip] %s not found\n", path.c_str());
+      continue;
+    }
+    try {
+      const auto doc = read_csv_file(path);
+      const auto checks = section.checker(doc);
+      emit_section(out, section.title, path, checks);
+      ++sections_written;
+      for (const Check& check : checks) failures += check.passed ? 0 : 1;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "[error] %s: %s\n", path.c_str(), error.what());
+      ++failures;
+    }
+  }
+
+  out << "---\n" << sections_written << " sections, " << failures
+      << " failed checks.\n";
+  std::printf("wrote %s (%d sections, %d failed checks)\n", out_path.c_str(),
+              sections_written, failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// Server farm: the paper's motivating scenario as an application.
+//
+// A farm of n servers with bounded accept queues (buffer size c) serves
+// a diurnal request load: λ(t) follows a day/night pattern peaking at
+// 97% utilization. Clients whose requests are rejected retry next round
+// (the pool). The example compares buffer sizes c ∈ {1, 2, 4, 8} on the
+// same workload and reports latency statistics per configuration —
+// showing that a small buffer (the paper's sweet spot) beats both the
+// bufferless and the large-buffer farm on tail latency.
+//
+//   $ ./server_farm [--n 4096] [--days 3]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "core/capped.hpp"
+#include "io/cli.hpp"
+#include "io/table.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+// One simulated "day" of diurnal load: λ swings between 55% and 97%.
+constexpr std::uint64_t kRoundsPerDay = 4000;
+
+std::uint64_t diurnal_lambda_n(std::uint32_t n, std::uint64_t round) {
+  const double phase = 2.0 * 3.14159265358979 *
+                       static_cast<double>(round % kRoundsPerDay) /
+                       static_cast<double>(kRoundsPerDay);
+  const double lambda = 0.76 + 0.21 * std::sin(phase);  // 0.55 … 0.97
+  return static_cast<std::uint64_t>(lambda * static_cast<double>(n));
+}
+
+struct FarmReport {
+  std::uint32_t capacity;
+  double wait_avg;
+  double wait_p99;
+  std::uint64_t wait_max;
+  double peak_backlog;
+  double utilization;
+};
+
+FarmReport run_farm(std::uint32_t n, std::uint32_t capacity,
+                    std::uint64_t days, std::uint64_t seed) {
+  using namespace iba;
+  core::CappedConfig config;
+  config.n = n;
+  config.capacity = capacity;
+  config.lambda_n = diurnal_lambda_n(n, 0);
+  core::Capped farm(config, core::Engine(seed));
+
+  // Warm up one day before measuring.
+  for (std::uint64_t t = 0; t < kRoundsPerDay; ++t) {
+    farm.set_lambda_n(diurnal_lambda_n(n, t));
+    (void)farm.step();
+  }
+  farm.reset_wait_stats();
+
+  double peak_backlog = 0;
+  std::uint64_t served = 0;
+  const std::uint64_t horizon = days * kRoundsPerDay;
+  for (std::uint64_t t = 0; t < horizon; ++t) {
+    farm.set_lambda_n(diurnal_lambda_n(n, kRoundsPerDay + t));
+    const auto m = farm.step();
+    peak_backlog = std::max(
+        peak_backlog, static_cast<double>(m.pool_size) / n);
+    served += m.deleted;
+  }
+
+  return {capacity,
+          farm.waits().mean(),
+          static_cast<double>(farm.waits().quantile_upper_bound(0.99)),
+          farm.waits().max(),
+          peak_backlog,
+          static_cast<double>(served) / (static_cast<double>(horizon) * n)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iba;
+  io::ArgParser parser("server_farm",
+                       "diurnal-load server farm with bounded accept queues");
+  parser.add_flag("n", "number of servers", "4096");
+  parser.add_flag("days", "measured days (4000 rounds each)", "3");
+  parser.add_flag("seed", "random seed", "7");
+  if (!parser.parse(argc, argv)) return 0;
+  const auto n = static_cast<std::uint32_t>(parser.get_uint("n"));
+  const auto days = parser.get_uint("days");
+  const auto seed = parser.get_uint("seed");
+
+  std::printf("server farm: %u servers, diurnal load 55%%..97%%, "
+              "%llu day(s) measured\n\n",
+              n, static_cast<unsigned long long>(days));
+
+  io::Table table({"buffer c", "latency avg", "latency p99<=", "latency max",
+                   "peak backlog/server", "utilization"});
+  table.set_title("Latency (in rounds) per buffer size");
+  for (const std::uint32_t c : {1u, 2u, 4u, 8u}) {
+    const auto report = run_farm(n, c, days, seed);
+    table.add_row({io::Table::format_number(report.capacity),
+                   io::Table::format_number(report.wait_avg),
+                   io::Table::format_number(report.wait_p99),
+                   io::Table::format_number(
+                       static_cast<double>(report.wait_max)),
+                   io::Table::format_number(report.peak_backlog),
+                   io::Table::format_number(report.utilization)});
+  }
+  table.print();
+
+  std::printf("\npaper guidance: at the 97%% peak, the sweet spot is c ~ "
+              "sqrt(ln(1/(1-lambda))) = %.1f -> choose c = %u\n",
+              analysis::sweet_spot_prediction(0.97),
+              analysis::suggest_capacity(0.97));
+  return 0;
+}

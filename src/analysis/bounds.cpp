@@ -1,0 +1,113 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iba::analysis {
+
+namespace {
+
+constexpr double kOneMinusInvE = 1.0 - 1.0 / 2.718281828459045;
+
+}  // namespace
+
+double log_term(double lambda) {
+  IBA_EXPECT(lambda >= 0.0 && lambda < 1.0,
+             "log_term: lambda must lie in [0, 1)");
+  return std::log(1.0 / (1.0 - lambda));
+}
+
+double pool_bound_thm1(std::uint32_t n, double lambda) {
+  const double dn = static_cast<double>(n);
+  return 2.0 * log_term(lambda) * dn + 4.0 * dn;
+}
+
+double wait_bound_thm1(std::uint32_t n, double lambda) {
+  return (2.0 * log_term(lambda) + 4.0) / kOneMinusInvE + log_log_n(n) + 19.0;
+}
+
+double pool_bound_thm2(std::uint32_t n, double lambda, std::uint32_t c) {
+  IBA_EXPECT(c >= 1, "pool_bound_thm2: c must be at least 1");
+  const double dn = static_cast<double>(n);
+  const double dc = static_cast<double>(c);
+  return 4.0 / dc * log_term(lambda) * dn + 12.0 * dc * dn;
+}
+
+double wait_bound_thm2(std::uint32_t n, double lambda, std::uint32_t c) {
+  IBA_EXPECT(c >= 1, "wait_bound_thm2: c must be at least 1");
+  const double dc = static_cast<double>(c);
+  // Lemma-3 drain of the Theorem-2 pool bound, then Lemmas 4/5 additive
+  // terms, then up to c rounds inside the accepting bin's buffer.
+  const double drain =
+      (4.0 / dc * log_term(lambda) + 12.0 * dc) / kOneMinusInvE;
+  return drain + 19.0 + log_log_n(n) + dc;
+}
+
+double m_star_unit(std::uint32_t n, double lambda) {
+  const double dn = static_cast<double>(n);
+  return log_term(lambda) * dn + 2.0 * dn;
+}
+
+double m_star(std::uint32_t n, double lambda, std::uint32_t c) {
+  IBA_EXPECT(c >= 1, "m_star: c must be at least 1");
+  const double dn = static_cast<double>(n);
+  const double dc = static_cast<double>(c);
+  return 2.0 / dc * log_term(lambda) * dn + 6.0 * dc * dn;
+}
+
+double fig4_reference(double lambda, std::uint32_t c) {
+  IBA_EXPECT(c >= 1, "fig4_reference: c must be at least 1");
+  return log_term(lambda) / static_cast<double>(c) + 1.0;
+}
+
+double fig5_reference(std::uint32_t n, double lambda, std::uint32_t c) {
+  IBA_EXPECT(c >= 1, "fig5_reference: c must be at least 1");
+  return log_term(lambda) / static_cast<double>(c) + log_log_n(n) +
+         static_cast<double>(c);
+}
+
+double mean_field_pool_c1(double lambda) {
+  return log_term(lambda) - lambda;
+}
+
+double sweet_spot_prediction(double lambda) {
+  return std::sqrt(log_term(lambda));
+}
+
+std::uint32_t suggest_capacity(double lambda) {
+  const double c = std::max(1.0, std::round(sweet_spot_prediction(lambda)));
+  return static_cast<std::uint32_t>(c);
+}
+
+double log_log_n(std::uint32_t n) {
+  if (n < 2) return 0.0;
+  const double lg = std::log2(static_cast<double>(n));
+  return lg < 2.0 ? 0.0 : std::log2(lg);
+}
+
+double greedy1_wait_scale(std::uint32_t n, double lambda) {
+  IBA_EXPECT(lambda < 1.0, "greedy1_wait_scale: lambda must be below 1");
+  const double slack = 1.0 - lambda;
+  return 1.0 / slack * std::log(static_cast<double>(n) / slack);
+}
+
+double greedy2_wait_scale(std::uint32_t n, double lambda) {
+  IBA_EXPECT(lambda < 1.0, "greedy2_wait_scale: lambda must be below 1");
+  return std::log(static_cast<double>(n) / (1.0 - lambda));
+}
+
+double greedy1_mean_queue(double lambda) {
+  IBA_EXPECT(lambda >= 0.0 && lambda < 1.0,
+             "greedy1_mean_queue: lambda must lie in [0, 1)");
+  return lambda * lambda / (2.0 * (1.0 - lambda));
+}
+
+double greedy1_mean_wait(double lambda) {
+  IBA_EXPECT(lambda >= 0.0 && lambda < 1.0,
+             "greedy1_mean_wait: lambda must lie in [0, 1)");
+  return lambda / (2.0 * (1.0 - lambda));
+}
+
+}  // namespace iba::analysis

@@ -1,0 +1,95 @@
+// Closed-form side of the paper: the Theorem 1/2 guarantees, the m*
+// quantities of the MODCAPPED coupling, the empirical reference curves of
+// Section V, and the sweet-spot prediction for the buffer size c.
+//
+// Keeping the formulas in one translation unit means tests, benches and
+// examples all compare simulation against the *same* theory.
+#pragma once
+
+#include <cstdint>
+
+namespace iba::analysis {
+
+/// ln(1/(1−λ)) — the load-intensity term every bound is built from.
+/// Requires λ ∈ [0, 1).
+[[nodiscard]] double log_term(double lambda);
+
+// --- Theorem 1 (unit capacity) ------------------------------------------
+
+/// Pool bound of Theorem 1.1: 2·ln(1/(1−λ))·n + 4n
+/// (holds w.p. ≥ 1 − 2^(−2n) at any round).
+[[nodiscard]] double pool_bound_thm1(std::uint32_t n, double lambda);
+
+/// Waiting-time bound of Theorem 1.2:
+/// (2·ln(1/(1−λ)) + 4)/(1 − 1/e) + log log n + O(1)
+/// with the O(1) instantiated to the proof's additive 19 (Lemma 4).
+[[nodiscard]] double wait_bound_thm1(std::uint32_t n, double lambda);
+
+// --- Theorem 2 (general capacity) ----------------------------------------
+
+/// Pool bound of Theorem 2.1: (4/c)·ln(1/(1−λ))·n + 12·c·n. The O(c·n)
+/// constant 12 is the one realized by the proof (the bound is 2m* with
+/// m* = (2/c)·ln(1/(1−λ))·n + 6·c·n).
+[[nodiscard]] double pool_bound_thm2(std::uint32_t n, double lambda,
+                                     std::uint32_t c);
+
+/// Waiting-time bound of Theorem 2.2:
+/// 4·ln(1/(1−λ))/(c·(1 − 1/e)) + log log n + O(c), with the O(c)
+/// instantiated to the proof's constants: the pool-drain additive terms
+/// (Lemmas 3–5 give 12c/(1 − 1/e) + 19 + O(1)) plus c rounds of buffer
+/// residence after allocation.
+[[nodiscard]] double wait_bound_thm2(std::uint32_t n, double lambda,
+                                     std::uint32_t c);
+
+// --- MODCAPPED coupling ---------------------------------------------------
+
+/// m* of Section III (c = 1): ln(1/(1−λ))·n + 2n.
+[[nodiscard]] double m_star_unit(std::uint32_t n, double lambda);
+
+/// m* of Section IV (general c): (2/c)·ln(1/(1−λ))·n + 6·c·n.
+[[nodiscard]] double m_star(std::uint32_t n, double lambda, std::uint32_t c);
+
+// --- Section V reference curves (constants dropped, as in the figures) ---
+
+/// Fig. 4 dashed line: normalized pool size (1/c)·ln(1/(1−λ)) + 1.
+[[nodiscard]] double fig4_reference(double lambda, std::uint32_t c);
+
+/// Fig. 5 dashed line: waiting time ln(1/(1−λ))/c + log₂ log₂ n + c.
+[[nodiscard]] double fig5_reference(std::uint32_t n, double lambda,
+                                    std::uint32_t c);
+
+/// Mean-field steady state for c = 1: in equilibrium the number of thrown
+/// balls ν satisfies n·(1 − e^(−ν/n)) = λn (deletions match arrivals), so
+/// ν/n = ln(1/(1−λ)) and the end-of-round pool is (ln(1/(1−λ)) − λ)·n.
+/// Sharp for large n; the paper's dashed +1 curve upper-bounds it.
+[[nodiscard]] double mean_field_pool_c1(double lambda);
+
+// --- Design guidance ------------------------------------------------------
+
+/// The theoretical sweet spot c* = Θ(√(ln(1/(1−λ)))) balancing the
+/// 1/c-shrinking allocation delay against the +c buffer residence.
+[[nodiscard]] double sweet_spot_prediction(double lambda);
+
+/// Integer capacity suggestion: round(max(1, sweet_spot_prediction)).
+[[nodiscard]] std::uint32_t suggest_capacity(double lambda);
+
+/// log₂ log₂ n (0 for n < 2), the additive term the drain analysis
+/// (Lemma 5 / GREEDY[2]-style layered induction) contributes.
+[[nodiscard]] double log_log_n(std::uint32_t n);
+
+// --- Baseline bounds for the comparison benches (PODC'16) ----------------
+
+/// GREEDY[1] batch waiting-time scale: O((1/(1−λ))·log(n/(1−λ))).
+[[nodiscard]] double greedy1_wait_scale(std::uint32_t n, double lambda);
+
+/// GREEDY[2] batch waiting-time scale: O(log(n/(1−λ))).
+[[nodiscard]] double greedy2_wait_scale(std::uint32_t n, double lambda);
+
+/// Mean-field anchors for the batch GREEDY[1] baseline: each bin is a
+/// discrete-time queue with ≈Poisson(λ) arrivals per round and unit
+/// service — an M/D/1 queue. Mean number waiting: λ²/(2(1−λ));
+/// mean waiting time (Little): λ/(2(1−λ)). Sharp for large n.
+[[nodiscard]] double greedy1_mean_queue(double lambda);
+[[nodiscard]] double greedy1_mean_wait(double lambda);
+
+}  // namespace iba::analysis

@@ -1,0 +1,94 @@
+#include "analysis/exact_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iba::analysis {
+
+std::vector<double> occupancy_distribution(std::uint32_t n,
+                                           std::uint64_t balls) {
+  IBA_EXPECT(n > 0, "occupancy_distribution: n must be positive");
+  const std::uint64_t max_occupied = std::min<std::uint64_t>(balls, n);
+  std::vector<double> dist(max_occupied + 1, 0.0);
+  dist[0] = 1.0;
+  const double dn = static_cast<double>(n);
+  // Add balls one at a time: a ball lands in an occupied bin w.p. j/n.
+  for (std::uint64_t ball = 0; ball < balls; ++ball) {
+    const std::uint64_t limit = std::min<std::uint64_t>(ball, max_occupied);
+    for (std::uint64_t j = std::min(limit + 1, max_occupied);; --j) {
+      const double stay = dist[j] * (static_cast<double>(j) / dn);
+      const double grow =
+          j > 0 ? dist[j - 1] * ((dn - static_cast<double>(j - 1)) / dn)
+                : 0.0;
+      dist[j] = stay + grow;
+      if (j == 0) break;
+    }
+  }
+  return dist;
+}
+
+CappedUnitChain::CappedUnitChain(std::uint32_t n, std::uint64_t lambda_n,
+                                 std::uint64_t max_pool)
+    : n_(n), lambda_n_(lambda_n), max_pool_(max_pool) {
+  IBA_EXPECT(n > 0, "CappedUnitChain: n must be positive");
+  IBA_EXPECT(lambda_n <= n, "CappedUnitChain: lambda must be at most 1");
+  IBA_EXPECT(max_pool >= lambda_n,
+             "CappedUnitChain: truncation below one round of arrivals");
+
+  const std::uint64_t states = max_pool_ + 1;
+  matrix_.assign(states * states, 0.0);
+  for (std::uint64_t from = 0; from < states; ++from) {
+    const std::uint64_t thrown = from + lambda_n_;
+    const auto occupancy = occupancy_distribution(n_, thrown);
+    for (std::uint64_t occupied = 0; occupied < occupancy.size();
+         ++occupied) {
+      const std::uint64_t to =
+          std::min<std::uint64_t>(thrown - occupied, max_pool_);
+      matrix_[from * states + to] += occupancy[occupied];
+    }
+  }
+}
+
+double CappedUnitChain::transition(std::uint64_t from,
+                                   std::uint64_t to) const {
+  IBA_EXPECT(from <= max_pool_ && to <= max_pool_,
+             "CappedUnitChain: state out of range");
+  return matrix_[from * (max_pool_ + 1) + to];
+}
+
+std::vector<double> CappedUnitChain::stationary(std::size_t max_iterations,
+                                                double tolerance) const {
+  const std::uint64_t states = max_pool_ + 1;
+  std::vector<double> pi(states, 0.0);
+  pi[0] = 1.0;  // the process starts empty
+  std::vector<double> next(states);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::uint64_t from = 0; from < states; ++from) {
+      if (pi[from] == 0.0) continue;
+      const double* row = &matrix_[from * states];
+      for (std::uint64_t to = 0; to < states; ++to) {
+        next[to] += pi[from] * row[to];
+      }
+    }
+    double diff = 0.0;
+    for (std::uint64_t s = 0; s < states; ++s) {
+      diff += std::abs(next[s] - pi[s]);
+    }
+    pi.swap(next);
+    if (diff < tolerance) break;
+  }
+  return pi;
+}
+
+double CappedUnitChain::mean(const std::vector<double>& dist) {
+  double mu = 0.0;
+  for (std::size_t m = 0; m < dist.size(); ++m) {
+    mu += static_cast<double>(m) * dist[m];
+  }
+  return mu;
+}
+
+}  // namespace iba::analysis

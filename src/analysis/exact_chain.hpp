@@ -1,0 +1,55 @@
+// Exact finite-Markov-chain analysis of CAPPED(1, λ).
+//
+// For c = 1 the pool size is itself a Markov chain: every round ν =
+// m + λn balls are thrown, the number of deletions equals the number of
+// occupied bins, and m' = ν − occupied. The occupancy distribution
+// Pr[occupied = j | ν balls, n bins] has an elementary O(ν·n) dynamic
+// program (adding one ball hits an occupied bin w.p. j/n), so the whole
+// transition matrix — and hence the exact stationary pool distribution —
+// is computable for small systems. The tests compare it against long
+// simulations, closing the loop between the process, the theory and the
+// simulator with zero statistical slack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iba::analysis {
+
+/// Pr[exactly j of n bins occupied after throwing balls u.a.r.], for
+/// j = 0..min(balls, n). Exact (within fp) via the one-ball DP.
+[[nodiscard]] std::vector<double> occupancy_distribution(
+    std::uint32_t n, std::uint64_t balls);
+
+/// The exact pool-size Markov chain of CAPPED(1, λ) truncated at
+/// max_pool (states m = 0..max_pool; overflow mass is clamped into the
+/// last state — choose max_pool well above the typical range).
+class CappedUnitChain {
+ public:
+  CappedUnitChain(std::uint32_t n, std::uint64_t lambda_n,
+                  std::uint64_t max_pool);
+
+  /// Transition probability Pr[m(t+1) = to | m(t) = from].
+  [[nodiscard]] double transition(std::uint64_t from,
+                                  std::uint64_t to) const;
+
+  /// Stationary distribution via power iteration (to fixed tolerance).
+  [[nodiscard]] std::vector<double> stationary(
+      std::size_t max_iterations = 100000, double tolerance = 1e-12) const;
+
+  /// Mean of a distribution over pool sizes.
+  [[nodiscard]] static double mean(const std::vector<double>& dist);
+
+  [[nodiscard]] std::uint64_t state_count() const noexcept {
+    return max_pool_ + 1;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t lambda_n_;
+  std::uint64_t max_pool_;
+  // row-major transition matrix, (max_pool+1)^2
+  std::vector<double> matrix_;
+};
+
+}  // namespace iba::analysis

@@ -1,0 +1,95 @@
+#include "analysis/tail_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iba::analysis {
+
+double chernoff_lemma8(double r, double mean) {
+  IBA_EXPECT(r >= 0.0 && mean >= 0.0, "chernoff_lemma8: negative argument");
+  constexpr double kTwoE = 2.0 * 2.718281828459045;
+  if (r < kTwoE * mean) return 1.0;  // precondition of the lemma not met
+  return std::exp2(-r);
+}
+
+double chernoff_lemma9(double delta, double mu) {
+  IBA_EXPECT(delta > 0.0, "chernoff_lemma9: delta must be positive");
+  IBA_EXPECT(mu >= 0.0, "chernoff_lemma9: mu must be non-negative");
+  return std::exp(-delta * delta * mu / (2.0 + delta));
+}
+
+double empty_bins_deviation_bound(std::uint32_t n, double expected_empty,
+                                  double deviation) {
+  IBA_EXPECT(n >= 1, "empty_bins_deviation_bound: n must be positive");
+  IBA_EXPECT(deviation >= 0.0,
+             "empty_bins_deviation_bound: deviation must be non-negative");
+  const double dn = static_cast<double>(n);
+  const double denom = dn * dn - expected_empty * expected_empty;
+  if (denom <= 0.0) return 1.0;
+  const double bound =
+      2.0 * std::exp(-deviation * deviation * (dn - 0.5) / denom);
+  return std::min(1.0, bound);
+}
+
+double expected_empty_bins(std::uint32_t n, std::uint64_t m) {
+  IBA_EXPECT(n >= 1, "expected_empty_bins: n must be positive");
+  const double dn = static_cast<double>(n);
+  return dn * std::pow(1.0 - 1.0 / dn, static_cast<double>(m));
+}
+
+double binomial_upper_tail(std::uint64_t n, double p, std::uint64_t k) {
+  IBA_EXPECT(p >= 0.0 && p <= 1.0, "binomial_upper_tail: bad p");
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+
+  // Sum the smaller side in log space for stability.
+  const double mean = static_cast<double>(n) * p;
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  auto log_pmf = [&](std::uint64_t i) {
+    const double di = static_cast<double>(i);
+    const double dn = static_cast<double>(n);
+    return std::lgamma(dn + 1) - std::lgamma(di + 1) -
+           std::lgamma(dn - di + 1) + di * log_p + (dn - di) * log_q;
+  };
+
+  const bool sum_upper = static_cast<double>(k) >= mean;
+  double total = 0.0;
+  if (sum_upper) {
+    for (std::uint64_t i = k; i <= n; ++i) {
+      const double term = std::exp(log_pmf(i));
+      total += term;
+      if (term < 1e-18 * total && i > k + 16) break;  // converged tail
+    }
+    return std::min(1.0, total);
+  }
+  for (std::uint64_t i = 0; i < k; ++i) {
+    total += std::exp(log_pmf(i));
+  }
+  return std::clamp(1.0 - total, 0.0, 1.0);
+}
+
+double binomial_upper_tail_chernoff(std::uint64_t n, double p,
+                                    std::uint64_t k) {
+  IBA_EXPECT(p > 0.0 && p < 1.0, "binomial_upper_tail_chernoff: bad p");
+  const double a = static_cast<double>(k) / static_cast<double>(n);
+  if (a <= p) return 1.0;
+  if (a >= 1.0) {
+    return std::exp(static_cast<double>(n) * std::log(p));  // Pr[X = n]
+  }
+  const double kl =
+      a * std::log(a / p) + (1.0 - a) * std::log((1.0 - a) / (1.0 - p));
+  return std::exp(-static_cast<double>(n) * kl);
+}
+
+double miss_probability(std::uint32_t n, std::uint64_t m) {
+  IBA_EXPECT(n >= 1, "miss_probability: n must be positive");
+  return std::pow(1.0 - 1.0 / static_cast<double>(n),
+                  static_cast<double>(m));
+}
+
+}  // namespace iba::analysis

@@ -1,0 +1,45 @@
+// The tail bounds of the paper's appendix (Lemmas 8–11), as evaluatable
+// functions. Used by tests to sanity-check the probabilistic reasoning
+// and offered to library users for capacity-planning estimates.
+#pragma once
+
+#include <cstdint>
+
+namespace iba::analysis {
+
+/// Lemma 8 (Chernoff, [Aspnes]): for independent Bernoulli sum X with
+/// R ≥ 2e·E[X], Pr[X ≥ R] ≤ 2^(−R). Returns that bound, or 1.0 when the
+/// precondition R ≥ 2e·mean fails (the lemma then says nothing).
+[[nodiscard]] double chernoff_lemma8(double r, double mean);
+
+/// Lemma 9 (multiplicative Chernoff, [Goemans]):
+/// Pr[X ≥ (1+δ)·μ] ≤ exp(−δ²μ/(2+δ)) for δ > 0.
+[[nodiscard]] double chernoff_lemma9(double delta, double mu);
+
+/// Lemma 10 ([Motwani-Raghavan Thm 4.18]): concentration of the number Z
+/// of empty bins when throwing m balls into n bins:
+/// Pr[|Z − E[Z]| ≥ λ] ≤ 2·exp(−λ²(n − 1/2)/(n² − E[Z]²)).
+[[nodiscard]] double empty_bins_deviation_bound(std::uint32_t n,
+                                                double expected_empty,
+                                                double deviation);
+
+/// E[Z] for m balls into n bins: n·(1 − 1/n)^m.
+[[nodiscard]] double expected_empty_bins(std::uint32_t n, std::uint64_t m);
+
+/// Exact binomial upper tail Pr[B(n, p) ≥ k] (stable summation from the
+/// smaller tail; O(n) worst case). Lemma 11 reduces dependent-round
+/// failure counts to exactly this quantity.
+[[nodiscard]] double binomial_upper_tail(std::uint64_t n, double p,
+                                         std::uint64_t k);
+
+/// Chernoff bound on the same tail: exp(−n·KL(k/n ‖ p)) for k/n > p,
+/// 1.0 otherwise. Always ≥ binomial_upper_tail.
+[[nodiscard]] double binomial_upper_tail_chernoff(std::uint64_t n, double p,
+                                                  std::uint64_t k);
+
+/// Probability that a given bin receives no ball when m balls are thrown
+/// u.a.r. into n bins: (1 − 1/n)^m — the "failed deletion attempt"
+/// probability at the heart of Lemmas 2 and 7.
+[[nodiscard]] double miss_probability(std::uint32_t n, std::uint64_t m);
+
+}  // namespace iba::analysis

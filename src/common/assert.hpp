@@ -1,0 +1,49 @@
+// Lightweight contract checking for the iba library.
+//
+// IBA_ASSERT(cond)        — internal invariant; compiled out in NDEBUG builds.
+// IBA_EXPECT(cond, msg)   — precondition on a public API; always checked,
+//                           throws iba::ContractViolation on failure.
+//
+// Rationale (C++ Core Guidelines I.6/E.12): broken *internal* invariants are
+// bugs and may abort, while *caller* errors on the public surface are
+// reported via exceptions so applications can handle misconfiguration.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace iba {
+
+/// Thrown when a public-API precondition is violated (bad configuration,
+/// out-of-range argument, ...). Carries a human-readable explanation.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) noexcept {
+  std::fprintf(stderr, "iba: internal invariant violated: %s (%s:%d)\n", expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace iba
+
+#ifdef NDEBUG
+#define IBA_ASSERT(cond) ((void)0)
+#else
+#define IBA_ASSERT(cond)                                    \
+  ((cond) ? (void)0                                         \
+          : ::iba::detail::assert_fail(#cond, __FILE__, __LINE__))
+#endif
+
+#define IBA_EXPECT(cond, msg)                               \
+  ((cond) ? (void)0                                         \
+          : throw ::iba::ContractViolation(std::string("iba: ") + (msg)))

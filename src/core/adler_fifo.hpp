@@ -1,0 +1,72 @@
+// The infinite parallel d-copy FIFO process of Adler, Berenbrink,
+// Schröder [ESA'98] — the paper's related-work baseline with expected
+// O(1) waiting time but the restrictive arrival bound m < n/(3de).
+//
+// Per round, m new balls arrive; each ball enqueues a copy of itself in
+// the FIFO queues of d bins chosen independently and uniformly at
+// random. At the end of the round, every bin whose queue contains a
+// not-yet-served ball serves (deletes) the first such ball; serving a
+// ball invalidates its copies in the other bins' queues (implemented as
+// lazy tombstones skipped for free).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+
+namespace iba::core {
+
+struct AdlerFifoConfig {
+  std::uint32_t n = 0;  ///< bins
+  std::uint32_t d = 2;  ///< copies per ball
+  std::uint64_t m = 0;  ///< new balls per round (theory wants m < n/(3de))
+
+  void validate() const;
+};
+
+/// The d-copy FIFO process. Deterministic given (config, engine).
+class AdlerFifo {
+ public:
+  AdlerFifo(const AdlerFifoConfig& config, Engine engine);
+
+  RoundMetrics step();
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return config_.n; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  /// Balls arrived but not yet served.
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return in_flight_;
+  }
+  [[nodiscard]] const WaitRecorder& waits() const noexcept { return waits_; }
+  void reset_wait_stats() noexcept { waits_.reset(); }
+
+ private:
+  struct BallRecord {
+    std::uint64_t birth = 0;
+    std::uint32_t copies_left = 0;  ///< queue entries not yet popped
+    bool served = false;
+  };
+
+  struct Queue {
+    std::vector<std::uint32_t> items;  ///< ball ids
+    std::size_t head = 0;
+  };
+
+  [[nodiscard]] std::uint32_t allocate_ball();
+  void release_copy(std::uint32_t id);
+
+  AdlerFifoConfig config_;
+  Engine engine_;
+  std::uint64_t round_ = 0;
+  std::vector<BallRecord> balls_;
+  std::vector<std::uint32_t> free_ids_;
+  std::vector<Queue> queues_;
+  std::uint64_t in_flight_ = 0;
+  WaitRecorder waits_;
+};
+
+static_assert(AllocationProcess<AdlerFifo>);
+
+}  // namespace iba::core

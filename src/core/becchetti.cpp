@@ -1,0 +1,65 @@
+#include "core/becchetti.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::core {
+
+RepeatedBallsIntoBins::RepeatedBallsIntoBins(
+    std::vector<std::uint64_t> initial_loads, Engine engine)
+    : loads_(std::move(initial_loads)), engine_(engine) {
+  IBA_EXPECT(!loads_.empty(), "RepeatedBallsIntoBins: needs at least one bin");
+  balls_ = std::accumulate(loads_.begin(), loads_.end(), std::uint64_t{0});
+}
+
+RepeatedBallsIntoBins RepeatedBallsIntoBins::adversarial(std::uint32_t n,
+                                                         Engine engine) {
+  IBA_EXPECT(n > 0, "RepeatedBallsIntoBins: n must be positive");
+  std::vector<std::uint64_t> loads(n, 0);
+  loads[0] = n;
+  return {std::move(loads), engine};
+}
+
+RepeatedBallsIntoBins RepeatedBallsIntoBins::uniform(std::uint32_t n,
+                                                     Engine engine) {
+  IBA_EXPECT(n > 0, "RepeatedBallsIntoBins: n must be positive");
+  return {std::vector<std::uint64_t>(n, 1), engine};
+}
+
+RoundMetrics RepeatedBallsIntoBins::step() {
+  ++round_;
+  RoundMetrics m;
+  m.round = round_;
+
+  // All non-empty bins release one ball simultaneously...
+  std::uint64_t released = 0;
+  for (auto& load : loads_) {
+    if (load > 0) {
+      --load;
+      ++released;
+    }
+  }
+  // ...and the released balls are re-thrown uniformly at random.
+  const auto n = static_cast<std::uint32_t>(loads_.size());
+  for (std::uint64_t ball = 0; ball < released; ++ball) {
+    ++loads_[rng::bounded32(engine_, n)];
+  }
+
+  m.thrown = released;
+  m.accepted = released;
+  m.deleted = released;
+  m.total_load = balls_;
+  m.max_load = max_load();
+  m.empty_bins = static_cast<std::uint32_t>(
+      std::count(loads_.begin(), loads_.end(), 0u));
+  return m;
+}
+
+std::uint64_t RepeatedBallsIntoBins::max_load() const noexcept {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+}  // namespace iba::core

@@ -1,0 +1,58 @@
+// Self-stabilizing repeated balls-into-bins — Becchetti, Clementi,
+// Natale, Pasquale, Posta [SPAA'15], part of the paper's infinite-
+// parallel related work.
+//
+// n balls live in n bins forever. Per round, every non-empty bin removes
+// one ball and all removed balls are simultaneously re-thrown, each into
+// a bin chosen independently and uniformly at random. From any start
+// configuration (even all n balls in one bin) the system reaches maximum
+// load O(log n) within O(n) rounds w.h.p. — the recovery behaviour
+// bench_baselines measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+
+namespace iba::core {
+
+/// The repeated balls-into-bins process over load counts (balls carry no
+/// identity here; the observable is the load vector).
+class RepeatedBallsIntoBins {
+ public:
+  /// Starts from an explicit load vector (its sum is the ball count).
+  RepeatedBallsIntoBins(std::vector<std::uint64_t> initial_loads,
+                        Engine engine);
+
+  /// Convenience: the adversarial start with all n balls in bin 0.
+  static RepeatedBallsIntoBins adversarial(std::uint32_t n, Engine engine);
+
+  /// Convenience: the benign start with one ball per bin.
+  static RepeatedBallsIntoBins uniform(std::uint32_t n, Engine engine);
+
+  RoundMetrics step();
+
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(loads_.size());
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t balls() const noexcept { return balls_; }
+  /// Alias of balls(): every ball is always stored in some bin.
+  [[nodiscard]] std::uint64_t total_load() const noexcept { return balls_; }
+  [[nodiscard]] std::uint64_t load(std::uint32_t i) const noexcept {
+    return loads_[i];
+  }
+  [[nodiscard]] std::uint64_t max_load() const noexcept;
+
+ private:
+  std::vector<std::uint64_t> loads_;
+  Engine engine_;
+  std::uint64_t round_ = 0;
+  std::uint64_t balls_ = 0;
+};
+
+static_assert(AllocationProcess<RepeatedBallsIntoBins>);
+
+}  // namespace iba::core

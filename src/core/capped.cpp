@@ -1,0 +1,300 @@
+#include "core/capped.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+#include "rng/distributions.hpp"
+
+namespace iba::core {
+
+CappedConfig CappedConfig::from_rate(std::uint32_t n, double lambda,
+                                     std::uint32_t capacity) {
+  IBA_EXPECT(n > 0, "CappedConfig: n must be positive");
+  IBA_EXPECT(lambda >= 0.0 && lambda <= 1.0,
+             "CappedConfig: lambda must lie in [0, 1]");
+  const double exact = lambda * static_cast<double>(n);
+  const double rounded = std::round(exact);
+  IBA_EXPECT(std::abs(exact - rounded) < 1e-6,
+             "CappedConfig: lambda * n must be integral");
+  CappedConfig config;
+  config.n = n;
+  config.capacity = capacity;
+  config.lambda_n = static_cast<std::uint64_t>(rounded);
+  config.validate();
+  return config;
+}
+
+void CappedConfig::validate() const {
+  IBA_EXPECT(n > 0, "CappedConfig: n must be positive");
+  IBA_EXPECT(capacity > 0, "CappedConfig: capacity must be positive");
+  IBA_EXPECT(lambda_n <= n,
+             "CappedConfig: lambda_n must not exceed n (lambda <= 1)");
+  IBA_EXPECT(failure_probability >= 0.0 && failure_probability < 1.0,
+             "CappedConfig: failure_probability must lie in [0, 1)");
+  IBA_EXPECT(failure_mode != FailureMode::kCrashRequeue ||
+                 capacity != kInfiniteCapacity,
+             "CappedConfig: crash-requeue requires finite capacity");
+}
+
+Capped::Capped(const CappedConfig& config, Engine engine)
+    : config_(config), engine_(engine) {
+  config_.validate();
+  if (infinite()) {
+    unbounded_.emplace(config_.n);
+  } else {
+    bounded_.emplace(config_.n, config_.capacity);
+  }
+}
+
+Capped::Capped(const CappedSnapshot& snapshot)
+    : Capped(snapshot.config, Engine(snapshot.engine_state)) {
+  round_ = snapshot.round;
+  generated_total_ = snapshot.generated_total;
+  deleted_total_ = snapshot.deleted_total;
+  for (const auto& bucket : snapshot.pool) {
+    pool_.add(bucket.label, bucket.count);
+  }
+  IBA_EXPECT(snapshot.bin_queues.size() == config_.n,
+             "CappedSnapshot: bin_queues size must equal n");
+  for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
+    for (const std::uint64_t label : snapshot.bin_queues[bin]) {
+      if (infinite()) {
+        unbounded_->push(bin, label);
+      } else {
+        IBA_EXPECT(bounded_->load(bin) < config_.capacity,
+                   "CappedSnapshot: bin queue exceeds capacity");
+        bounded_->push(bin, label);
+      }
+    }
+  }
+}
+
+CappedSnapshot Capped::snapshot() const {
+  CappedSnapshot snap;
+  snap.config = config_;
+  snap.round = round_;
+  snap.generated_total = generated_total_;
+  snap.deleted_total = deleted_total_;
+  snap.engine_state = engine_.state();
+  snap.pool.assign(pool_.buckets().begin(), pool_.buckets().end());
+  snap.bin_queues.resize(config_.n);
+  for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
+    const auto load = static_cast<std::uint32_t>(this->load(bin));
+    auto& queue = snap.bin_queues[bin];
+    queue.reserve(load);
+    for (std::uint32_t i = 0; i < load; ++i) {
+      if (infinite()) {
+        // UnboundedBinTable exposes no random access; infinite-capacity
+        // snapshots rebuild via pops on a scratch copy below.
+        break;
+      }
+      queue.push_back(bounded_->peek(bin, i));
+    }
+  }
+  if (infinite()) {
+    // Drain a copy to read the queues non-destructively.
+    queueing::UnboundedBinTable copy = *unbounded_;
+    for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
+      while (copy.load(bin) > 0) {
+        snap.bin_queues[bin].push_back(copy.pop_front(bin));
+      }
+    }
+  }
+  return snap;
+}
+
+std::uint64_t Capped::sample_arrivals() {
+  switch (config_.arrival) {
+    case ArrivalModel::kDeterministic:
+      return config_.lambda_n;
+    case ArrivalModel::kBinomial:
+      // n generators, each producing one ball w.p. λ (footnote 2).
+      return rng::binomial(engine_, config_.n, config_.lambda());
+    case ArrivalModel::kPoisson:
+      return rng::poisson(engine_, static_cast<double>(config_.lambda_n));
+  }
+  return config_.lambda_n;
+}
+
+RoundMetrics Capped::step() {
+  const std::uint64_t generated = sample_arrivals();
+  const std::uint64_t nu = pool_.total() + generated;
+  choice_scratch_.resize(nu);
+  for (auto& choice : choice_scratch_) {
+    choice = rng::bounded32(engine_, config_.n);
+  }
+  return step_internal(generated, choice_scratch_);
+}
+
+RoundMetrics Capped::step_with_choices(
+    std::span<const std::uint32_t> choices) {
+  IBA_EXPECT(config_.arrival == ArrivalModel::kDeterministic,
+             "Capped: step_with_choices requires deterministic arrivals");
+  IBA_EXPECT(choices.size() == balls_to_throw(),
+             "Capped: need exactly one bin choice per thrown ball");
+  return step_internal(config_.lambda_n, choices);
+}
+
+RoundMetrics Capped::step_internal(std::uint64_t generated,
+                                   std::span<const std::uint32_t> choices) {
+  ++round_;
+  pool_.add(round_, generated);
+  generated_total_ += generated;
+  return allocate_and_delete(generated, choices);
+}
+
+RoundMetrics Capped::allocate_and_delete(
+    std::uint64_t generated, std::span<const std::uint32_t> choices) {
+  RoundMetrics m;
+  m.round = round_;
+  m.generated = generated;
+  m.thrown = pool_.total();
+
+  // Allocation. Pool buckets are visited in preference order (the
+  // paper's oldest-first, or the ablation's inversion); each bin accepts
+  // while it has room, which realizes "accept the preferred min{c−ℓ, ν}
+  // requests" exactly (see the header comment).
+  survivors_.clear();
+  std::size_t idx = 0;
+  if (infinite()) {
+    for (const auto& bucket : pool_.buckets()) {
+      for (std::uint64_t k = 0; k < bucket.count; ++k) {
+        unbounded_->push(choices[idx++], bucket.label);
+      }
+    }
+    m.accepted = m.thrown;
+  } else if (config_.acceptance == AcceptanceOrder::kOldestFirst) {
+    const std::uint32_t cap = config_.capacity;
+    for (const auto& bucket : pool_.buckets()) {
+      for (std::uint64_t k = 0; k < bucket.count; ++k) {
+        const std::uint32_t bin = choices[idx++];
+        if (bounded_->load(bin) < cap) {
+          bounded_->push(bin, bucket.label);
+          ++m.accepted;
+        } else {
+          survivors_.add(bucket.label, 1);
+        }
+      }
+    }
+  } else {
+    // Youngest-first ablation: buckets visited in reverse. Survivors are
+    // seen youngest-first, so they are staged and re-added oldest-first
+    // to keep the pool's label order intact.
+    const std::uint32_t cap = config_.capacity;
+    const auto& buckets = pool_.buckets();
+    reverse_survivor_scratch_.clear();
+    for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
+      std::uint64_t rejected = 0;
+      for (std::uint64_t k = 0; k < it->count; ++k) {
+        const std::uint32_t bin = choices[idx++];
+        if (bounded_->load(bin) < cap) {
+          bounded_->push(bin, it->label);
+          ++m.accepted;
+        } else {
+          ++rejected;
+        }
+      }
+      if (rejected > 0) {
+        reverse_survivor_scratch_.push_back({it->label, rejected});
+      }
+    }
+    for (auto it = reverse_survivor_scratch_.rbegin();
+         it != reverse_survivor_scratch_.rend(); ++it) {
+      survivors_.add(it->label, it->count);
+    }
+  }
+  IBA_ASSERT(idx == choices.size());
+  pool_.swap(survivors_);
+
+  // Deletion: every non-empty, non-failed bin serves one ball.
+  const bool failures = config_.failure_probability > 0.0;
+  for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
+    const std::uint64_t load =
+        infinite() ? unbounded_->load(bin) : bounded_->load(bin);
+    if (load == 0) continue;
+    if (failures &&
+        rng::uniform01(engine_) < config_.failure_probability) {
+      if (config_.failure_mode == FailureMode::kCrashRequeue) {
+        // The bin crashes: its buffered balls return to the pool with
+        // their original labels (ages keep accruing).
+        while (bounded_->load(bin) > 0) {
+          ++requeue_[bounded_->pop_front(bin)];
+          ++m.requeued;
+        }
+      }
+      continue;  // no service from this bin this round
+    }
+    delete_from_bin(bin, m);
+  }
+  deleted_total_ += m.deleted;
+  if (!requeue_.empty()) merge_requeued_into_pool();
+
+  m.pool_size = pool_.total();
+  m.oldest_pool_age = pool_.oldest_age(round_);
+  if (infinite()) {
+    m.total_load = unbounded_->total_load();
+    m.max_load = unbounded_->max_load();
+    m.empty_bins = unbounded_->empty_bins();
+  } else {
+    m.total_load = bounded_->total_load();
+    m.max_load = bounded_->max_load();
+    m.empty_bins = bounded_->empty_bins();
+  }
+  return m;
+}
+
+void Capped::merge_requeued_into_pool() {
+  // Two-pointer merge of the (sorted) requeue map into the (sorted)
+  // pool, preserving the oldest-first bucket order.
+  merge_scratch_.clear();
+  auto it = requeue_.begin();
+  for (const auto& bucket : pool_.buckets()) {
+    while (it != requeue_.end() && it->first < bucket.label) {
+      merge_scratch_.add(it->first, it->second);
+      ++it;
+    }
+    if (it != requeue_.end() && it->first == bucket.label) {
+      merge_scratch_.add(bucket.label, bucket.count + it->second);
+      ++it;
+    } else {
+      merge_scratch_.add(bucket.label, bucket.count);
+    }
+  }
+  for (; it != requeue_.end(); ++it) {
+    merge_scratch_.add(it->first, it->second);
+  }
+  pool_.swap(merge_scratch_);
+  requeue_.clear();
+}
+
+void Capped::delete_from_bin(std::uint32_t bin, RoundMetrics& m) {
+  std::uint64_t label;
+  if (infinite()) {
+    label = unbounded_->pop_front(bin);  // discipline applies to finite c
+  } else {
+    switch (config_.deletion) {
+      case DeletionDiscipline::kFifo:
+        label = bounded_->pop_front(bin);
+        break;
+      case DeletionDiscipline::kLifo:
+        label = bounded_->pop_back(bin);
+        break;
+      case DeletionDiscipline::kUniform:
+        label = bounded_->pop_at(
+            bin, rng::bounded32(engine_, bounded_->load(bin)));
+        break;
+      default:
+        label = bounded_->pop_front(bin);
+    }
+  }
+  const std::uint64_t wait = round_ - label;
+  waits_.record(wait);
+  ++m.deleted;
+  ++m.wait_count;
+  m.wait_sum += static_cast<double>(wait);
+  if (wait > m.wait_max) m.wait_max = wait;
+}
+
+}  // namespace iba::core

@@ -1,0 +1,201 @@
+// CAPPED(c, λ) — the paper's primary contribution (Algorithm 1).
+//
+// Per round: λn new balls join the pool; every pool ball samples one bin
+// independently and uniformly at random; each bin accepts the oldest
+// min{c − ℓ, ν} of its ν requests (ties arbitrary); at the end of the
+// round every non-empty bin deletes the ball at the front of its FIFO
+// queue. A ball's waiting time is its age when deleted.
+//
+// Implementation notes:
+//  * Balls are indistinguishable except for their generation round, so
+//    the pool is age-bucketed (AgedPool). Iterating buckets oldest-first
+//    while bins accept greedily until full realizes exactly "each bin
+//    accepts the oldest min{c − ℓ, ν} requests": a younger ball is never
+//    accepted by a bin that rejected an older request in the same round.
+//    tests/core_capped_oracle_test.cpp checks this against an independent
+//    explicit-ball implementation, trajectory for trajectory.
+//  * capacity = kInfiniteCapacity removes the buffer limit, which makes
+//    the process identical to the batch GREEDY[1] of [PODC'16].
+//  * step_with_choices() lets callers supply the bin choices, which is
+//    how the MODCAPPED coupling (Lemma 6) and the oracle tests drive two
+//    processes with shared randomness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/metrics.hpp"
+#include "core/policies.hpp"
+#include "core/process.hpp"
+#include "queueing/aged_pool.hpp"
+#include "queueing/bin_table.hpp"
+#include "queueing/unbounded_bin_table.hpp"
+
+namespace iba::core {
+
+/// Configuration of a CAPPED(c, λ) instance. λ is specified through the
+/// integral per-round arrival count λn, exactly as in the paper's model.
+/// The policy fields default to the paper's process; changing them gives
+/// the footnote-2 stochastic-arrival variant and the ablations of
+/// DESIGN.md §7.
+struct CappedConfig {
+  std::uint32_t n = 0;          ///< number of bins
+  std::uint32_t capacity = 1;   ///< buffer size c, or kInfiniteCapacity
+  std::uint64_t lambda_n = 0;   ///< λ·n, new balls per round (integral)
+
+  ArrivalModel arrival = ArrivalModel::kDeterministic;
+  DeletionDiscipline deletion = DeletionDiscipline::kFifo;
+  AcceptanceOrder acceptance = AcceptanceOrder::kOldestFirst;
+  /// Per-round, per-bin probability of a service failure.
+  /// 0 = the paper's reliable bins.
+  double failure_probability = 0.0;
+  /// What failure does: skip one service opportunity, or crash and dump
+  /// the buffer back into the pool. kCrashRequeue requires finite c.
+  FailureMode failure_mode = FailureMode::kSkipService;
+
+  static constexpr std::uint32_t kInfiniteCapacity = 0xFFFFFFFFu;
+
+  /// λ as a real number.
+  [[nodiscard]] double lambda() const noexcept {
+    return n == 0 ? 0.0
+                  : static_cast<double>(lambda_n) / static_cast<double>(n);
+  }
+
+  /// Builds a config from a real rate; requires λ·n to be integral
+  /// (within fp tolerance), as the model assumes.
+  static CappedConfig from_rate(std::uint32_t n, double lambda,
+                                std::uint32_t capacity);
+
+  /// Throws ContractViolation when the configuration is unusable.
+  void validate() const;
+};
+
+/// Complete dynamic state of a Capped process — everything needed to
+/// resume a run bit-for-bit (except the waiting-time statistics, which
+/// restart empty; resumed runs reset them after burn-in anyway).
+struct CappedSnapshot {
+  CappedConfig config;
+  std::uint64_t round = 0;
+  std::uint64_t generated_total = 0;
+  std::uint64_t deleted_total = 0;
+  std::array<std::uint64_t, 4> engine_state{};
+  std::vector<queueing::AgedPool::Bucket> pool;        ///< oldest-first
+  std::vector<std::vector<std::uint64_t>> bin_queues;  ///< front-first
+};
+
+/// The CAPPED(c, λ) process. Deterministic given (config, engine).
+class Capped {
+ public:
+  static constexpr std::uint32_t kInfiniteCapacity =
+      CappedConfig::kInfiniteCapacity;
+
+  Capped(const CappedConfig& config, Engine engine);
+
+  /// Resumes from a snapshot: identical future trajectory to the
+  /// process the snapshot was taken from (wait statistics start empty).
+  explicit Capped(const CappedSnapshot& snapshot);
+
+  /// Captures the complete dynamic state (O(n·c + pool)).
+  [[nodiscard]] CappedSnapshot snapshot() const;
+
+  /// Advances one round, drawing bin choices from the internal engine.
+  RoundMetrics step();
+
+  /// Advances one round using caller-provided bin choices, one per thrown
+  /// ball in pool order (oldest bucket first; query balls_to_throw()
+  /// for the required count *before* calling). Requires deterministic
+  /// arrivals — with stochastic models the throw count is not knowable
+  /// in advance.
+  RoundMetrics step_with_choices(std::span<const std::uint32_t> choices);
+
+  /// Number of balls that will sample bins in the *next* round
+  /// (current pool + the λn arrivals of that round). Exact for
+  /// deterministic arrivals; the expectation otherwise.
+  [[nodiscard]] std::uint64_t balls_to_throw() const noexcept {
+    return pool_.total() + config_.lambda_n;
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return config_.n; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return config_.capacity;
+  }
+  [[nodiscard]] double lambda() const noexcept { return config_.lambda(); }
+  [[nodiscard]] std::uint64_t lambda_n() const noexcept {
+    return config_.lambda_n;
+  }
+
+  /// Changes the arrival rate for subsequent rounds (time-varying load,
+  /// e.g. diurnal patterns). Takes effect from the next step().
+  void set_lambda_n(std::uint64_t lambda_n) {
+    IBA_EXPECT(lambda_n <= config_.n,
+               "Capped: lambda_n must not exceed n (lambda <= 1)");
+    config_.lambda_n = lambda_n;
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t pool_size() const noexcept {
+    return pool_.total();
+  }
+  [[nodiscard]] const queueing::AgedPool& pool() const noexcept {
+    return pool_;
+  }
+
+  /// End-of-round load of bin `i`.
+  [[nodiscard]] std::uint64_t load(std::uint32_t i) const noexcept {
+    return infinite() ? unbounded_->load(i) : bounded_->load(i);
+  }
+  [[nodiscard]] std::uint64_t total_load() const noexcept {
+    return infinite() ? unbounded_->total_load() : bounded_->total_load();
+  }
+
+  /// Waiting-time statistics over every ball deleted so far.
+  [[nodiscard]] const WaitRecorder& waits() const noexcept { return waits_; }
+  /// Clears the waiting-time statistics (e.g. after burn-in).
+  void reset_wait_stats() noexcept { waits_.reset(); }
+
+  /// Lifetime accounting for conservation checks:
+  /// generated_total() == pool_size() + total_load() + deleted_total().
+  [[nodiscard]] std::uint64_t generated_total() const noexcept {
+    return generated_total_;
+  }
+  [[nodiscard]] std::uint64_t deleted_total() const noexcept {
+    return deleted_total_;
+  }
+
+ private:
+  [[nodiscard]] bool infinite() const noexcept {
+    return config_.capacity == kInfiniteCapacity;
+  }
+
+  [[nodiscard]] std::uint64_t sample_arrivals();
+  RoundMetrics step_internal(std::uint64_t generated,
+                             std::span<const std::uint32_t> choices);
+  RoundMetrics allocate_and_delete(std::uint64_t generated,
+                                   std::span<const std::uint32_t> choices);
+  void delete_from_bin(std::uint32_t bin, RoundMetrics& m);
+
+  CappedConfig config_;
+  Engine engine_;
+  std::uint64_t round_ = 0;
+  void merge_requeued_into_pool();
+
+  queueing::AgedPool pool_;
+  queueing::AgedPool survivors_;  // scratch, reused across rounds
+  queueing::AgedPool merge_scratch_;
+  std::vector<std::uint32_t> choice_scratch_;
+  std::vector<queueing::AgedPool::Bucket> reverse_survivor_scratch_;
+  std::map<std::uint64_t, std::uint64_t> requeue_;  // label → crashed count
+  std::optional<queueing::BinTable> bounded_;
+  std::optional<queueing::UnboundedBinTable> unbounded_;
+  WaitRecorder waits_;
+  std::uint64_t generated_total_ = 0;
+  std::uint64_t deleted_total_ = 0;
+};
+
+static_assert(AllocationProcess<Capped>);
+
+}  // namespace iba::core

@@ -1,0 +1,90 @@
+// CAPPED-GREEDY(c, d, λ) — an extension combining the paper's finite
+// buffers with the power of d choices, answering the natural follow-up
+// question the paper's introduction raises: buffers substitute for
+// multiple choices in parallel settings — do the two compose?
+//
+// Per round: λn new balls join the pool; every pool ball samples d bins
+// independently and uniformly at random and *requests* the one whose
+// start-of-round load is smallest (the batch does not observe itself,
+// matching the GREEDY[d] batch semantics of [PODC'16]); each bin then
+// accepts the oldest min{c − ℓ, ν} of its ν requests; every non-empty
+// bin deletes its front ball. d = 1 recovers CAPPED(c, λ) exactly.
+//
+// bench_dchoice measures how much d = 2 adds on top of the buffer — the
+// paper's own answer (Section I-B) is that buffers already capture most
+// of the benefit, at one random choice per ball per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "queueing/aged_pool.hpp"
+#include "queueing/bin_table.hpp"
+
+namespace iba::core {
+
+struct CappedGreedyConfig {
+  std::uint32_t n = 0;
+  std::uint32_t capacity = 1;
+  std::uint32_t d = 2;         ///< choices per ball per round
+  std::uint64_t lambda_n = 0;
+
+  [[nodiscard]] double lambda() const noexcept {
+    return n == 0 ? 0.0
+                  : static_cast<double>(lambda_n) / static_cast<double>(n);
+  }
+
+  void validate() const;
+};
+
+/// The d-choice CAPPED process. Deterministic given (config, engine).
+class CappedGreedy {
+ public:
+  CappedGreedy(const CappedGreedyConfig& config, Engine engine);
+
+  RoundMetrics step();
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return config_.n; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return config_.capacity;
+  }
+  [[nodiscard]] std::uint32_t d() const noexcept { return config_.d; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t pool_size() const noexcept {
+    return pool_.total();
+  }
+  [[nodiscard]] std::uint64_t load(std::uint32_t i) const noexcept {
+    return bins_.load(i);
+  }
+  [[nodiscard]] std::uint64_t total_load() const noexcept {
+    return bins_.total_load();
+  }
+  [[nodiscard]] const WaitRecorder& waits() const noexcept { return waits_; }
+  void reset_wait_stats() noexcept { waits_.reset(); }
+
+  [[nodiscard]] std::uint64_t generated_total() const noexcept {
+    return generated_total_;
+  }
+  [[nodiscard]] std::uint64_t deleted_total() const noexcept {
+    return deleted_total_;
+  }
+
+ private:
+  CappedGreedyConfig config_;
+  Engine engine_;
+  std::uint64_t round_ = 0;
+  queueing::AgedPool pool_;
+  queueing::AgedPool survivors_;
+  std::vector<std::uint32_t> load_snapshot_;
+  queueing::BinTable bins_;
+  WaitRecorder waits_;
+  std::uint64_t generated_total_ = 0;
+  std::uint64_t deleted_total_ = 0;
+};
+
+static_assert(AllocationProcess<CappedGreedy>);
+
+}  // namespace iba::core

@@ -1,0 +1,70 @@
+#include "core/collision.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::core {
+
+CollisionResult run_collision_protocol(std::uint32_t n, std::uint64_t m,
+                                       std::uint32_t d,
+                                       std::uint64_t collision_bound,
+                                       Engine engine,
+                                       std::uint64_t max_rounds) {
+  IBA_EXPECT(n > 0, "collision: n must be positive");
+  IBA_EXPECT(d >= 1, "collision: d must be at least 1");
+  IBA_EXPECT(collision_bound >= 1,
+             "collision: collision bound must be at least 1");
+
+  CollisionResult result;
+  result.loads.assign(n, 0);
+
+  // Each ball's d bin choices are fixed up front (the protocol never
+  // re-randomizes).
+  std::vector<std::uint32_t> choices(m * d);
+  for (auto& choice : choices) choice = rng::bounded32(engine, n);
+
+  std::vector<std::uint32_t> unallocated(m);
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    unallocated[static_cast<std::size_t>(ball)] =
+        static_cast<std::uint32_t>(ball);
+  }
+
+  std::vector<std::uint64_t> requests(n);
+  while (!unallocated.empty() && result.rounds < max_rounds) {
+    ++result.rounds;
+    std::fill(requests.begin(), requests.end(), 0);
+    for (const std::uint32_t ball : unallocated) {
+      for (std::uint32_t j = 0; j < d; ++j) {
+        ++requests[choices[static_cast<std::size_t>(ball) * d + j]];
+      }
+    }
+
+    std::vector<std::uint32_t> still_waiting;
+    still_waiting.reserve(unallocated.size());
+    std::uint64_t allocated_this_round = 0;
+    for (const std::uint32_t ball : unallocated) {
+      bool placed = false;
+      for (std::uint32_t j = 0; j < d && !placed; ++j) {
+        const std::uint32_t bin =
+            choices[static_cast<std::size_t>(ball) * d + j];
+        if (requests[bin] <= collision_bound) {
+          ++result.loads[bin];
+          placed = true;
+          ++allocated_this_round;
+        }
+      }
+      if (!placed) still_waiting.push_back(ball);
+    }
+    result.allocated_per_round.push_back(allocated_this_round);
+    unallocated.swap(still_waiting);
+  }
+
+  result.completed = unallocated.empty();
+  result.max_load =
+      *std::max_element(result.loads.begin(), result.loads.end());
+  return result;
+}
+
+}  // namespace iba::core

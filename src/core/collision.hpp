@@ -1,0 +1,37 @@
+// Stemann's collision protocol ("Parallel Balanced Allocations",
+// SPAA'96) — the matching upper bound for the round/load trade-off of
+// Adler et al. that the paper's related work cites.
+//
+// m balls each fix d random bins once. In every synchronous round, each
+// unallocated ball sends a request to all its d bins; every bin that
+// received at most `collision_bound` requests this round accepts them
+// all; an accepted ball allocates itself to (the first of) its accepting
+// bins and withdraws its other requests. For m = n, d = 2 and collision
+// bound c ≥ 2, the protocol finishes in O(log log n) rounds w.h.p. with
+// maximum load ≤ c · rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace iba::core {
+
+struct CollisionResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t max_load = 0;
+  bool completed = false;
+  std::vector<std::uint64_t> loads;
+  std::vector<std::uint64_t> allocated_per_round;
+};
+
+/// Runs the collision protocol for m balls into n bins with d choices
+/// per ball and the given per-round collision bound. Gives up (reporting
+/// completed = false) after max_rounds.
+[[nodiscard]] CollisionResult run_collision_protocol(
+    std::uint32_t n, std::uint64_t m, std::uint32_t d,
+    std::uint64_t collision_bound, Engine engine,
+    std::uint64_t max_rounds = 1000);
+
+}  // namespace iba::core

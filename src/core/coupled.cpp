@@ -1,0 +1,54 @@
+#include "core/coupled.hpp"
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::core {
+
+namespace {
+
+ModCappedConfig to_modcapped(const CappedConfig& config) {
+  ModCappedConfig mc;
+  mc.n = config.n;
+  mc.capacity = config.capacity;
+  mc.lambda_n = config.lambda_n;
+  return mc;
+}
+
+}  // namespace
+
+CoupledRun::CoupledRun(const CappedConfig& config, Engine engine)
+    : capped_(config, Engine(0)),  // processes never draw: choices injected
+      mod_(to_modcapped(config), Engine(0)),
+      choice_engine_(engine) {}
+
+CoupledRun::StepResult CoupledRun::step() {
+  const std::uint64_t nu_capped = capped_.balls_to_throw();
+  const std::uint64_t nu_mod = mod_.balls_to_throw();
+  // MODCAPPED never throws fewer balls than CAPPED (induction invariant
+  // m^C ≤ m^M plus its forced generation); the coupling relies on it.
+  IBA_ASSERT(nu_mod >= nu_capped);
+
+  choices_.resize(nu_mod);
+  for (auto& choice : choices_) {
+    choice = rng::bounded32(choice_engine_, capped_.n());
+  }
+
+  StepResult result;
+  result.capped = capped_.step_with_choices(
+      std::span(choices_).first(nu_capped));
+  result.modcapped = mod_.step_with_choices(choices_);
+
+  result.pool_dominated = capped_.pool_size() <= mod_.pool_size();
+  result.loads_dominated = true;
+  for (std::uint32_t bin = 0; bin < capped_.n(); ++bin) {
+    if (capped_.load(bin) > mod_.load(bin)) {
+      result.loads_dominated = false;
+      break;
+    }
+  }
+  if (!result.pool_dominated || !result.loads_dominated) ++violations_;
+  return result;
+}
+
+}  // namespace iba::core

@@ -1,0 +1,77 @@
+// Per-round metrics emitted by every allocation process, plus the
+// cumulative waiting-time recorder. These are the observables the paper's
+// evaluation (Figures 4 and 5) is built from.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/histogram.hpp"
+#include "stats/welford.hpp"
+
+namespace iba::core {
+
+/// Snapshot of what happened in one round of an infinite allocation
+/// process. All counts refer to that round; pool/load fields are
+/// end-of-round state.
+struct RoundMetrics {
+  std::uint64_t round = 0;
+  std::uint64_t generated = 0;  ///< new balls created this round
+  std::uint64_t thrown = 0;     ///< balls that sampled a bin (pool + new)
+  std::uint64_t accepted = 0;   ///< balls accepted into a bin buffer
+  std::uint64_t deleted = 0;    ///< balls deleted (served) this round
+  std::uint64_t pool_size = 0;  ///< unallocated balls at end of round
+  std::uint64_t total_load = 0; ///< balls stored in bins at end of round
+  std::uint64_t max_load = 0;   ///< fullest bin at end of round
+  std::uint32_t empty_bins = 0; ///< bins with zero load at end of round
+
+  std::uint64_t wait_count = 0; ///< deleted balls contributing wait stats
+  double wait_sum = 0.0;        ///< sum of their waiting times
+  std::uint64_t wait_max = 0;   ///< max waiting time among them
+
+  std::uint64_t requeued = 0;       ///< balls returned to the pool by
+                                    ///< crashing bins this round
+  std::uint64_t oldest_pool_age = 0;///< age of the oldest unallocated ball
+                                    ///< at end of round (starvation depth)
+};
+
+/// Accumulates the waiting times of every deleted ball over a run:
+/// moments for the average, a dyadic histogram for tail quantiles, and
+/// the exact maximum.
+class WaitRecorder {
+ public:
+  void record(std::uint64_t wait) noexcept {
+    moments_.add(static_cast<double>(wait));
+    histogram_.add(wait);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return moments_.count();
+  }
+  [[nodiscard]] double mean() const noexcept { return moments_.mean(); }
+  [[nodiscard]] double stddev() const noexcept { return moments_.stddev(); }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return histogram_.max();
+  }
+  /// Upper bound (within a factor of two) on the q-quantile.
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const noexcept {
+    return histogram_.quantile_upper_bound(q);
+  }
+
+  [[nodiscard]] const stats::OnlineMoments& moments() const noexcept {
+    return moments_;
+  }
+  [[nodiscard]] const stats::Log2Histogram& histogram() const noexcept {
+    return histogram_;
+  }
+
+  void reset() noexcept {
+    moments_.reset();
+    histogram_ = stats::Log2Histogram{};
+  }
+
+ private:
+  stats::OnlineMoments moments_;
+  stats::Log2Histogram histogram_;
+};
+
+}  // namespace iba::core

@@ -1,0 +1,142 @@
+// MODCAPPED(c, λ) — the modified process the paper couples CAPPED(c, λ)
+// with to prove the pool-size bound (Section III-A for c = 1, Section IV-A
+// for general c).
+//
+// Differences from CAPPED(c, λ):
+//  * Ball generation: max{λn, m* − m(t−1)} new balls per round, so at
+//    least m* balls are thrown every round.
+//  * Each bin's capacity c is split between two *phase buffers*. Time is
+//    partitioned into phases I_j = [c·j, c·(j+1) − 1]; buffer j has the
+//    time-varying capacity c_j(t) of Eq. (5): it grows 0 → c during phase
+//    j − 1 ("filling") and shrinks c → 1 during phase j ("draining"),
+//    during which it also deletes one ball per round when non-empty.
+//  * Balls carry a buffer preference (half prefer each active buffer);
+//    bins place balls to maximize satisfied preferences without exceeding
+//    either buffer's capacity (preferred buffer first, then the other).
+//
+// Note on the paper's red/blue naming: the text calls ⌈t/c⌉ the "red"
+// buffer and says red deletes, but Eq. (5) and the proof of Lemma 7
+// ("buffer j deletes balls only during I_j") identify the *deleting*
+// buffer in round t as j = ⌊t/c⌋ (the only buffer whose own phase
+// contains t, with capacity equal to its remaining deletion
+// opportunities). We follow Eq. (5) and the lemma: ⌊t/c⌋ drains,
+// ⌊t/c⌋ + 1 fills; the two coincide only at phase starts (t ≡ 0 mod c,
+// where the filling buffer has capacity 0). For c = 1 this degenerates to
+// Section III's MODCAPPED(1, λ): every round one buffer of capacity 1
+// that is emptied at the end of the round.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "queueing/aged_pool.hpp"
+#include "queueing/bin_table.hpp"
+
+namespace iba::core {
+
+/// Configuration of MODCAPPED(c, λ). m_star defaults to the paper's
+/// choice for the respective analysis (see m_star_default()).
+struct ModCappedConfig {
+  std::uint32_t n = 0;
+  std::uint32_t capacity = 1;
+  std::uint64_t lambda_n = 0;
+  std::uint64_t m_star = 0;  ///< 0 → use m_star_default()
+
+  [[nodiscard]] double lambda() const noexcept {
+    return n == 0 ? 0.0
+                  : static_cast<double>(lambda_n) / static_cast<double>(n);
+  }
+
+  /// The paper's m*: ln(1/(1−λ))·n + 2n for c = 1 (Section III) and
+  /// (2/c)·ln(1/(1−λ))·n + 6·c·n for general c (Section IV), rounded up.
+  [[nodiscard]] std::uint64_t m_star_default() const;
+
+  void validate() const;
+};
+
+/// The MODCAPPED(c, λ) process. Deterministic given (config, engine).
+class ModCapped {
+ public:
+  ModCapped(const ModCappedConfig& config, Engine engine);
+
+  RoundMetrics step();
+
+  /// Advances one round with caller-provided bin choices (one per thrown
+  /// ball, pool order). Used by the Lemma-6 coupling: give MODCAPPED the
+  /// full choice vector and CAPPED its prefix.
+  RoundMetrics step_with_choices(std::span<const std::uint32_t> choices);
+
+  /// Balls thrown next round: pool + max{λn, m* − pool}.
+  [[nodiscard]] std::uint64_t balls_to_throw() const noexcept {
+    const std::uint64_t pool = pool_.total();
+    const std::uint64_t forced =
+        pool < m_star_ ? m_star_ - pool : std::uint64_t{0};
+    return pool + std::max(config_.lambda_n, forced);
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return config_.n; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return config_.capacity;
+  }
+  [[nodiscard]] std::uint64_t m_star() const noexcept { return m_star_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t pool_size() const noexcept {
+    return pool_.total();
+  }
+
+  /// Combined end-of-round load of bin `i` (both active buffers).
+  [[nodiscard]] std::uint64_t load(std::uint32_t i) const noexcept {
+    return drain_.load(i) + fill_.load(i);
+  }
+  [[nodiscard]] std::uint64_t total_load() const noexcept {
+    return drain_.total_load() + fill_.total_load();
+  }
+
+  /// Buffer capacities c_j(t) of the current round's active buffers.
+  [[nodiscard]] std::uint32_t drain_capacity() const noexcept;
+  [[nodiscard]] std::uint32_t fill_capacity() const noexcept;
+  [[nodiscard]] std::uint64_t drain_load(std::uint32_t i) const noexcept {
+    return drain_.load(i);
+  }
+  [[nodiscard]] std::uint64_t fill_load(std::uint32_t i) const noexcept {
+    return fill_.load(i);
+  }
+
+  [[nodiscard]] const WaitRecorder& waits() const noexcept { return waits_; }
+  [[nodiscard]] std::uint64_t generated_total() const noexcept {
+    return generated_total_;
+  }
+  [[nodiscard]] std::uint64_t deleted_total() const noexcept {
+    return deleted_total_;
+  }
+
+ private:
+  struct Overflow {
+    std::uint32_t bin;
+    std::uint64_t label;
+  };
+
+  ModCappedConfig config_;
+  std::uint64_t m_star_;
+  Engine engine_;
+  std::uint64_t round_ = 0;
+  queueing::AgedPool pool_;
+  queueing::AgedPool survivors_;
+  std::vector<std::uint32_t> choice_scratch_;
+  std::vector<Overflow> overflow_scratch_;
+  // drain_ holds buffer ⌊t/c⌋ (deletes during its phase), fill_ holds
+  // buffer ⌊t/c⌋ + 1; they swap at every phase start.
+  queueing::BinTable drain_;
+  queueing::BinTable fill_;
+  WaitRecorder waits_;
+  std::uint64_t generated_total_ = 0;
+  std::uint64_t deleted_total_ = 0;
+};
+
+static_assert(AllocationProcess<ModCapped>);
+
+}  // namespace iba::core

@@ -1,0 +1,58 @@
+// OracleCapped — an intentionally naive, explicit-ball reference
+// implementation of CAPPED(c, λ), written as a direct transcription of
+// Algorithm 1 with none of the optimized simulator's shortcuts.
+//
+// Used by the test suite to cross-check the optimized Capped process
+// trajectory-for-trajectory under shared randomness, and by the
+// microbenchmarks as the ablation baseline for the age-bucketed pool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+
+namespace iba::core {
+
+/// Explicit-ball CAPPED(c, λ). Every ball is an individual record; each
+/// round gathers per-bin request lists and sorts them by age, exactly as
+/// the paper's prose describes. O(m log m) per round.
+class OracleCapped {
+ public:
+  OracleCapped(const CappedConfig& config, Engine engine);
+
+  RoundMetrics step();
+  RoundMetrics step_with_choices(std::span<const std::uint32_t> choices);
+
+  [[nodiscard]] std::uint64_t balls_to_throw() const noexcept {
+    return pool_.size() + config_.lambda_n;
+  }
+  [[nodiscard]] std::uint32_t n() const noexcept { return config_.n; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t pool_size() const noexcept {
+    return pool_.size();
+  }
+  [[nodiscard]] std::uint64_t load(std::uint32_t bin) const noexcept {
+    return bins_[bin].size();
+  }
+  [[nodiscard]] std::uint64_t total_load() const noexcept;
+  [[nodiscard]] const WaitRecorder& waits() const noexcept { return waits_; }
+
+ private:
+  struct Ball {
+    std::uint64_t label;  ///< generation round
+  };
+
+  CappedConfig config_;
+  Engine engine_;
+  std::uint64_t round_ = 0;
+  std::vector<Ball> pool_;                   // kept sorted oldest-first
+  std::vector<std::deque<std::uint64_t>> bins_;  // FIFO queues of labels
+  WaitRecorder waits_;
+};
+
+}  // namespace iba::core

@@ -1,0 +1,76 @@
+// Model-variation policies for CAPPED(c, λ) — the paper's footnote-2
+// generalization (stochastic arrivals) and the ablation axes DESIGN.md
+// §7 calls out (deletion discipline, acceptance order, bin failures).
+// Defaults reproduce the paper's process exactly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace iba::core {
+
+/// How many balls arrive per round.
+enum class ArrivalModel : std::uint8_t {
+  kDeterministic,  ///< exactly λn (the paper's model)
+  kBinomial,       ///< Binomial(n, λ): n generators firing w.p. λ
+                   ///< (Berenbrink–Czumaj–Friedetzky–Vvedenskaya, SPAA'00)
+  kPoisson,        ///< Poisson(λn): Mitzenmacher's arrival stream
+};
+
+/// Which stored ball a non-empty bin deletes at the end of a round.
+enum class DeletionDiscipline : std::uint8_t {
+  kFifo,     ///< the ball allocated first (the paper's rule)
+  kLifo,     ///< the ball allocated last
+  kUniform,  ///< a uniformly random stored ball
+};
+
+/// Which competing balls a bin prefers when over-requested.
+enum class AcceptanceOrder : std::uint8_t {
+  kOldestFirst,    ///< prefer balls of higher age (the paper's rule)
+  kYoungestFirst,  ///< adversarial inversion — starves old balls
+};
+
+/// What a failing bin does in the round it fails.
+enum class FailureMode : std::uint8_t {
+  kSkipService,   ///< hiccup: the bin simply serves nothing this round
+  kCrashRequeue,  ///< crash: the bin loses its buffer; the stored balls
+                  ///< return to the pool (ages preserved) and retry
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ArrivalModel m) noexcept {
+  switch (m) {
+    case ArrivalModel::kDeterministic: return "deterministic";
+    case ArrivalModel::kBinomial: return "binomial";
+    case ArrivalModel::kPoisson: return "poisson";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(
+    DeletionDiscipline d) noexcept {
+  switch (d) {
+    case DeletionDiscipline::kFifo: return "fifo";
+    case DeletionDiscipline::kLifo: return "lifo";
+    case DeletionDiscipline::kUniform: return "uniform";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(
+    AcceptanceOrder a) noexcept {
+  switch (a) {
+    case AcceptanceOrder::kOldestFirst: return "oldest-first";
+    case AcceptanceOrder::kYoungestFirst: return "youngest-first";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(FailureMode f) noexcept {
+  switch (f) {
+    case FailureMode::kSkipService: return "skip-service";
+    case FailureMode::kCrashRequeue: return "crash-requeue";
+  }
+  return "?";
+}
+
+}  // namespace iba::core

@@ -1,0 +1,27 @@
+// Common vocabulary of the allocation processes: the default simulation
+// engine, and the AllocationProcess concept the experiment runner is
+// generic over (static polymorphism — no virtual dispatch in the hot loop).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "core/metrics.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace iba::core {
+
+/// All simulations consume randomness through this engine type, injected
+/// by value so every process owns an independent, reproducible stream.
+using Engine = rng::Xoshiro256pp;
+
+/// A round-based infinite allocation process. step() advances one round
+/// and reports what happened; n() and round() expose basic geometry.
+template <typename P>
+concept AllocationProcess = requires(P p, const P cp) {
+  { p.step() } -> std::same_as<RoundMetrics>;
+  { cp.n() } -> std::convertible_to<std::uint32_t>;
+  { cp.round() } -> std::convertible_to<std::uint64_t>;
+};
+
+}  // namespace iba::core

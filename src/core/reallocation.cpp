@@ -1,0 +1,72 @@
+#include "core/reallocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::core {
+
+SequentialReallocation::SequentialReallocation(
+    std::vector<std::uint32_t> assignment, std::uint32_t n, std::uint32_t d,
+    Engine engine)
+    : n_(n), d_(d), engine_(engine), assignment_(std::move(assignment)) {
+  IBA_EXPECT(n > 0, "SequentialReallocation: n must be positive");
+  IBA_EXPECT(d >= 1, "SequentialReallocation: d must be at least 1");
+  IBA_EXPECT(!assignment_.empty(),
+             "SequentialReallocation: needs at least one ball");
+  loads_.assign(n, 0);
+  for (const std::uint32_t bin : assignment_) {
+    IBA_EXPECT(bin < n, "SequentialReallocation: assignment out of range");
+    ++loads_[bin];
+  }
+}
+
+SequentialReallocation SequentialReallocation::round_robin(std::uint32_t n,
+                                                           std::uint32_t d,
+                                                           Engine engine) {
+  std::vector<std::uint32_t> assignment(n);
+  for (std::uint32_t i = 0; i < n; ++i) assignment[i] = i;
+  return {std::move(assignment), n, d, engine};
+}
+
+SequentialReallocation SequentialReallocation::adversarial(std::uint32_t n,
+                                                           std::uint32_t d,
+                                                           Engine engine) {
+  return {std::vector<std::uint32_t>(n, 0), n, d, engine};
+}
+
+void SequentialReallocation::step_one() {
+  const auto ball = static_cast<std::size_t>(
+      rng::bounded(engine_, assignment_.size()));
+  --loads_[assignment_[ball]];
+  std::uint32_t best = rng::bounded32(engine_, n_);
+  for (std::uint32_t j = 1; j < d_; ++j) {
+    const std::uint32_t candidate = rng::bounded32(engine_, n_);
+    if (loads_[candidate] < loads_[best]) best = candidate;
+  }
+  ++loads_[best];
+  assignment_[ball] = best;
+}
+
+RoundMetrics SequentialReallocation::step() {
+  ++round_;
+  for (std::uint32_t i = 0; i < n_; ++i) step_one();
+  RoundMetrics m;
+  m.round = round_;
+  m.thrown = n_;
+  m.accepted = n_;
+  m.deleted = n_;
+  m.total_load = assignment_.size();
+  m.max_load = max_load();
+  m.empty_bins = static_cast<std::uint32_t>(
+      std::count(loads_.begin(), loads_.end(), 0u));
+  return m;
+}
+
+std::uint64_t SequentialReallocation::max_load() const noexcept {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+}  // namespace iba::core

@@ -1,0 +1,64 @@
+// The infinite *sequential* reallocation process of Azar, Broder,
+// Karlin, Upfal (SICOMP'99, §related work "Infinite Sequential
+// Processes"), further analyzed by Cole et al. and Vöcking: n balls live
+// in n bins; in every step one ball chosen uniformly at random is
+// removed and re-inserted with the d-choice rule (observing current
+// loads). After a polynomial warm-up the maximum load is
+// ln ln n / ln d + O(1) w.h.p. for d ≥ 2 and Θ(log n / log log n) for
+// d = 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+
+namespace iba::core {
+
+/// The sequential d-choice reallocation chain. step() performs n single-
+/// ball reallocations (one "round" of work comparable to the parallel
+/// processes), so round-based runners and benches compose naturally.
+class SequentialReallocation {
+ public:
+  /// Starts with the given assignment ball → bin (size = ball count).
+  SequentialReallocation(std::vector<std::uint32_t> assignment,
+                         std::uint32_t n, std::uint32_t d, Engine engine);
+
+  /// Benign start: ball i in bin i mod n.
+  static SequentialReallocation round_robin(std::uint32_t n, std::uint32_t d,
+                                            Engine engine);
+
+  /// Adversarial start: all n balls in bin 0.
+  static SequentialReallocation adversarial(std::uint32_t n, std::uint32_t d,
+                                            Engine engine);
+
+  /// Reallocates n random balls (one unit of parallel-round work).
+  RoundMetrics step();
+
+  /// Reallocates exactly one ball.
+  void step_one();
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t d() const noexcept { return d_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t balls() const noexcept {
+    return assignment_.size();
+  }
+  [[nodiscard]] std::uint64_t load(std::uint32_t bin) const noexcept {
+    return loads_[bin];
+  }
+  [[nodiscard]] std::uint64_t max_load() const noexcept;
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t d_;
+  Engine engine_;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint32_t> assignment_;  ///< ball → bin
+  std::vector<std::uint64_t> loads_;
+};
+
+static_assert(AllocationProcess<SequentialReallocation>);
+
+}  // namespace iba::core

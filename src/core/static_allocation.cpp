@@ -1,0 +1,89 @@
+#include "core/static_allocation.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::core {
+
+namespace {
+
+StaticAllocationResult summarize(std::vector<std::uint64_t> loads,
+                                 std::uint64_t m) {
+  StaticAllocationResult result;
+  result.max_load = *std::max_element(loads.begin(), loads.end());
+  result.average_load =
+      static_cast<double>(m) / static_cast<double>(loads.size());
+  result.empty_bins = static_cast<std::uint32_t>(
+      std::count(loads.begin(), loads.end(), 0u));
+  result.loads = std::move(loads);
+  return result;
+}
+
+}  // namespace
+
+StaticAllocationResult one_choice(std::uint32_t n, std::uint64_t m,
+                                  Engine engine) {
+  IBA_EXPECT(n > 0, "one_choice: n must be positive");
+  std::vector<std::uint64_t> loads(n, 0);
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    ++loads[rng::bounded32(engine, n)];
+  }
+  return summarize(std::move(loads), m);
+}
+
+StaticAllocationResult greedy_d(std::uint32_t n, std::uint64_t m,
+                                std::uint32_t d, Engine engine) {
+  IBA_EXPECT(n > 0, "greedy_d: n must be positive");
+  IBA_EXPECT(d >= 1, "greedy_d: d must be at least 1");
+  std::vector<std::uint64_t> loads(n, 0);
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    std::uint32_t best = rng::bounded32(engine, n);
+    for (std::uint32_t choice = 1; choice < d; ++choice) {
+      const std::uint32_t candidate = rng::bounded32(engine, n);
+      if (loads[candidate] < loads[best]) best = candidate;
+    }
+    ++loads[best];
+  }
+  return summarize(std::move(loads), m);
+}
+
+StaticAllocationResult always_go_left(std::uint32_t n, std::uint64_t m,
+                                      std::uint32_t d, Engine engine) {
+  IBA_EXPECT(n > 0, "always_go_left: n must be positive");
+  IBA_EXPECT(d >= 2, "always_go_left: d must be at least 2");
+  IBA_EXPECT(d <= n, "always_go_left: needs at least one bin per group");
+  std::vector<std::uint64_t> loads(n, 0);
+  // Group g owns the index range [g·n/d, (g+1)·n/d) (last group absorbs
+  // the remainder).
+  const std::uint32_t base = n / d;
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    std::uint32_t best = 0;
+    std::uint64_t best_load = ~std::uint64_t{0};
+    for (std::uint32_t group = 0; group < d; ++group) {
+      const std::uint32_t lo = group * base;
+      const std::uint32_t hi = group + 1 == d ? n : (group + 1) * base;
+      const std::uint32_t candidate =
+          lo + rng::bounded32(engine, hi - lo);
+      // Strict '<' breaks ties toward the earlier (left) group.
+      if (loads[candidate] < best_load) {
+        best_load = loads[candidate];
+        best = candidate;
+      }
+    }
+    ++loads[best];
+  }
+  return summarize(std::move(loads), m);
+}
+
+std::vector<std::uint64_t> load_histogram(
+    const std::vector<std::uint64_t>& loads) {
+  std::uint64_t max_load = 0;
+  for (std::uint64_t l : loads) max_load = std::max(max_load, l);
+  std::vector<std::uint64_t> hist(max_load + 1, 0);
+  for (std::uint64_t l : loads) ++hist[l];
+  return hist;
+}
+
+}  // namespace iba::core

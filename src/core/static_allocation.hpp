@@ -1,0 +1,53 @@
+// Static (one-shot) balls-into-bins allocations — the classical anchors
+// of the paper's related work: one-choice (Raab & Steger, RANDOM'98) and
+// sequential GREEDY[d] (Azar, Broder, Karlin, Upfal, SICOMP'99).
+//
+// one-choice, m = n:        max load (1 − o(1))·ln n / ln ln n w.h.p.
+// one-choice, m ≫ n log n:  max load ≈ m/n + √(m·ln n / n) w.h.p.
+// GREEDY[d], m = n, d ≥ 2:  max load ln ln n / ln d + O(1) w.h.p.
+//
+// bench_baselines regenerates these scalings to validate the substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace iba::core {
+
+struct StaticAllocationResult {
+  std::uint64_t max_load = 0;
+  double average_load = 0.0;
+  std::uint32_t empty_bins = 0;
+  std::vector<std::uint64_t> loads;
+};
+
+/// Throws m balls into n bins, each choosing one bin u.a.r.
+[[nodiscard]] StaticAllocationResult one_choice(std::uint32_t n,
+                                                std::uint64_t m,
+                                                Engine engine);
+
+/// Sequential GREEDY[d]: each ball samples d bins u.a.r. (with
+/// replacement) and commits to a least-loaded one, observing all
+/// previously placed balls.
+[[nodiscard]] StaticAllocationResult greedy_d(std::uint32_t n,
+                                              std::uint64_t m, std::uint32_t d,
+                                              Engine engine);
+
+/// Vöcking's ALWAYS-GO-LEFT[d] (JACM'03): bins are split into d groups;
+/// each ball samples one bin per group and commits to a least-loaded
+/// one, breaking ties toward the leftmost (lowest-index) group. The
+/// asymmetry improves GREEDY[d]'s ln ln n / ln d to
+/// ln ln n / (d·ln φ_d) — measurably tighter even at d = 2.
+/// Requires d ≥ 2 and d ≤ n.
+[[nodiscard]] StaticAllocationResult always_go_left(std::uint32_t n,
+                                                    std::uint64_t m,
+                                                    std::uint32_t d,
+                                                    Engine engine);
+
+/// Load histogram: entry k = number of bins with exactly k balls.
+[[nodiscard]] std::vector<std::uint64_t> load_histogram(
+    const std::vector<std::uint64_t>& loads);
+
+}  // namespace iba::core

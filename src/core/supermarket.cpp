@@ -1,0 +1,102 @@
+#include "core/supermarket.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+#include "rng/distributions.hpp"
+
+namespace iba::core {
+
+void SupermarketConfig::validate() const {
+  IBA_EXPECT(n > 0, "SupermarketConfig: n must be positive");
+  IBA_EXPECT(d >= 1, "SupermarketConfig: d must be at least 1");
+  IBA_EXPECT(lambda > 0.0 && lambda < 1.0,
+             "SupermarketConfig: lambda must lie in (0, 1)");
+}
+
+Supermarket::Supermarket(const SupermarketConfig& config, Engine engine)
+    : config_(config), engine_(engine), queues_(config.n) {
+  config_.validate();
+  busy_.reserve(config_.n);
+  busy_slot_.assign(config_.n, 0);
+}
+
+double Supermarket::fixed_point_tail(double lambda, std::uint32_t d,
+                                     std::uint64_t k) {
+  IBA_EXPECT(d >= 1, "fixed_point_tail: d must be at least 1");
+  if (k == 0) return 1.0;
+  const double exponent =
+      d == 1 ? static_cast<double>(k)
+             : (std::pow(static_cast<double>(d), static_cast<double>(k)) -
+                1.0) /
+                   (static_cast<double>(d) - 1.0);
+  return std::pow(lambda, exponent);
+}
+
+std::uint64_t Supermarket::advance(double duration) {
+  const double deadline = now_ + duration;
+  const double arrival_rate =
+      config_.lambda * static_cast<double>(config_.n);
+  std::uint64_t events = 0;
+  for (;;) {
+    const double busy_rate = static_cast<double>(busy_.size());
+    const double total_rate = arrival_rate + busy_rate;
+    const double wait = rng::exponential(engine_, total_rate);
+    if (now_ + wait > deadline) {
+      now_ = deadline;
+      return events;
+    }
+    now_ += wait;
+    ++events;
+    if (rng::uniform01(engine_) * total_rate < arrival_rate) {
+      arrival();
+    } else {
+      departure();
+    }
+  }
+}
+
+void Supermarket::arrival() {
+  // Sample d queues; join a shortest one (first minimum among samples).
+  std::uint32_t best = rng::bounded32(engine_, config_.n);
+  for (std::uint32_t j = 1; j < config_.d; ++j) {
+    const std::uint32_t candidate = rng::bounded32(engine_, config_.n);
+    if (queues_[candidate].size() < queues_[best].size()) best = candidate;
+  }
+  if (queues_[best].empty()) {
+    busy_slot_[best] = static_cast<std::uint32_t>(busy_.size());
+    busy_.push_back(best);
+  }
+  queues_[best].push_back(now_);
+  ++in_system_;
+}
+
+void Supermarket::departure() {
+  IBA_ASSERT(!busy_.empty());
+  // Every busy server completes at rate 1: the departing server is
+  // uniform among the busy ones.
+  const std::uint32_t slot =
+      rng::bounded32(engine_, static_cast<std::uint32_t>(busy_.size()));
+  const std::uint32_t server = busy_[slot];
+  auto& queue = queues_[server];
+  sojourn_.add(now_ - queue.front());
+  queue.pop_front();
+  --in_system_;
+  if (queue.empty()) {
+    // O(1) removal from the busy set: move the last entry into the slot.
+    busy_[slot] = busy_.back();
+    busy_slot_[busy_[slot]] = slot;
+    busy_.pop_back();
+  }
+}
+
+double Supermarket::tail_fraction(std::uint64_t k) const noexcept {
+  std::uint32_t count = 0;
+  for (const auto& queue : queues_) {
+    if (queue.size() >= k) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(config_.n);
+}
+
+}  // namespace iba::core

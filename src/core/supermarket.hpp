@@ -1,0 +1,79 @@
+// Mitzenmacher's supermarket model ("The Power of Two Choices in
+// Randomized Load Balancing", IEEE TPDS'01) — the paper's related-work
+// reference [16], in continuous time: customers arrive as a Poisson
+// process of rate λn, sample d queues uniformly at random, join a
+// shortest one, and each busy server completes work at rate 1
+// (exponential service, FIFO).
+//
+// Simulated exactly with the Gillespie method: the next event is an
+// exponential race between the arrival stream (rate λn) and the busy
+// servers (rate = #busy), so no event heap is needed. The classical
+// fixed point validates the implementation: the steady-state fraction of
+// queues with length ≥ k is λ^((d^k − 1)/(d − 1)) — geometric λ^k for
+// d = 1 (M/M/1) and doubly exponential for d = 2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+
+namespace iba::core {
+
+struct SupermarketConfig {
+  std::uint32_t n = 0;   ///< servers
+  std::uint32_t d = 2;   ///< choices per customer
+  double lambda = 0.0;   ///< arrival rate per server, in (0, 1)
+
+  void validate() const;
+};
+
+/// The continuous-time supermarket system. Deterministic given
+/// (config, engine).
+class Supermarket {
+ public:
+  Supermarket(const SupermarketConfig& config, Engine engine);
+
+  /// Advances simulated time by `duration` (processing every arrival and
+  /// departure inside). Returns the number of events processed.
+  std::uint64_t advance(double duration);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return config_.n; }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t customers_in_system() const noexcept {
+    return in_system_;
+  }
+  [[nodiscard]] std::uint64_t queue_length(std::uint32_t i) const noexcept {
+    return queues_[i].size();
+  }
+
+  /// Fraction of queues with length ≥ k (the fixed-point observable).
+  [[nodiscard]] double tail_fraction(std::uint64_t k) const noexcept;
+
+  /// Sojourn-time statistics of departed customers (arrival → departure).
+  [[nodiscard]] const stats::OnlineMoments& sojourn() const noexcept {
+    return sojourn_;
+  }
+  void reset_sojourn_stats() noexcept { sojourn_.reset(); }
+
+  /// The theoretical steady-state tail: λ^((d^k − 1)/(d − 1)).
+  [[nodiscard]] static double fixed_point_tail(double lambda, std::uint32_t d,
+                                               std::uint64_t k);
+
+ private:
+  void arrival();
+  void departure();
+
+  SupermarketConfig config_;
+  Engine engine_;
+  double now_ = 0.0;
+  std::vector<std::deque<double>> queues_;  ///< arrival times, FIFO
+  std::vector<std::uint32_t> busy_;         ///< ids of non-empty queues
+  std::vector<std::uint32_t> busy_slot_;    ///< queue id → index in busy_
+  std::uint64_t in_system_ = 0;
+  stats::OnlineMoments sojourn_;
+};
+
+}  // namespace iba::core

@@ -1,0 +1,42 @@
+#include "core/threshold.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::core {
+
+ThresholdResult run_threshold(std::uint32_t n, std::uint64_t m,
+                              std::uint64_t threshold, Engine engine,
+                              std::uint64_t max_rounds) {
+  IBA_EXPECT(n > 0, "run_threshold: n must be positive");
+  IBA_EXPECT(threshold > 0, "run_threshold: threshold must be positive");
+
+  ThresholdResult result;
+  result.loads.assign(n, 0);
+
+  // Balls are indistinguishable: only the per-round request counts
+  // matter, so one counter per bin suffices.
+  std::uint64_t unallocated = m;
+  std::vector<std::uint64_t> requests(n);
+  while (unallocated > 0 && result.rounds < max_rounds) {
+    ++result.rounds;
+    std::fill(requests.begin(), requests.end(), 0);
+    for (std::uint64_t ball = 0; ball < unallocated; ++ball) {
+      ++requests[rng::bounded32(engine, n)];
+    }
+    for (std::uint32_t bin = 0; bin < n; ++bin) {
+      const std::uint64_t take = std::min(requests[bin], threshold);
+      result.loads[bin] += take;
+      unallocated -= take;
+    }
+  }
+
+  result.completed = unallocated == 0;
+  result.max_load =
+      *std::max_element(result.loads.begin(), result.loads.end());
+  return result;
+}
+
+}  // namespace iba::core

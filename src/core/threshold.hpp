@@ -1,0 +1,40 @@
+// THRESHOLD[T] — the static parallel allocation protocol of Adler,
+// Chakrabarti, Mitzenmacher, Rasmussen [RSA'98], referenced by the
+// paper's related-work discussion as the closest static relative of
+// CAPPED's acceptance rule.
+//
+// m balls are allocated to n bins in synchronous rounds: every
+// still-unallocated ball picks a bin independently and uniformly at
+// random, and each bin accepts at most T of its requests that round
+// (rejected balls retry next round). For m = n, THRESHOLD[1] terminates
+// within ln ln n + O(1) rounds w.h.p., which also bounds the maximum
+// load — the behaviour bench_baselines checks.
+//
+// Lenzen, Parter, Yogev [SPAA'19] drive the heavily loaded case m ≫ n
+// with a threshold of roughly m/n + O(1); run_threshold() covers that
+// regime via the `threshold` parameter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace iba::core {
+
+struct ThresholdResult {
+  std::uint64_t rounds = 0;      ///< rounds until every ball was accepted
+  std::uint64_t max_load = 0;    ///< fullest bin at termination
+  bool completed = false;        ///< false if max_rounds was exhausted
+  std::vector<std::uint64_t> loads;  ///< final load of every bin
+};
+
+/// Runs THRESHOLD[threshold] allocating `m` balls to `n` bins, giving up
+/// after `max_rounds` (safety valve; the protocol terminates in
+/// O(log log n) rounds for sane parameters).
+[[nodiscard]] ThresholdResult run_threshold(std::uint32_t n, std::uint64_t m,
+                                            std::uint64_t threshold,
+                                            Engine engine,
+                                            std::uint64_t max_rounds = 10000);
+
+}  // namespace iba::core

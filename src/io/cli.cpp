@@ -1,0 +1,122 @@
+#include "io/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace iba::io {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  IBA_EXPECT(!flags_.contains(name), "ArgParser: duplicate flag " + name);
+  flags_[name] = Flag{help, default_value, std::nullopt};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    IBA_EXPECT(arg.rfind("--", 0) == 0,
+               "ArgParser: expected --flag, got " + arg);
+    arg = arg.substr(2);
+
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else {
+      IBA_EXPECT(i + 1 < argc, "ArgParser: missing value for --" + arg);
+      value = argv[++i];
+    }
+    const auto it = flags_.find(arg);
+    IBA_EXPECT(it != flags_.end(), "ArgParser: unknown flag --" + arg);
+    it->second.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  IBA_EXPECT(it != flags_.end(), "ArgParser: undeclared flag " + name);
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  const Flag& flag = find(name);
+  return flag.value.value_or(flag.default_value);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string text = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(text, &pos);
+    IBA_EXPECT(pos == text.size(), "ArgParser: trailing junk in --" + name);
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    throw ContractViolation("iba: ArgParser: --" + name +
+                            " expects an integer, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    throw ContractViolation("iba: ArgParser: --" + name + " out of range");
+  }
+}
+
+std::uint64_t ArgParser::get_uint(const std::string& name) const {
+  const std::int64_t parsed = get_int(name);
+  IBA_EXPECT(parsed >= 0, "ArgParser: --" + name + " must be non-negative");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string text = get(name);
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(text, &pos);
+    IBA_EXPECT(pos == text.size(), "ArgParser: trailing junk in --" + name);
+    return parsed;
+  } catch (const std::invalid_argument&) {
+    throw ContractViolation("iba: ArgParser: --" + name +
+                            " expects a number, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    throw ContractViolation("iba: ArgParser: --" + name + " out of range");
+  }
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string text = get(name);
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    return false;
+  }
+  throw ContractViolation("iba: ArgParser: --" + name +
+                          " expects a boolean, got '" + text + "'");
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  return find(name).value.has_value();
+}
+
+std::string ArgParser::help_text() const {
+  std::string out = program_ + " — " + description_ + "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& flag = flags_.at(name);
+    out += "  --" + name + " <value>  " + flag.help + " (default: " +
+           flag.default_value + ")\n";
+  }
+  out += "  --help  print this message\n";
+  return out;
+}
+
+}  // namespace iba::io

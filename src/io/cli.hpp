@@ -1,0 +1,54 @@
+// Tiny declarative command-line flag parser shared by the bench and
+// example binaries: --key value / --key=value, typed getters with
+// defaults, generated --help text, and strict unknown-flag rejection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iba::io {
+
+/// Parses "--key value" / "--key=value" flags. Declare flags up front so
+/// --help can describe them and typos are rejected.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declares a flag (name without the leading dashes).
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+
+  /// Parses argv. Returns false if --help was requested (help printed to
+  /// stdout). Throws ContractViolation on unknown flags or missing values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// True when the user supplied the flag explicitly.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    std::optional<std::string> value;
+  };
+
+  [[nodiscard]] const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace iba::io

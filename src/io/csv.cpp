@@ -1,0 +1,63 @@
+#include "io/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace iba::io {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  IBA_EXPECT(!header_written_ && rows_ == 0,
+             "CsvWriter: header must be first and unique");
+  columns_ = columns.size();
+  header_written_ = true;
+  write_line(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  IBA_EXPECT(!header_written_ || fields.size() == columns_,
+             "CsvWriter: row width does not match header");
+  write_line(fields);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double value : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    fields.emplace_back(buf);
+  }
+  row(fields);
+}
+
+}  // namespace iba::io

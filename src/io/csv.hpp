@@ -1,0 +1,46 @@
+// Minimal RFC-4180-style CSV writing for experiment results. Every bench
+// binary writes its series as CSV next to the human-readable table so the
+// figures can be re-plotted with any external tool.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iba::io {
+
+/// Streams rows to a CSV file. Fields containing separators, quotes or
+/// newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row; must be called before any data row, at most
+  /// once.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one data row; must match the header's column count when a
+  /// header was written.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric rows.
+  void row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Escapes a single field per RFC 4180.
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  void write_line(const std::vector<std::string>& fields);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace iba::io

@@ -1,0 +1,121 @@
+#include "io/csv_reader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iba::io {
+
+std::optional<std::size_t> CsvDocument::column(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<double> CsvDocument::numeric_column(
+    const std::string& name) const {
+  const auto index = column(name);
+  if (!index) {
+    throw std::runtime_error("csv: no column named '" + name + "'");
+  }
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) {
+    const std::string& cell = row[*index];
+    std::size_t pos = 0;
+    double value = 0;
+    try {
+      value = std::stod(cell, &pos);
+    } catch (const std::exception&) {
+      throw std::runtime_error("csv: non-numeric cell '" + cell +
+                               "' in column '" + name + "'");
+    }
+    if (pos != cell.size()) {
+      throw std::runtime_error("csv: trailing junk in cell '" + cell + "'");
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+CsvDocument parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field += ch;  // stray quote inside unquoted field: keep literal
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // swallowed; \n terminates the record
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += ch;
+        field_started = true;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quote");
+  if (field_started || !field.empty() || !record.empty()) end_record();
+
+  CsvDocument document;
+  if (records.empty()) return document;
+  document.header = std::move(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != document.header.size()) {
+      throw std::runtime_error("csv: ragged row " + std::to_string(r));
+    }
+    document.rows.push_back(std::move(records[r]));
+  }
+  return document;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace iba::io

@@ -1,0 +1,33 @@
+// RFC-4180-style CSV reading — the counterpart of CsvWriter, used by the
+// report tool to post-process bench results and by round-trip tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iba::io {
+
+/// A parsed CSV document: header (first row) + data rows, all as strings.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> column(
+      const std::string& name) const;
+
+  /// Numeric view of one column (throws on non-numeric cells).
+  [[nodiscard]] std::vector<double> numeric_column(
+      const std::string& name) const;
+};
+
+/// Parses CSV text (quoted fields, embedded separators/quotes/newlines,
+/// both \n and \r\n line endings). Throws std::runtime_error on
+/// malformed input (unterminated quote, ragged rows).
+[[nodiscard]] CsvDocument parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file. Throws std::runtime_error on IO errors.
+[[nodiscard]] CsvDocument read_csv_file(const std::string& path);
+
+}  // namespace iba::io

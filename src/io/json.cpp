@@ -1,0 +1,139 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace iba::io {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty()) {
+    if (stack_.back() == Scope::kObject) {
+      IBA_EXPECT(key_pending_, "JsonWriter: value inside object needs key()");
+      key_pending_ = false;
+      return;  // key() already emitted the separator and the key
+    }
+    if (has_items_.back()) out_ << ',';
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::before_key() {
+  IBA_EXPECT(!stack_.empty() && stack_.back() == Scope::kObject,
+             "JsonWriter: key() outside of object");
+  IBA_EXPECT(!key_pending_, "JsonWriter: consecutive key() calls");
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  IBA_EXPECT(!stack_.empty() && stack_.back() == Scope::kObject,
+             "JsonWriter: unbalanced end_object");
+  IBA_EXPECT(!key_pending_, "JsonWriter: dangling key at end_object");
+  out_ << '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  IBA_EXPECT(!stack_.empty() && stack_.back() == Scope::kArray,
+             "JsonWriter: unbalanced end_array");
+  out_ << ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  before_key();
+  out_ << '"' << escape(name) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ << '"' << escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (std::isfinite(number)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", number);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN literals
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace iba::io

@@ -1,0 +1,54 @@
+// Minimal streaming JSON writer (objects, arrays, scalars, full string
+// escaping) — enough to emit machine-readable experiment manifests
+// without a third-party dependency.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iba::io {
+
+/// Writes syntactically valid JSON to an ostream via begin/end nesting
+/// calls. Usage errors (value without key inside an object, unbalanced
+/// end) throw ContractViolation.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next value (objects only).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// True when every begin_ has been matched by an end_.
+  [[nodiscard]] bool complete() const noexcept { return stack_.empty(); }
+
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void before_key();
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+}  // namespace iba::io

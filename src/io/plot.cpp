@@ -1,0 +1,95 @@
+#include "io/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace iba::io {
+
+namespace {
+
+constexpr char kMarkers[] = "ox*+#@%&";
+
+}  // namespace
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  IBA_EXPECT(width >= 8 && height >= 3, "AsciiPlot: plot area too small");
+}
+
+void AsciiPlot::add_series(std::string name, std::vector<double> xs,
+                           std::vector<double> ys) {
+  IBA_EXPECT(xs.size() == ys.size(),
+             "AsciiPlot: xs and ys must have equal length");
+  const char marker = kMarkers[series_.size() % (sizeof(kMarkers) - 1)];
+  series_.push_back({std::move(name), std::move(xs), std::move(ys), marker});
+}
+
+std::string AsciiPlot::to_string() const {
+  std::string out;
+  if (!title_.empty()) out += title_ + '\n';
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min, y_min = x_min, y_max = -x_min;
+  bool any = false;
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      any = true;
+      x_min = std::min(x_min, s.xs[i]);
+      x_max = std::max(x_max, s.xs[i]);
+      y_min = std::min(y_min, s.ys[i]);
+      y_max = std::max(y_max, s.ys[i]);
+    }
+  }
+  if (!any) return out + "(empty plot)\n";
+  if (x_max == x_min) x_max = x_min + 1;
+  if (y_max == y_min) y_max = y_min + 1;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (s.xs[i] - x_min) / (x_max - x_min);
+      const double fy = (s.ys[i] - y_min) / (y_max - y_min);
+      const auto col = static_cast<std::size_t>(
+          std::lround(fx * static_cast<double>(width_ - 1)));
+      const auto row = static_cast<std::size_t>(
+          std::lround((1.0 - fy) * static_cast<double>(height_ - 1)));
+      grid[row][col] = s.marker;
+    }
+  }
+
+  char label[32];
+  for (std::size_t row = 0; row < height_; ++row) {
+    const double y =
+        y_max - (y_max - y_min) * static_cast<double>(row) /
+                    static_cast<double>(height_ - 1);
+    std::snprintf(label, sizeof(label), "%9.3g |", y);
+    out += label + grid[row] + '\n';
+  }
+  out += std::string(10, ' ') + '+' + std::string(width_, '-') + '\n';
+  std::snprintf(label, sizeof(label), "%9.3g", x_min);
+  out += std::string(11, ' ') + label;
+  std::snprintf(label, sizeof(label), "%.3g", x_max);
+  const std::string x_hi = label;
+  const std::size_t used = 11 + 9;
+  if (width_ > x_hi.size() && used + x_hi.size() < 11 + width_) {
+    out += std::string(11 + width_ - used - x_hi.size(), ' ') + x_hi;
+  }
+  out += '\n';
+  if (!x_label_.empty()) {
+    out += std::string(11, ' ') + x_label_ + '\n';
+  }
+  for (const Series& s : series_) {
+    out += "  ";
+    out += s.marker;
+    out += " = " + s.name + '\n';
+  }
+  return out;
+}
+
+void AsciiPlot::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace iba::io

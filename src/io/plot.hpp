@@ -1,0 +1,46 @@
+// Terminal line plots — the bench binaries render the paper's figure
+// curves directly in the terminal so "the shape holds" is visible
+// without leaving the shell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iba::io {
+
+/// Collects named (x, y) series and renders them into a character grid
+/// with y-axis labels and per-series markers.
+class AsciiPlot {
+ public:
+  /// `width`/`height` are the plot area in characters (without axes).
+  AsciiPlot(std::size_t width, std::size_t height);
+
+  /// Adds a series; the marker is taken from "ox*+#@%&" in order.
+  void add_series(std::string name, std::vector<double> xs,
+                  std::vector<double> ys);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+
+  /// Renders the plot (trailing newline included). Empty plots render a
+  /// placeholder line.
+  [[nodiscard]] std::string to_string() const;
+
+  void print() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    char marker;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::string title_;
+  std::string x_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace iba::io

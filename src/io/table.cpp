@@ -1,0 +1,73 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace iba::io {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  IBA_EXPECT(!columns_.empty(), "Table: needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  IBA_EXPECT(cells.size() == columns_.size(),
+             "Table: row width does not match columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double value : values) cells.push_back(format_number(value));
+  add_row(std::move(cells));
+}
+
+std::string Table::format_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) line += "  ";
+      line += cells[i];
+      line.append(widths[i] - cells[i].size(), ' ');
+    }
+    // Trim trailing padding for clean diffs.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + '\n';
+  out += render_row(columns_);
+  std::size_t rule_width = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule_width += widths[i] + (i > 0 ? 2 : 0);
+  }
+  out.append(rule_width, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace iba::io

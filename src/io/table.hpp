@@ -1,0 +1,42 @@
+// Aligned ASCII tables — the bench binaries print the paper's data series
+// in this format so "who wins, by what factor" is readable straight from
+// the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iba::io {
+
+/// Collects rows of string cells and renders them with padded columns,
+/// a header rule, and an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Numeric convenience; formats with %.4g.
+  void add_row(const std::vector<double>& values);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Renders the full table as a string (trailing newline included).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] static std::string format_number(double value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iba::io

@@ -1,0 +1,109 @@
+// BinTable — the bins of CAPPED(c, λ): n FIFO queues of ball labels, each
+// with capacity c, laid out in one flat n×c array (cache-friendly, zero
+// per-bin allocation). This is the hot data structure of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace iba::queueing {
+
+/// n bounded FIFO queues of 64-bit ball labels. Queue order is insertion
+/// order; pop_front() implements the paper's FIFO deletion.
+class BinTable {
+ public:
+  using Label = std::uint64_t;
+
+  BinTable(std::uint32_t bins, std::uint32_t capacity);
+
+  /// Enqueues `label` at bin `bin`. Precondition: load(bin) < capacity().
+  void push(std::uint32_t bin, Label label) noexcept {
+    IBA_ASSERT(bin < bins_);
+    IBA_ASSERT(size_[bin] < capacity_);
+    const std::size_t slot =
+        static_cast<std::size_t>(bin) * capacity_ +
+        (head_[bin] + size_[bin]) % capacity_;
+    labels_[slot] = label;
+    ++size_[bin];
+    ++total_load_;
+  }
+
+  /// Dequeues and returns the oldest-enqueued label of bin `bin`.
+  [[nodiscard]] Label pop_front(std::uint32_t bin) noexcept {
+    IBA_ASSERT(bin < bins_);
+    IBA_ASSERT(size_[bin] > 0);
+    const std::size_t slot =
+        static_cast<std::size_t>(bin) * capacity_ + head_[bin];
+    head_[bin] = static_cast<std::uint32_t>((head_[bin] + 1) % capacity_);
+    --size_[bin];
+    --total_load_;
+    return labels_[slot];
+  }
+
+  /// Dequeues and returns the newest-enqueued label of bin `bin`
+  /// (LIFO service — used by the deletion-discipline ablation).
+  [[nodiscard]] Label pop_back(std::uint32_t bin) noexcept {
+    IBA_ASSERT(bin < bins_);
+    IBA_ASSERT(size_[bin] > 0);
+    --size_[bin];
+    --total_load_;
+    return labels_[static_cast<std::size_t>(bin) * capacity_ +
+                   (head_[bin] + size_[bin]) % capacity_];
+  }
+
+  /// Removes and returns the label `i` positions behind the front,
+  /// preserving the relative order of the remainder (O(c) shift —
+  /// capacities are small). Used by uniform-random service.
+  [[nodiscard]] Label pop_at(std::uint32_t bin, std::uint32_t i) noexcept {
+    IBA_ASSERT(bin < bins_);
+    IBA_ASSERT(i < size_[bin]);
+    const std::size_t base = static_cast<std::size_t>(bin) * capacity_;
+    const Label label = labels_[base + (head_[bin] + i) % capacity_];
+    for (std::uint32_t k = i; k + 1 < size_[bin]; ++k) {
+      labels_[base + (head_[bin] + k) % capacity_] =
+          labels_[base + (head_[bin] + k + 1) % capacity_];
+    }
+    --size_[bin];
+    --total_load_;
+    return label;
+  }
+
+  [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept {
+    IBA_ASSERT(bin < bins_);
+    return size_[bin];
+  }
+
+  /// Label `i` positions behind the front of `bin` (0 = next to delete).
+  [[nodiscard]] Label peek(std::uint32_t bin, std::uint32_t i) const noexcept {
+    IBA_ASSERT(bin < bins_);
+    IBA_ASSERT(i < size_[bin]);
+    return labels_[static_cast<std::size_t>(bin) * capacity_ +
+                   (head_[bin] + i) % capacity_];
+  }
+
+  [[nodiscard]] std::uint32_t bins() const noexcept { return bins_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t total_load() const noexcept {
+    return total_load_;
+  }
+
+  /// Maximum end-of-round load over all bins (O(n) scan).
+  [[nodiscard]] std::uint32_t max_load() const noexcept;
+
+  /// Number of bins with load 0 (O(n) scan).
+  [[nodiscard]] std::uint32_t empty_bins() const noexcept;
+
+  void clear() noexcept;
+
+ private:
+  std::uint32_t bins_;
+  std::uint32_t capacity_;
+  std::uint64_t total_load_ = 0;
+  std::vector<Label> labels_;        // n × c slots
+  std::vector<std::uint32_t> head_;  // front index per bin
+  std::vector<std::uint32_t> size_;  // current load per bin
+};
+
+}  // namespace iba::queueing

@@ -1,0 +1,66 @@
+// Fixed-capacity FIFO ring buffer with runtime-chosen capacity.
+//
+// Backs the per-bin queues of processes whose buffers have a small, known
+// bound (MODCAPPED's phase buffers): no allocation after construction,
+// O(1) push/pop, indices wrap by masking-free modular arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace iba::queueing {
+
+/// Bounded FIFO of trivially copyable values. push() onto the back,
+/// pop_front() from the front; the caller must respect capacity.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : buf_(capacity > 0 ? capacity : 1) {
+    IBA_EXPECT(capacity > 0, "RingBuffer: capacity must be positive");
+  }
+
+  void push(const T& value) noexcept {
+    IBA_ASSERT(size_ < buf_.size());
+    buf_[(head_ + size_) % buf_.size()] = value;
+    ++size_;
+  }
+
+  [[nodiscard]] T pop_front() noexcept {
+    IBA_ASSERT(size_ > 0);
+    const T value = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return value;
+  }
+
+  [[nodiscard]] const T& front() const noexcept {
+    IBA_ASSERT(size_ > 0);
+    return buf_[head_];
+  }
+
+  /// Element `i` positions behind the front (0 = front).
+  [[nodiscard]] const T& at(std::size_t i) const noexcept {
+    IBA_ASSERT(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace iba::queueing

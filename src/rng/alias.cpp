@@ -1,0 +1,54 @@
+#include "rng/alias.hpp"
+
+#include <numeric>
+
+namespace iba::rng {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  IBA_EXPECT(!weights.empty(), "AliasTable: needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    IBA_EXPECT(w >= 0.0, "AliasTable: weights must be non-negative");
+    total += w;
+  }
+  IBA_EXPECT(total > 0.0, "AliasTable: weights must not all be zero");
+
+  const std::size_t k = weights.size();
+  normalized_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose: scale to mean 1, split into under-/over-full outcomes, and pair
+  // each under-full slot with an over-full alias.
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(k);
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  probability_.assign(k, 1.0);
+  alias_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    alias_[i] = static_cast<std::uint32_t>(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Residual slots (rounding leftovers) keep probability 1.
+}
+
+}  // namespace iba::rng

@@ -1,0 +1,50 @@
+// Walker/Vose alias method — O(1) sampling from an arbitrary discrete
+// distribution after O(k) preprocessing.
+//
+// Substrate for the non-uniform-bins extension (cf. Berenbrink,
+// Brinkmann, Friedetzky, Nagel, "Balls into Non-uniform Bins", JPDC'14,
+// the paper's reference [6]): heterogeneous server farms where request
+// routing is weighted by server capacity.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::rng {
+
+/// Immutable alias table over weights w_0..w_{k−1}; sample() returns i
+/// with probability w_i / Σw in two uniform draws.
+class AliasTable {
+ public:
+  /// Builds the table (Vose's stable two-stack construction). Weights
+  /// must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  template <std::uniform_random_bit_generator Engine>
+  [[nodiscard]] std::uint32_t sample(Engine& engine) const noexcept {
+    const auto slot =
+        static_cast<std::uint32_t>(bounded(engine, probability_.size()));
+    return uniform01(engine) < probability_[slot] ? slot : alias_[slot];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return probability_.size();
+  }
+
+  /// The normalized probability of outcome i (for tests/inspection).
+  [[nodiscard]] double outcome_probability(std::uint32_t i) const noexcept {
+    IBA_ASSERT(i < normalized_.size());
+    return normalized_[i];
+  }
+
+ private:
+  std::vector<double> probability_;  ///< acceptance threshold per slot
+  std::vector<std::uint32_t> alias_; ///< fallback outcome per slot
+  std::vector<double> normalized_;   ///< original weights, normalized
+};
+
+}  // namespace iba::rng

@@ -1,0 +1,71 @@
+// Unbiased bounded uniform integers via Lemire's nearly-divisionless
+// multiply-with-rejection ("Fast Random Integer Generation in an Interval",
+// ACM TOMS 2019).
+//
+// bounded() is the single hottest operation in every balls-into-bins
+// simulation (one draw per ball per round), so it avoids the modulo of
+// std::uniform_int_distribution and only divides on the (rare) rejection
+// path.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <random>
+
+#include "common/assert.hpp"
+
+namespace iba::rng {
+
+/// Uniform draw from [0, range) using 64-bit multiply-high rejection.
+/// Requires range >= 1. Exactly unbiased for every range.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] constexpr std::uint64_t bounded(Engine& engine,
+                                              std::uint64_t range) noexcept {
+  IBA_ASSERT(range >= 1);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"  // __int128 is a GCC/Clang builtin
+  using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+  std::uint64_t x = engine();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(range);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < range) {
+    const std::uint64_t threshold = (0 - range) % range;
+    while (low < threshold) {
+      x = engine();
+      m = static_cast<u128>(x) * static_cast<u128>(range);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// 32-bit variant for dense index draws (bin choices with n < 2^32).
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] constexpr std::uint32_t bounded32(Engine& engine,
+                                                std::uint32_t range) noexcept {
+  return static_cast<std::uint32_t>(bounded(engine, range));
+}
+
+/// Uniform draw from the closed interval [lo, hi].
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] constexpr std::uint64_t uniform_in(Engine& engine,
+                                                 std::uint64_t lo,
+                                                 std::uint64_t hi) noexcept {
+  IBA_ASSERT(lo <= hi);
+  return lo + bounded(engine, hi - lo + 1);
+}
+
+/// Uniform double in [0, 1) with 53 bits of precision.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] constexpr double uniform01(Engine& engine) noexcept {
+  return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in (0, 1] — safe as an argument to log().
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] constexpr double uniform01_open_low(Engine& engine) noexcept {
+  return static_cast<double>((engine() >> 11) + 1) * 0x1.0p-53;
+}
+
+}  // namespace iba::rng

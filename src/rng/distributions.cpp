@@ -1,0 +1,20 @@
+#include "rng/distributions.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace iba::rng::detail {
+
+double stirling_approx_tail(double k) noexcept {
+  static constexpr std::array<double, 10> kTail = {
+      0.0810614667953272,  0.0413406959554092,  0.0276779256849983,
+      0.02079067210376509, 0.0166446911898211,  0.0138761288230707,
+      0.0118967099458917,  0.0104112652619720,  0.00925546218271273,
+      0.00833056343336287};
+  if (k <= 9.0) return kTail[static_cast<std::size_t>(k)];
+  const double kp1 = k + 1;
+  const double kp1sq = kp1 * kp1;
+  return (1.0 / 12 - (1.0 / 360 - 1.0 / 1260 / kp1sq) / kp1sq) / kp1;
+}
+
+}  // namespace iba::rng::detail

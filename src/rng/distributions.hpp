@@ -1,0 +1,165 @@
+// Exact samplers for the discrete and continuous distributions used by the
+// allocation processes and their workload generators.
+//
+// Binomial uses BINV inversion for small n·p and Hörmann's BTRS transformed
+// rejection for large n·p (the algorithm also used by NumPy/TensorFlow);
+// Poisson analogously uses Knuth multiplication / PTRS. All samplers are
+// exact (no normal approximations) and consume an injected engine.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::rng {
+
+/// Bernoulli(p) draw.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] bool bernoulli(Engine& engine, double p) noexcept {
+  return uniform01(engine) < p;
+}
+
+/// Exponential(rate) draw (mean 1/rate).
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] double exponential(Engine& engine, double rate) noexcept {
+  IBA_ASSERT(rate > 0.0);
+  return -std::log(uniform01_open_low(engine)) / rate;
+}
+
+/// Geometric(p): number of failures before the first success, support {0,1,…}.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] std::uint64_t geometric(Engine& engine, double p) noexcept {
+  IBA_ASSERT(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double draws =
+      std::floor(std::log(uniform01_open_low(engine)) / std::log1p(-p));
+  return static_cast<std::uint64_t>(draws);
+}
+
+namespace detail {
+
+/// Stirling series tail log(k!) − [k·log k − k + 0.5·log(2πk)], tabulated for
+/// k ≤ 9 and expanded asymptotically beyond (as in TensorFlow's sampler).
+[[nodiscard]] double stirling_approx_tail(double k) noexcept;
+
+/// BTRS transformed-rejection binomial for p ∈ (0, 0.5], n·p ≥ 10.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] std::uint64_t binomial_btrs(Engine& engine, std::uint64_t n,
+                                          double p) noexcept {
+  const double dn = static_cast<double>(n);
+  const double stddev = std::sqrt(dn * p * (1 - p));
+  const double b = 1.15 + 2.53 * stddev;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = dn * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double r = p / (1 - p);
+  const double alpha = (2.83 + 5.1 / b) * stddev;
+  const double m = std::floor((dn + 1) * p);
+  for (;;) {
+    const double u = uniform01(engine) - 0.5;
+    double v = uniform01_open_low(engine);
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2 * a / us + b) * u + c);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(k);
+    if (k < 0 || k > dn) continue;
+    // Acceptance via the transformed density; exact up to the Stirling
+    // tail correction, which is evaluated exactly below.
+    v = std::log(v * alpha / (a / (us * us) + b));
+    const double upper =
+        (m + 0.5) * std::log((m + 1) / (r * (dn - m + 1))) +
+        (dn + 1) * std::log((dn - m + 1) / (dn - k + 1)) +
+        (k + 0.5) * std::log(r * (dn - k + 1) / (k + 1)) +
+        stirling_approx_tail(m) + stirling_approx_tail(dn - m) -
+        stirling_approx_tail(k) - stirling_approx_tail(dn - k);
+    if (v <= upper) return static_cast<std::uint64_t>(k);
+  }
+}
+
+/// BINV sequential inversion for small n·p (expected O(n·p) iterations).
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] std::uint64_t binomial_binv(Engine& engine, std::uint64_t n,
+                                          double p) noexcept {
+  const double q = 1 - p;
+  const double s = p / q;
+  const double dn = static_cast<double>(n);
+  double f = std::pow(q, dn);  // P[X = 0]; no underflow since n·p is small
+  double u = uniform01(engine);
+  std::uint64_t k = 0;
+  for (;;) {
+    if (u <= f) return k;
+    u -= f;
+    ++k;
+    if (k > n) return n;  // guard against accumulated rounding
+    f *= s * (dn - static_cast<double>(k) + 1) / static_cast<double>(k);
+  }
+}
+
+}  // namespace detail
+
+/// Binomial(n, p) draw; exact for all n, p.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] std::uint64_t binomial(Engine& engine, std::uint64_t n,
+                                     double p) {
+  IBA_EXPECT(p >= 0.0 && p <= 1.0, "binomial: p must lie in [0, 1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  if (p > 0.5) return n - binomial(engine, n, 1 - p);
+  if (static_cast<double>(n) * p < 10.0)
+    return detail::binomial_binv(engine, n, p);
+  return detail::binomial_btrs(engine, n, p);
+}
+
+namespace detail {
+
+/// Knuth multiplication method for small means.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] std::uint64_t poisson_knuth(Engine& engine,
+                                          double mean) noexcept {
+  const double limit = std::exp(-mean);
+  double prod = uniform01(engine);
+  std::uint64_t k = 0;
+  while (prod > limit) {
+    ++k;
+    prod *= uniform01(engine);
+  }
+  return k;
+}
+
+/// Hörmann's PTRS transformed rejection for mean ≥ 10.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] std::uint64_t poisson_ptrs(Engine& engine,
+                                         double mean) noexcept {
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2);
+  const double log_mean = std::log(mean);
+  for (;;) {
+    const double u = uniform01(engine) - 0.5;
+    const double v = uniform01_open_low(engine);
+    const double us = 0.5 - std::abs(u);
+    const double k = std::floor((2 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(k);
+    if (k < 0 || (us < 0.013 && v > us)) continue;
+    if (std::log(v) + std::log(inv_alpha) - std::log(a / (us * us) + b) <=
+        k * log_mean - mean - std::lgamma(k + 1)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Poisson(mean) draw; exact for all means ≥ 0.
+template <std::uniform_random_bit_generator Engine>
+[[nodiscard]] std::uint64_t poisson(Engine& engine, double mean) {
+  IBA_EXPECT(mean >= 0.0, "poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 10.0) return detail::poisson_knuth(engine, mean);
+  return detail::poisson_ptrs(engine, mean);
+}
+
+}  // namespace iba::rng

@@ -1,0 +1,35 @@
+#include "rng/seed.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace iba::rng {
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) noexcept {
+  // Two finalizer rounds decorrelate (master, stream) pairs that differ in
+  // few bits; the golden-ratio offset separates stream 0 from the master.
+  const std::uint64_t mixed = splitmix64_hash(master ^ 0x9e3779b97f4a7c15ULL);
+  return splitmix64_hash(mixed + stream);
+}
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t master,
+                                        std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back(derive_seed(master, i));
+  }
+  return seeds;
+}
+
+std::uint64_t SeedSequence::next() noexcept {
+  return derive_seed(master_, next_stream_++);
+}
+
+SeedSequence SeedSequence::split() noexcept {
+  // The child's master is itself a derived seed from a reserved namespace
+  // (high-bit tag) so parent next() streams and child streams are disjoint.
+  return SeedSequence(
+      derive_seed(master_ ^ 0x8000000000000000ULL, next_stream_++));
+}
+
+}  // namespace iba::rng

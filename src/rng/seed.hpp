@@ -1,0 +1,47 @@
+// Deterministic seed derivation for independent random streams.
+//
+// Every iba experiment is reproducible from one master seed; replications,
+// processes and workload generators each receive a *derived* seed so that
+// their streams are statistically independent and stable under reordering
+// (replication r always gets the same stream regardless of thread count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iba::rng {
+
+/// Derives the seed of stream `stream` from `master`. Injective in
+/// `stream` for fixed `master` (bijective SplitMix64 finalizer over a
+/// distinct-offset encoding), so derived streams never collide.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master,
+                                        std::uint64_t stream) noexcept;
+
+/// Convenience: the first `count` derived seeds of `master`.
+[[nodiscard]] std::vector<std::uint64_t> derive_seeds(std::uint64_t master,
+                                                      std::size_t count);
+
+/// Stateful view over derive_seed: hands out stream seeds sequentially.
+/// Cheap to copy; copies continue independently from the same position.
+class SeedSequence {
+ public:
+  explicit constexpr SeedSequence(std::uint64_t master) noexcept
+      : master_(master) {}
+
+  /// Seed of the next stream.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Child sequence occupying a disjoint stream namespace — used for
+  /// hierarchical splits (e.g. per-replication sub-streams).
+  [[nodiscard]] SeedSequence split() noexcept;
+
+  [[nodiscard]] constexpr std::uint64_t master() const noexcept {
+    return master_;
+  }
+
+ private:
+  std::uint64_t master_;
+  std::uint64_t next_stream_ = 0;
+};
+
+}  // namespace iba::rng

@@ -1,0 +1,52 @@
+// SplitMix64 — Steele, Lea & Flood's 64-bit mixing generator.
+//
+// Used throughout iba as (a) the canonical seed expander for the larger
+// engines and (b) a cheap stateless hash for deriving independent streams.
+// Reference: Vigna, http://prng.di.unimi.it/splitmix64.c (public domain).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace iba::rng {
+
+/// Minimal 64-bit generator with a single word of state. Satisfies
+/// std::uniform_random_bit_generator. Every seed gives a full-period
+/// (2^64) sequence; distinct seeds give distinct sequences.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Current internal state (the *next* increment base), for checkpointing.
+  [[nodiscard]] constexpr std::uint64_t state() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot SplitMix64 finalizer: hashes `x` through a single SplitMix64
+/// step. Useful as a stateless 64-bit mixer (stream derivation, hashing).
+[[nodiscard]] constexpr std::uint64_t splitmix64_hash(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace iba::rng

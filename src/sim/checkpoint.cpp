@@ -1,0 +1,127 @@
+#include "sim/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace iba::sim {
+
+namespace {
+
+constexpr const char* kMagic = "iba-checkpoint";
+constexpr int kVersion = 1;
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("checkpoint: " + why);
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T value;
+  if (!(in >> value)) fail(std::string("truncated/invalid field: ") + what);
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const core::CappedSnapshot& snapshot,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open for writing: " + path);
+  out << kMagic << ' ' << kVersion << '\n';
+  const auto& config = snapshot.config;
+  out << "config " << config.n << ' ' << config.capacity << ' '
+      << config.lambda_n << ' ' << static_cast<int>(config.arrival) << ' '
+      << static_cast<int>(config.deletion) << ' '
+      << static_cast<int>(config.acceptance) << ' ';
+  char prob[40];
+  std::snprintf(prob, sizeof(prob), "%.17g", config.failure_probability);
+  out << prob << '\n';
+  out << "state " << snapshot.round << ' ' << snapshot.generated_total << ' '
+      << snapshot.deleted_total << '\n';
+  out << "engine";
+  for (const std::uint64_t word : snapshot.engine_state) out << ' ' << word;
+  out << '\n';
+  out << "pool " << snapshot.pool.size() << '\n';
+  for (const auto& bucket : snapshot.pool) {
+    out << bucket.label << ' ' << bucket.count << '\n';
+  }
+  out << "bins " << snapshot.bin_queues.size() << '\n';
+  for (const auto& queue : snapshot.bin_queues) {
+    out << queue.size();
+    for (const std::uint64_t label : queue) out << ' ' << label;
+    out << '\n';
+  }
+  if (!out) fail("write error: " + path);
+}
+
+core::CappedSnapshot load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open for reading: " + path);
+
+  const auto magic = read_value<std::string>(in, "magic");
+  if (magic != kMagic) fail("bad magic '" + magic + "'");
+  const auto version = read_value<int>(in, "version");
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version));
+  }
+
+  core::CappedSnapshot snap;
+  auto expect_keyword = [&](const char* keyword) {
+    const auto word = read_value<std::string>(in, keyword);
+    if (word != keyword) fail(std::string("expected '") + keyword + "'");
+  };
+
+  expect_keyword("config");
+  snap.config.n = read_value<std::uint32_t>(in, "n");
+  snap.config.capacity = read_value<std::uint32_t>(in, "capacity");
+  snap.config.lambda_n = read_value<std::uint64_t>(in, "lambda_n");
+  snap.config.arrival =
+      static_cast<core::ArrivalModel>(read_value<int>(in, "arrival"));
+  snap.config.deletion =
+      static_cast<core::DeletionDiscipline>(read_value<int>(in, "deletion"));
+  snap.config.acceptance =
+      static_cast<core::AcceptanceOrder>(read_value<int>(in, "acceptance"));
+  snap.config.failure_probability =
+      read_value<double>(in, "failure_probability");
+
+  expect_keyword("state");
+  snap.round = read_value<std::uint64_t>(in, "round");
+  snap.generated_total = read_value<std::uint64_t>(in, "generated_total");
+  snap.deleted_total = read_value<std::uint64_t>(in, "deleted_total");
+
+  expect_keyword("engine");
+  for (auto& word : snap.engine_state) {
+    word = read_value<std::uint64_t>(in, "engine word");
+  }
+
+  expect_keyword("pool");
+  const auto buckets = read_value<std::size_t>(in, "pool size");
+  snap.pool.reserve(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const auto label = read_value<std::uint64_t>(in, "bucket label");
+    const auto count = read_value<std::uint64_t>(in, "bucket count");
+    snap.pool.push_back({label, count});
+  }
+
+  expect_keyword("bins");
+  const auto bins = read_value<std::size_t>(in, "bin count");
+  if (bins != snap.config.n) fail("bin count mismatch");
+  snap.bin_queues.resize(bins);
+  for (auto& queue : snap.bin_queues) {
+    const auto length = read_value<std::size_t>(in, "queue length");
+    if (snap.config.capacity != core::CappedConfig::kInfiniteCapacity &&
+        length > snap.config.capacity) {
+      fail("queue longer than capacity");
+    }
+    queue.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      queue.push_back(read_value<std::uint64_t>(in, "queue label"));
+    }
+  }
+  return snap;
+}
+
+}  // namespace iba::sim

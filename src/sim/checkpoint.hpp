@@ -1,0 +1,24 @@
+// Checkpoint persistence: save/restore a CAPPED process to/from disk so
+// very long experiments (the paper's guarantees hold "at any, even
+// exponentially large, time") can be split across invocations with a
+// bit-identical continuation.
+//
+// The format is a versioned, line-oriented text file — trivially
+// inspectable and diff-able; see checkpoint.cpp for the grammar.
+#pragma once
+
+#include <string>
+
+#include "core/capped.hpp"
+
+namespace iba::sim {
+
+/// Writes `snapshot` to `path`. Throws std::runtime_error on IO failure.
+void save_checkpoint(const core::CappedSnapshot& snapshot,
+                     const std::string& path);
+
+/// Reads a snapshot from `path`. Throws std::runtime_error on IO or
+/// format errors (wrong magic, truncation, inconsistent sizes).
+[[nodiscard]] core::CappedSnapshot load_checkpoint(const std::string& path);
+
+}  // namespace iba::sim

@@ -1,0 +1,50 @@
+#include "sim/config.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace iba::sim {
+
+core::CappedConfig SimConfig::to_capped() const {
+  validate();
+  core::CappedConfig config;
+  config.n = n;
+  config.capacity = capacity;
+  config.lambda_n = lambda_n;
+  return config;
+}
+
+void SimConfig::validate() const {
+  IBA_EXPECT(n > 0, "SimConfig: n must be positive");
+  IBA_EXPECT(capacity > 0, "SimConfig: capacity must be positive");
+  IBA_EXPECT(lambda_n <= n, "SimConfig: lambda must be at most 1");
+  IBA_EXPECT(measure_rounds > 0, "SimConfig: measure_rounds must be positive");
+}
+
+std::string SimConfig::label() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n=%u c=%u lambda=%.6g", n, capacity,
+                lambda());
+  return buf;
+}
+
+double lambda_one_minus_2pow(std::uint32_t i) {
+  return 1.0 - std::pow(2.0, -static_cast<double>(i));
+}
+
+std::uint64_t lambda_n_for(std::uint32_t n, std::uint32_t i) {
+  const double exact = lambda_one_minus_2pow(i) * static_cast<double>(n);
+  return static_cast<std::uint64_t>(std::llround(exact));
+}
+
+std::uint64_t suggested_burn_in(double lambda) {
+  IBA_EXPECT(lambda >= 0.0 && lambda <= 1.0,
+             "suggested_burn_in: lambda must lie in [0, 1]");
+  const double slack = 1.0 - lambda;
+  const double relaxation = slack > 0.0 ? 5.0 / slack : 2e5;
+  return 2000 + static_cast<std::uint64_t>(std::min(relaxation, 2e5));
+}
+
+}  // namespace iba::sim

@@ -1,0 +1,52 @@
+// Experiment configuration shared by the runner, the benches and the
+// examples: system geometry (n, c, λ) plus measurement protocol (burn-in,
+// measured rounds, seed), mirroring the paper's Section V setup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/capped.hpp"
+
+namespace iba::sim {
+
+/// One experiment cell. The paper's defaults: n = 2^15, burn-in "of
+/// suitable length" (we auto-detect with a floor), 1000 measured rounds.
+struct SimConfig {
+  std::uint32_t n = 1u << 13;
+  std::uint32_t capacity = 1;
+  std::uint64_t lambda_n = 0;
+
+  std::uint64_t burn_in = 0;         ///< fixed burn-in rounds (floor)
+  bool auto_burn_in = true;          ///< extend until the pool stabilizes
+  std::uint64_t max_burn_in = 50000; ///< safety cap for auto mode
+  std::uint64_t measure_rounds = 1000;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] double lambda() const noexcept {
+    return n == 0 ? 0.0
+                  : static_cast<double>(lambda_n) / static_cast<double>(n);
+  }
+
+  [[nodiscard]] core::CappedConfig to_capped() const;
+
+  void validate() const;
+
+  /// Human-readable cell label, e.g. "n=8192 c=2 λ=1-2^-10".
+  [[nodiscard]] std::string label() const;
+};
+
+/// λ = 1 − 2^(−i), the grid of the paper's Figures 4/5 (right plots).
+[[nodiscard]] double lambda_one_minus_2pow(std::uint32_t i);
+
+/// λn for λ = 1 − 2^(−i) rounded to the nearest integer (exact when
+/// 2^i divides n, which holds for the paper's power-of-two n).
+[[nodiscard]] std::uint64_t lambda_n_for(std::uint32_t n, std::uint32_t i);
+
+/// Principled burn-in: the mean-field relaxation time of CAPPED is
+/// Θ(1/(1−λ)) rounds (the pool deficit decays like e^(−(1−λ)t)), so a
+/// burn-in of 5/(1−λ) + 2000 rounds reaches equilibrium within < 1%.
+/// Capped at 200000 rounds as a safety valve near λ = 1.
+[[nodiscard]] std::uint64_t suggested_burn_in(double lambda);
+
+}  // namespace iba::sim

@@ -1,0 +1,16 @@
+#include "sim/runner.hpp"
+
+#include "core/capped.hpp"
+
+namespace iba::sim {
+
+RunResult run_capped(const SimConfig& config) {
+  return run_capped(config, RunSpec::from_config(config));
+}
+
+RunResult run_capped(const SimConfig& config, const RunSpec& spec) {
+  core::Capped process(config.to_capped(), core::Engine(config.seed));
+  return run_experiment(process, spec);
+}
+
+}  // namespace iba::sim

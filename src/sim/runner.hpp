@@ -1,0 +1,138 @@
+// The experiment runner: burn the process in (fixed floor plus optional
+// stabilization detection), then measure a window of rounds, aggregating
+// exactly the observables of the paper's Section V — normalized pool
+// size, average and maximum waiting time — plus engineering metrics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/process.hpp"
+#include "sim/config.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/summary.hpp"
+
+namespace iba::sim {
+
+/// Measurement protocol, decoupled from system geometry so the same spec
+/// can drive any process.
+struct RunSpec {
+  std::uint64_t burn_in = 0;          ///< minimum burn-in rounds
+  bool auto_burn_in = true;           ///< extend until stabilized
+  std::uint64_t max_burn_in = 50000;  ///< cap for auto mode
+  std::uint64_t stabilization_window = 200;
+  double stabilization_tol = 0.02;    ///< relative window-mean agreement
+  std::uint64_t measure_rounds = 1000;
+
+  [[nodiscard]] static RunSpec from_config(const SimConfig& config) {
+    RunSpec spec;
+    spec.burn_in = config.burn_in;
+    spec.auto_burn_in = config.auto_burn_in;
+    spec.max_burn_in = config.max_burn_in;
+    spec.measure_rounds = config.measure_rounds;
+    return spec;
+  }
+};
+
+/// Aggregated outcome of one (burn-in + measurement) run.
+struct RunResult {
+  std::uint64_t burn_in_used = 0;
+  std::uint64_t measured_rounds = 0;
+
+  stats::Summary pool;             ///< per-round pool size
+  stats::Summary normalized_pool;  ///< pool / n (the paper's y-axis)
+  stats::Summary max_load;         ///< per-round maximum bin load
+  stats::Summary system_load;      ///< pool + in-bin balls, per round
+
+  double wait_mean = 0.0;   ///< mean waiting time over measured deletions
+  double wait_stddev = 0.0;
+  std::uint64_t wait_max = 0;
+  double wait_p99_upper = 0.0;  ///< dyadic upper bound on the p99
+  std::uint64_t deletions = 0;
+
+  double rounds_per_second = 0.0;
+  double ns_per_ball = 0.0;
+};
+
+/// Burn-in + measurement over any AllocationProcess. Wait statistics are
+/// reset after burn-in when the process supports it, so the reported
+/// waiting times describe the stabilized system only.
+template <core::AllocationProcess P>
+RunResult run_experiment(P& process, const RunSpec& spec) {
+  RunResult result;
+
+  // Fixed burn-in floor.
+  for (std::uint64_t i = 0; i < spec.burn_in; ++i) (void)process.step();
+  result.burn_in_used = spec.burn_in;
+
+  // Optional stabilization phase: keep burning until the last two
+  // windows of the system-load series agree, or the cap is reached.
+  if (spec.auto_burn_in && spec.stabilization_window > 0) {
+    std::vector<double> series;
+    series.reserve(spec.stabilization_window * 4);
+    while (result.burn_in_used < spec.max_burn_in) {
+      const auto m = process.step();
+      ++result.burn_in_used;
+      series.push_back(static_cast<double>(m.pool_size + m.total_load));
+      if (series.size() >= 2 * spec.stabilization_window &&
+          series.size() % spec.stabilization_window == 0 &&
+          stats::windows_agree(series, spec.stabilization_window,
+                               spec.stabilization_tol)) {
+        break;
+      }
+    }
+  }
+
+  if constexpr (requires { process.reset_wait_stats(); }) {
+    process.reset_wait_stats();
+  }
+
+  // Measurement window.
+  std::uint64_t balls_processed = 0;
+  double wait_sum = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < spec.measure_rounds; ++i) {
+    const auto m = process.step();
+    result.pool.add(static_cast<double>(m.pool_size));
+    result.normalized_pool.add(static_cast<double>(m.pool_size) /
+                               static_cast<double>(process.n()));
+    result.max_load.add(static_cast<double>(m.max_load));
+    result.system_load.add(static_cast<double>(m.pool_size + m.total_load));
+    result.deletions += m.wait_count;
+    wait_sum += m.wait_sum;
+    if (m.wait_max > result.wait_max) result.wait_max = m.wait_max;
+    balls_processed += m.thrown;
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  result.measured_rounds = spec.measure_rounds;
+  if (result.deletions > 0) {
+    result.wait_mean = wait_sum / static_cast<double>(result.deletions);
+  }
+  if constexpr (requires { process.waits(); }) {
+    result.wait_stddev = process.waits().stddev();
+    result.wait_p99_upper =
+        static_cast<double>(process.waits().quantile_upper_bound(0.99));
+  }
+  if (elapsed > 0) {
+    result.rounds_per_second =
+        static_cast<double>(spec.measure_rounds) / elapsed;
+    if (balls_processed > 0) {
+      result.ns_per_ball =
+          elapsed * 1e9 / static_cast<double>(balls_processed);
+    }
+  }
+  return result;
+}
+
+/// Convenience: builds a Capped process from `config` and runs it.
+[[nodiscard]] RunResult run_capped(const SimConfig& config);
+
+/// Same, but with the measurement protocol overridden.
+[[nodiscard]] RunResult run_capped(const SimConfig& config,
+                                   const RunSpec& spec);
+
+}  // namespace iba::sim

@@ -1,0 +1,147 @@
+#include "sim/sweep.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iba::sim {
+
+SweepBuilder& SweepBuilder::over_capacity(std::uint32_t lo,
+                                          std::uint32_t hi) {
+  IBA_EXPECT(axis_ == Axis::kNone, "SweepBuilder: x-axis already chosen");
+  IBA_EXPECT(lo >= 1 && lo <= hi, "SweepBuilder: bad capacity range");
+  axis_ = Axis::kCapacity;
+  axis_lo_ = lo;
+  axis_hi_ = hi;
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::over_lambda_exponent(std::uint32_t lo,
+                                                 std::uint32_t hi) {
+  IBA_EXPECT(axis_ == Axis::kNone, "SweepBuilder: x-axis already chosen");
+  IBA_EXPECT(lo >= 1 && lo <= hi, "SweepBuilder: bad exponent range");
+  axis_ = Axis::kLambdaExp;
+  axis_lo_ = lo;
+  axis_hi_ = hi;
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::over_log2_n(std::uint32_t lo, std::uint32_t hi) {
+  IBA_EXPECT(axis_ == Axis::kNone, "SweepBuilder: x-axis already chosen");
+  IBA_EXPECT(lo >= 1 && lo <= hi && hi < 31, "SweepBuilder: bad n range");
+  axis_ = Axis::kLog2N;
+  axis_lo_ = lo;
+  axis_hi_ = hi;
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::series_capacities(
+    std::vector<std::uint32_t> capacities) {
+  IBA_EXPECT(series_kind_ == Series::kNone,
+             "SweepBuilder: series already chosen");
+  IBA_EXPECT(!capacities.empty(), "SweepBuilder: empty series");
+  series_kind_ = Series::kCapacity;
+  series_values_ = std::move(capacities);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::series_lambda_exponents(
+    std::vector<std::uint32_t> exponents) {
+  IBA_EXPECT(series_kind_ == Series::kNone,
+             "SweepBuilder: series already chosen");
+  IBA_EXPECT(!exponents.empty(), "SweepBuilder: empty series");
+  series_kind_ = Series::kLambdaExp;
+  series_values_ = std::move(exponents);
+  return *this;
+}
+
+std::vector<SweepCell> SweepBuilder::build() const {
+  IBA_EXPECT(axis_ != Axis::kNone, "SweepBuilder: choose an x-axis first");
+  std::vector<std::uint32_t> series =
+      series_kind_ == Series::kNone ? std::vector<std::uint32_t>{0}
+                                    : series_values_;
+
+  std::vector<SweepCell> cells;
+  for (const std::uint32_t series_value : series) {
+    for (std::uint32_t x = axis_lo_; x <= axis_hi_; ++x) {
+      SweepCell cell;
+      cell.config = base_;
+      cell.x = x;
+      // The λ the cell is *meant* to realize; used to reject cells whose
+      // λ·n is non-integral (e.g. 1 − 2^-9 at n = 256).
+      double intended_lambda = base_.lambda();
+
+      // Apply the series dimension.
+      switch (series_kind_) {
+        case Series::kCapacity:
+          cell.config.capacity = series_value;
+          cell.series = "c=" + std::to_string(series_value);
+          break;
+        case Series::kLambdaExp:
+          cell.config.lambda_n = lambda_n_for(cell.config.n, series_value);
+          intended_lambda = lambda_one_minus_2pow(series_value);
+          cell.series = "lambda=1-2^-" + std::to_string(series_value);
+          break;
+        case Series::kNone:
+          cell.series = "all";
+          break;
+      }
+
+      // Apply the x-axis dimension.
+      switch (axis_) {
+        case Axis::kCapacity:
+          cell.config.capacity = x;
+          break;
+        case Axis::kLambdaExp:
+          cell.config.lambda_n = lambda_n_for(cell.config.n, x);
+          intended_lambda = lambda_one_minus_2pow(x);
+          break;
+        case Axis::kLog2N: {
+          const double ratio = base_.n > 0 ? static_cast<double>(
+                                                 base_.lambda_n) /
+                                                 static_cast<double>(base_.n)
+                                           : 0.0;
+          cell.config.n = 1u << x;
+          cell.config.lambda_n = static_cast<std::uint64_t>(
+              std::llround(ratio * static_cast<double>(cell.config.n)));
+          break;
+        }
+        case Axis::kNone:
+          break;
+      }
+
+      // Series λ-exponents must re-resolve after an n change.
+      if (series_kind_ == Series::kLambdaExp && axis_ == Axis::kLog2N) {
+        cell.config.lambda_n = lambda_n_for(cell.config.n, series_value);
+      }
+
+      // Drop cells whose intended λ·n is non-integral for their n
+      // (e.g. 1 − 2^-13 at n = 2^12).
+      const double exact_lambda_n =
+          intended_lambda * static_cast<double>(cell.config.n);
+      if (cell.config.lambda_n > cell.config.n ||
+          std::abs(exact_lambda_n - std::round(exact_lambda_n)) > 1e-9 ||
+          static_cast<std::uint64_t>(std::llround(exact_lambda_n)) !=
+              cell.config.lambda_n) {
+        continue;
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepOutcome> run_sweep(
+    const std::vector<SweepCell>& cells,
+    const std::function<void(const SweepOutcome&)>& on_cell) {
+  std::vector<SweepOutcome> outcomes;
+  outcomes.reserve(cells.size());
+  for (const SweepCell& cell : cells) {
+    SweepOutcome outcome{cell, run_capped(cell.config)};
+    if (on_cell) on_cell(outcome);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace iba::sim

@@ -1,0 +1,75 @@
+// Structured parameter sweeps: declaratively enumerate experiment cells
+// over capacities, λ-exponents and sizes, with labels carried alongside,
+// and run them all with one call — the programmatic counterpart of the
+// bench binaries' hand-rolled loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/runner.hpp"
+
+namespace iba::sim {
+
+/// One enumerated experiment cell: its config plus the sweep coordinates
+/// that produced it (series name + x value) for tables/plots.
+struct SweepCell {
+  SimConfig config;
+  std::string series;
+  double x = 0.0;
+};
+
+/// Outcome of a cell after running.
+struct SweepOutcome {
+  SweepCell cell;
+  RunResult result;
+};
+
+/// Builder for cartesian sweeps over a base configuration. Exactly one
+/// axis is the x-axis (over_*); additional series split the output into
+/// labeled curves, matching the paper's figure structure.
+class SweepBuilder {
+ public:
+  explicit SweepBuilder(SimConfig base) : base_(std::move(base)) {}
+
+  /// x-axis: capacity c over [lo, hi].
+  SweepBuilder& over_capacity(std::uint32_t lo, std::uint32_t hi);
+
+  /// x-axis: λ = 1 − 2^(−i) for i in [lo, hi].
+  SweepBuilder& over_lambda_exponent(std::uint32_t lo, std::uint32_t hi);
+
+  /// x-axis: n over powers of two [2^lo, 2^hi].
+  SweepBuilder& over_log2_n(std::uint32_t lo, std::uint32_t hi);
+
+  /// Series split: one labeled curve per capacity value.
+  SweepBuilder& series_capacities(std::vector<std::uint32_t> capacities);
+
+  /// Series split: one labeled curve per λ-exponent.
+  SweepBuilder& series_lambda_exponents(std::vector<std::uint32_t> exponents);
+
+  /// Enumerates all cells (series × x-axis). Cells whose λn would be
+  /// non-integral for their n are skipped.
+  [[nodiscard]] std::vector<SweepCell> build() const;
+
+ private:
+  enum class Axis : std::uint8_t { kNone, kCapacity, kLambdaExp, kLog2N };
+  enum class Series : std::uint8_t { kNone, kCapacity, kLambdaExp };
+
+  SimConfig base_;
+  Axis axis_ = Axis::kNone;
+  std::uint32_t axis_lo_ = 0;
+  std::uint32_t axis_hi_ = 0;
+  Series series_kind_ = Series::kNone;
+  std::vector<std::uint32_t> series_values_;
+};
+
+/// Runs every cell with run_capped, invoking `on_cell` (if set) after
+/// each — e.g. for progress logging.
+[[nodiscard]] std::vector<SweepOutcome> run_sweep(
+    const std::vector<SweepCell>& cells,
+    const std::function<void(const SweepOutcome&)>& on_cell = nullptr);
+
+}  // namespace iba::sim

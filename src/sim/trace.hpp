@@ -1,0 +1,152 @@
+// Execution tracing and online invariant checking.
+//
+// TraceRecorder captures per-round series (pool, loads, deletions,
+// waits) for post-hoc analysis or CSV export — e.g. to inspect the
+// burn-in ramp the paper's "suitable length" refers to.
+//
+// Checked<P> wraps any AllocationProcess and cross-validates the flow
+// identities every RoundMetrics must satisfy, turning silent accounting
+// bugs into counted violations (used by tests and the failure-injection
+// bench).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/process.hpp"
+#include "io/csv.hpp"
+
+namespace iba::sim {
+
+/// Append-only per-round series storage.
+class TraceRecorder {
+ public:
+  void observe(const core::RoundMetrics& m) {
+    pool_.push_back(static_cast<double>(m.pool_size));
+    total_load_.push_back(static_cast<double>(m.total_load));
+    max_load_.push_back(static_cast<double>(m.max_load));
+    deleted_.push_back(static_cast<double>(m.deleted));
+    wait_max_.push_back(static_cast<double>(m.wait_max));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return pool_.size(); }
+  [[nodiscard]] const std::vector<double>& pool() const noexcept {
+    return pool_;
+  }
+  [[nodiscard]] const std::vector<double>& total_load() const noexcept {
+    return total_load_;
+  }
+  [[nodiscard]] const std::vector<double>& max_load() const noexcept {
+    return max_load_;
+  }
+  [[nodiscard]] const std::vector<double>& deleted() const noexcept {
+    return deleted_;
+  }
+  [[nodiscard]] const std::vector<double>& wait_max() const noexcept {
+    return wait_max_;
+  }
+
+  /// Dumps all series as CSV (round, pool, total_load, max_load,
+  /// deleted, wait_max).
+  void write_csv(const std::string& path) const {
+    io::CsvWriter csv(path);
+    csv.header(
+        {"round", "pool", "total_load", "max_load", "deleted", "wait_max"});
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      csv.row(std::vector<double>{static_cast<double>(i + 1), pool_[i],
+                                  total_load_[i], max_load_[i], deleted_[i],
+                                  wait_max_[i]});
+    }
+  }
+
+  void clear() noexcept {
+    pool_.clear();
+    total_load_.clear();
+    max_load_.clear();
+    deleted_.clear();
+    wait_max_.clear();
+  }
+
+ private:
+  std::vector<double> pool_;
+  std::vector<double> total_load_;
+  std::vector<double> max_load_;
+  std::vector<double> deleted_;
+  std::vector<double> wait_max_;
+};
+
+/// Flow identities checked by Checked<P>. check_wait_counts is optional
+/// because processes without per-ball waiting times (e.g. repeated
+/// balls-into-bins) legitimately report wait_count = 0.
+struct CheckOptions {
+  bool check_round_sequence = true;  ///< rounds increase by exactly 1
+  bool check_pool_flow = true;       ///< thrown = accepted + pool_size
+  bool check_load_flow = true;       ///< Δ total_load = accepted − deleted
+  bool check_wait_counts = true;     ///< wait_count = deleted
+};
+
+/// Wraps a process (by reference) and validates every step's metrics.
+template <core::AllocationProcess P>
+class Checked {
+ public:
+  explicit Checked(P& process, CheckOptions options = {})
+      : process_(process), options_(options), last_round_(process.round()) {
+    if constexpr (requires { process.total_load(); }) {
+      last_total_load_ = process.total_load();
+    }
+  }
+
+  core::RoundMetrics step() {
+    const auto m = process_.step();
+    if (options_.check_round_sequence && m.round != last_round_ + 1) {
+      note_violation("round sequence");
+    }
+    last_round_ = m.round;
+    if (options_.check_pool_flow &&
+        m.thrown + m.requeued != m.accepted + m.pool_size) {
+      note_violation("pool flow");
+    }
+    if (options_.check_load_flow &&
+        m.total_load != last_total_load_ + m.accepted - m.deleted -
+                            m.requeued) {
+      note_violation("load flow");
+    }
+    last_total_load_ = m.total_load;
+    if (options_.check_wait_counts && m.wait_count != m.deleted) {
+      note_violation("wait counts");
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return process_.n(); }
+  [[nodiscard]] std::uint64_t round() const noexcept {
+    return process_.round();
+  }
+
+  [[nodiscard]] std::uint64_t violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] const std::vector<std::string>& violation_log()
+      const noexcept {
+    return violation_log_;
+  }
+
+ private:
+  void note_violation(const char* what) {
+    ++violations_;
+    if (violation_log_.size() < 32) {  // keep the log bounded
+      violation_log_.push_back(std::string(what) + " at round " +
+                               std::to_string(last_round_));
+    }
+  }
+
+  P& process_;
+  CheckOptions options_;
+  std::uint64_t last_round_ = 0;
+  std::uint64_t last_total_load_ = 0;
+  std::uint64_t violations_ = 0;
+  std::vector<std::string> violation_log_;
+};
+
+}  // namespace iba::sim

@@ -1,0 +1,52 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iba::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::cdf(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  IBA_EXPECT(!sorted_.empty(), "Ecdf::quantile: empty sample");
+  IBA_EXPECT(q >= 0.0 && q <= 1.0, "Ecdf::quantile: q must lie in [0, 1]");
+  if (q == 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(sorted_.size() - 1, rank - 1)];
+}
+
+double Ecdf::ks_distance(const Ecdf& a, const Ecdf& b) {
+  IBA_EXPECT(a.size() > 0 && b.size() > 0, "ks_distance: empty sample");
+  double sup = 0.0;
+  std::size_t ia = 0, ib = 0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    const double xa = a.sorted_[ia];
+    const double xb = b.sorted_[ib];
+    const double x = std::min(xa, xb);
+    if (xa <= x) ++ia;
+    if (xb <= x) ++ib;
+    // consume duplicates of x entirely before evaluating the gap
+    while (ia < a.size() && a.sorted_[ia] == x) ++ia;
+    while (ib < b.size() && b.sorted_[ib] == x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    sup = std::max(sup, std::abs(fa - fb));
+  }
+  return sup;
+}
+
+}  // namespace iba::stats

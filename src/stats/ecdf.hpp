@@ -1,0 +1,33 @@
+// Empirical cumulative distribution function over a stored sample, with
+// exact quantiles and two-sample Kolmogorov–Smirnov distance (used by the
+// tests to compare simulated distributions against references).
+#pragma once
+
+#include <vector>
+
+namespace iba::stats {
+
+/// Immutable ECDF built from a sample (sorted on construction).
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// F(x) = fraction of samples ≤ x.
+  [[nodiscard]] double cdf(double x) const noexcept;
+
+  /// Exact q-quantile (nearest-rank). Requires a non-empty sample.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+
+  /// Two-sample Kolmogorov–Smirnov statistic sup_x |F_a(x) − F_b(x)|.
+  [[nodiscard]] static double ks_distance(const Ecdf& a, const Ecdf& b);
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace iba::stats

@@ -1,0 +1,42 @@
+#include "stats/linear_fit.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iba::stats {
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) noexcept {
+  IBA_ASSERT(xs.size() == ys.size());
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n == 0) return fit;
+
+  double x_mean = 0, y_mean = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x_mean += xs[i];
+    y_mean += ys[i];
+  }
+  x_mean /= static_cast<double>(n);
+  y_mean /= static_cast<double>(n);
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - x_mean;
+    const double dy = ys[i] - y_mean;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {  // all x equal: flat fit through the mean
+    fit.intercept = y_mean;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = y_mean - fit.slope * x_mean;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace iba::stats

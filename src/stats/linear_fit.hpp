@@ -1,0 +1,26 @@
+// Ordinary least-squares line fit — used by the benches to verify the
+// paper's predicted slopes (e.g. normalized pool vs i has slope ln(2)/c
+// in Figure 4 right) rather than eyeballing them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iba::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+
+  [[nodiscard]] double at(double x) const noexcept {
+    return slope * x + intercept;
+  }
+};
+
+/// Fits y = slope·x + intercept by least squares. Requires at least two
+/// distinct x values; returns a flat fit through the mean otherwise.
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& xs,
+                                 const std::vector<double>& ys) noexcept;
+
+}  // namespace iba::stats

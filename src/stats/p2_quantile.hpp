@@ -1,0 +1,134 @@
+// P² streaming quantile estimation (Jain & Chlamtac, CACM 1985).
+//
+// Estimates a single quantile with five markers and O(1) memory — used for
+// waiting-time percentiles over millions of deletions without storing the
+// samples. P2QuantileSet bundles the common p50/p90/p99 trio.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace iba::stats {
+
+/// Streaming estimator of the q-quantile. Exact for the first five
+/// samples; afterwards applies the piecewise-parabolic marker update.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) : q_(q) {
+    IBA_EXPECT(q > 0.0 && q < 1.0, "P2Quantile: q must lie in (0, 1)");
+    desired_ = {0, 2 * q_, 4 * q_, 2 + 2 * q_, 4};
+    increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+  }
+
+  void add(double x) noexcept {
+    if (count_ < 5) {
+      heights_[count_++] = x;
+      if (count_ == 5) {
+        std::sort(heights_.begin(), heights_.end());
+        positions_ = {0, 1, 2, 3, 4};
+      }
+      return;
+    }
+
+    // Locate the cell of x and clamp the extreme markers.
+    std::size_t k;
+    if (x < heights_[0]) {
+      heights_[0] = x;
+      k = 0;
+    } else if (x >= heights_[4]) {
+      heights_[4] = x;
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && x >= heights_[k + 1]) ++k;
+    }
+
+    for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1;
+    for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+    ++count_;
+
+    // Adjust the three interior markers toward their desired positions.
+    for (std::size_t i = 1; i <= 3; ++i) {
+      const double d = desired_[i] - positions_[i];
+      const double gap_up = positions_[i + 1] - positions_[i];
+      const double gap_down = positions_[i - 1] - positions_[i];
+      if ((d >= 1 && gap_up > 1) || (d <= -1 && gap_down < -1)) {
+        const double sign = d >= 1 ? 1.0 : -1.0;
+        const double candidate = parabolic(i, sign);
+        if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+          heights_[i] = candidate;
+        } else {
+          heights_[i] = linear(i, sign);
+        }
+        positions_[i] += sign;
+      }
+    }
+  }
+
+  /// Current estimate; exact when fewer than five samples were seen.
+  [[nodiscard]] double value() const noexcept {
+    if (count_ == 0) return 0.0;
+    if (count_ < 5) {
+      // Exact small-sample quantile (nearest-rank on a sorted copy).
+      std::array<double, 5> sorted = heights_;
+      std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(q_ * static_cast<double>(count_)));
+      return sorted[std::min(count_ - 1, rank > 0 ? rank - 1 : 0)];
+    }
+    return heights_[2];
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double quantile() const noexcept { return q_; }
+
+ private:
+  [[nodiscard]] double parabolic(std::size_t i, double sign) const noexcept {
+    const double qi = heights_[i];
+    const double np = positions_[i + 1];
+    const double nm = positions_[i - 1];
+    const double ni = positions_[i];
+    return qi + sign / (np - nm) *
+                    ((ni - nm + sign) * (heights_[i + 1] - qi) / (np - ni) +
+                     (np - ni - sign) * (qi - heights_[i - 1]) / (ni - nm));
+  }
+
+  [[nodiscard]] double linear(std::size_t i, double sign) const noexcept {
+    const auto j = static_cast<std::size_t>(static_cast<double>(i) + sign);
+    return heights_[i] + sign * (heights_[j] - heights_[i]) /
+                             (positions_[j] - positions_[i]);
+  }
+
+  double q_;
+  std::array<double, 5> heights_{};
+  std::array<double, 5> positions_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> increments_{};
+  std::size_t count_ = 0;
+};
+
+/// Convenience bundle tracking median, p90, and p99 of one stream.
+class P2QuantileSet {
+ public:
+  P2QuantileSet() : p50_(0.5), p90_(0.9), p99_(0.99) {}
+
+  void add(double x) noexcept {
+    p50_.add(x);
+    p90_.add(x);
+    p99_.add(x);
+  }
+
+  [[nodiscard]] double p50() const noexcept { return p50_.value(); }
+  [[nodiscard]] double p90() const noexcept { return p90_.value(); }
+  [[nodiscard]] double p99() const noexcept { return p99_.value(); }
+
+ private:
+  P2Quantile p50_;
+  P2Quantile p90_;
+  P2Quantile p99_;
+};
+
+}  // namespace iba::stats

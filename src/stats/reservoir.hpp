@@ -1,0 +1,53 @@
+// Reservoir sampling (Vitter's algorithm R) — a uniform fixed-size sample
+// of an unbounded stream, used to keep exact-quantile-capable subsets of
+// waiting times without unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+
+namespace iba::stats {
+
+/// Keeps a uniform random sample of `capacity` elements from everything
+/// offered via add(). Deterministic given the injected engine.
+template <typename T>
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(std::size_t capacity) : capacity_(capacity) {
+    IBA_EXPECT(capacity > 0, "ReservoirSample: capacity must be positive");
+    sample_.reserve(capacity);
+  }
+
+  template <std::uniform_random_bit_generator Engine>
+  void add(Engine& engine, const T& value) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(value);
+      return;
+    }
+    const std::uint64_t slot = rng::bounded(engine, seen_);
+    if (slot < capacity_) sample_[static_cast<std::size_t>(slot)] = value;
+  }
+
+  [[nodiscard]] const std::vector<T>& sample() const noexcept {
+    return sample_;
+  }
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void reset() noexcept {
+    sample_.clear();
+    seen_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> sample_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace iba::stats

@@ -1,0 +1,14 @@
+#include "stats/summary.hpp"
+
+#include <cstdio>
+
+namespace iba::stats {
+
+std::string Summary::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.4g ± %.2g [%.4g, %.4g]", mean(), sem(),
+                min(), max());
+  return buf;
+}
+
+}  // namespace iba::stats

@@ -1,0 +1,49 @@
+// Summary — the one-stop per-metric digest used in every result row:
+// count, mean ± stderr, min/max, and streaming p50/p90/p99.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/p2_quantile.hpp"
+#include "stats/welford.hpp"
+
+namespace iba::stats {
+
+/// Combines moment and quantile accumulation for one metric stream.
+class Summary {
+ public:
+  void add(double x) noexcept {
+    moments_.add(x);
+    quantiles_.add(x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return moments_.count();
+  }
+  [[nodiscard]] double mean() const noexcept { return moments_.mean(); }
+  [[nodiscard]] double stddev() const noexcept { return moments_.stddev(); }
+  [[nodiscard]] double sem() const noexcept { return moments_.sem(); }
+  [[nodiscard]] double min() const noexcept {
+    return moments_.count() ? moments_.min() : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return moments_.count() ? moments_.max() : 0.0;
+  }
+  [[nodiscard]] double p50() const noexcept { return quantiles_.p50(); }
+  [[nodiscard]] double p90() const noexcept { return quantiles_.p90(); }
+  [[nodiscard]] double p99() const noexcept { return quantiles_.p99(); }
+
+  [[nodiscard]] const OnlineMoments& moments() const noexcept {
+    return moments_;
+  }
+
+  /// "mean ± sem [min, max]" rendering for log lines and tables.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  OnlineMoments moments_;
+  P2QuantileSet quantiles_;
+};
+
+}  // namespace iba::stats

@@ -1,0 +1,127 @@
+// Numerically stable online moment accumulation (Welford / Pébay).
+//
+// OnlineMoments accumulates count, mean, and central moments M2–M4 in one
+// pass with O(1) state, supports merging partial accumulators (for
+// parallel replications), and derives variance, skewness, and kurtosis.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace iba::stats {
+
+/// Single-pass accumulator for mean/variance/skewness/kurtosis plus
+/// min/max. Merge-able: merging two accumulators equals accumulating the
+/// concatenated samples (up to rounding).
+class OnlineMoments {
+ public:
+  void add(double x) noexcept {
+    const double n1 = static_cast<double>(count_);
+    ++count_;
+    const double n = static_cast<double>(count_);
+    const double delta = x - mean_;
+    const double delta_n = delta / n;
+    const double delta_n2 = delta_n * delta_n;
+    const double term1 = delta * delta_n * n1;
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3 * n + 3) + 6 * delta_n2 * m2_ -
+           4 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2) - 3 * delta_n * m2_;
+    m2_ += term1;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Pébay's pairwise update: after merging, *this describes the union of
+  /// both sample sets.
+  void merge(const OnlineMoments& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double n = na + nb;
+    const double delta = other.mean_ - mean_;
+    const double delta2 = delta * delta;
+    const double delta3 = delta2 * delta;
+    const double delta4 = delta2 * delta2;
+
+    const double mean = mean_ + delta * nb / n;
+    const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+    const double m3 = m3_ + other.m3_ +
+                      delta3 * na * nb * (na - nb) / (n * n) +
+                      3 * delta * (na * other.m2_ - nb * m2_) / n;
+    const double m4 =
+        m4_ + other.m4_ +
+        delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+        6 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+        4 * delta * (na * other.m3_ - nb * m3_) / n;
+
+    count_ += other.count_;
+    mean_ = mean;
+    m2_ = m2;
+    m3_ = m3;
+    m4_ = m4;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Population variance (divides by n).
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Sample variance (divides by n − 1); 0 for fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(sample_variance());
+  }
+
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept {
+    return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_))
+                      : 0.0;
+  }
+
+  [[nodiscard]] double skewness() const noexcept {
+    if (count_ < 2 || m2_ == 0.0) return 0.0;
+    const double n = static_cast<double>(count_);
+    return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+  }
+
+  /// Excess kurtosis (normal distribution → 0).
+  [[nodiscard]] double kurtosis() const noexcept {
+    if (count_ < 2 || m2_ == 0.0) return 0.0;
+    const double n = static_cast<double>(count_);
+    return n * m4_ / (m2_ * m2_) - 3.0;
+  }
+
+  /// +inf / −inf when empty, so callers should check count() first.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void reset() noexcept { *this = OnlineMoments{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace iba::stats

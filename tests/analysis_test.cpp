@@ -1,0 +1,171 @@
+// Tests of the closed-form bounds: hand-computed anchor values,
+// monotonicity in every parameter the theory predicts, consistency of the
+// Chernoff bounds with exact binomial tails, and the sweet-spot helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "analysis/tail_bounds.hpp"
+#include "common/assert.hpp"
+
+namespace {
+
+using namespace iba::analysis;
+
+TEST(Bounds, LogTermAnchors) {
+  EXPECT_DOUBLE_EQ(log_term(0.0), 0.0);
+  EXPECT_NEAR(log_term(0.75), std::log(4.0), 1e-12);
+  EXPECT_NEAR(log_term(1.0 - 1.0 / 1024.0), std::log(1024.0), 1e-9);
+  EXPECT_THROW((void)log_term(1.0), iba::ContractViolation);
+  EXPECT_THROW((void)log_term(-0.1), iba::ContractViolation);
+}
+
+TEST(Bounds, Theorem1PoolAnchor) {
+  // λ = 3/4, n = 1000: 2·ln4·1000 + 4000 ≈ 6772.6.
+  EXPECT_NEAR(pool_bound_thm1(1000, 0.75), 2 * std::log(4.0) * 1000 + 4000,
+              1e-9);
+}
+
+TEST(Bounds, Theorem2ReducesTowardsTheorem1Shape) {
+  // At c = 1 the Theorem-2 pool bound is 4·ln(1/(1−λ))·n + 12n — same
+  // shape as Theorem 1 with weaker constants, as the paper notes.
+  const double t2 = pool_bound_thm2(1000, 0.75, 1);
+  EXPECT_NEAR(t2, 4 * std::log(4.0) * 1000 + 12000, 1e-9);
+  EXPECT_GT(t2, pool_bound_thm1(1000, 0.75));
+}
+
+TEST(Bounds, PoolBoundMonotonicity) {
+  // Increasing λ increases the bound; increasing c decreases the
+  // 1/c-term (until the O(c·n) term dominates).
+  EXPECT_LT(pool_bound_thm2(1024, 0.5, 2), pool_bound_thm2(1024, 0.99, 2));
+  const double high_lambda = 1.0 - std::pow(2.0, -20);
+  EXPECT_GT(pool_bound_thm2(1024, high_lambda, 1),
+            pool_bound_thm2(1024, high_lambda, 2));
+}
+
+TEST(Bounds, WaitBoundHasInteriorMinimumInC) {
+  // For large λ the waiting-time bound must dip and come back up as c
+  // grows — the sweet spot the paper identifies.
+  const std::uint32_t n = 1 << 15;
+  const double lambda = 1.0 - std::pow(2.0, -13);
+  double prev = wait_bound_thm2(n, lambda, 1);
+  bool decreased = false, increased_after = false;
+  for (std::uint32_t c = 2; c <= 16; ++c) {
+    const double cur = wait_bound_thm2(n, lambda, c);
+    if (cur < prev) decreased = true;
+    if (decreased && cur > prev) increased_after = true;
+    prev = cur;
+  }
+  EXPECT_TRUE(decreased);
+  EXPECT_TRUE(increased_after);
+}
+
+TEST(Bounds, MStarMatchesPaperText) {
+  EXPECT_NEAR(m_star_unit(1000, 0.75), std::log(4.0) * 1000 + 2000, 1e-9);
+  EXPECT_NEAR(m_star(1000, 0.75, 3),
+              2.0 / 3.0 * std::log(4.0) * 1000 + 18000, 1e-9);
+  // Note: m_star(·, ·, 1) = ln·n + 6n intentionally differs from
+  // m_star_unit (the Section IV constants are weaker).
+  EXPECT_GT(m_star(1000, 0.75, 1), m_star_unit(1000, 0.75));
+}
+
+TEST(Bounds, Fig4ReferenceAnchors) {
+  EXPECT_NEAR(fig4_reference(0.75, 1), std::log(4.0) + 1.0, 1e-12);
+  EXPECT_NEAR(fig4_reference(0.75, 2), std::log(4.0) / 2 + 1.0, 1e-12);
+  const double lambda10 = 1.0 - std::pow(2.0, -10);
+  EXPECT_NEAR(fig4_reference(lambda10, 1), 10 * std::log(2.0) + 1.0, 1e-9);
+}
+
+TEST(Bounds, Fig5ReferenceAnchors) {
+  const std::uint32_t n = 1 << 15;  // log2 log2 n = log2 15
+  EXPECT_NEAR(fig5_reference(n, 0.75, 2),
+              std::log(4.0) / 2 + std::log2(15.0) + 2.0, 1e-9);
+}
+
+TEST(Bounds, LogLogN) {
+  EXPECT_DOUBLE_EQ(log_log_n(1), 0.0);
+  EXPECT_DOUBLE_EQ(log_log_n(4), 1.0);
+  EXPECT_DOUBLE_EQ(log_log_n(16), 2.0);
+  EXPECT_NEAR(log_log_n(1 << 15), std::log2(15.0), 1e-12);
+}
+
+TEST(Bounds, MeanFieldPoolAnchorsAndEnvelope) {
+  EXPECT_NEAR(mean_field_pool_c1(0.75), std::log(4.0) - 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_field_pool_c1(0.0), 0.0);
+  // The Fig. 4 dashed curve upper-bounds the mean-field value everywhere.
+  for (double lambda : {0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_LT(mean_field_pool_c1(lambda), fig4_reference(lambda, 1));
+  }
+}
+
+TEST(Bounds, SweetSpotGrowsWithLambda) {
+  EXPECT_LT(sweet_spot_prediction(0.5), sweet_spot_prediction(0.99));
+  EXPECT_NEAR(sweet_spot_prediction(1.0 - std::exp(-9.0)), 3.0, 1e-9);
+  EXPECT_EQ(suggest_capacity(0.5), 1u);
+  EXPECT_EQ(suggest_capacity(1.0 - std::exp(-9.0)), 3u);
+}
+
+TEST(Bounds, GreedyBaselineScalesOrdering) {
+  // GREEDY[1] is worse than GREEDY[2] and explodes as λ → 1.
+  const std::uint32_t n = 1 << 15;
+  EXPECT_GT(greedy1_wait_scale(n, 0.75), greedy2_wait_scale(n, 0.75));
+  EXPECT_GT(greedy1_wait_scale(n, 0.999), 100 * greedy1_wait_scale(n, 0.5));
+}
+
+TEST(TailBounds, Lemma8RespectsPrecondition) {
+  EXPECT_DOUBLE_EQ(chernoff_lemma8(1.0, 1.0), 1.0);  // R < 2e·mean
+  EXPECT_NEAR(chernoff_lemma8(10.0, 1.0), std::exp2(-10.0), 1e-15);
+  EXPECT_THROW((void)chernoff_lemma8(-1.0, 1.0), iba::ContractViolation);
+}
+
+TEST(TailBounds, Lemma9Anchor) {
+  EXPECT_NEAR(chernoff_lemma9(1.0, 3.0), std::exp(-1.0), 1e-12);
+  EXPECT_THROW((void)chernoff_lemma9(0.0, 1.0), iba::ContractViolation);
+}
+
+TEST(TailBounds, ExpectedEmptyBins) {
+  EXPECT_NEAR(expected_empty_bins(100, 0), 100.0, 1e-12);
+  // m = n: E[Z]/n → 1/e.
+  EXPECT_NEAR(expected_empty_bins(100000, 100000) / 100000.0,
+              1.0 / std::exp(1.0), 1e-4);
+}
+
+TEST(TailBounds, EmptyBinsDeviationBoundShrinks) {
+  const double ez = expected_empty_bins(1000, 2000);
+  const double loose = empty_bins_deviation_bound(1000, ez, 10.0);
+  const double tight = empty_bins_deviation_bound(1000, ez, 200.0);
+  EXPECT_GT(loose, tight);
+  EXPECT_LE(loose, 1.0);
+  EXPECT_GT(tight, 0.0);
+}
+
+TEST(TailBounds, ExactBinomialTailAnchors) {
+  // B(4, 1/2): Pr[X ≥ 2] = 11/16.
+  EXPECT_NEAR(binomial_upper_tail(4, 0.5, 2), 11.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.3, 11), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(10, 1.0, 10), 1.0);
+}
+
+TEST(TailBounds, ChernoffDominatesExactTail) {
+  for (std::uint64_t k = 60; k <= 100; k += 10) {
+    const double exact = binomial_upper_tail(100, 0.5, k);
+    const double chernoff = binomial_upper_tail_chernoff(100, 0.5, k);
+    EXPECT_GE(chernoff, exact) << "k=" << k;
+  }
+}
+
+TEST(TailBounds, MissProbabilityMatchesLemmaUsage) {
+  // Pr[bin receives none of m balls] = (1 − 1/n)^m ≤ e^(−m/n); with
+  // m = m*(unit) = ln(1/(1−λ))n + 2n this is ≤ e^(−2)·(1−λ) (Lemma 2).
+  const std::uint32_t n = 4096;
+  const double lambda = 0.75;
+  const auto m = static_cast<std::uint64_t>(m_star_unit(n, lambda));
+  const double p = miss_probability(n, m);
+  EXPECT_LE(p, std::exp(-2.0) * (1.0 - lambda));
+  EXPECT_GT(p, 0.0);
+}
+
+}  // namespace

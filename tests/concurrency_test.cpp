@@ -1,0 +1,81 @@
+// Tests for the thread pool: result delivery, ordering-independent
+// correctness, exception propagation, wait_idle semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "concurrency/thread_pool.hpp"
+
+namespace {
+
+using iba::concurrency::ThreadPool;
+using iba::concurrency::parallel_for;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2u);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& fut : futures) fut.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    (void)pool.submit([&done] { ++done; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+  auto fut = pool.submit([] { return 1; });
+  EXPECT_EQ(fut.get(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("task 5");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  parallel_for(pool, 0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Tests of the baseline processes: batch GREEDY[d], THRESHOLD[T], static
+// one-choice / GREEDY[d], repeated balls-into-bins, and the Adler d-copy
+// FIFO process.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "analysis/bounds.hpp"
+#include "core/adler_fifo.hpp"
+#include "core/becchetti.hpp"
+#include "core/greedy.hpp"
+#include "core/static_allocation.hpp"
+#include "core/threshold.hpp"
+
+namespace {
+
+using namespace iba::core;
+
+TEST(BatchGreedy, ConfigValidation) {
+  BatchGreedyConfig config;
+  config.n = 0;
+  config.d = 1;
+  config.lambda_n = 0;
+  EXPECT_THROW(config.validate(), iba::ContractViolation);
+  config.n = 8;
+  config.d = 0;
+  EXPECT_THROW(config.validate(), iba::ContractViolation);
+  config.d = 2;
+  config.lambda_n = 9;
+  EXPECT_THROW(config.validate(), iba::ContractViolation);
+}
+
+TEST(BatchGreedy, EveryBallIsQueuedImmediately) {
+  BatchGreedyConfig config{.n = 32, .d = 2, .lambda_n = 24};
+  BatchGreedy process(config, Engine(1));
+  std::uint64_t generated = 0, deleted = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto m = process.step();
+    EXPECT_EQ(m.accepted, 24u);
+    EXPECT_EQ(m.pool_size, 0u);
+    generated += m.generated;
+    deleted += m.deleted;
+    EXPECT_EQ(generated, deleted + process.total_load());
+  }
+}
+
+TEST(BatchGreedy, TwoChoicesBeatOneChoiceOnMaxLoad) {
+  BatchGreedyConfig one{.n = 1024, .d = 1, .lambda_n = 1023};
+  BatchGreedyConfig two{.n = 1024, .d = 2, .lambda_n = 1023};
+  BatchGreedy p1(one, Engine(2));
+  BatchGreedy p2(two, Engine(3));
+  std::uint64_t max1 = 0, max2 = 0;
+  for (int i = 0; i < 400; ++i) {
+    max1 = std::max(max1, p1.step().max_load);
+    max2 = std::max(max2, p2.step().max_load);
+  }
+  EXPECT_LT(max2, max1);  // the power of two choices
+}
+
+TEST(BatchGreedy, OneChoiceMatchesMD1MeanField) {
+  // Each GREEDY[1] bin receives ≈Poisson(λ) arrivals per round with unit
+  // service — an M/D/1 queue. Check the measured mean wait against
+  // Little's-law λ/(2(1−λ)) (within the discrete-time approximation).
+  const double lambda = 0.75;
+  BatchGreedyConfig config{.n = 4096, .d = 1, .lambda_n = 3072};
+  BatchGreedy process(config, Engine(31));
+  for (int i = 0; i < 3000; ++i) (void)process.step();
+  process.reset_wait_stats();
+  for (int i = 0; i < 3000; ++i) (void)process.step();
+  const double predicted = iba::analysis::greedy1_mean_wait(lambda);  // 1.5
+  EXPECT_NEAR(process.waits().mean(), predicted, 0.35 * predicted);
+  // And the mean queue length via the companion formula.
+  EXPECT_NEAR(iba::analysis::greedy1_mean_queue(lambda),
+              lambda * predicted, 1e-12);
+}
+
+TEST(BatchGreedy, DeterministicGivenSeed) {
+  BatchGreedyConfig config{.n = 64, .d = 2, .lambda_n = 32};
+  BatchGreedy a(config, Engine(7)), b(config, Engine(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.step().max_load, b.step().max_load);
+  }
+}
+
+TEST(Threshold, RejectsBadParameters) {
+  EXPECT_THROW((void)run_threshold(0, 10, 1, Engine(1)),
+               iba::ContractViolation);
+  EXPECT_THROW((void)run_threshold(10, 10, 0, Engine(1)),
+               iba::ContractViolation);
+}
+
+TEST(Threshold, AllocatesEverythingAndCountsLoads) {
+  const auto result = run_threshold(64, 64, 1, Engine(2));
+  EXPECT_TRUE(result.completed);
+  const auto total = std::accumulate(result.loads.begin(), result.loads.end(),
+                                     std::uint64_t{0});
+  EXPECT_EQ(total, 64u);
+  EXPECT_GE(result.rounds, 1u);
+  // THRESHOLD[1] accepts ≤ 1 ball per bin per round → max load ≤ rounds.
+  EXPECT_LE(result.max_load, result.rounds);
+}
+
+TEST(Threshold, ZeroBallsTerminatesImmediately) {
+  const auto result = run_threshold(16, 0, 1, Engine(3));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0u);
+  EXPECT_EQ(result.max_load, 0u);
+}
+
+TEST(Threshold, RoundLimitReported) {
+  // 100 balls into 1 bin with threshold 1 takes 100 rounds; cap at 10.
+  const auto result = run_threshold(1, 100, 1, Engine(4), 10);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds, 10u);
+  EXPECT_EQ(result.max_load, 10u);
+}
+
+TEST(Threshold, ThresholdOneTerminatesInLogLogRounds) {
+  // Adler et al.: THRESHOLD[1] with m = n finishes in ln ln n + O(1)
+  // rounds w.h.p. For n = 2^14, ln ln n ≈ 2.3; allow generous slack.
+  const auto result = run_threshold(1 << 14, 1 << 14, 1, Engine(5));
+  EXPECT_TRUE(result.completed);
+  EXPECT_LE(result.rounds, 12u);
+}
+
+TEST(Threshold, HeavilyLoadedWithMOverNThreshold) {
+  // Lenzen et al. regime: m = 8n with threshold m/n + 1 finishes fast
+  // and achieves max load m/n + O(1).
+  const std::uint32_t n = 4096;
+  const std::uint64_t m = 8 * n;
+  const auto result = run_threshold(n, m, 9, Engine(6));
+  EXPECT_TRUE(result.completed);
+  EXPECT_LE(result.rounds, 12u);
+  EXPECT_LE(result.max_load, 8u + 9u * 3u);
+}
+
+TEST(StaticAllocation, OneChoiceBasics) {
+  const auto result = one_choice(100, 1000, Engine(7));
+  const auto total = std::accumulate(result.loads.begin(), result.loads.end(),
+                                     std::uint64_t{0});
+  EXPECT_EQ(total, 1000u);
+  EXPECT_DOUBLE_EQ(result.average_load, 10.0);
+  EXPECT_GE(result.max_load, 10u);
+}
+
+TEST(StaticAllocation, GreedyDBeatsOneChoice) {
+  const std::uint32_t n = 1 << 14;
+  const auto d1 = one_choice(n, n, Engine(8));
+  const auto d2 = greedy_d(n, n, 2, Engine(9));
+  // Theory: d1 max ≈ ln n / ln ln n ≈ 4.3; d2 max ≈ ln ln n / ln 2 + O(1).
+  EXPECT_GT(d1.max_load, d2.max_load);
+  EXPECT_LE(d2.max_load, 8u);
+  EXPECT_GE(d1.max_load, 4u);
+  EXPECT_LE(d1.max_load, 14u);
+}
+
+TEST(StaticAllocation, HeavilyLoadedOneChoiceConcentration) {
+  // m = n·ln n·16: max load ≈ m/n + √(2·(m/n)·ln n) within small factors.
+  const std::uint32_t n = 1 << 12;
+  const double ln_n = std::log(n);
+  const auto m = static_cast<std::uint64_t>(16.0 * ln_n) * n;
+  const auto result = one_choice(n, m, Engine(10));
+  const double avg = result.average_load;
+  const double spread = std::sqrt(2.0 * avg * ln_n);
+  EXPECT_GT(static_cast<double>(result.max_load), avg);
+  EXPECT_LT(static_cast<double>(result.max_load), avg + 3.0 * spread);
+}
+
+TEST(StaticAllocation, LoadHistogramTotals) {
+  const auto result = one_choice(64, 256, Engine(11));
+  const auto hist = load_histogram(result.loads);
+  std::uint64_t bins = 0, balls = 0;
+  for (std::size_t k = 0; k < hist.size(); ++k) {
+    bins += hist[k];
+    balls += hist[k] * k;
+  }
+  EXPECT_EQ(bins, 64u);
+  EXPECT_EQ(balls, 256u);
+  EXPECT_EQ(hist.size(), result.max_load + 1);
+}
+
+TEST(RepeatedBallsIntoBins, ConservesBalls) {
+  auto process = RepeatedBallsIntoBins::adversarial(128, Engine(12));
+  EXPECT_EQ(process.balls(), 128u);
+  for (int i = 0; i < 200; ++i) {
+    const auto m = process.step();
+    EXPECT_EQ(m.total_load, 128u);
+    std::uint64_t total = 0;
+    for (std::uint32_t bin = 0; bin < 128; ++bin) total += process.load(bin);
+    EXPECT_EQ(total, 128u);
+  }
+}
+
+TEST(RepeatedBallsIntoBins, RecoversFromAdversarialStart) {
+  // Becchetti et al.: from all-in-one-bin, O(n) rounds reach max load
+  // O(log n). n = 512 → after 4n rounds expect max load ≤ ~5·log2(n).
+  const std::uint32_t n = 512;
+  auto process = RepeatedBallsIntoBins::adversarial(n, Engine(13));
+  EXPECT_EQ(process.max_load(), n);
+  for (std::uint32_t i = 0; i < 4 * n; ++i) (void)process.step();
+  EXPECT_LE(process.max_load(), 45u);
+}
+
+TEST(RepeatedBallsIntoBins, UniformStartStaysBalanced) {
+  auto process = RepeatedBallsIntoBins::uniform(256, Engine(14));
+  std::uint64_t worst = 0;
+  for (int i = 0; i < 500; ++i) worst = std::max(worst, process.step().max_load);
+  EXPECT_LE(worst, 12u);  // O(log n / log log n)-ish, generous margin
+}
+
+TEST(AdlerFifo, ConfigValidation) {
+  AdlerFifoConfig config{.n = 0, .d = 2, .m = 1};
+  EXPECT_THROW(config.validate(), iba::ContractViolation);
+  config.n = 8;
+  config.d = 0;
+  EXPECT_THROW(config.validate(), iba::ContractViolation);
+}
+
+TEST(AdlerFifo, ServesEveryBallExactlyOnce) {
+  AdlerFifoConfig config{.n = 256, .d = 2, .m = 10};  // m < n/(3de)
+  AdlerFifo process(config, Engine(15));
+  std::uint64_t generated = 0, served = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto m = process.step();
+    generated += m.generated;
+    served += m.deleted;
+  }
+  EXPECT_EQ(generated, served + process.in_flight());
+  EXPECT_EQ(process.waits().count(), served);
+}
+
+TEST(AdlerFifo, StableWithConstantWaitingTimes) {
+  // Under the theory's arrival bound the expected waiting time is O(1)
+  // and the system does not accumulate balls.
+  AdlerFifoConfig config{.n = 1024, .d = 2, .m = 60};  // < n/(3·2·e) ≈ 62.8
+  AdlerFifo process(config, Engine(16));
+  for (int i = 0; i < 2000; ++i) (void)process.step();
+  EXPECT_LT(process.in_flight(), 300u);
+  EXPECT_LT(process.waits().mean(), 3.0);
+  EXPECT_LE(process.waits().max(), 20u);
+}
+
+TEST(AdlerFifo, DeterministicGivenSeed) {
+  AdlerFifoConfig config{.n = 64, .d = 3, .m = 4};
+  AdlerFifo a(config, Engine(17)), b(config, Engine(17));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.step().deleted, b.step().deleted);
+  }
+  EXPECT_EQ(a.in_flight(), b.in_flight());
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Tests for the d-choice CAPPED extension: config contracts, exact
+// d = 1 degeneration to CAPPED, conservation, and the expected benefit
+// of the second choice.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/capped.hpp"
+#include "core/capped_greedy.hpp"
+
+namespace {
+
+using namespace iba::core;
+
+CappedGreedyConfig make_config(std::uint32_t n, std::uint32_t c,
+                               std::uint32_t d, std::uint64_t lambda_n) {
+  CappedGreedyConfig config;
+  config.n = n;
+  config.capacity = c;
+  config.d = d;
+  config.lambda_n = lambda_n;
+  return config;
+}
+
+TEST(CappedGreedyConfig, Validation) {
+  EXPECT_THROW(make_config(0, 1, 2, 0).validate(), iba::ContractViolation);
+  EXPECT_THROW(make_config(8, 0, 2, 4).validate(), iba::ContractViolation);
+  EXPECT_THROW(make_config(8, 1, 0, 4).validate(), iba::ContractViolation);
+  EXPECT_THROW(make_config(8, 1, 2, 9).validate(), iba::ContractViolation);
+  EXPECT_THROW(
+      make_config(8, CappedConfig::kInfiniteCapacity, 2, 4).validate(),
+      iba::ContractViolation);
+  EXPECT_NO_THROW(make_config(8, 2, 2, 6).validate());
+}
+
+TEST(CappedGreedy, DOneMatchesCappedExactly) {
+  // With d = 1 both processes draw one uniform bin per pool ball in the
+  // same order from the same engine: trajectories must coincide.
+  CappedConfig capped_config;
+  capped_config.n = 256;
+  capped_config.capacity = 2;
+  capped_config.lambda_n = 192;
+  Capped capped(capped_config, Engine(77));
+  CappedGreedy greedy(make_config(256, 2, 1, 192), Engine(77));
+  for (int round = 0; round < 300; ++round) {
+    const auto mc = capped.step();
+    const auto mg = greedy.step();
+    ASSERT_EQ(mc.pool_size, mg.pool_size) << "round " << round;
+    ASSERT_EQ(mc.deleted, mg.deleted) << "round " << round;
+    ASSERT_EQ(mc.max_load, mg.max_load) << "round " << round;
+    ASSERT_EQ(mc.wait_max, mg.wait_max) << "round " << round;
+  }
+  EXPECT_EQ(capped.waits().count(), greedy.waits().count());
+  EXPECT_NEAR(capped.waits().mean(), greedy.waits().mean(), 1e-12);
+}
+
+TEST(CappedGreedy, ConservationAndCapacityInvariants) {
+  CappedGreedy process(make_config(128, 3, 2, 120), Engine(5));
+  for (int i = 0; i < 400; ++i) {
+    const auto m = process.step();
+    ASSERT_EQ(m.thrown, m.accepted + m.pool_size);
+    ASSERT_LE(m.max_load, 3u);
+    ASSERT_EQ(process.generated_total(),
+              process.pool_size() + process.total_load() +
+                  process.deleted_total());
+  }
+  for (std::uint32_t bin = 0; bin < 128; ++bin) {
+    EXPECT_LE(process.load(bin), 3u);
+  }
+}
+
+TEST(CappedGreedy, SecondChoiceShrinksPool) {
+  // d = 2 spreads requests away from full bins, so fewer balls bounce
+  // back into the pool at high load.
+  auto mean_pool = [](std::uint32_t d) {
+    CappedGreedy process(make_config(1024, 1, d, 1008), Engine(6));
+    for (int i = 0; i < 1500; ++i) (void)process.step();
+    double pool = 0;
+    for (int i = 0; i < 500; ++i) {
+      pool += static_cast<double>(process.step().pool_size);
+    }
+    return pool / 500.0;
+  };
+  const double d1 = mean_pool(1);
+  const double d2 = mean_pool(2);
+  EXPECT_LT(d2, d1);
+}
+
+TEST(CappedGreedy, DeterministicGivenSeed) {
+  CappedGreedy a(make_config(64, 2, 2, 48), Engine(9));
+  CappedGreedy b(make_config(64, 2, 2, 48), Engine(9));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a.step().pool_size, b.step().pool_size);
+  }
+}
+
+TEST(CappedGreedy, ResetWaitStats) {
+  CappedGreedy process(make_config(64, 2, 2, 48), Engine(10));
+  for (int i = 0; i < 50; ++i) (void)process.step();
+  EXPECT_GT(process.waits().count(), 0u);
+  process.reset_wait_stats();
+  EXPECT_EQ(process.waits().count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Cross-validation of the optimized CAPPED(c, λ) simulator against the
+// explicit-ball OracleCapped reference implementation: driven with the
+// same bin-choice streams, the two must produce identical trajectories
+// (pool sizes, loads, deletions, waiting times) round for round.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/oracle.hpp"
+#include "rng/bounded.hpp"
+#include "rng/seed.hpp"
+
+namespace {
+
+using iba::core::Capped;
+using iba::core::CappedConfig;
+using iba::core::Engine;
+using iba::core::OracleCapped;
+
+struct Param {
+  std::uint32_t n;
+  std::uint32_t c;
+  std::uint64_t lambda_n;
+  std::uint64_t seed;
+};
+
+class OracleLockstep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(OracleLockstep, TrajectoriesIdentical) {
+  const auto param = GetParam();
+  CappedConfig config;
+  config.n = param.n;
+  config.capacity = param.c;
+  config.lambda_n = param.lambda_n;
+
+  Capped fast(config, Engine(0));
+  OracleCapped oracle(config, Engine(0));
+  Engine choice_engine(param.seed);
+
+  for (int round = 1; round <= 300; ++round) {
+    ASSERT_EQ(fast.balls_to_throw(), oracle.balls_to_throw())
+        << "round " << round;
+    std::vector<std::uint32_t> choices(fast.balls_to_throw());
+    for (auto& choice : choices) {
+      choice = iba::rng::bounded32(choice_engine, param.n);
+    }
+
+    const auto mf = fast.step_with_choices(choices);
+    const auto mo = oracle.step_with_choices(choices);
+
+    ASSERT_EQ(mf.pool_size, mo.pool_size) << "round " << round;
+    ASSERT_EQ(mf.accepted, mo.accepted) << "round " << round;
+    ASSERT_EQ(mf.deleted, mo.deleted) << "round " << round;
+    ASSERT_EQ(mf.total_load, mo.total_load) << "round " << round;
+    ASSERT_EQ(mf.max_load, mo.max_load) << "round " << round;
+    ASSERT_EQ(mf.empty_bins, mo.empty_bins) << "round " << round;
+    ASSERT_EQ(mf.wait_max, mo.wait_max) << "round " << round;
+    ASSERT_DOUBLE_EQ(mf.wait_sum, mo.wait_sum) << "round " << round;
+
+    for (std::uint32_t bin = 0; bin < param.n; ++bin) {
+      ASSERT_EQ(fast.load(bin), oracle.load(bin))
+          << "round " << round << " bin " << bin;
+    }
+  }
+
+  // Cumulative waiting-time statistics agree exactly.
+  EXPECT_EQ(fast.waits().count(), oracle.waits().count());
+  EXPECT_EQ(fast.waits().max(), oracle.waits().max());
+  EXPECT_NEAR(fast.waits().mean(), oracle.waits().mean(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, OracleLockstep,
+    ::testing::Values(Param{8, 1, 4, 11}, Param{8, 1, 7, 12},
+                      Param{32, 2, 24, 13}, Param{32, 3, 31, 14},
+                      Param{64, 1, 63, 15}, Param{64, 5, 48, 16},
+                      Param{16, 2, 16, 17},  // λ = 1 saturation
+                      Param{128, 4, 127, 18}, Param{7, 2, 5, 19},
+                      Param{100, 10, 90, 20}));
+
+}  // namespace

@@ -1,0 +1,177 @@
+// Tests for the alias-table sampler and the non-uniform-bins CAPPED
+// extension: distribution correctness, conservation, uniform-case
+// equivalence with the homogeneous process, and heterogeneity behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/hetero_capped.hpp"
+#include "rng/alias.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace iba;
+using core::Engine;
+using core::HeteroCapped;
+using core::HeteroCappedConfig;
+
+TEST(AliasTable, RejectsBadWeights) {
+  EXPECT_THROW(rng::AliasTable({}), ContractViolation);
+  EXPECT_THROW(rng::AliasTable({1.0, -0.5}), ContractViolation);
+  EXPECT_THROW(rng::AliasTable({0.0, 0.0}), ContractViolation);
+}
+
+TEST(AliasTable, NormalizesWeights) {
+  rng::AliasTable table({2.0, 6.0});
+  EXPECT_NEAR(table.outcome_probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.outcome_probability(1), 0.75, 1e-12);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(AliasTable, SingleOutcomeAlwaysSampled) {
+  rng::AliasTable table({5.0});
+  rng::Xoshiro256pp engine(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(engine), 0u);
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 0.0, 10.0};
+  rng::AliasTable table(weights);
+  rng::Xoshiro256pp engine(2);
+  std::vector<int> counts(weights.size(), 0);
+  const int draws = 400000;
+  for (int i = 0; i < draws; ++i) ++counts[table.sample(engine)];
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, expected, 0.005)
+        << "outcome " << i;
+  }
+  EXPECT_EQ(counts[4], 0);  // zero-weight outcome never sampled
+}
+
+TEST(AliasTable, UniformWeightsChiSquare) {
+  rng::AliasTable table(std::vector<double>(8, 1.0));
+  rng::Xoshiro256pp engine(3);
+  std::vector<int> counts(8, 0);
+  const int draws = 800000;
+  for (int i = 0; i < draws; ++i) ++counts[table.sample(engine)];
+  double chi2 = 0;
+  const double expected = draws / 8.0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 35.0);  // far beyond the 99.999th pct of chi2(7)
+}
+
+TEST(HeteroCappedConfig, Validation) {
+  HeteroCappedConfig config;
+  EXPECT_THROW(config.validate(), ContractViolation);
+  config.capacities = {2, 0, 1};
+  EXPECT_THROW(config.validate(), ContractViolation);
+  config.capacities = {2, 1, 1};
+  config.weights = {1.0, 2.0};  // wrong length
+  EXPECT_THROW(config.validate(), ContractViolation);
+  config.weights.clear();
+  config.lambda_n = 4;  // > n
+  EXPECT_THROW(config.validate(), ContractViolation);
+  config.lambda_n = 2;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.total_capacity(), 4u);
+}
+
+TEST(HeteroCapped, ConservationAndPerBinCapacity) {
+  HeteroCappedConfig config;
+  config.capacities = {1, 2, 3, 4, 1, 2, 3, 4};
+  config.lambda_n = 6;
+  HeteroCapped process(config, Engine(4));
+  for (int i = 0; i < 500; ++i) {
+    const auto m = process.step();
+    ASSERT_EQ(m.thrown, m.accepted + m.pool_size);
+    ASSERT_EQ(process.generated_total(),
+              process.pool_size() + process.total_load() +
+                  process.deleted_total());
+    for (std::uint32_t bin = 0; bin < 8; ++bin) {
+      ASSERT_LE(process.load(bin), process.capacity(bin));
+    }
+  }
+}
+
+TEST(HeteroCapped, UniformCaseBehavesLikeCapped) {
+  // Same semantics at equal capacities/uniform weights: steady-state
+  // statistics must agree (engines diverge, so compare distributions).
+  const std::uint32_t n = 1024;
+  core::CappedConfig capped_config;
+  capped_config.n = n;
+  capped_config.capacity = 2;
+  capped_config.lambda_n = 960;
+  core::Capped capped(capped_config, Engine(5));
+
+  HeteroCapped hetero(HeteroCappedConfig::uniform(n, 2, 960), Engine(6));
+
+  auto mean_pool = [](auto& process) {
+    for (int i = 0; i < 2000; ++i) (void)process.step();
+    double pool = 0;
+    for (int i = 0; i < 1000; ++i) {
+      pool += static_cast<double>(process.step().pool_size);
+    }
+    return pool / 1000.0;
+  };
+  const double pool_capped = mean_pool(capped);
+  const double pool_hetero = mean_pool(hetero);
+  EXPECT_NEAR(pool_hetero, pool_capped, 0.1 * pool_capped + 5.0);
+}
+
+TEST(HeteroCapped, WeightedRoutingLoadsBigBinsMore) {
+  // Two classes of bins (capacity 1 vs 4) with capacity-proportional
+  // weights: the big bins must carry proportionally more deletions.
+  HeteroCappedConfig config;
+  const std::uint32_t n = 512;
+  config.capacities.assign(n, 1);
+  config.weights.assign(n, 1.0);
+  for (std::uint32_t i = 0; i < n / 2; ++i) {
+    config.capacities[i] = 4;
+    config.weights[i] = 4.0;
+  }
+  config.lambda_n = n * 3 / 4;
+  HeteroCapped process(config, Engine(7));
+  for (int i = 0; i < 2000; ++i) (void)process.step();
+  double big_load = 0, small_load = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    (i < n / 2 ? big_load : small_load) +=
+        static_cast<double>(process.load(i));
+  }
+  EXPECT_GT(big_load, 2.0 * small_load);
+}
+
+TEST(HeteroCapped, SkewedWeightsIncreaseWaitingTimes) {
+  // Misrouted load (heavy weight on a few bins) hurts: compare uniform
+  // routing against a badly skewed one at equal capacity.
+  auto max_wait = [](std::vector<double> weights, std::uint64_t seed) {
+    HeteroCappedConfig config;
+    config.capacities.assign(256, 2);
+    config.weights = std::move(weights);
+    config.lambda_n = 192;
+    HeteroCapped process(config, Engine(seed));
+    for (int i = 0; i < 3000; ++i) (void)process.step();
+    return process.waits().mean();
+  };
+  std::vector<double> skewed(256, 1.0);
+  for (int i = 0; i < 16; ++i) skewed[i] = 30.0;  // hot spots
+  const double uniform_wait = max_wait({}, 8);
+  const double skewed_wait = max_wait(skewed, 9);
+  EXPECT_GT(skewed_wait, 1.5 * uniform_wait);
+}
+
+TEST(HeteroCapped, DeterministicGivenSeed) {
+  const auto config = HeteroCappedConfig::uniform(64, 2, 48);
+  HeteroCapped a(config, Engine(10)), b(config, Engine(10));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a.step().pool_size, b.step().pool_size);
+  }
+}
+
+}  // namespace

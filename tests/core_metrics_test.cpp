@@ -1,0 +1,85 @@
+// Direct unit tests for the measurement primitives of core: RoundMetrics
+// defaults and WaitRecorder semantics (moments, dyadic quantile bounds,
+// reset, merge behaviour via the underlying histogram).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/metrics.hpp"
+
+namespace {
+
+using iba::core::RoundMetrics;
+using iba::core::WaitRecorder;
+
+TEST(RoundMetrics, DefaultConstructedIsAllZero) {
+  const RoundMetrics m;
+  EXPECT_EQ(m.round, 0u);
+  EXPECT_EQ(m.generated, 0u);
+  EXPECT_EQ(m.thrown, 0u);
+  EXPECT_EQ(m.accepted, 0u);
+  EXPECT_EQ(m.deleted, 0u);
+  EXPECT_EQ(m.pool_size, 0u);
+  EXPECT_EQ(m.total_load, 0u);
+  EXPECT_EQ(m.max_load, 0u);
+  EXPECT_EQ(m.empty_bins, 0u);
+  EXPECT_EQ(m.wait_count, 0u);
+  EXPECT_EQ(m.wait_sum, 0.0);
+  EXPECT_EQ(m.wait_max, 0u);
+  EXPECT_EQ(m.requeued, 0u);
+  EXPECT_EQ(m.oldest_pool_age, 0u);
+}
+
+TEST(WaitRecorder, EmptyRecorder) {
+  const WaitRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_EQ(recorder.mean(), 0.0);
+  EXPECT_EQ(recorder.max(), 0u);
+  EXPECT_EQ(recorder.quantile_upper_bound(0.5), 0u);
+}
+
+TEST(WaitRecorder, MomentsMatchHandComputation) {
+  WaitRecorder recorder;
+  for (const std::uint64_t wait : {0u, 1u, 1u, 2u, 6u}) {
+    recorder.record(wait);
+  }
+  EXPECT_EQ(recorder.count(), 5u);
+  EXPECT_DOUBLE_EQ(recorder.mean(), 2.0);
+  EXPECT_EQ(recorder.max(), 6u);
+  // Sample stddev of {0,1,1,2,6}: variance = (4+1+1+0+16)/4 = 5.5.
+  EXPECT_NEAR(recorder.stddev() * recorder.stddev(), 5.5, 1e-12);
+}
+
+TEST(WaitRecorder, QuantileUpperBoundIsDyadicallyTight) {
+  WaitRecorder recorder;
+  for (std::uint64_t w = 0; w < 100; ++w) recorder.record(w);
+  const auto p50 = recorder.quantile_upper_bound(0.5);
+  EXPECT_GE(p50, 49u);       // not below the exact median
+  EXPECT_LE(p50, 63u);       // within the dyadic bucket [32, 64)
+  const auto p99 = recorder.quantile_upper_bound(0.99);
+  EXPECT_GE(p99, 98u);
+  EXPECT_LE(p99, 127u);
+}
+
+TEST(WaitRecorder, HistogramExposureAndReset) {
+  WaitRecorder recorder;
+  recorder.record(3);
+  recorder.record(5);
+  EXPECT_EQ(recorder.histogram().total(), 2u);
+  EXPECT_EQ(recorder.histogram().count(2), 1u);  // value 3 → bucket [2,4)
+  EXPECT_EQ(recorder.histogram().count(3), 1u);  // value 5 → bucket [4,8)
+  recorder.reset();
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_EQ(recorder.histogram().total(), 0u);
+  recorder.record(1);
+  EXPECT_EQ(recorder.count(), 1u);
+}
+
+TEST(WaitRecorder, MomentsAccessorConsistent) {
+  WaitRecorder recorder;
+  for (int i = 1; i <= 1000; ++i) recorder.record(static_cast<std::uint64_t>(i % 17));
+  EXPECT_EQ(recorder.moments().count(), 1000u);
+  EXPECT_DOUBLE_EQ(recorder.moments().mean(), recorder.mean());
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Differential validation of ModCapped against an independent,
+// explicit-ball transcription of Section IV-A: per-bin request lists,
+// per-buffer capacities from Eq. (5), two-pass preference-maximizing
+// placement, and drain-phase deletion. Driven with shared bin choices,
+// both implementations must produce identical pool/load/deletion
+// trajectories.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/modcapped.hpp"
+#include "rng/bounded.hpp"
+#include "rng/seed.hpp"
+
+namespace {
+
+using namespace iba;
+using core::Engine;
+using core::ModCapped;
+using core::ModCappedConfig;
+
+/// Naive reference MODCAPPED: every ball explicit, buffers as deques.
+class OracleModCapped {
+ public:
+  explicit OracleModCapped(const ModCappedConfig& config)
+      : config_(config),
+        m_star_(config.m_star != 0 ? config.m_star
+                                   : config.m_star_default()),
+        drain_(config.n),
+        fill_(config.n) {}
+
+  [[nodiscard]] std::uint64_t balls_to_throw() const {
+    const std::uint64_t pool = pool_.size();
+    const std::uint64_t forced = pool < m_star_ ? m_star_ - pool : 0;
+    return pool + std::max<std::uint64_t>(config_.lambda_n, forced);
+  }
+
+  struct Step {
+    std::uint64_t pool_size;
+    std::uint64_t total_load;
+    std::uint64_t deleted;
+    std::uint64_t accepted;
+  };
+
+  Step step_with_choices(const std::vector<std::uint32_t>& choices) {
+    const std::uint64_t generated = balls_to_throw() - pool_.size();
+    ++round_;
+    if (round_ % config_.capacity == 0) {
+      for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
+        EXPECT_TRUE(drain_[bin].empty());
+        std::swap(drain_[bin], fill_[bin]);
+        fill_[bin].clear();
+      }
+    }
+    for (std::uint64_t k = 0; k < generated; ++k) pool_.push_back(round_);
+
+    const std::uint64_t j = round_ / config_.capacity;
+    const auto cap_drain =
+        static_cast<std::size_t>((j + 1) * config_.capacity - round_);
+    const auto cap_fill =
+        static_cast<std::size_t>(round_ - j * config_.capacity);
+
+    // Pass 1: preferred buffer (alternating by throw index, even → drain).
+    std::vector<bool> placed(pool_.size(), false);
+    std::vector<std::size_t> overflow;
+    std::uint64_t accepted = 0;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      const std::uint32_t bin = choices[i];
+      const bool prefers_drain = (i % 2) == 0;
+      auto& preferred = prefers_drain ? drain_[bin] : fill_[bin];
+      const std::size_t cap = prefers_drain ? cap_drain : cap_fill;
+      if (preferred.size() < cap) {
+        preferred.push_back(pool_[i]);
+        placed[i] = true;
+        ++accepted;
+      } else {
+        overflow.push_back(i);
+      }
+    }
+    // Pass 2: any remaining room, in pool order.
+    for (const std::size_t i : overflow) {
+      const std::uint32_t bin = choices[i];
+      if (drain_[bin].size() < cap_drain) {
+        drain_[bin].push_back(pool_[i]);
+        placed[i] = true;
+        ++accepted;
+      } else if (fill_[bin].size() < cap_fill) {
+        fill_[bin].push_back(pool_[i]);
+        placed[i] = true;
+        ++accepted;
+      }
+    }
+
+    std::vector<std::uint64_t> survivors;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (!placed[i]) survivors.push_back(pool_[i]);
+    }
+    pool_ = std::move(survivors);
+
+    std::uint64_t deleted = 0;
+    for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
+      if (!drain_[bin].empty()) {
+        drain_[bin].pop_front();
+        ++deleted;
+      }
+    }
+
+    std::uint64_t total_load = 0;
+    for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
+      total_load += drain_[bin].size() + fill_[bin].size();
+    }
+    return {pool_.size(), total_load, deleted, accepted};
+  }
+
+  [[nodiscard]] std::uint64_t load(std::uint32_t bin) const {
+    return drain_[bin].size() + fill_[bin].size();
+  }
+
+ private:
+  ModCappedConfig config_;
+  std::uint64_t m_star_;
+  std::uint64_t round_ = 0;
+  std::vector<std::uint64_t> pool_;  // labels, oldest-first
+  std::vector<std::deque<std::uint64_t>> drain_;
+  std::vector<std::deque<std::uint64_t>> fill_;
+};
+
+struct Param {
+  std::uint32_t n;
+  std::uint32_t c;
+  std::uint64_t lambda_n;
+  std::uint64_t m_star;
+  std::uint64_t seed;
+};
+
+class ModCappedOracle : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ModCappedOracle, TrajectoriesIdentical) {
+  const auto p = GetParam();
+  ModCappedConfig config;
+  config.n = p.n;
+  config.capacity = p.c;
+  config.lambda_n = p.lambda_n;
+  config.m_star = p.m_star;  // small m* keeps the oracle fast
+
+  ModCapped fast(config, Engine(0));
+  OracleModCapped oracle(config);
+  Engine choice_engine(p.seed);
+
+  for (int round = 1; round <= 150; ++round) {
+    ASSERT_EQ(fast.balls_to_throw(), oracle.balls_to_throw())
+        << "round " << round;
+    std::vector<std::uint32_t> choices(fast.balls_to_throw());
+    for (auto& choice : choices) {
+      choice = rng::bounded32(choice_engine, p.n);
+    }
+    const auto mf = fast.step_with_choices(choices);
+    const auto mo = oracle.step_with_choices(choices);
+    ASSERT_EQ(mf.pool_size, mo.pool_size) << "round " << round;
+    ASSERT_EQ(mf.total_load, mo.total_load) << "round " << round;
+    ASSERT_EQ(mf.deleted, mo.deleted) << "round " << round;
+    ASSERT_EQ(mf.accepted, mo.accepted) << "round " << round;
+    for (std::uint32_t bin = 0; bin < p.n; ++bin) {
+      ASSERT_EQ(fast.load(bin), oracle.load(bin))
+          << "round " << round << " bin " << bin;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, ModCappedOracle,
+    ::testing::Values(Param{8, 1, 4, 24, 1}, Param{8, 2, 6, 40, 2},
+                      Param{16, 3, 12, 80, 3}, Param{16, 4, 15, 100, 4},
+                      Param{32, 2, 24, 120, 5}, Param{7, 3, 5, 35, 6},
+                      Param{64, 5, 48, 400, 7}, Param{10, 2, 9, 60, 8}));
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Tests of MODCAPPED(c, λ): Eq. (5) buffer-capacity algebra, forced ball
+// generation (≥ m* thrown per round), drain-phase emptiness at phase
+// boundaries, and the Lemma-1/6 coupling invariants via CoupledRun.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/capped.hpp"
+#include "core/coupled.hpp"
+#include "core/modcapped.hpp"
+#include "rng/seed.hpp"
+
+namespace {
+
+using iba::core::CappedConfig;
+using iba::core::CoupledRun;
+using iba::core::Engine;
+using iba::core::ModCapped;
+using iba::core::ModCappedConfig;
+
+ModCappedConfig make_config(std::uint32_t n, std::uint32_t c,
+                            std::uint64_t lambda_n,
+                            std::uint64_t m_star = 0) {
+  ModCappedConfig config;
+  config.n = n;
+  config.capacity = c;
+  config.lambda_n = lambda_n;
+  config.m_star = m_star;
+  return config;
+}
+
+TEST(ModCappedConfig, MStarDefaultsMatchPaperFormulas) {
+  // c = 1 (Section III): m* = ln(1/(1−λ))·n + 2n.
+  {
+    const auto config = make_config(1000, 1, 750);  // λ = 3/4
+    const double expected = std::log(4.0) * 1000 + 2000;
+    EXPECT_EQ(config.m_star_default(),
+              static_cast<std::uint64_t>(std::ceil(expected)));
+  }
+  // general c (Section IV): m* = (2/c)·ln(1/(1−λ))·n + 6·c·n.
+  {
+    const auto config = make_config(1000, 3, 750);
+    const double expected = 2.0 / 3.0 * std::log(4.0) * 1000 + 18000;
+    EXPECT_EQ(config.m_star_default(),
+              static_cast<std::uint64_t>(std::ceil(expected)));
+  }
+}
+
+TEST(ModCappedConfig, RejectsLambdaOne) {
+  EXPECT_THROW(make_config(16, 1, 16).validate(), iba::ContractViolation);
+  EXPECT_NO_THROW(make_config(16, 1, 15).validate());
+}
+
+TEST(ModCapped, ThrowsAtLeastMStarEveryRound) {
+  ModCapped process(make_config(64, 2, 32, 500), Engine(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(process.balls_to_throw(), 500u);
+    const auto m = process.step();
+    EXPECT_GE(m.thrown, 500u);
+  }
+}
+
+TEST(ModCapped, GenerationIsMaxOfArrivalAndDeficit) {
+  // With a small m*, once the pool exceeds m* the process generates
+  // exactly λn; below it generates the deficit when larger.
+  ModCapped process(make_config(32, 1, 8, 40), Engine(2));
+  const auto first = process.step();  // pool was 0 → deficit 40 > λn = 8
+  EXPECT_EQ(first.generated, 40u);
+  for (int i = 0; i < 50; ++i) {
+    const auto m = process.step();
+    const std::uint64_t expected_min = std::max<std::uint64_t>(8, 0);
+    EXPECT_GE(m.generated, expected_min);
+    EXPECT_GE(m.thrown, 40u);
+  }
+}
+
+class BufferAlgebra : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BufferAlgebra, CapacitiesFollowEquationFive) {
+  const std::uint32_t c = GetParam();
+  ModCapped process(make_config(16, c, 8), Engine(3));
+  for (std::uint64_t t = 1; t <= 6 * c + 1; ++t) {
+    (void)process.step();
+    const std::uint64_t j = t / c;
+    const auto expected_drain = static_cast<std::uint32_t>((j + 1) * c - t);
+    const auto expected_fill = static_cast<std::uint32_t>(t - j * c);
+    EXPECT_EQ(process.drain_capacity(), expected_drain) << "t=" << t;
+    EXPECT_EQ(process.fill_capacity(), expected_fill) << "t=" << t;
+    // Active capacities sum to the bin capacity c (the paper's invariant).
+    EXPECT_EQ(process.drain_capacity() + process.fill_capacity(), c);
+    // Loads never exceed the time-varying capacities.
+    for (std::uint32_t bin = 0; bin < 16; ++bin) {
+      EXPECT_LE(process.drain_load(bin) +
+                    (process.round() % c == 0 ? 0 : 0),  // post-deletion
+                expected_drain);
+      EXPECT_LE(process.fill_load(bin), expected_fill);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BufferAlgebra,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u));
+
+TEST(ModCapped, ConservationOverManyRounds) {
+  ModCapped process(make_config(64, 3, 48), Engine(4));
+  for (int i = 0; i < 300; ++i) {
+    (void)process.step();
+    EXPECT_EQ(process.generated_total(),
+              process.pool_size() + process.total_load() +
+                  process.deleted_total());
+  }
+}
+
+TEST(ModCapped, UnitCapacityDegeneratesToSectionThree) {
+  // For c = 1 the fill buffer has capacity 0 every round and the drain
+  // buffer capacity 1: bins empty at the start of every round.
+  ModCapped process(make_config(32, 1, 16), Engine(5));
+  for (int i = 0; i < 100; ++i) {
+    const auto m = process.step();
+    EXPECT_EQ(process.fill_capacity(), 0u);
+    EXPECT_EQ(process.drain_capacity(), 1u);
+    EXPECT_EQ(m.total_load, 0u);  // capacity-1 buffer deletes same round
+    EXPECT_EQ(m.accepted, m.deleted);
+  }
+}
+
+struct CoupleParam {
+  std::uint32_t n;
+  std::uint32_t c;
+  std::uint64_t lambda_n;
+  std::uint64_t seed;
+};
+
+class CouplingDominance : public ::testing::TestWithParam<CoupleParam> {};
+
+TEST_P(CouplingDominance, PoolAndLoadsDominatedEveryRound) {
+  // Executable Lemma 1 / Lemma 6: under the shared-choice coupling,
+  // m^C(t) ≤ m^M(t) and ℓ_i^C(t) ≤ ℓ_i^M(t) must hold deterministically.
+  const auto param = GetParam();
+  CappedConfig config;
+  config.n = param.n;
+  config.capacity = param.c;
+  config.lambda_n = param.lambda_n;
+  CoupledRun coupled(config, Engine(param.seed));
+  for (int round = 1; round <= 200; ++round) {
+    const auto result = coupled.step();
+    ASSERT_TRUE(result.pool_dominated)
+        << "round " << round << ": m^C=" << result.capped.pool_size
+        << " > m^M=" << result.modcapped.pool_size;
+    ASSERT_TRUE(result.loads_dominated) << "round " << round;
+  }
+  EXPECT_EQ(coupled.violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, CouplingDominance,
+    ::testing::Values(CoupleParam{16, 1, 8, 1}, CoupleParam{16, 1, 15, 2},
+                      CoupleParam{32, 2, 24, 3}, CoupleParam{32, 3, 31, 4},
+                      CoupleParam{64, 1, 48, 5}, CoupleParam{64, 4, 63, 6},
+                      CoupleParam{128, 2, 127, 7}, CoupleParam{8, 5, 7, 8},
+                      CoupleParam{100, 3, 75, 9}, CoupleParam{48, 2, 36, 10}));
+
+TEST(ModCapped, PoolStaysBelowTwiceMStarInPractice) {
+  // Lemma 7 says Pr[m^M(t) ≥ 2m*] ≤ 2^(−2n); at n = 256 a violation in
+  // 2000 rounds would be astronomical.
+  const auto config = make_config(256, 2, 192);
+  ModCapped process(config, Engine(6));
+  const std::uint64_t bound = 2 * process.m_star();
+  for (int i = 0; i < 2000; ++i) {
+    const auto m = process.step();
+    ASSERT_LT(m.pool_size, bound) << "round " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Tests for the remaining related-work protocols: ALWAYS-GO-LEFT[d],
+// Stemann's collision protocol, and the infinite sequential
+// reallocation chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "core/collision.hpp"
+#include "core/reallocation.hpp"
+#include "core/static_allocation.hpp"
+
+namespace {
+
+using namespace iba::core;
+
+TEST(AlwaysGoLeft, Validation) {
+  EXPECT_THROW((void)always_go_left(0, 1, 2, Engine(1)),
+               iba::ContractViolation);
+  EXPECT_THROW((void)always_go_left(8, 8, 1, Engine(1)),
+               iba::ContractViolation);
+  EXPECT_THROW((void)always_go_left(2, 2, 3, Engine(1)),
+               iba::ContractViolation);
+}
+
+TEST(AlwaysGoLeft, ConservesBalls) {
+  const auto result = always_go_left(100, 1000, 2, Engine(2));
+  EXPECT_EQ(std::accumulate(result.loads.begin(), result.loads.end(),
+                            std::uint64_t{0}),
+            1000u);
+  EXPECT_DOUBLE_EQ(result.average_load, 10.0);
+}
+
+TEST(AlwaysGoLeft, AtLeastAsGoodAsGreedyD) {
+  // Vöcking: the asymmetric tie-break strictly improves the constant;
+  // at m = n the max load should never exceed GREEDY[d]'s.
+  const std::uint32_t n = 1 << 14;
+  const auto left = always_go_left(n, n, 2, Engine(3));
+  const auto greedy = greedy_d(n, n, 2, Engine(4));
+  EXPECT_LE(left.max_load, greedy.max_load);
+  EXPECT_LE(left.max_load, 5u);  // lnln n/(2 ln φ2) + O(1) is tiny here
+}
+
+TEST(AlwaysGoLeft, HandlesRemainderGroups) {
+  // n not divisible by d: the last group absorbs the remainder and
+  // every bin stays reachable.
+  const auto result = always_go_left(10, 5000, 3, Engine(5));
+  EXPECT_EQ(std::accumulate(result.loads.begin(), result.loads.end(),
+                            std::uint64_t{0}),
+            5000u);
+  for (const auto load : result.loads) EXPECT_GT(load, 0u);
+}
+
+TEST(Collision, Validation) {
+  EXPECT_THROW((void)run_collision_protocol(0, 1, 2, 1, Engine(1)),
+               iba::ContractViolation);
+  EXPECT_THROW((void)run_collision_protocol(8, 8, 0, 1, Engine(1)),
+               iba::ContractViolation);
+  EXPECT_THROW((void)run_collision_protocol(8, 8, 2, 0, Engine(1)),
+               iba::ContractViolation);
+}
+
+TEST(Collision, ZeroBallsFinishImmediately) {
+  const auto result = run_collision_protocol(8, 0, 2, 1, Engine(2));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Collision, AllBallsAllocatedAndAccounted) {
+  const auto result = run_collision_protocol(1024, 1024, 2, 2, Engine(3));
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(std::accumulate(result.loads.begin(), result.loads.end(),
+                            std::uint64_t{0}),
+            1024u);
+  const auto allocated = std::accumulate(result.allocated_per_round.begin(),
+                                         result.allocated_per_round.end(),
+                                         std::uint64_t{0});
+  EXPECT_EQ(allocated, 1024u);
+}
+
+TEST(Collision, FinishesInLogLogRoundsWithSmallLoad) {
+  // Stemann: m = n, d = 2, collision bound 2 → O(log log n) rounds and
+  // max load ≤ bound · rounds (in practice far less).
+  const std::uint32_t n = 1 << 14;
+  const auto result = run_collision_protocol(n, n, 2, 2, Engine(4));
+  EXPECT_TRUE(result.completed);
+  EXPECT_LE(result.rounds, 10u);
+  EXPECT_LE(result.max_load, 2 * result.rounds);
+  EXPECT_LE(result.max_load, 8u);
+}
+
+TEST(Collision, LargerBoundFewerRounds) {
+  const std::uint32_t n = 1 << 12;
+  const auto tight = run_collision_protocol(n, n, 2, 1, Engine(5), 10000);
+  const auto loose = run_collision_protocol(n, n, 2, 4, Engine(5), 10000);
+  ASSERT_TRUE(loose.completed);
+  if (tight.completed) {
+    EXPECT_LE(loose.rounds, tight.rounds);
+  }
+}
+
+TEST(Reallocation, Validation) {
+  EXPECT_THROW(SequentialReallocation({}, 4, 2, Engine(1)),
+               iba::ContractViolation);
+  EXPECT_THROW(SequentialReallocation({5}, 4, 2, Engine(1)),
+               iba::ContractViolation);
+  EXPECT_THROW(SequentialReallocation({0}, 0, 2, Engine(1)),
+               iba::ContractViolation);
+}
+
+TEST(Reallocation, ConservesBalls) {
+  auto chain = SequentialReallocation::round_robin(256, 2, Engine(2));
+  EXPECT_EQ(chain.balls(), 256u);
+  for (int i = 0; i < 100; ++i) {
+    const auto m = chain.step();
+    EXPECT_EQ(m.total_load, 256u);
+    std::uint64_t total = 0;
+    for (std::uint32_t bin = 0; bin < 256; ++bin) total += chain.load(bin);
+    EXPECT_EQ(total, 256u);
+  }
+}
+
+TEST(Reallocation, TwoChoiceKeepsMaxLoadTiny) {
+  // Cole et al.: max load ln ln n / ln d + O(1) throughout poly time.
+  auto chain = SequentialReallocation::round_robin(1 << 12, 2, Engine(3));
+  std::uint64_t worst = 0;
+  for (int round = 0; round < 200; ++round) {
+    worst = std::max(worst, chain.step().max_load);
+  }
+  EXPECT_LE(worst, 5u);
+}
+
+TEST(Reallocation, RecoversFromAdversarialStart) {
+  // All balls start in bin 0; after O(n log n) single-ball steps the
+  // configuration must be balanced (every ball has been touched w.h.p.).
+  const std::uint32_t n = 1 << 10;
+  auto chain = SequentialReallocation::adversarial(n, 2, Engine(4));
+  EXPECT_EQ(chain.max_load(), n);
+  const auto rounds = static_cast<int>(
+      3.0 * std::log(static_cast<double>(n))) + 1;
+  for (int round = 0; round < rounds; ++round) (void)chain.step();
+  EXPECT_LE(chain.max_load(), 6u);
+}
+
+TEST(Reallocation, OneChoiceWorseThanTwo) {
+  auto one = SequentialReallocation::round_robin(1 << 12, 1, Engine(5));
+  auto two = SequentialReallocation::round_robin(1 << 12, 2, Engine(6));
+  std::uint64_t worst_one = 0, worst_two = 0;
+  for (int round = 0; round < 100; ++round) {
+    worst_one = std::max(worst_one, one.step().max_load);
+    worst_two = std::max(worst_two, two.step().max_load);
+  }
+  EXPECT_GT(worst_one, worst_two);
+}
+
+}  // namespace

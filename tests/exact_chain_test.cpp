@@ -1,0 +1,129 @@
+// Exact-vs-simulated validation: the occupancy DP against closed forms,
+// and the exact stationary pool distribution of CAPPED(1, λ) against a
+// long simulation of the real process — zero statistical slack beyond
+// the simulation's own noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "analysis/exact_chain.hpp"
+#include "core/capped.hpp"
+
+namespace {
+
+using namespace iba;
+using analysis::CappedUnitChain;
+using analysis::occupancy_distribution;
+
+TEST(Occupancy, ClosedFormAnchors) {
+  // 1 ball: exactly one bin occupied.
+  auto d1 = occupancy_distribution(4, 1);
+  ASSERT_EQ(d1.size(), 2u);
+  EXPECT_NEAR(d1[0], 0.0, 1e-15);
+  EXPECT_NEAR(d1[1], 1.0, 1e-15);
+
+  // 2 balls into n bins: same bin w.p. 1/n.
+  auto d2 = occupancy_distribution(4, 2);
+  ASSERT_EQ(d2.size(), 3u);
+  EXPECT_NEAR(d2[1], 0.25, 1e-12);
+  EXPECT_NEAR(d2[2], 0.75, 1e-12);
+
+  // 3 balls into 2 bins: both occupied unless all collide (2·(1/2)^3).
+  auto d3 = occupancy_distribution(2, 3);
+  EXPECT_NEAR(d3[1], 0.25, 1e-12);
+  EXPECT_NEAR(d3[2], 0.75, 1e-12);
+}
+
+TEST(Occupancy, DistributionSumsToOneAndMeanMatches) {
+  for (const std::uint32_t n : {3u, 7u, 16u}) {
+    for (const std::uint64_t balls : {0ull, 1ull, 5ull, 40ull}) {
+      const auto dist = occupancy_distribution(n, balls);
+      const double total =
+          std::accumulate(dist.begin(), dist.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-12) << n << " " << balls;
+      // E[occupied] = n·(1 − (1 − 1/n)^balls).
+      double mean = 0;
+      for (std::size_t j = 0; j < dist.size(); ++j) {
+        mean += static_cast<double>(j) * dist[j];
+      }
+      const double expected =
+          n * (1.0 - std::pow(1.0 - 1.0 / n, static_cast<double>(balls)));
+      EXPECT_NEAR(mean, expected, 1e-9) << n << " " << balls;
+    }
+  }
+}
+
+TEST(Chain, TransitionRowsAreStochastic) {
+  CappedUnitChain chain(8, 6, 40);
+  for (std::uint64_t from = 0; from <= 40; ++from) {
+    double row = 0;
+    for (std::uint64_t to = 0; to <= 40; ++to) {
+      row += chain.transition(from, to);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12) << "from " << from;
+  }
+}
+
+TEST(Chain, ZeroArrivalsAbsorbAtEmpty) {
+  CappedUnitChain chain(4, 0, 10);
+  EXPECT_NEAR(chain.transition(0, 0), 1.0, 1e-12);
+  const auto pi = chain.stationary();
+  EXPECT_NEAR(pi[0], 1.0, 1e-9);
+}
+
+TEST(Chain, StationaryMatchesLongSimulation) {
+  // n = 16, λ = 3/4 (λn = 12): exact stationary pool distribution vs
+  // 200k simulated rounds. The truncation at 64 is far above the
+  // support (pool bound ~ 2·ln4·16 + 64 ≈ 108... the chain rarely
+  // exceeds ~30 at n = 16).
+  const std::uint32_t n = 16;
+  const std::uint64_t lambda_n = 12;
+  CappedUnitChain chain(n, lambda_n, 64);
+  const auto pi = chain.stationary();
+  const double exact_mean = CappedUnitChain::mean(pi);
+
+  core::CappedConfig config;
+  config.n = n;
+  config.capacity = 1;
+  config.lambda_n = lambda_n;
+  core::Capped process(config, core::Engine(42));
+  for (int i = 0; i < 2000; ++i) (void)process.step();  // burn in
+
+  const int rounds = 200000;
+  std::vector<double> empirical(65, 0.0);
+  double sim_mean = 0;
+  for (int i = 0; i < rounds; ++i) {
+    const auto pool = process.step().pool_size;
+    ++empirical[std::min<std::uint64_t>(pool, 64)];
+    sim_mean += static_cast<double>(pool);
+  }
+  sim_mean /= rounds;
+  for (auto& p : empirical) p /= rounds;
+
+  // Means agree tightly...
+  EXPECT_NEAR(sim_mean, exact_mean, 0.05 * exact_mean + 0.05);
+  // ...and so do the full distributions (total variation distance).
+  double tv = 0;
+  for (std::size_t m = 0; m < empirical.size(); ++m) {
+    tv += std::abs(empirical[m] - pi[m]);
+  }
+  EXPECT_LT(tv / 2, 0.02);
+}
+
+TEST(Chain, StationaryMeanScalesWithLambda) {
+  CappedUnitChain low(12, 6, 60);   // λ = 1/2
+  CappedUnitChain high(12, 11, 60); // λ = 11/12
+  EXPECT_LT(CappedUnitChain::mean(low.stationary()),
+            CappedUnitChain::mean(high.stationary()));
+}
+
+TEST(Chain, RejectsBadParameters) {
+  EXPECT_THROW(CappedUnitChain(0, 0, 5), iba::ContractViolation);
+  EXPECT_THROW(CappedUnitChain(4, 5, 10), iba::ContractViolation);
+  EXPECT_THROW(CappedUnitChain(4, 3, 2), iba::ContractViolation);
+  EXPECT_THROW((void)occupancy_distribution(0, 3), iba::ContractViolation);
+}
+
+}  // namespace

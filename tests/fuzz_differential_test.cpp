@@ -1,0 +1,96 @@
+// Randomized differential testing: many random (n, c, λ, seed)
+// configurations, each run in lockstep against the explicit-ball oracle
+// and through the invariant checker. Any divergence or accounting
+// violation is a bug in the optimized simulator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/oracle.hpp"
+#include "rng/bounded.hpp"
+#include "rng/seed.hpp"
+#include "rng/xoshiro256.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace iba;
+using core::Capped;
+using core::CappedConfig;
+using core::Engine;
+
+CappedConfig random_config(rng::Xoshiro256pp& meta) {
+  CappedConfig config;
+  config.n = static_cast<std::uint32_t>(2 + rng::bounded(meta, 200));
+  config.capacity = static_cast<std::uint32_t>(1 + rng::bounded(meta, 8));
+  config.lambda_n = rng::bounded(meta, config.n + 1);  // λ ∈ [0, 1]
+  return config;
+}
+
+TEST(FuzzDifferential, OptimizedMatchesOracleOnRandomConfigs) {
+  rng::Xoshiro256pp meta(20210707);
+  for (int trial = 0; trial < 60; ++trial) {
+    const CappedConfig config = random_config(meta);
+    Capped fast(config, Engine(0));
+    core::OracleCapped oracle(config, Engine(0));
+    Engine choices_engine(rng::derive_seed(1, static_cast<std::uint64_t>(trial)));
+
+    for (int round = 0; round < 120; ++round) {
+      std::vector<std::uint32_t> choices(fast.balls_to_throw());
+      for (auto& choice : choices) {
+        choice = rng::bounded32(choices_engine, config.n);
+      }
+      const auto mf = fast.step_with_choices(choices);
+      const auto mo = oracle.step_with_choices(choices);
+      ASSERT_EQ(mf.pool_size, mo.pool_size)
+          << "trial " << trial << " round " << round << " n=" << config.n
+          << " c=" << config.capacity << " lambda_n=" << config.lambda_n;
+      ASSERT_EQ(mf.deleted, mo.deleted);
+      ASSERT_EQ(mf.max_load, mo.max_load);
+      ASSERT_DOUBLE_EQ(mf.wait_sum, mo.wait_sum);
+    }
+  }
+}
+
+TEST(FuzzDifferential, InvariantCheckerCleanOnRandomConfigs) {
+  rng::Xoshiro256pp meta(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    CappedConfig config = random_config(meta);
+    // Exercise random policy combinations too.
+    config.deletion = static_cast<core::DeletionDiscipline>(
+        rng::bounded(meta, 3));
+    config.acceptance = static_cast<core::AcceptanceOrder>(
+        rng::bounded(meta, 2));
+    config.arrival = static_cast<core::ArrivalModel>(rng::bounded(meta, 3));
+    config.failure_probability =
+        static_cast<double>(rng::bounded(meta, 40)) / 100.0;
+
+    Capped process(config, Engine(rng::derive_seed(2, static_cast<std::uint64_t>(trial))));
+    sim::Checked checked(process);
+    for (int round = 0; round < 200; ++round) (void)checked.step();
+    ASSERT_EQ(checked.violations(), 0u)
+        << "trial " << trial << ": " <<
+        (checked.violation_log().empty() ? "?" : checked.violation_log()[0]);
+  }
+}
+
+TEST(FuzzDifferential, SnapshotRestoreOnRandomConfigs) {
+  rng::Xoshiro256pp meta(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    const CappedConfig config = random_config(meta);
+    Capped original(config, Engine(rng::derive_seed(3, static_cast<std::uint64_t>(trial))));
+    const auto warm = 1 + rng::bounded(meta, 150);
+    for (std::uint64_t i = 0; i < warm; ++i) (void)original.step();
+    Capped restored(original.snapshot());
+    for (int round = 0; round < 80; ++round) {
+      const auto mo = original.step();
+      const auto mr = restored.step();
+      ASSERT_EQ(mo.pool_size, mr.pool_size) << "trial " << trial;
+      ASSERT_EQ(mo.deleted, mr.deleted) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Golden regression tests: exact trajectories for fixed seeds, locked in
+// when the implementation was validated against the explicit-ball
+// oracles. Any future change to the allocation logic, the RNG, or the
+// consumption order of random draws will trip these — deliberately.
+// (If a change is *intended* to alter trajectories, regenerate the
+// constants and say so in the commit.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "core/greedy.hpp"
+#include "core/modcapped.hpp"
+
+namespace {
+
+using namespace iba::core;
+
+TEST(Golden, CappedTrajectorySeed12345) {
+  CappedConfig config;
+  config.n = 64;
+  config.capacity = 2;
+  config.lambda_n = 48;
+  Capped process(config, Engine(12345));
+
+  const std::vector<std::uint64_t> expected_pools = {3, 8, 5,  11, 10, 11,
+                                                     9, 6, 8,  12, 12, 14};
+  for (std::size_t i = 0; i < expected_pools.size(); ++i) {
+    ASSERT_EQ(process.step().pool_size, expected_pools[i])
+        << "round " << (i + 1);
+  }
+
+  std::uint64_t sum = 0, mix = 0;
+  for (int i = 0; i < 988; ++i) {
+    const auto m = process.step();
+    sum += m.pool_size;
+    mix ^= m.pool_size * static_cast<std::uint64_t>(i + 1);
+  }
+  EXPECT_EQ(sum, 10154u);
+  EXPECT_EQ(mix, 5463u);
+  EXPECT_EQ(process.waits().count(), 47971u);
+  EXPECT_EQ(process.waits().max(), 3u);
+}
+
+TEST(Golden, ModCappedTrajectorySeed777) {
+  ModCappedConfig config;
+  config.n = 32;
+  config.capacity = 3;
+  config.lambda_n = 24;
+  config.m_star = 200;
+  ModCapped process(config, Engine(777));
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 500; ++i) sum += process.step().pool_size;
+  EXPECT_EQ(sum, 83936u);
+  EXPECT_EQ(process.total_load(), 64u);
+}
+
+TEST(Golden, BatchGreedyTrajectorySeed999) {
+  BatchGreedyConfig config;
+  config.n = 64;
+  config.d = 2;
+  config.lambda_n = 48;
+  BatchGreedy process(config, Engine(999));
+  std::uint64_t max_load_sum = 0;
+  for (int i = 0; i < 500; ++i) max_load_sum += process.step().max_load;
+  EXPECT_EQ(max_load_sum, 1398u);
+  EXPECT_EQ(process.total_load(), 22u);
+}
+
+}  // namespace

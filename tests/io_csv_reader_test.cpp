@@ -1,0 +1,90 @@
+// Tests for the CSV reader: RFC-4180 quoting, round-trips with
+// CsvWriter, numeric columns, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/csv.hpp"
+#include "io/csv_reader.hpp"
+
+namespace {
+
+using namespace iba::io;
+
+TEST(CsvReader, ParsesSimpleDocument) {
+  const auto doc = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(doc.header.size(), 3u);
+  EXPECT_EQ(doc.header[0], "a");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][2], "6");
+}
+
+TEST(CsvReader, HandlesQuotingAndEscapes) {
+  const auto doc =
+      parse_csv("name,note\n\"x,y\",\"say \"\"hi\"\"\"\n\"multi\nline\",z\n");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "x,y");
+  EXPECT_EQ(doc.rows[0][1], "say \"hi\"");
+  EXPECT_EQ(doc.rows[1][0], "multi\nline");
+}
+
+TEST(CsvReader, HandlesCrLfAndMissingTrailingNewline) {
+  const auto doc = parse_csv("a,b\r\n1,2\r\n3,4");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(CsvReader, EmptyInputAndHeaderOnly) {
+  EXPECT_TRUE(parse_csv("").header.empty());
+  const auto doc = parse_csv("x,y\n");
+  EXPECT_EQ(doc.header.size(), 2u);
+  EXPECT_TRUE(doc.rows.empty());
+}
+
+TEST(CsvReader, RejectsMalformed) {
+  EXPECT_THROW((void)parse_csv("a,b\n\"unterminated\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_csv("a,b\n1,2,3\n"), std::runtime_error);
+  EXPECT_THROW((void)read_csv_file("/nonexistent/iba.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvReader, ColumnLookupAndNumericColumn) {
+  const auto doc = parse_csv("c,pool\n1,2.5\n2,1.25\n");
+  ASSERT_TRUE(doc.column("pool").has_value());
+  EXPECT_EQ(*doc.column("pool"), 1u);
+  EXPECT_FALSE(doc.column("missing").has_value());
+  const auto values = doc.numeric_column("pool");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 2.5);
+  EXPECT_DOUBLE_EQ(values[1], 1.25);
+  EXPECT_THROW((void)doc.numeric_column("missing"), std::runtime_error);
+}
+
+TEST(CsvReader, RejectsNonNumericCells) {
+  const auto doc = parse_csv("v\nnot-a-number\n");
+  EXPECT_THROW((void)doc.numeric_column("v"), std::runtime_error);
+}
+
+TEST(CsvReader, RoundTripsWithWriter) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "iba_roundtrip.csv").string();
+  {
+    CsvWriter writer(path);
+    writer.header({"label", "value"});
+    writer.row(std::vector<std::string>{"plain", "1"});
+    writer.row(std::vector<std::string>{"with,comma", "2"});
+    writer.row(std::vector<std::string>{"with \"quotes\"", "3"});
+    writer.row(std::vector<std::string>{"with\nnewline", "4"});
+  }
+  const auto doc = read_csv_file(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(doc.rows.size(), 4u);
+  EXPECT_EQ(doc.rows[0][0], "plain");
+  EXPECT_EQ(doc.rows[1][0], "with,comma");
+  EXPECT_EQ(doc.rows[2][0], "with \"quotes\"");
+  EXPECT_EQ(doc.rows[3][0], "with\nnewline");
+  const auto values = doc.numeric_column("value");
+  EXPECT_DOUBLE_EQ(values[3], 4.0);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Tests for the IO helpers: CSV escaping and structure, JSON writer
+// validity and escaping, table rendering, and CLI flag parsing including
+// error paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+#include "io/cli.hpp"
+#include "io/csv.hpp"
+#include "io/json.hpp"
+#include "io/plot.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using namespace iba::io;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, HeaderAndRows) {
+  const auto path = temp_path("iba_csv_test.csv");
+  {
+    CsvWriter csv(path);
+    csv.header({"c", "pool"});
+    csv.row(std::vector<std::string>{"1", "2.5"});
+    csv.row(std::vector<double>{2.0, 1.25});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(path), "c,pool\n1,2.5\n2,1.25\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsMismatchedRowWidth) {
+  const auto path = temp_path("iba_csv_test2.csv");
+  CsvWriter csv(path);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}),
+               iba::ContractViolation);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RejectsUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x/y.csv"), std::runtime_error);
+}
+
+TEST(Json, ObjectWithAllScalarTypes) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object()
+      .key("name").value("iba")
+      .key("pi").value(3.5)
+      .key("count").value(std::uint64_t{42})
+      .key("delta").value(std::int64_t{-7})
+      .key("ok").value(true)
+      .key("missing").null()
+      .end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(out.str(),
+            R"({"name":"iba","pi":3.5,"count":42,"delta":-7,"ok":true,)"
+            R"("missing":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object()
+      .key("rows").begin_array()
+      .begin_object().key("c").value(std::uint64_t{1}).end_object()
+      .begin_object().key("c").value(std::uint64_t{2}).end_object()
+      .end_array()
+      .end_object();
+  EXPECT_EQ(out.str(), R"({"rows":[{"c":1},{"c":2}]})");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape("q\"q"), "q\\\"q");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(out.str(), "[null]");
+}
+
+TEST(Json, MisuseThrows) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  EXPECT_THROW(json.value("no key"), iba::ContractViolation);
+  json.key("k");
+  EXPECT_THROW(json.key("second key"), iba::ContractViolation);
+  json.value("v");
+  EXPECT_THROW(json.end_array(), iba::ContractViolation);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"c", "pool/n"});
+  table.add_row(std::vector<std::string>{"1", "2.39"});
+  table.add_row(std::vector<double>{2.0, 1.6931});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("c  pool/n"), std::string::npos);
+  EXPECT_NE(text.find("1  2.39"), std::string::npos);
+  EXPECT_NE(text.find("2  1.693"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, TitleAndRowCount) {
+  Table table({"x"});
+  table.set_title("Figure 4 (left)");
+  table.add_row(std::vector<double>{1.0});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.to_string().rfind("Figure 4 (left)\n", 0), 0u);
+}
+
+TEST(Table, RejectsBadShape) {
+  EXPECT_THROW(Table({}), iba::ContractViolation);
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row(std::vector<std::string>{"1"}),
+               iba::ContractViolation);
+}
+
+TEST(Plot, RendersSeriesMarkersAndLegend) {
+  AsciiPlot plot(40, 10);
+  plot.set_title("pool vs c");
+  plot.set_x_label("capacity c");
+  plot.add_series("measured", {1, 2, 3, 4}, {4.0, 2.0, 1.3, 1.0});
+  plot.add_series("reference", {1, 2, 3, 4}, {5.0, 2.5, 1.7, 1.25});
+  const auto text = plot.to_string();
+  EXPECT_NE(text.find("pool vs c"), std::string::npos);
+  EXPECT_NE(text.find("capacity c"), std::string::npos);
+  EXPECT_NE(text.find("o = measured"), std::string::npos);
+  EXPECT_NE(text.find("x = reference"), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+  EXPECT_NE(text.find('|'), std::string::npos);  // y axis
+  EXPECT_NE(text.find('+'), std::string::npos);  // origin
+}
+
+TEST(Plot, EmptyPlotIsPlaceholder) {
+  AsciiPlot plot(20, 5);
+  EXPECT_NE(plot.to_string().find("(empty plot)"), std::string::npos);
+}
+
+TEST(Plot, DegenerateRangesAreSafe) {
+  AsciiPlot plot(20, 5);
+  plot.add_series("flat", {1, 2, 3}, {7.0, 7.0, 7.0});   // zero y-range
+  plot.add_series("point", {2}, {7.0});                   // single point
+  EXPECT_FALSE(plot.to_string().empty());
+}
+
+TEST(Plot, RejectsBadShapes) {
+  EXPECT_THROW(AsciiPlot(2, 2), iba::ContractViolation);
+  AsciiPlot plot(20, 5);
+  EXPECT_THROW(plot.add_series("bad", {1, 2}, {1}), iba::ContractViolation);
+}
+
+TEST(Cli, ParsesBothFlagSyntaxes) {
+  ArgParser parser("prog", "test");
+  parser.add_flag("n", "bins", "8192");
+  parser.add_flag("lambda", "rate", "0.75");
+  const char* argv[] = {"prog", "--n", "1024", "--lambda=0.99"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  EXPECT_EQ(parser.get_uint("n"), 1024u);
+  EXPECT_DOUBLE_EQ(parser.get_double("lambda"), 0.99);
+  EXPECT_TRUE(parser.provided("n"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  ArgParser parser("prog", "test");
+  parser.add_flag("rounds", "measured rounds", "1000");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_uint("rounds"), 1000u);
+  EXPECT_FALSE(parser.provided("rounds"));
+}
+
+TEST(Cli, HelpShortCircuits) {
+  ArgParser parser("prog", "test");
+  parser.add_flag("n", "bins", "1");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+  EXPECT_NE(parser.help_text().find("--n"), std::string::npos);
+}
+
+TEST(Cli, ErrorsOnMisuse) {
+  ArgParser parser("prog", "test");
+  parser.add_flag("n", "bins", "1");
+  const char* unknown[] = {"prog", "--bogus", "3"};
+  EXPECT_THROW((void)parser.parse(3, unknown), iba::ContractViolation);
+
+  ArgParser parser2("prog", "test");
+  parser2.add_flag("n", "bins", "1");
+  const char* missing[] = {"prog", "--n"};
+  EXPECT_THROW((void)parser2.parse(2, missing), iba::ContractViolation);
+
+  ArgParser parser3("prog", "test");
+  parser3.add_flag("n", "bins", "not-a-number");
+  const char* none[] = {"prog"};
+  ASSERT_TRUE(parser3.parse(1, none));
+  EXPECT_THROW((void)parser3.get_uint("n"), iba::ContractViolation);
+  EXPECT_THROW((void)parser3.get_bool("n"), iba::ContractViolation);
+}
+
+TEST(Cli, BooleanParsing) {
+  ArgParser parser("prog", "test");
+  parser.add_flag("csv", "write csv", "true");
+  const char* argv[] = {"prog", "--csv", "off"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_FALSE(parser.get_bool("csv"));
+}
+
+TEST(Cli, NegativeRejectedForUnsigned) {
+  ArgParser parser("prog", "test");
+  parser.add_flag("n", "bins", "-5");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("n"), -5);
+  EXPECT_THROW((void)parser.get_uint("n"), iba::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Unit + statistical tests for the distribution samplers. Statistical
+// assertions use generous tolerance bands (≫ 6 sigma) so they are
+// deterministic in practice for a correct sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace iba::rng;
+
+struct MeanVar {
+  double mean = 0;
+  double var = 0;
+};
+
+template <typename Sampler>
+MeanVar sample_moments(Sampler&& draw, int reps) {
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < reps; ++i) {
+    const double x = static_cast<double>(draw());
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / reps;
+  return {mean, sumsq / reps - mean * mean};
+}
+
+TEST(Binomial, EdgeCases) {
+  Xoshiro256pp eng(1);
+  EXPECT_EQ(binomial(eng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(eng, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(eng, 100, 1.0), 100u);
+  EXPECT_THROW((void)binomial(eng, 10, 1.5), iba::ContractViolation);
+  EXPECT_THROW((void)binomial(eng, 10, -0.1), iba::ContractViolation);
+}
+
+TEST(Binomial, AlwaysWithinSupport) {
+  Xoshiro256pp eng(2);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LE(binomial(eng, 20, 0.3), 20u);
+  }
+}
+
+TEST(Binomial, MomentsSmallNpInversionPath) {
+  Xoshiro256pp eng(3);
+  const std::uint64_t n = 50;
+  const double p = 0.1;  // n·p = 5 → BINV
+  const auto mv = sample_moments([&] { return binomial(eng, n, p); }, 200000);
+  EXPECT_NEAR(mv.mean, 5.0, 0.05);
+  EXPECT_NEAR(mv.var, 4.5, 0.15);
+}
+
+TEST(Binomial, MomentsLargeNpRejectionPath) {
+  Xoshiro256pp eng(4);
+  const std::uint64_t n = 100000;
+  const double p = 0.3;  // n·p = 30000 → BTRS
+  const auto mv = sample_moments([&] { return binomial(eng, n, p); }, 100000);
+  EXPECT_NEAR(mv.mean, 30000.0, 3.0);
+  EXPECT_NEAR(mv.var, 21000.0, 500.0);
+}
+
+TEST(Binomial, MomentsHighPReflection) {
+  Xoshiro256pp eng(5);
+  const auto mv =
+      sample_moments([&] { return binomial(eng, 1000, 0.9); }, 100000);
+  EXPECT_NEAR(mv.mean, 900.0, 0.5);
+  EXPECT_NEAR(mv.var, 90.0, 3.0);
+}
+
+TEST(Binomial, ExactDistributionChiSquareSmallN) {
+  // n = 4, p = 0.5 → pmf (1,4,6,4,1)/16. Chi-square with 4 dof.
+  Xoshiro256pp eng(6);
+  const int kDraws = 160000;
+  std::array<int, 5> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[binomial(eng, 4, 0.5)];
+  const std::array<double, 5> probs = {1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16,
+                                       1.0 / 16};
+  double chi2 = 0;
+  for (int k = 0; k < 5; ++k) {
+    const double expected = kDraws * probs[static_cast<std::size_t>(k)];
+    const double d = counts[static_cast<std::size_t>(k)] - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 30.0);  // >99.999th percentile of chi2(4)
+}
+
+TEST(Poisson, EdgeCases) {
+  Xoshiro256pp eng(7);
+  EXPECT_EQ(poisson(eng, 0.0), 0u);
+  EXPECT_THROW((void)poisson(eng, -1.0), iba::ContractViolation);
+}
+
+TEST(Poisson, MomentsSmallMeanKnuthPath) {
+  Xoshiro256pp eng(8);
+  const auto mv = sample_moments([&] { return poisson(eng, 3.0); }, 200000);
+  EXPECT_NEAR(mv.mean, 3.0, 0.03);
+  EXPECT_NEAR(mv.var, 3.0, 0.1);
+}
+
+TEST(Poisson, MomentsLargeMeanPtrsPath) {
+  Xoshiro256pp eng(9);
+  const auto mv = sample_moments([&] { return poisson(eng, 500.0); }, 100000);
+  EXPECT_NEAR(mv.mean, 500.0, 0.5);
+  EXPECT_NEAR(mv.var, 500.0, 15.0);
+}
+
+TEST(Geometric, MeanMatchesTheory) {
+  Xoshiro256pp eng(10);
+  const double p = 0.25;  // mean failures = (1-p)/p = 3
+  const auto mv = sample_moments([&] { return geometric(eng, p); }, 200000);
+  EXPECT_NEAR(mv.mean, 3.0, 0.05);
+}
+
+TEST(Geometric, POneAlwaysZero) {
+  Xoshiro256pp eng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geometric(eng, 1.0), 0u);
+}
+
+TEST(Exponential, MeanMatchesTheory) {
+  Xoshiro256pp eng(12);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = exponential(eng, 2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Bernoulli, FrequencyMatchesP) {
+  Xoshiro256pp eng(13);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += bernoulli(eng, 0.2);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.2, 0.01);
+}
+
+class BinomialSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BinomialSweep, MeanWithinFiveSigmaOfTheory) {
+  const auto [n, p] = GetParam();
+  Xoshiro256pp eng(splitmix64_hash(n) ^ static_cast<std::uint64_t>(p * 1e9));
+  const int reps = 20000;
+  const auto mv = sample_moments([&] { return binomial(eng, n, p); }, reps);
+  const double mean = static_cast<double>(n) * p;
+  const double sigma_of_mean =
+      std::sqrt(static_cast<double>(n) * p * (1 - p) / reps);
+  EXPECT_NEAR(mv.mean, mean, 5 * sigma_of_mean + 1e-9)
+      << "n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, BinomialSweep,
+    ::testing::Combine(::testing::Values(1, 10, 100, 1000, 32768),
+                       ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.99)));
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Unit tests for the PRNG engines: known-answer vectors, determinism,
+// jump-ahead disjointness, bounded-draw exactness and uniformity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "rng/bounded.hpp"
+#include "rng/philox.hpp"
+#include "rng/seed.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace {
+
+using namespace iba::rng;
+
+TEST(SplitMix64, KnownAnswerSeedZero) {
+  // First outputs of splitmix64 for seed 0, per Vigna's reference code.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, HashMatchesFirstOutput) {
+  for (std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xdeadbeefULL}) {
+    SplitMix64 sm(seed);
+    EXPECT_EQ(splitmix64_hash(seed), sm());
+  }
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256pp, Deterministic) {
+  Xoshiro256pp a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256pp, EqualityTracksState) {
+  Xoshiro256pp a(7), b(7);
+  EXPECT_EQ(a, b);
+  (void)a();
+  EXPECT_FALSE(a == b);
+  (void)b();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Xoshiro256pp, JumpProducesDisjointStream) {
+  Xoshiro256pp base(99);
+  Xoshiro256pp jumped = base;
+  jumped.jump();
+  EXPECT_FALSE(base == jumped);
+
+  std::unordered_set<std::uint64_t> head;
+  for (int i = 0; i < 4096; ++i) head.insert(base());
+  int collisions = 0;
+  for (int i = 0; i < 4096; ++i) collisions += head.count(jumped());
+  // 64-bit outputs: any overlap of two 4k windows is astronomically unlikely
+  // unless the streams coincide.
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Xoshiro256pp, LongJumpDistinctFromJump) {
+  Xoshiro256pp a(5), b(5);
+  a.jump();
+  b.long_jump();
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Xoshiro256ss, DeterministicAndDistinctFromPp) {
+  Xoshiro256ss a(12345), b(12345);
+  Xoshiro256pp c(12345);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a();
+    EXPECT_EQ(x, b());
+    if (x != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro256pp, Uniform01MeanAndRange) {
+  Xoshiro256pp eng(2024);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = uniform01(eng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(Philox4x32, KnownAnswerZeros) {
+  // Random123 known-answer test: philox4x32-10, counter = 0, key = 0.
+  const auto out = Philox4x32::block({0, 0, 0, 0}, {0, 0});
+  EXPECT_EQ(out[0], 0x6627e8d5u);
+  EXPECT_EQ(out[1], 0xe169c58du);
+  EXPECT_EQ(out[2], 0xbc57ac4cu);
+  EXPECT_EQ(out[3], 0x9b00dbd8u);
+}
+
+TEST(Philox4x32, SeekIsRandomAccess) {
+  Philox4x32 seq(42);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 64; ++i) first.push_back(seq());
+
+  Philox4x32 seeked(42);
+  seeked.seek(10);  // block 10 covers sequential outputs 20, 21
+  EXPECT_EQ(seeked(), first[20]);
+  EXPECT_EQ(seeked(), first[21]);
+}
+
+TEST(Philox4x32, DistinctKeysDistinctStreams) {
+  Philox4x32 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Bounded, RangeOneAlwaysZero) {
+  Xoshiro256pp eng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(bounded(eng, 1), 0u);
+}
+
+TEST(Bounded, StaysInRange) {
+  Xoshiro256pp eng(3);
+  for (std::uint64_t range : {2ULL, 3ULL, 7ULL, 1000ULL, (1ULL << 40) + 9}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(bounded(eng, range), range);
+  }
+}
+
+TEST(Bounded, ChiSquareUniformOverSmallRange) {
+  // 7 buckets, 700k draws: chi-square with 6 dof; 33.1 is far beyond the
+  // 99.999th percentile, so a correct implementation fails ~never.
+  Xoshiro256pp eng(77);
+  constexpr std::uint64_t kRange = 7;
+  constexpr int kDraws = 700000;
+  std::array<int, kRange> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[bounded(eng, kRange)];
+  const double expected = static_cast<double>(kDraws) / kRange;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 33.1);
+}
+
+TEST(Bounded, UniformInClosedInterval) {
+  Xoshiro256pp eng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = uniform_in(eng, 10, 13);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit in 1000 draws
+}
+
+TEST(Seed, DeriveSeedInjectiveOverStreams) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < 100000; ++s) {
+    seen.insert(derive_seed(123456789, s));
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(Seed, DeterministicAcrossCalls) {
+  EXPECT_EQ(derive_seed(1, 2), derive_seed(1, 2));
+  EXPECT_NE(derive_seed(1, 2), derive_seed(2, 1));
+}
+
+TEST(Seed, SequenceMatchesDeriveSeeds) {
+  SeedSequence seq(42);
+  const auto expected = derive_seeds(42, 5);
+  for (std::uint64_t e : expected) EXPECT_EQ(seq.next(), e);
+}
+
+TEST(Seed, SplitNamespacesAreDisjoint) {
+  SeedSequence parent(42);
+  SeedSequence child = parent.split();
+  std::unordered_set<std::uint64_t> all;
+  for (int i = 0; i < 1000; ++i) {
+    all.insert(parent.next());
+    all.insert(child.next());
+  }
+  EXPECT_EQ(all.size(), 2000u);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the sweep builder: cell enumeration, series labeling,
+// non-integral-λ cell skipping, and end-to-end execution.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/sweep.hpp"
+
+namespace {
+
+using namespace iba::sim;
+
+SimConfig tiny_base() {
+  SimConfig base;
+  base.n = 256;
+  base.capacity = 1;
+  base.lambda_n = 192;
+  base.burn_in = 20;
+  base.auto_burn_in = false;
+  base.measure_rounds = 30;
+  base.seed = 9;
+  return base;
+}
+
+TEST(Sweep, CapacityAxisWithLambdaSeries) {
+  const auto cells = SweepBuilder(tiny_base())
+                         .over_capacity(1, 5)
+                         .series_lambda_exponents({2, 4})
+                         .build();
+  ASSERT_EQ(cells.size(), 10u);
+  std::set<std::string> series;
+  for (const auto& cell : cells) {
+    series.insert(cell.series);
+    EXPECT_GE(cell.config.capacity, 1u);
+    EXPECT_LE(cell.config.capacity, 5u);
+    EXPECT_EQ(cell.config.n, 256u);
+  }
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_TRUE(series.contains("lambda=1-2^-2"));
+  // λ = 1 − 2^-4 at n = 256 → λn = 240.
+  EXPECT_EQ(cells.back().config.lambda_n, 240u);
+}
+
+TEST(Sweep, LambdaAxisWithCapacitySeries) {
+  const auto cells = SweepBuilder(tiny_base())
+                         .over_lambda_exponent(1, 8)
+                         .series_capacities({1, 3})
+                         .build();
+  ASSERT_EQ(cells.size(), 16u);
+  EXPECT_EQ(cells[0].config.lambda_n, 128u);  // i = 1 → λ = 1/2
+  EXPECT_EQ(cells[0].series, "c=1");
+  EXPECT_EQ(cells[15].series, "c=3");
+}
+
+TEST(Sweep, SkipsNonIntegralLambdaCells) {
+  // n = 256: λ = 1 − 2^-9 would need λn = 255.5 → skipped.
+  const auto cells =
+      SweepBuilder(tiny_base()).over_lambda_exponent(8, 10).build();
+  EXPECT_EQ(cells.size(), 1u);  // only i = 8 survives
+  EXPECT_EQ(cells[0].config.lambda_n, 255u);
+}
+
+TEST(Sweep, NAxisRescalesLambdaN) {
+  const auto cells = SweepBuilder(tiny_base()).over_log2_n(8, 11).build();
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& cell : cells) {
+    EXPECT_DOUBLE_EQ(cell.config.lambda(), 0.75);
+  }
+  EXPECT_EQ(cells[3].config.n, 2048u);
+  EXPECT_EQ(cells[3].config.lambda_n, 1536u);
+}
+
+TEST(Sweep, BuilderMisuseThrows) {
+  EXPECT_THROW(SweepBuilder(tiny_base()).build(), iba::ContractViolation);
+  EXPECT_THROW(
+      SweepBuilder(tiny_base()).over_capacity(1, 2).over_capacity(3, 4),
+      iba::ContractViolation);
+  EXPECT_THROW(SweepBuilder(tiny_base()).over_capacity(3, 2),
+               iba::ContractViolation);
+  EXPECT_THROW(SweepBuilder(tiny_base()).series_capacities({}),
+               iba::ContractViolation);
+}
+
+TEST(Sweep, RunSweepExecutesEveryCell) {
+  const auto cells = SweepBuilder(tiny_base())
+                         .over_capacity(1, 3)
+                         .build();
+  int callbacks = 0;
+  const auto outcomes = run_sweep(cells, [&](const SweepOutcome& outcome) {
+    ++callbacks;
+    EXPECT_EQ(outcome.result.measured_rounds, 30u);
+  });
+  EXPECT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(callbacks, 3);
+  // Pool shrinks with capacity on this workload.
+  EXPECT_GT(outcomes[0].result.pool.mean(), outcomes[2].result.pool.mean());
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Executable validation of the paper's probabilistic building blocks:
+// the miss probability behind Lemmas 2/7, the empty-bins concentration
+// of Lemma 10, and — most importantly — the three drain stages of the
+// waiting-time analysis (Lemmas 3, 4, 5) measured on the real process.
+//
+// m(t, t') (the survivors of M(t) still unallocated at the end of round
+// t') is exactly pool.count_older_or_equal(t) at round t', which the
+// AgedPool exposes directly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "stats/linear_fit.hpp"
+#include "analysis/tail_bounds.hpp"
+#include "core/capped.hpp"
+#include "core/static_allocation.hpp"
+#include "rng/seed.hpp"
+
+namespace {
+
+using namespace iba;
+using core::Capped;
+using core::CappedConfig;
+using core::Engine;
+
+TEST(MissProbability, EmpiricalMatchesFormula) {
+  // Throw m balls into n bins repeatedly; the fraction of empty bins
+  // estimates the per-bin miss probability (1 − 1/n)^m.
+  const std::uint32_t n = 1024;
+  for (const std::uint64_t m : {512ull, 1024ull, 3072ull}) {
+    double empty_fraction = 0;
+    const int trials = 200;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto result = core::one_choice(
+          n, m, Engine(rng::derive_seed(55, static_cast<std::uint64_t>(trial)) + m));
+      empty_fraction += static_cast<double>(result.empty_bins) / n;
+    }
+    empty_fraction /= trials;
+    const double predicted = analysis::miss_probability(n, m);
+    EXPECT_NEAR(empty_fraction, predicted, 0.015) << "m=" << m;
+  }
+}
+
+TEST(EmptyBins, ConcentrationWithinLemma10Band) {
+  // Lemma 10: deviations of the empty-bin count beyond a few standard
+  // deviations are exponentially unlikely. With λ chosen so the bound is
+  // ≤ 1e-6, no trial out of 300 should ever exceed it.
+  const std::uint32_t n = 4096;
+  const std::uint64_t m = n;
+  const double expected = analysis::expected_empty_bins(n, m);
+  // Find a deviation where Lemma 10 gives probability < 1e-6.
+  double dev = 10;
+  while (analysis::empty_bins_deviation_bound(n, expected, dev) > 1e-6) {
+    dev += 10;
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto result = core::one_choice(
+        n, m, Engine(rng::derive_seed(77, static_cast<std::uint64_t>(trial))));
+    ASSERT_LT(std::abs(static_cast<double>(result.empty_bins) - expected),
+              dev)
+        << "trial " << trial;
+  }
+}
+
+// Lemma 2's key inequality: with ≥ m* balls thrown per round, the
+// per-round deletion failure probability is at most e^(−2)·(1−λ).
+TEST(Lemma2, FailedDeletionRateBelowBound) {
+  const std::uint32_t n = 2048;
+  const double lambda = 0.75;
+  const auto m_star = static_cast<std::uint64_t>(
+      analysis::m_star_unit(n, lambda));
+  double miss_fraction = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto result = core::one_choice(
+        n, m_star, Engine(rng::derive_seed(99, static_cast<std::uint64_t>(trial))));
+    miss_fraction += static_cast<double>(result.empty_bins) / n;
+  }
+  miss_fraction /= trials;
+  EXPECT_LE(miss_fraction, std::exp(-2.0) * (1.0 - lambda) * 1.05);
+}
+
+namespace drain {
+
+// Runs CAPPED(c, λ) to steady state, marks the pool at some round t,
+// and returns the survivor counts m(t, t+k) for k = 0, 1, 2, ...
+std::vector<std::uint64_t> survivor_series(std::uint32_t n, std::uint32_t c,
+                                           std::uint64_t lambda_n,
+                                           std::uint64_t seed,
+                                           std::size_t horizon) {
+  CappedConfig config;
+  config.n = n;
+  config.capacity = c;
+  config.lambda_n = lambda_n;
+  Capped process(config, Engine(seed));
+  for (int i = 0; i < 3000; ++i) (void)process.step();  // steady state
+
+  const std::uint64_t t = process.round();
+  std::vector<std::uint64_t> series;
+  series.push_back(process.pool().count_older_or_equal(t));  // m(t, t)
+  for (std::size_t k = 1; k <= horizon; ++k) {
+    (void)process.step();
+    series.push_back(process.pool().count_older_or_equal(t));
+  }
+  return series;
+}
+
+}  // namespace drain
+
+struct DrainParam {
+  std::uint32_t n;
+  std::uint32_t c;
+  std::uint64_t lambda_n;
+  std::uint64_t seed;
+};
+
+class DrainStages : public ::testing::TestWithParam<DrainParam> {};
+
+TEST_P(DrainStages, LemmasThreeFourFiveHoldOnTheRealProcess) {
+  const auto p = GetParam();
+  const double n = p.n;
+  const auto series =
+      drain::survivor_series(p.n, p.c, p.lambda_n, p.seed, 200);
+
+  const std::uint64_t m_t = series[0];
+
+  // Lemma 3: within Δ = m(t)/(n − n/e) rounds, survivors drop to ≤ 2n.
+  const auto delta3 = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(m_t) / (n - n / std::exp(1.0))));
+  ASSERT_LT(delta3, series.size());
+  EXPECT_LE(series[delta3], 2 * p.n) << "Lemma 3 stage";
+
+  // Lemma 4: 19 further rounds push survivors to ≤ n/(2e).
+  const std::size_t delta4 = delta3 + 19;
+  ASSERT_LT(delta4, series.size());
+  EXPECT_LE(static_cast<double>(series[delta4]), n / (2 * std::exp(1.0)))
+      << "Lemma 4 stage";
+
+  // Lemma 5: log log n + O(1) further rounds drain the rest. The proof's
+  // O(1) is small; allow a slack of 8 rounds.
+  const auto loglog = static_cast<std::size_t>(
+      std::ceil(analysis::log_log_n(p.n)));
+  const std::size_t delta5 = delta4 + loglog + 8;
+  ASSERT_LT(delta5, series.size());
+  EXPECT_EQ(series[delta5], 0u) << "Lemma 5 stage";
+
+  // Monotonicity: m(t, t') never increases in t'.
+  for (std::size_t k = 1; k < series.size(); ++k) {
+    ASSERT_LE(series[k], series[k - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, DrainStages,
+    ::testing::Values(DrainParam{1024, 1, 768, 1},
+                      DrainParam{1024, 1, 1008, 2},
+                      DrainParam{2048, 2, 1536, 3},
+                      DrainParam{2048, 3, 2016, 4},
+                      DrainParam{4096, 2, 4032, 5},
+                      DrainParam{1024, 4, 1008, 6}));
+
+TEST(LayeredInduction, BetaRecursionDominatesEmpirically) {
+  // Lemma 5's layered induction: β_0 = n/(2e), β_{i+1} = e·β_i²/n should
+  // upper-bound the survivor counts once they fall below n/(2e) —
+  // checked on a real drain at high λ.
+  const std::uint32_t n = 4096;
+  const auto series = drain::survivor_series(n, 1, 4032, 11, 200);
+  // Find the first k with survivors ≤ n/(2e).
+  const double beta0 = n / (2 * std::exp(1.0));
+  std::size_t start = 0;
+  while (start < series.size() &&
+         static_cast<double>(series[start]) > beta0) {
+    ++start;
+  }
+  ASSERT_LT(start, series.size());
+  double beta = beta0;
+  for (std::size_t i = 0; start + i < series.size(); ++i) {
+    // Stop once the recursion's guarantee window ends (β below 1 ball).
+    EXPECT_LE(static_cast<double>(series[start + i]), std::max(beta, 8.0))
+        << "layer " << i;
+    if (beta < 1.0) break;
+    beta = std::exp(1.0) * beta * beta / n;
+  }
+}
+
+TEST(LinearFitSanity, RecoversKnownLine) {
+  // (Placed here because the figure benches rely on it to check slopes.)
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.5 * i - 2.0);
+  }
+  const auto fit = iba::stats::fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+
+  const auto degenerate = iba::stats::fit_line({2, 2, 2}, {1, 2, 3});
+  EXPECT_EQ(degenerate.slope, 0.0);
+  EXPECT_NEAR(degenerate.intercept, 2.0, 1e-12);
+  EXPECT_EQ(iba::stats::fit_line({}, {}).slope, 0.0);
+}
+
+}  // namespace

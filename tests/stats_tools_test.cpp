@@ -1,0 +1,277 @@
+// Tests for histograms, P² quantiles, reservoir sampling, ECDF, bootstrap
+// CIs, and the burn-in / autocorrelation diagnostics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "rng/bounded.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/autocorrelation.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/p2_quantile.hpp"
+#include "stats/reservoir.hpp"
+
+namespace {
+
+using namespace iba::stats;
+
+TEST(Histogram, BinEdgesAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_EQ(h.bin_lo(0), 0.0);
+  EXPECT_EQ(h.bin_hi(0), 2.0);
+  EXPECT_EQ(h.bin_lo(4), 8.0);
+  h.add(0.0);
+  h.add(1.999);
+  h.add(2.0);
+  h.add(9.999);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 3), iba::ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), iba::ContractViolation);
+}
+
+TEST(Log2Histogram, DyadicBinning) {
+  Log2Histogram h;
+  h.add(0);   // bin 0
+  h.add(1);   // bin 1: [1, 2)
+  h.add(2);   // bin 2: [2, 4)
+  h.add(3);   // bin 2
+  h.add(4);   // bin 3: [4, 8)
+  h.add(7);   // bin 3
+  h.add(8);   // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_EQ(Log2Histogram::bin_lo(3), 4u);
+  EXPECT_EQ(Log2Histogram::bin_hi(3), 8u);
+}
+
+TEST(Log2Histogram, QuantileUpperBoundBracketsExact) {
+  Log2Histogram h;
+  for (std::uint64_t v = 0; v < 1000; ++v) h.add(v);
+  const auto q50 = h.quantile_upper_bound(0.5);
+  EXPECT_GE(q50, 499u);   // not below the exact median
+  EXPECT_LE(q50, 1023u);  // within the dyadic bin of the median
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 1023u);
+}
+
+TEST(Log2Histogram, MergeAddsCounts) {
+  Log2Histogram a, b;
+  a.add(1);
+  a.add(100);
+  b.add(5000);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.max(), 5000u);
+}
+
+TEST(P2Quantile, ExactForSmallSamples) {
+  P2Quantile q(0.5);
+  q.add(3);
+  EXPECT_EQ(q.value(), 3.0);
+  q.add(1);
+  q.add(2);
+  EXPECT_EQ(q.value(), 2.0);  // median of {1,2,3}
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), iba::ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), iba::ContractViolation);
+}
+
+TEST(P2Quantile, ConvergesOnUniform) {
+  iba::rng::Xoshiro256pp eng(11);
+  P2Quantile p50(0.5), p95(0.95);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = iba::rng::uniform01(eng);
+    p50.add(u);
+    p95.add(u);
+  }
+  EXPECT_NEAR(p50.value(), 0.5, 0.02);
+  EXPECT_NEAR(p95.value(), 0.95, 0.02);
+}
+
+TEST(P2Quantile, ConvergesOnSkewedData) {
+  iba::rng::Xoshiro256pp eng(12);
+  P2Quantile p90(0.9);
+  // Exp(1): true p90 = ln 10 ≈ 2.3026.
+  for (int i = 0; i < 200000; ++i) {
+    p90.add(-std::log(iba::rng::uniform01_open_low(eng)));
+  }
+  EXPECT_NEAR(p90.value(), std::log(10.0), 0.1);
+}
+
+TEST(Reservoir, KeepsEverythingBelowCapacity) {
+  iba::rng::Xoshiro256pp eng(1);
+  ReservoirSample<int> r(10);
+  for (int i = 0; i < 5; ++i) r.add(eng, i);
+  EXPECT_EQ(r.sample().size(), 5u);
+  EXPECT_EQ(r.seen(), 5u);
+}
+
+TEST(Reservoir, UniformInclusionProbability) {
+  // Each of 1000 values should land in a 100-slot reservoir w.p. 0.1;
+  // check inclusion frequency of a fixed element across many trials.
+  int included = 0;
+  const int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    iba::rng::Xoshiro256pp eng(static_cast<std::uint64_t>(trial) + 99);
+    ReservoirSample<int> r(100);
+    for (int v = 0; v < 1000; ++v) r.add(eng, v);
+    const auto& s = r.sample();
+    included += std::count(s.begin(), s.end(), 123) > 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(included) / kTrials, 0.1, 0.03);
+}
+
+TEST(Ecdf, CdfAndQuantile) {
+  Ecdf e({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(e.cdf(0.5), 0.0);
+  EXPECT_EQ(e.cdf(1.0), 0.25);
+  EXPECT_EQ(e.cdf(2.5), 0.5);
+  EXPECT_EQ(e.cdf(100.0), 1.0);
+  EXPECT_EQ(e.quantile(0.0), 1.0);
+  EXPECT_EQ(e.quantile(0.5), 2.0);
+  EXPECT_EQ(e.quantile(1.0), 4.0);
+}
+
+TEST(Ecdf, KsDistanceIdenticalAndDisjoint) {
+  Ecdf a({1, 2, 3, 4, 5});
+  Ecdf b({1, 2, 3, 4, 5});
+  EXPECT_NEAR(Ecdf::ks_distance(a, b), 0.0, 1e-12);
+  Ecdf c({10, 11, 12});
+  EXPECT_NEAR(Ecdf::ks_distance(a, c), 1.0, 1e-12);
+}
+
+TEST(Ecdf, KsDistanceDetectsShift) {
+  iba::rng::Xoshiro256pp eng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(iba::rng::uniform01(eng));
+    ys.push_back(iba::rng::uniform01(eng) + 0.25);
+  }
+  EXPECT_NEAR(Ecdf::ks_distance(Ecdf(xs), Ecdf(ys)), 0.25, 0.02);
+}
+
+TEST(Bootstrap, CiContainsTrueMeanOfConstantSample) {
+  iba::rng::Xoshiro256pp eng(6);
+  const auto ci = bootstrap_mean_ci(eng, {5.0, 5.0, 5.0, 5.0});
+  EXPECT_EQ(ci.point, 5.0);
+  EXPECT_EQ(ci.lo, 5.0);
+  EXPECT_EQ(ci.hi, 5.0);
+}
+
+TEST(Bootstrap, CiWidthShrinksWithSampleSize) {
+  iba::rng::Xoshiro256pp eng(7);
+  std::vector<double> small, large;
+  for (int i = 0; i < 20; ++i) small.push_back(iba::rng::uniform01(eng));
+  for (int i = 0; i < 2000; ++i) large.push_back(iba::rng::uniform01(eng));
+  const auto ci_small = bootstrap_mean_ci(eng, small);
+  const auto ci_large = bootstrap_mean_ci(eng, large);
+  EXPECT_LT(ci_large.half_width(), ci_small.half_width());
+  EXPECT_LE(ci_large.lo, ci_large.point);
+  EXPECT_GE(ci_large.hi, ci_large.point);
+}
+
+TEST(Bootstrap, RejectsBadInput) {
+  iba::rng::Xoshiro256pp eng(8);
+  EXPECT_THROW((void)bootstrap_mean_ci(eng, {}), iba::ContractViolation);
+  EXPECT_THROW((void)bootstrap_mean_ci(eng, {1.0}, 1.5),
+               iba::ContractViolation);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  iba::rng::Xoshiro256pp eng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(iba::rng::uniform01(eng));
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 10), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, PersistentSeriesNearOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i < 500 ? 0.0 : 1.0);
+  EXPECT_GT(autocorrelation(xs, 1), 0.95);
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  EXPECT_EQ(autocorrelation({}, 1), 0.0);
+  EXPECT_EQ(autocorrelation({1.0, 1.0, 1.0}, 1), 0.0);  // zero variance
+  EXPECT_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);       // lag too large
+}
+
+TEST(EffectiveSampleSize, IidKeepsMostSamples) {
+  iba::rng::Xoshiro256pp eng(10);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(iba::rng::uniform01(eng));
+  EXPECT_GT(effective_sample_size(xs), 5000.0);
+}
+
+TEST(EffectiveSampleSize, CorrelatedSeriesShrinks) {
+  iba::rng::Xoshiro256pp eng(11);
+  std::vector<double> xs;
+  double x = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    x = 0.95 * x + iba::rng::uniform01(eng);  // AR(1), strongly correlated
+    xs.push_back(x);
+  }
+  EXPECT_LT(effective_sample_size(xs), 2000.0);
+}
+
+TEST(MserTruncation, DetectsWarmupRamp) {
+  // 200 rounds of ramp then 1000 rounds of stationary noise: the cut
+  // should land near the end of the ramp.
+  iba::rng::Xoshiro256pp eng(12);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(static_cast<double>(i));
+  for (int i = 0; i < 1000; ++i)
+    xs.push_back(200.0 + iba::rng::uniform01(eng));
+  const auto cut = mser_truncation_point(xs);
+  EXPECT_GE(cut, 150u);
+  EXPECT_LE(cut, 400u);
+}
+
+TEST(MserTruncation, StationarySeriesCutsLittle) {
+  iba::rng::Xoshiro256pp eng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(iba::rng::uniform01(eng));
+  EXPECT_LE(mser_truncation_point(xs), 300u);
+}
+
+TEST(WindowsAgree, DetectsStabilization) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 100; ++i) ramp.push_back(i);
+  EXPECT_FALSE(windows_agree(ramp, 50, 0.01));
+
+  std::vector<double> flat(100, 7.0);
+  EXPECT_TRUE(windows_agree(flat, 50, 0.01));
+
+  EXPECT_FALSE(windows_agree(flat, 0, 0.01));   // degenerate window
+  EXPECT_FALSE(windows_agree(flat, 100, 0.01)); // not enough data
+}
+
+}  // namespace

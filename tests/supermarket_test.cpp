@@ -1,0 +1,125 @@
+// Tests of the continuous-time supermarket model against its classical
+// closed forms: M/M/1 for d = 1, the doubly exponential two-choice fixed
+// point for d = 2, and Little's law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/supermarket.hpp"
+
+namespace {
+
+using iba::core::Engine;
+using iba::core::Supermarket;
+using iba::core::SupermarketConfig;
+
+SupermarketConfig make_config(std::uint32_t n, std::uint32_t d,
+                              double lambda) {
+  SupermarketConfig config;
+  config.n = n;
+  config.d = d;
+  config.lambda = lambda;
+  return config;
+}
+
+TEST(Supermarket, Validation) {
+  EXPECT_THROW(make_config(0, 2, 0.5).validate(), iba::ContractViolation);
+  EXPECT_THROW(make_config(8, 0, 0.5).validate(), iba::ContractViolation);
+  EXPECT_THROW(make_config(8, 2, 0.0).validate(), iba::ContractViolation);
+  EXPECT_THROW(make_config(8, 2, 1.0).validate(), iba::ContractViolation);
+}
+
+TEST(Supermarket, FixedPointFormula) {
+  EXPECT_DOUBLE_EQ(Supermarket::fixed_point_tail(0.9, 1, 0), 1.0);
+  EXPECT_NEAR(Supermarket::fixed_point_tail(0.9, 1, 3), std::pow(0.9, 3),
+              1e-12);
+  // d = 2: exponent (2^k − 1)/(2 − 1) = 2^k − 1.
+  EXPECT_NEAR(Supermarket::fixed_point_tail(0.9, 2, 3), std::pow(0.9, 7),
+              1e-12);
+}
+
+TEST(Supermarket, TimeAdvancesAndConserves) {
+  Supermarket system(make_config(128, 2, 0.7), Engine(1));
+  const auto events = system.advance(50.0);
+  EXPECT_GT(events, 0u);
+  EXPECT_DOUBLE_EQ(system.now(), 50.0);
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < 128; ++i) total += system.queue_length(i);
+  EXPECT_EQ(total, system.customers_in_system());
+}
+
+TEST(Supermarket, MM1QueueLengthsForDOne) {
+  // d = 1: independent M/M/1 queues; Pr[length ≥ k] = λ^k, mean queue
+  // λ/(1−λ).
+  const double lambda = 0.6;
+  Supermarket system(make_config(4096, 1, lambda), Engine(2));
+  system.advance(200.0);  // warm up well past 1/(1−λ)² time constants
+
+  double tail1 = 0, tail2 = 0, mean = 0;
+  const int samples = 60;
+  for (int s = 0; s < samples; ++s) {
+    system.advance(5.0);
+    tail1 += system.tail_fraction(1);
+    tail2 += system.tail_fraction(2);
+    mean += static_cast<double>(system.customers_in_system()) / 4096.0;
+  }
+  tail1 /= samples;
+  tail2 /= samples;
+  mean /= samples;
+  EXPECT_NEAR(tail1, lambda, 0.03);
+  EXPECT_NEAR(tail2, lambda * lambda, 0.03);
+  EXPECT_NEAR(mean, lambda / (1 - lambda), 0.1);
+}
+
+TEST(Supermarket, TwoChoicesMatchDoublyExponentialFixedPoint) {
+  const double lambda = 0.9;
+  Supermarket system(make_config(8192, 2, lambda), Engine(3));
+  system.advance(300.0);
+
+  double tail2 = 0, tail3 = 0, tail4 = 0;
+  const int samples = 50;
+  for (int s = 0; s < samples; ++s) {
+    system.advance(5.0);
+    tail2 += system.tail_fraction(2);
+    tail3 += system.tail_fraction(3);
+    tail4 += system.tail_fraction(4);
+  }
+  tail2 /= samples;
+  tail3 /= samples;
+  tail4 /= samples;
+  EXPECT_NEAR(tail2, Supermarket::fixed_point_tail(lambda, 2, 2), 0.03);
+  EXPECT_NEAR(tail3, Supermarket::fixed_point_tail(lambda, 2, 3), 0.03);
+  EXPECT_NEAR(tail4, Supermarket::fixed_point_tail(lambda, 2, 4), 0.02);
+}
+
+TEST(Supermarket, TwoChoicesShrinkSojournTimes) {
+  // Mitzenmacher's headline: d = 2 reduces the expected time in system
+  // dramatically at high load.
+  const double lambda = 0.95;
+  Supermarket one(make_config(2048, 1, lambda), Engine(4));
+  Supermarket two(make_config(2048, 2, lambda), Engine(5));
+  one.advance(400.0);
+  two.advance(400.0);
+  one.reset_sojourn_stats();
+  two.reset_sojourn_stats();
+  one.advance(200.0);
+  two.advance(200.0);
+  ASSERT_GT(one.sojourn().count(), 1000u);
+  ASSERT_GT(two.sojourn().count(), 1000u);
+  // M/M/1: E[T] = 1/(1−λ) = 20; two-choice is far smaller.
+  EXPECT_GT(one.sojourn().mean(), 10.0);
+  EXPECT_LT(two.sojourn().mean(), 0.5 * one.sojourn().mean());
+}
+
+TEST(Supermarket, DeterministicGivenSeed) {
+  Supermarket a(make_config(64, 2, 0.8), Engine(6));
+  Supermarket b(make_config(64, 2, 0.8), Engine(6));
+  a.advance(20.0);
+  b.advance(20.0);
+  EXPECT_EQ(a.customers_in_system(), b.customers_in_system());
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(a.queue_length(i), b.queue_length(i));
+  }
+}
+
+}  // namespace
