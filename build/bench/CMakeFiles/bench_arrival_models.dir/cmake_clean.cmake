@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arrival_models.dir/bench_arrival_models.cpp.o"
+  "CMakeFiles/bench_arrival_models.dir/bench_arrival_models.cpp.o.d"
+  "bench_arrival_models"
+  "bench_arrival_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arrival_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

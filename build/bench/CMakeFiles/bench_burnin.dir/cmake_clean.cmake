@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_burnin.dir/bench_burnin.cpp.o"
+  "CMakeFiles/bench_burnin.dir/bench_burnin.cpp.o.d"
+  "bench_burnin"
+  "bench_burnin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burnin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compare_greedy.dir/bench_compare_greedy.cpp.o"
+  "CMakeFiles/bench_compare_greedy.dir/bench_compare_greedy.cpp.o.d"
+  "bench_compare_greedy"
+  "bench_compare_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compare_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dchoice.dir/bench_dchoice.cpp.o"
+  "CMakeFiles/bench_dchoice.dir/bench_dchoice.cpp.o.d"
+  "bench_dchoice"
+  "bench_dchoice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dchoice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

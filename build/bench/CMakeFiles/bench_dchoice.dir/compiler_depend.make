@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_dchoice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disciplines.dir/bench_disciplines.cpp.o"
+  "CMakeFiles/bench_disciplines.dir/bench_disciplines.cpp.o.d"
+  "bench_disciplines"
+  "bench_disciplines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disciplines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_chain.dir/bench_exact_chain.cpp.o"
+  "CMakeFiles/bench_exact_chain.dir/bench_exact_chain.cpp.o.d"
+  "bench_exact_chain"
+  "bench_exact_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

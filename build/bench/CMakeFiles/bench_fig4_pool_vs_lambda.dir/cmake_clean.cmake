@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pool_vs_lambda.dir/bench_fig4_pool_vs_lambda.cpp.o"
+  "CMakeFiles/bench_fig4_pool_vs_lambda.dir/bench_fig4_pool_vs_lambda.cpp.o.d"
+  "bench_fig4_pool_vs_lambda"
+  "bench_fig4_pool_vs_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pool_vs_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modcapped.dir/bench_modcapped.cpp.o"
+  "CMakeFiles/bench_modcapped.dir/bench_modcapped.cpp.o.d"
+  "bench_modcapped"
+  "bench_modcapped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modcapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

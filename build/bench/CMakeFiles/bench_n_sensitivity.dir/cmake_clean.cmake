@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_n_sensitivity.dir/bench_n_sensitivity.cpp.o"
+  "CMakeFiles/bench_n_sensitivity.dir/bench_n_sensitivity.cpp.o.d"
+  "bench_n_sensitivity"
+  "bench_n_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_n_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

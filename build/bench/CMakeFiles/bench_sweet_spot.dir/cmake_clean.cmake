@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweet_spot.dir/bench_sweet_spot.cpp.o"
+  "CMakeFiles/bench_sweet_spot.dir/bench_sweet_spot.cpp.o.d"
+  "bench_sweet_spot"
+  "bench_sweet_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweet_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_theory_vs_sim.cpp" "bench/CMakeFiles/bench_theory_vs_sim.dir/bench_theory_vs_sim.cpp.o" "gcc" "bench/CMakeFiles/bench_theory_vs_sim.dir/bench_theory_vs_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/iba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/iba_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/iba_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/iba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/iba_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/iba_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/iba_concurrency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

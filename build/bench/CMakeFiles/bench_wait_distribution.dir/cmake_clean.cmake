@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wait_distribution.dir/bench_wait_distribution.cpp.o"
+  "CMakeFiles/bench_wait_distribution.dir/bench_wait_distribution.cpp.o.d"
+  "bench_wait_distribution"
+  "bench_wait_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wait_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

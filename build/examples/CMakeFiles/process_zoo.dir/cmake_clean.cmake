@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_zoo.dir/process_zoo.cpp.o"
+  "CMakeFiles/process_zoo.dir/process_zoo.cpp.o.d"
+  "process_zoo"
+  "process_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

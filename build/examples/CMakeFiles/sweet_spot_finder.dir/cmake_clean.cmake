@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweet_spot_finder.dir/sweet_spot_finder.cpp.o"
+  "CMakeFiles/sweet_spot_finder.dir/sweet_spot_finder.cpp.o.d"
+  "sweet_spot_finder"
+  "sweet_spot_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweet_spot_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_server_farm]=] "/root/repo/build/examples/server_farm" "--n" "512" "--days" "1")
+set_tests_properties([=[example_server_farm]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_sweet_spot_finder]=] "/root/repo/build/examples/sweet_spot_finder" "--n" "1024" "--lambda" "0.9375" "--cmax" "4" "--rounds" "150")
+set_tests_properties([=[example_sweet_spot_finder]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_process_zoo]=] "/root/repo/build/examples/process_zoo" "--n" "512")
+set_tests_properties([=[example_process_zoo]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_simulate]=] "/root/repo/build/examples/simulate" "--n" "512" "--lambda" "0.875" "--rounds" "100" "--json" "true")
+set_tests_properties([=[example_simulate]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_simulate_capped_greedy]=] "/root/repo/build/examples/simulate" "--process" "capped-greedy" "--n" "512" "--lambda" "0.875" "--rounds" "100" "--d" "2")
+set_tests_properties([=[example_simulate_capped_greedy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_simulate_bad_flag_fails]=] "/root/repo/build/examples/simulate" "--process" "bogus")
+set_tests_properties([=[example_simulate_bad_flag_fails]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bounds.cpp" "src/analysis/CMakeFiles/iba_analysis.dir/bounds.cpp.o" "gcc" "src/analysis/CMakeFiles/iba_analysis.dir/bounds.cpp.o.d"
+  "/root/repo/src/analysis/exact_chain.cpp" "src/analysis/CMakeFiles/iba_analysis.dir/exact_chain.cpp.o" "gcc" "src/analysis/CMakeFiles/iba_analysis.dir/exact_chain.cpp.o.d"
+  "/root/repo/src/analysis/tail_bounds.cpp" "src/analysis/CMakeFiles/iba_analysis.dir/tail_bounds.cpp.o" "gcc" "src/analysis/CMakeFiles/iba_analysis.dir/tail_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

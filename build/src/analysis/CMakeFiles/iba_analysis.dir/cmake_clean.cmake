@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_analysis.dir/bounds.cpp.o"
+  "CMakeFiles/iba_analysis.dir/bounds.cpp.o.d"
+  "CMakeFiles/iba_analysis.dir/exact_chain.cpp.o"
+  "CMakeFiles/iba_analysis.dir/exact_chain.cpp.o.d"
+  "CMakeFiles/iba_analysis.dir/tail_bounds.cpp.o"
+  "CMakeFiles/iba_analysis.dir/tail_bounds.cpp.o.d"
+  "libiba_analysis.a"
+  "libiba_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiba_analysis.a"
+)

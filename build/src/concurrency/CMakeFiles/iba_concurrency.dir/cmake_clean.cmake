@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_concurrency.dir/thread_pool.cpp.o"
+  "CMakeFiles/iba_concurrency.dir/thread_pool.cpp.o.d"
+  "libiba_concurrency.a"
+  "libiba_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adler_fifo.cpp" "src/core/CMakeFiles/iba_core.dir/adler_fifo.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/adler_fifo.cpp.o.d"
+  "/root/repo/src/core/becchetti.cpp" "src/core/CMakeFiles/iba_core.dir/becchetti.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/becchetti.cpp.o.d"
+  "/root/repo/src/core/capped.cpp" "src/core/CMakeFiles/iba_core.dir/capped.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/capped.cpp.o.d"
+  "/root/repo/src/core/capped_greedy.cpp" "src/core/CMakeFiles/iba_core.dir/capped_greedy.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/capped_greedy.cpp.o.d"
+  "/root/repo/src/core/collision.cpp" "src/core/CMakeFiles/iba_core.dir/collision.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/collision.cpp.o.d"
+  "/root/repo/src/core/coupled.cpp" "src/core/CMakeFiles/iba_core.dir/coupled.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/coupled.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/iba_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/hetero_capped.cpp" "src/core/CMakeFiles/iba_core.dir/hetero_capped.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/hetero_capped.cpp.o.d"
+  "/root/repo/src/core/modcapped.cpp" "src/core/CMakeFiles/iba_core.dir/modcapped.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/modcapped.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/iba_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/reallocation.cpp" "src/core/CMakeFiles/iba_core.dir/reallocation.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/reallocation.cpp.o.d"
+  "/root/repo/src/core/static_allocation.cpp" "src/core/CMakeFiles/iba_core.dir/static_allocation.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/static_allocation.cpp.o.d"
+  "/root/repo/src/core/supermarket.cpp" "src/core/CMakeFiles/iba_core.dir/supermarket.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/supermarket.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/core/CMakeFiles/iba_core.dir/threshold.cpp.o" "gcc" "src/core/CMakeFiles/iba_core.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/iba_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/iba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/iba_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_core.dir/adler_fifo.cpp.o"
+  "CMakeFiles/iba_core.dir/adler_fifo.cpp.o.d"
+  "CMakeFiles/iba_core.dir/becchetti.cpp.o"
+  "CMakeFiles/iba_core.dir/becchetti.cpp.o.d"
+  "CMakeFiles/iba_core.dir/capped.cpp.o"
+  "CMakeFiles/iba_core.dir/capped.cpp.o.d"
+  "CMakeFiles/iba_core.dir/capped_greedy.cpp.o"
+  "CMakeFiles/iba_core.dir/capped_greedy.cpp.o.d"
+  "CMakeFiles/iba_core.dir/collision.cpp.o"
+  "CMakeFiles/iba_core.dir/collision.cpp.o.d"
+  "CMakeFiles/iba_core.dir/coupled.cpp.o"
+  "CMakeFiles/iba_core.dir/coupled.cpp.o.d"
+  "CMakeFiles/iba_core.dir/greedy.cpp.o"
+  "CMakeFiles/iba_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/iba_core.dir/hetero_capped.cpp.o"
+  "CMakeFiles/iba_core.dir/hetero_capped.cpp.o.d"
+  "CMakeFiles/iba_core.dir/modcapped.cpp.o"
+  "CMakeFiles/iba_core.dir/modcapped.cpp.o.d"
+  "CMakeFiles/iba_core.dir/oracle.cpp.o"
+  "CMakeFiles/iba_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/iba_core.dir/reallocation.cpp.o"
+  "CMakeFiles/iba_core.dir/reallocation.cpp.o.d"
+  "CMakeFiles/iba_core.dir/static_allocation.cpp.o"
+  "CMakeFiles/iba_core.dir/static_allocation.cpp.o.d"
+  "CMakeFiles/iba_core.dir/supermarket.cpp.o"
+  "CMakeFiles/iba_core.dir/supermarket.cpp.o.d"
+  "CMakeFiles/iba_core.dir/threshold.cpp.o"
+  "CMakeFiles/iba_core.dir/threshold.cpp.o.d"
+  "libiba_core.a"
+  "libiba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_io.dir/cli.cpp.o"
+  "CMakeFiles/iba_io.dir/cli.cpp.o.d"
+  "CMakeFiles/iba_io.dir/csv.cpp.o"
+  "CMakeFiles/iba_io.dir/csv.cpp.o.d"
+  "CMakeFiles/iba_io.dir/csv_reader.cpp.o"
+  "CMakeFiles/iba_io.dir/csv_reader.cpp.o.d"
+  "CMakeFiles/iba_io.dir/json.cpp.o"
+  "CMakeFiles/iba_io.dir/json.cpp.o.d"
+  "CMakeFiles/iba_io.dir/plot.cpp.o"
+  "CMakeFiles/iba_io.dir/plot.cpp.o.d"
+  "CMakeFiles/iba_io.dir/table.cpp.o"
+  "CMakeFiles/iba_io.dir/table.cpp.o.d"
+  "libiba_io.a"
+  "libiba_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

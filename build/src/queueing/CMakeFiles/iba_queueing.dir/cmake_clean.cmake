@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_queueing.dir/bin_table.cpp.o"
+  "CMakeFiles/iba_queueing.dir/bin_table.cpp.o.d"
+  "CMakeFiles/iba_queueing.dir/unbounded_bin_table.cpp.o"
+  "CMakeFiles/iba_queueing.dir/unbounded_bin_table.cpp.o.d"
+  "libiba_queueing.a"
+  "libiba_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

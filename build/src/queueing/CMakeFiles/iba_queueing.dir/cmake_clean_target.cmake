@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiba_queueing.a"
+)

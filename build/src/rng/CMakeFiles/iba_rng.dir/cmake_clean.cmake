@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_rng.dir/alias.cpp.o"
+  "CMakeFiles/iba_rng.dir/alias.cpp.o.d"
+  "CMakeFiles/iba_rng.dir/distributions.cpp.o"
+  "CMakeFiles/iba_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/iba_rng.dir/seed.cpp.o"
+  "CMakeFiles/iba_rng.dir/seed.cpp.o.d"
+  "libiba_rng.a"
+  "libiba_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

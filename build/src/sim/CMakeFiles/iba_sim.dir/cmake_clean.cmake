@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_sim.dir/checkpoint.cpp.o"
+  "CMakeFiles/iba_sim.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/iba_sim.dir/config.cpp.o"
+  "CMakeFiles/iba_sim.dir/config.cpp.o.d"
+  "CMakeFiles/iba_sim.dir/runner.cpp.o"
+  "CMakeFiles/iba_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/iba_sim.dir/sweep.cpp.o"
+  "CMakeFiles/iba_sim.dir/sweep.cpp.o.d"
+  "libiba_sim.a"
+  "libiba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iba_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/iba_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/iba_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/iba_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/iba_stats.dir/linear_fit.cpp.o"
+  "CMakeFiles/iba_stats.dir/linear_fit.cpp.o.d"
+  "CMakeFiles/iba_stats.dir/summary.cpp.o"
+  "CMakeFiles/iba_stats.dir/summary.cpp.o.d"
+  "libiba_stats.a"
+  "libiba_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iba_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_capped_oracle_test.cpp" "tests/CMakeFiles/core_capped_oracle_test.dir/core_capped_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/core_capped_oracle_test.dir/core_capped_oracle_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/iba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/iba_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/iba_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hetero_test.dir/core_hetero_test.cpp.o"
+  "CMakeFiles/core_hetero_test.dir/core_hetero_test.cpp.o.d"
+  "core_hetero_test"
+  "core_hetero_test.pdb"
+  "core_hetero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hetero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_modcapped_test.dir/core_modcapped_test.cpp.o"
+  "CMakeFiles/core_modcapped_test.dir/core_modcapped_test.cpp.o.d"
+  "core_modcapped_test"
+  "core_modcapped_test.pdb"
+  "core_modcapped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_modcapped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_related_work_test.dir/core_related_work_test.cpp.o"
+  "CMakeFiles/core_related_work_test.dir/core_related_work_test.cpp.o.d"
+  "core_related_work_test"
+  "core_related_work_test.pdb"
+  "core_related_work_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_related_work_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

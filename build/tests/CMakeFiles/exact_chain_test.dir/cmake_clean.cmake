@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_chain_test.dir/exact_chain_test.cpp.o"
+  "CMakeFiles/exact_chain_test.dir/exact_chain_test.cpp.o.d"
+  "exact_chain_test"
+  "exact_chain_test.pdb"
+  "exact_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

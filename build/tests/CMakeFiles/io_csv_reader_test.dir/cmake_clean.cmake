@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_csv_reader_test.dir/io_csv_reader_test.cpp.o"
+  "CMakeFiles/io_csv_reader_test.dir/io_csv_reader_test.cpp.o.d"
+  "io_csv_reader_test"
+  "io_csv_reader_test.pdb"
+  "io_csv_reader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_csv_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

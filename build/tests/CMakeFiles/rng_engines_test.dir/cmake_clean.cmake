@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_engines_test.dir/rng_engines_test.cpp.o"
+  "CMakeFiles/rng_engines_test.dir/rng_engines_test.cpp.o.d"
+  "rng_engines_test"
+  "rng_engines_test.pdb"
+  "rng_engines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tools_test.dir/stats_tools_test.cpp.o"
+  "CMakeFiles/stats_tools_test.dir/stats_tools_test.cpp.o.d"
+  "stats_tools_test"
+  "stats_tools_test.pdb"
+  "stats_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

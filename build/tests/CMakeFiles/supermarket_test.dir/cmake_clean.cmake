@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supermarket_test.dir/supermarket_test.cpp.o"
+  "CMakeFiles/supermarket_test.dir/supermarket_test.cpp.o.d"
+  "supermarket_test"
+  "supermarket_test.pdb"
+  "supermarket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supermarket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
