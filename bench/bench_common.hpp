@@ -16,6 +16,8 @@
 #include "io/table.hpp"
 #include "sim/config.hpp"
 #include "sim/runner.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
 
 namespace iba::bench {
 
@@ -27,6 +29,7 @@ struct BenchOptions {
   std::uint64_t burn_in_override = 0;  ///< 0 = suggested_burn_in(λ)
   std::string csv_dir = ".";
   bool write_csv = true;
+  std::string telemetry_out;  ///< empty = no metrics snapshot
 };
 
 /// Declares the standard flags on `parser`.
@@ -39,6 +42,10 @@ inline void add_standard_flags(io::ArgParser& parser) {
   parser.add_flag("csv-dir", "directory for CSV output (created if missing)",
                   "results");
   parser.add_flag("csv", "write CSV files", "true");
+  parser.add_flag("telemetry-out",
+                  "write a metrics snapshot covering every cell to this path "
+                  "(.prom = Prometheus text, .jsonl = JSON lines)",
+                  "");
 }
 
 /// Reads the standard flags back.
@@ -50,7 +57,15 @@ inline BenchOptions read_standard_flags(const io::ArgParser& parser) {
   options.burn_in_override = parser.get_uint("burnin");
   options.csv_dir = parser.get("csv-dir");
   options.write_csv = parser.get_bool("csv");
+  options.telemetry_out = parser.get("telemetry-out");
   return options;
+}
+
+/// The bench-wide metrics registry: every run_cell records into it, and
+/// --telemetry-out snapshots it next to the CSVs.
+inline telemetry::Registry& bench_registry() {
+  static telemetry::Registry registry;
+  return registry;
 }
 
 /// Builds the SimConfig for one cell under `options`.
@@ -70,22 +85,42 @@ inline sim::SimConfig make_cell(const BenchOptions& options,
   return config;
 }
 
-/// Runs one CAPPED cell and logs progress to stderr.
+/// Runs one CAPPED cell, recording it into bench_registry(), and logs
+/// progress to stderr.
 inline sim::RunResult run_cell(const sim::SimConfig& config) {
   std::fprintf(stderr, "[cell] %s burn_in=%llu rounds=%llu ...\n",
                config.label().c_str(),
                static_cast<unsigned long long>(config.burn_in),
                static_cast<unsigned long long>(config.measure_rounds));
-  return sim::run_capped(config);
+  sim::RunTelemetry telemetry;
+  telemetry.registry = &bench_registry();
+  return sim::run_capped(config, sim::RunSpec::from_config(config),
+                         telemetry);
 }
 
-/// Writes `table` to stdout and its numeric mirror to csv_dir/name.csv.
+/// Writes the bench-wide registry to options.telemetry_out (no-op when
+/// the flag was not given). Cumulative: covers every cell run so far.
+inline void write_telemetry(const BenchOptions& options) {
+  if (options.telemetry_out.empty()) return;
+  if (telemetry::write_snapshot_file(bench_registry(),
+                                     options.telemetry_out)) {
+    std::fprintf(stderr, "[telemetry] wrote %s\n",
+                 options.telemetry_out.c_str());
+  } else {
+    std::fprintf(stderr, "[telemetry] FAILED to write %s\n",
+                 options.telemetry_out.c_str());
+  }
+}
+
+/// Writes `table` to stdout, its numeric mirror to csv_dir/name.csv, and
+/// the telemetry snapshot when requested.
 inline void emit(const io::Table& table, const BenchOptions& options,
                  const std::string& name,
                  const std::vector<std::string>& columns,
                  const std::vector<std::vector<double>>& rows) {
   table.print();
   std::printf("\n");
+  write_telemetry(options);
   if (!options.write_csv) return;
   std::error_code ec;
   std::filesystem::create_directories(options.csv_dir, ec);

@@ -19,6 +19,9 @@
 #include "rng/bounded.hpp"
 #include "rng/philox.hpp"
 #include "rng/xoshiro256.hpp"
+#include "telemetry/phase_timers.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/round_trace.hpp"
 
 namespace {
 
@@ -124,6 +127,76 @@ BENCHMARK(BM_CappedRound)
     ->Args({1 << 13, 1})
     ->Args({1 << 13, 3})
     ->Args({1 << 15, 3});
+
+// Same workload with every telemetry instrument attached (registry
+// counters + phase timers + round trace). Comparing balls/s against
+// BM_CappedRound gives the enabled-telemetry overhead; building with
+// -DIBA_TELEMETRY=OFF and re-running gives the compiled-out cost.
+void BM_CappedRoundTelemetry(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::CappedConfig config;
+  config.n = n;
+  config.capacity = 3;
+  config.lambda_n = n - n / 16;
+  core::Capped process(config, core::Engine(7));
+  for (int i = 0; i < 2000; ++i) (void)process.step();
+
+  telemetry::Registry registry;
+  telemetry::PhaseTimers timers;
+  telemetry::RoundTrace trace(1024);
+  process.set_phase_timers(&timers);
+  auto& rounds = registry.counter("rounds_total");
+  auto& thrown = registry.counter("balls_thrown_total");
+  auto& pool_hist = registry.histogram("pool_size_rounds");
+
+  std::uint64_t balls = 0;
+  for (auto _ : state) {
+    const auto m = process.step();
+    rounds.inc();
+    thrown.inc(m.thrown);
+    pool_hist.observe(m.pool_size);
+    (void)trace.try_push({m, 0});
+    telemetry::RoundEvent drained;
+    (void)trace.try_pop(drained);
+    balls += m.thrown;
+  }
+  process.set_phase_timers(nullptr);
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(balls), benchmark::Counter::kIsRate);
+  state.counters["throw_ns/ball"] =
+      timers.ns_per_ball(telemetry::Phase::kThrow);
+  state.counters["accept_ns/ball"] =
+      timers.ns_per_ball(telemetry::Phase::kAccept);
+}
+BENCHMARK(BM_CappedRoundTelemetry)->Arg(1 << 13);
+
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  telemetry::Registry registry;
+  auto& counter = registry.counter("bench");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void BM_TelemetryHistogramObserve(benchmark::State& state) {
+  telemetry::Registry registry;
+  auto& histogram = registry.histogram("bench");
+  std::uint64_t v = 0;
+  for (auto _ : state) histogram.observe(v++ & 0xFFFF);
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_TelemetryHistogramObserve);
+
+void BM_RoundTracePushPop(benchmark::State& state) {
+  telemetry::RoundTrace trace(1024);
+  telemetry::RoundEvent event{};
+  for (auto _ : state) {
+    (void)trace.try_push(event);
+    (void)trace.try_pop(event);
+  }
+  benchmark::DoNotOptimize(trace.dropped());
+}
+BENCHMARK(BM_RoundTracePushPop);
 
 // Ablation: the explicit-ball oracle on the same workload (small n only —
 // it is O(m log m) per round).

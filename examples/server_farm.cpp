@@ -8,9 +8,20 @@
 // showing that a small buffer (the paper's sweet spot) beats both the
 // bufferless and the large-buffer farm on tail latency.
 //
-//   $ ./server_farm [--n 4096] [--days 3]
+// With --telemetry-out the farm runs with live telemetry: every round is
+// pushed onto a bounded SPSC trace ring; a tailer thread drains it into a
+// shared metrics registry and appends one JSON-lines snapshot per
+// simulated quarter-day — the pattern a production deployment would use
+// to watch pool drift and tail latency without touching the serving loop.
+//
+//   $ ./server_farm [--n 4096] [--days 3] [--telemetry-out farm.jsonl]
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "analysis/bounds.hpp"
@@ -18,6 +29,9 @@
 #include "io/cli.hpp"
 #include "io/table.hpp"
 #include "stats/welford.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/round_trace.hpp"
+#include "telemetry/shared_registry.hpp"
 
 namespace {
 
@@ -41,8 +55,74 @@ struct FarmReport {
   double utilization;
 };
 
+/// Tails a RoundTrace from its own thread: folds every event into a
+/// SharedRegistry and appends one JSON-lines snapshot per
+/// `snapshot_rounds` consumed events. The serving loop never blocks on
+/// it — when the tailer falls behind, events are dropped and counted.
+class LiveExporter {
+ public:
+  LiveExporter(iba::telemetry::RoundTrace& trace, std::ostream& out,
+               std::uint32_t capacity, std::uint64_t snapshot_rounds)
+      : trace_(trace), out_(out), capacity_(capacity),
+        snapshot_rounds_(snapshot_rounds),
+        thread_([this] { run(); }) {}
+
+  ~LiveExporter() {
+    done_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+ private:
+  void drain() {
+    iba::telemetry::RoundEvent event;
+    while (trace_.try_pop(event)) {
+      const auto& m = event.metrics;
+      registry_.with([&](iba::telemetry::Registry& r) {
+        r.gauge("capacity").set(capacity_);
+        r.counter("rounds_total").inc();
+        r.counter("balls_generated_total").inc(m.generated);
+        r.counter("balls_deleted_total").inc(m.deleted);
+        r.gauge("pool_size").set(static_cast<double>(m.pool_size));
+        r.gauge("max_load").set(static_cast<double>(m.max_load));
+        r.histogram("pool_size_rounds").observe(m.pool_size);
+        r.counter("step_ns_total").inc(event.step_ns);
+      });
+      if (++consumed_ % snapshot_rounds_ == 0) snapshot();
+    }
+  }
+
+  void snapshot() {
+    registry_.with([&](iba::telemetry::Registry& r) {
+      r.counter("trace_dropped_total")
+          .inc(trace_.dropped() - last_dropped_);
+      last_dropped_ = trace_.dropped();
+      iba::telemetry::write_json_line(r, out_);
+    });
+  }
+
+  void run() {
+    while (!done_.load(std::memory_order_acquire)) {
+      drain();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    drain();     // whatever arrived before the producer finished
+    snapshot();  // final state
+  }
+
+  iba::telemetry::RoundTrace& trace_;
+  std::ostream& out_;
+  std::uint32_t capacity_;
+  std::uint64_t snapshot_rounds_;
+  iba::telemetry::SharedRegistry registry_;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t last_dropped_ = 0;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
 FarmReport run_farm(std::uint32_t n, std::uint32_t capacity,
-                    std::uint64_t days, std::uint64_t seed) {
+                    std::uint64_t days, std::uint64_t seed,
+                    std::ostream* telemetry_out) {
   using namespace iba;
   core::CappedConfig config;
   config.n = n;
@@ -57,16 +137,37 @@ FarmReport run_farm(std::uint32_t n, std::uint32_t capacity,
   }
   farm.reset_wait_stats();
 
+  // Live telemetry: bounded ring between the serving loop (producer)
+  // and the exporter thread (consumer), one snapshot per quarter-day.
+  telemetry::RoundTrace trace(1024);
+  std::optional<LiveExporter> exporter;
+  if (telemetry_out != nullptr) {
+    exporter.emplace(trace, *telemetry_out, capacity, kRoundsPerDay / 4);
+  }
+
   double peak_backlog = 0;
   std::uint64_t served = 0;
   const std::uint64_t horizon = days * kRoundsPerDay;
   for (std::uint64_t t = 0; t < horizon; ++t) {
     farm.set_lambda_n(diurnal_lambda_n(n, kRoundsPerDay + t));
-    const auto m = farm.step();
+    core::RoundMetrics m;
+    if (telemetry_out != nullptr) {
+      // Only clocked when someone is listening.
+      const auto start = std::chrono::steady_clock::now();
+      m = farm.step();
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      (void)trace.try_push({m, ns});
+    } else {
+      m = farm.step();
+    }
     peak_backlog = std::max(
         peak_backlog, static_cast<double>(m.pool_size) / n);
     served += m.deleted;
   }
+  exporter.reset();  // drain and write the final snapshot
 
   return {capacity,
           farm.waits().mean(),
@@ -85,10 +186,25 @@ int main(int argc, char** argv) {
   parser.add_flag("n", "number of servers", "4096");
   parser.add_flag("days", "measured days (4000 rounds each)", "3");
   parser.add_flag("seed", "random seed", "7");
+  parser.add_flag("telemetry-out",
+                  "append live JSON-lines metric snapshots to this file "
+                  "(one per simulated quarter-day)",
+                  "");
   if (!parser.parse(argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(parser.get_uint("n"));
   const auto days = parser.get_uint("days");
   const auto seed = parser.get_uint("seed");
+  const std::string telemetry_path = parser.get("telemetry-out");
+
+  std::ofstream telemetry_file;
+  if (!telemetry_path.empty()) {
+    telemetry_file.open(telemetry_path);
+    if (!telemetry_file) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   telemetry_path.c_str());
+      return 1;
+    }
+  }
 
   std::printf("server farm: %u servers, diurnal load 55%%..97%%, "
               "%llu day(s) measured\n\n",
@@ -98,7 +214,8 @@ int main(int argc, char** argv) {
                    "peak backlog/server", "utilization"});
   table.set_title("Latency (in rounds) per buffer size");
   for (const std::uint32_t c : {1u, 2u, 4u, 8u}) {
-    const auto report = run_farm(n, c, days, seed);
+    const auto report = run_farm(
+        n, c, days, seed, telemetry_file.is_open() ? &telemetry_file : nullptr);
     table.add_row({io::Table::format_number(report.capacity),
                    io::Table::format_number(report.wait_avg),
                    io::Table::format_number(report.wait_p99),

@@ -121,9 +121,12 @@ std::uint64_t Capped::sample_arrivals() {
 RoundMetrics Capped::step() {
   const std::uint64_t generated = sample_arrivals();
   const std::uint64_t nu = pool_.total() + generated;
-  choice_scratch_.resize(nu);
-  for (auto& choice : choice_scratch_) {
-    choice = rng::bounded32(engine_, config_.n);
+  {
+    telemetry::ScopedPhaseTimer timer(timers_, telemetry::Phase::kThrow, nu);
+    choice_scratch_.resize(nu);
+    for (auto& choice : choice_scratch_) {
+      choice = rng::bounded32(engine_, config_.n);
+    }
   }
   return step_internal(generated, choice_scratch_);
 }
@@ -156,6 +159,8 @@ RoundMetrics Capped::allocate_and_delete(
   // paper's oldest-first, or the ablation's inversion); each bin accepts
   // while it has room, which realizes "accept the preferred min{c−ℓ, ν}
   // requests" exactly (see the header comment).
+  telemetry::ScopedPhaseTimer accept_timer(timers_, telemetry::Phase::kAccept,
+                                           m.thrown);
   survivors_.clear();
   std::size_t idx = 0;
   if (infinite()) {
@@ -207,8 +212,10 @@ RoundMetrics Capped::allocate_and_delete(
   }
   IBA_ASSERT(idx == choices.size());
   pool_.swap(survivors_);
+  accept_timer.stop();
 
   // Deletion: every non-empty, non-failed bin serves one ball.
+  telemetry::ScopedPhaseTimer delete_timer(timers_, telemetry::Phase::kDelete);
   const bool failures = config_.failure_probability > 0.0;
   for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
     const std::uint64_t load =
@@ -228,6 +235,8 @@ RoundMetrics Capped::allocate_and_delete(
     }
     delete_from_bin(bin, m);
   }
+  delete_timer.set_balls(m.deleted);
+  delete_timer.stop();
   deleted_total_ += m.deleted;
   if (!requeue_.empty()) merge_requeued_into_pool();
 

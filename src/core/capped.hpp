@@ -35,6 +35,7 @@
 #include "queueing/aged_pool.hpp"
 #include "queueing/bin_table.hpp"
 #include "queueing/unbounded_bin_table.hpp"
+#include "telemetry/phase_timers.hpp"
 
 namespace iba::core {
 
@@ -152,6 +153,13 @@ class Capped {
     return infinite() ? unbounded_->total_load() : bounded_->total_load();
   }
 
+  /// Attaches (or detaches, with nullptr) a phase-timer sink: subsequent
+  /// steps credit their throw / accept / delete sections to it. With no
+  /// sink attached the instrumented sections read no clock.
+  void set_phase_timers(telemetry::PhaseTimers* timers) noexcept {
+    timers_ = timers;
+  }
+
   /// Waiting-time statistics over every ball deleted so far.
   [[nodiscard]] const WaitRecorder& waits() const noexcept { return waits_; }
   /// Clears the waiting-time statistics (e.g. after burn-in).
@@ -191,6 +199,7 @@ class Capped {
   std::map<std::uint64_t, std::uint64_t> requeue_;  // label → crashed count
   std::optional<queueing::BinTable> bounded_;
   std::optional<queueing::UnboundedBinTable> unbounded_;
+  telemetry::PhaseTimers* timers_ = nullptr;
   WaitRecorder waits_;
   std::uint64_t generated_total_ = 0;
   std::uint64_t deleted_total_ = 0;

@@ -74,4 +74,47 @@ template <typename RunFn>
   return detail::aggregate(std::move(runs), master_seed);
 }
 
+/// Telemetry-aware replication: `fn(seed, RunTelemetry)` records each
+/// replica into a private registry; after all replicas finish, the
+/// registries fold into `merged` in replica order — so the merged export
+/// is byte-identical for a given master seed no matter how the replicas
+/// were scheduled.
+template <typename RunFn>
+[[nodiscard]] ReplicationResult replicate(RunFn&& fn,
+                                          std::size_t replications,
+                                          std::uint64_t master_seed,
+                                          telemetry::Registry& merged) {
+  IBA_EXPECT(replications > 0, "replicate: needs at least one replication");
+  std::vector<RunResult> runs(replications);
+  std::vector<telemetry::Registry> registries(replications);
+  for (std::size_t r = 0; r < replications; ++r) {
+    runs[r] = fn(rng::derive_seed(master_seed, r),
+                 RunTelemetry{&registries[r], nullptr, nullptr});
+  }
+  for (const telemetry::Registry& registry : registries) {
+    merged.merge(registry);
+  }
+  return detail::aggregate(std::move(runs), master_seed);
+}
+
+/// Parallel telemetry-aware variant. Replicas write disjoint registries
+/// concurrently; the deterministic in-order merge happens after the pool
+/// drains, so the result is identical to the sequential overload.
+template <typename RunFn>
+[[nodiscard]] ReplicationResult replicate_parallel(
+    RunFn&& fn, std::size_t replications, std::uint64_t master_seed,
+    concurrency::ThreadPool& pool, telemetry::Registry& merged) {
+  IBA_EXPECT(replications > 0, "replicate: needs at least one replication");
+  std::vector<RunResult> runs(replications);
+  std::vector<telemetry::Registry> registries(replications);
+  concurrency::parallel_for(pool, replications, [&](std::size_t r) {
+    runs[r] = fn(rng::derive_seed(master_seed, r),
+                 RunTelemetry{&registries[r], nullptr, nullptr});
+  });
+  for (const telemetry::Registry& registry : registries) {
+    merged.merge(registry);
+  }
+  return detail::aggregate(std::move(runs), master_seed);
+}
+
 }  // namespace iba::sim

@@ -13,4 +13,10 @@ RunResult run_capped(const SimConfig& config, const RunSpec& spec) {
   return run_experiment(process, spec);
 }
 
+RunResult run_capped(const SimConfig& config, const RunSpec& spec,
+                     RunTelemetry telemetry) {
+  core::Capped process(config.to_capped(), core::Engine(config.seed));
+  return run_experiment(process, spec, telemetry);
+}
+
 }  // namespace iba::sim

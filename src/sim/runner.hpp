@@ -12,6 +12,9 @@
 #include "sim/config.hpp"
 #include "stats/autocorrelation.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/phase_timers.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/round_trace.hpp"
 
 namespace iba::sim {
 
@@ -55,33 +58,110 @@ struct RunResult {
   double ns_per_ball = 0.0;
 };
 
+/// Optional observation hooks for run_experiment. All pointers may be
+/// null; with none set the runner behaves exactly as before. The registry
+/// receives only simulation-deterministic values (counts, loads, waits) —
+/// never wall-clock — so replica registries can merge to byte-identical
+/// exports. Wall-clock goes to `timers` (burn-in/measure, plus the
+/// process's own throw/accept/delete split when it supports
+/// set_phase_timers) and to the per-event step_ns of `trace`.
+struct RunTelemetry {
+  telemetry::Registry* registry = nullptr;
+  telemetry::RoundTrace* trace = nullptr;   ///< measured rounds only
+  telemetry::PhaseTimers* timers = nullptr;
+};
+
+namespace detail {
+
+/// Resolves registry handles once so the measurement loop pays one
+/// integer add per instrument per round. Null registry → inert.
+class RoundRecorder {
+ public:
+  explicit RoundRecorder(telemetry::Registry* registry) {
+    if (registry == nullptr) return;
+    rounds_ = &registry->counter("rounds_total");
+    generated_ = &registry->counter("balls_generated_total");
+    thrown_ = &registry->counter("balls_thrown_total");
+    accepted_ = &registry->counter("balls_accepted_total");
+    deleted_ = &registry->counter("balls_deleted_total");
+    requeued_ = &registry->counter("balls_requeued_total");
+    pool_gauge_ = &registry->gauge("pool_size");
+    max_load_gauge_ = &registry->gauge("max_load");
+    total_load_gauge_ = &registry->gauge("total_load");
+    pool_hist_ = &registry->histogram("pool_size_rounds");
+  }
+
+  void observe(const core::RoundMetrics& m) noexcept {
+    if (rounds_ == nullptr) return;
+    rounds_->inc();
+    generated_->inc(m.generated);
+    thrown_->inc(m.thrown);
+    accepted_->inc(m.accepted);
+    deleted_->inc(m.deleted);
+    requeued_->inc(m.requeued);
+    pool_gauge_->set(static_cast<double>(m.pool_size));
+    max_load_gauge_->set(static_cast<double>(m.max_load));
+    total_load_gauge_->set(static_cast<double>(m.total_load));
+    pool_hist_->observe(m.pool_size);
+  }
+
+ private:
+  telemetry::Counter* rounds_ = nullptr;
+  telemetry::Counter* generated_ = nullptr;
+  telemetry::Counter* thrown_ = nullptr;
+  telemetry::Counter* accepted_ = nullptr;
+  telemetry::Counter* deleted_ = nullptr;
+  telemetry::Counter* requeued_ = nullptr;
+  telemetry::Gauge* pool_gauge_ = nullptr;
+  telemetry::Gauge* max_load_gauge_ = nullptr;
+  telemetry::Gauge* total_load_gauge_ = nullptr;
+  telemetry::DyadicHistogram* pool_hist_ = nullptr;
+};
+
+}  // namespace detail
+
 /// Burn-in + measurement over any AllocationProcess. Wait statistics are
 /// reset after burn-in when the process supports it, so the reported
 /// waiting times describe the stabilized system only.
 template <core::AllocationProcess P>
-RunResult run_experiment(P& process, const RunSpec& spec) {
+RunResult run_experiment(P& process, const RunSpec& spec,
+                         RunTelemetry telemetry = {}) {
   RunResult result;
 
-  // Fixed burn-in floor.
-  for (std::uint64_t i = 0; i < spec.burn_in; ++i) (void)process.step();
-  result.burn_in_used = spec.burn_in;
+  if constexpr (requires { process.set_phase_timers(telemetry.timers); }) {
+    process.set_phase_timers(telemetry.timers);
+  }
 
-  // Optional stabilization phase: keep burning until the last two
-  // windows of the system-load series agree, or the cap is reached.
-  if (spec.auto_burn_in && spec.stabilization_window > 0) {
-    std::vector<double> series;
-    series.reserve(spec.stabilization_window * 4);
-    while (result.burn_in_used < spec.max_burn_in) {
-      const auto m = process.step();
-      ++result.burn_in_used;
-      series.push_back(static_cast<double>(m.pool_size + m.total_load));
-      if (series.size() >= 2 * spec.stabilization_window &&
-          series.size() % spec.stabilization_window == 0 &&
-          stats::windows_agree(series, spec.stabilization_window,
-                               spec.stabilization_tol)) {
-        break;
+  {
+    telemetry::ScopedPhaseTimer burn_timer(telemetry.timers,
+                                           telemetry::Phase::kBurnIn);
+    std::uint64_t burn_balls = 0;
+
+    // Fixed burn-in floor.
+    for (std::uint64_t i = 0; i < spec.burn_in; ++i) {
+      burn_balls += process.step().thrown;
+    }
+    result.burn_in_used = spec.burn_in;
+
+    // Optional stabilization phase: keep burning until the last two
+    // windows of the system-load series agree, or the cap is reached.
+    if (spec.auto_burn_in && spec.stabilization_window > 0) {
+      std::vector<double> series;
+      series.reserve(spec.stabilization_window * 4);
+      while (result.burn_in_used < spec.max_burn_in) {
+        const auto m = process.step();
+        ++result.burn_in_used;
+        burn_balls += m.thrown;
+        series.push_back(static_cast<double>(m.pool_size + m.total_load));
+        if (series.size() >= 2 * spec.stabilization_window &&
+            series.size() % spec.stabilization_window == 0 &&
+            stats::windows_agree(series, spec.stabilization_window,
+                                 spec.stabilization_tol)) {
+          break;
+        }
       }
     }
+    burn_timer.set_balls(burn_balls);
   }
 
   if constexpr (requires { process.reset_wait_stats(); }) {
@@ -89,11 +169,25 @@ RunResult run_experiment(P& process, const RunSpec& spec) {
   }
 
   // Measurement window.
+  telemetry::ScopedPhaseTimer measure_timer(telemetry.timers,
+                                            telemetry::Phase::kMeasure);
+  detail::RoundRecorder recorder(telemetry.registry);
   std::uint64_t balls_processed = 0;
   double wait_sum = 0.0;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < spec.measure_rounds; ++i) {
+    const bool timing_steps = telemetry.trace != nullptr;
+    const auto step_start =
+        timing_steps ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{};
     const auto m = process.step();
+    if (timing_steps) {
+      const auto step_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - step_start)
+                               .count();
+      (void)telemetry.trace->try_push(
+          {m, static_cast<std::uint64_t>(step_ns)});
+    }
     result.pool.add(static_cast<double>(m.pool_size));
     result.normalized_pool.add(static_cast<double>(m.pool_size) /
                                static_cast<double>(process.n()));
@@ -103,7 +197,10 @@ RunResult run_experiment(P& process, const RunSpec& spec) {
     wait_sum += m.wait_sum;
     if (m.wait_max > result.wait_max) result.wait_max = m.wait_max;
     balls_processed += m.thrown;
+    recorder.observe(m);
   }
+  measure_timer.set_balls(balls_processed);
+  measure_timer.stop();
   const auto elapsed = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
@@ -125,6 +222,19 @@ RunResult run_experiment(P& process, const RunSpec& spec) {
           elapsed * 1e9 / static_cast<double>(balls_processed);
     }
   }
+
+  if (telemetry.registry != nullptr) {
+    telemetry.registry->counter("runs_total").inc();
+    telemetry.registry->gauge("burn_in_rounds")
+        .set(static_cast<double>(result.burn_in_used));
+    if constexpr (requires { process.waits(); }) {
+      telemetry.registry->histogram("wait_rounds")
+          .merge_log2(process.waits().histogram(), wait_sum);
+    }
+  }
+  if constexpr (requires { process.set_phase_timers(nullptr); }) {
+    process.set_phase_timers(nullptr);  // sink may not outlive the process
+  }
   return result;
 }
 
@@ -134,5 +244,10 @@ RunResult run_experiment(P& process, const RunSpec& spec) {
 /// Same, but with the measurement protocol overridden.
 [[nodiscard]] RunResult run_capped(const SimConfig& config,
                                    const RunSpec& spec);
+
+/// Same, with telemetry hooks observing the run.
+[[nodiscard]] RunResult run_capped(const SimConfig& config,
+                                   const RunSpec& spec,
+                                   RunTelemetry telemetry);
 
 }  // namespace iba::sim

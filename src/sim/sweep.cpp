@@ -133,11 +133,14 @@ std::vector<SweepCell> SweepBuilder::build() const {
 
 std::vector<SweepOutcome> run_sweep(
     const std::vector<SweepCell>& cells,
-    const std::function<void(const SweepOutcome&)>& on_cell) {
+    const std::function<void(const SweepOutcome&)>& on_cell,
+    RunTelemetry telemetry) {
   std::vector<SweepOutcome> outcomes;
   outcomes.reserve(cells.size());
   for (const SweepCell& cell : cells) {
-    SweepOutcome outcome{cell, run_capped(cell.config)};
+    SweepOutcome outcome{
+        cell, run_capped(cell.config, RunSpec::from_config(cell.config),
+                         telemetry)};
     if (on_cell) on_cell(outcome);
     outcomes.push_back(std::move(outcome));
   }

@@ -67,9 +67,11 @@ class SweepBuilder {
 };
 
 /// Runs every cell with run_capped, invoking `on_cell` (if set) after
-/// each — e.g. for progress logging.
+/// each — e.g. for progress logging. When `telemetry` hooks are given,
+/// every cell records into them (one registry accumulating the sweep).
 [[nodiscard]] std::vector<SweepOutcome> run_sweep(
     const std::vector<SweepCell>& cells,
-    const std::function<void(const SweepOutcome&)>& on_cell = nullptr);
+    const std::function<void(const SweepOutcome&)>& on_cell = nullptr,
+    RunTelemetry telemetry = {});
 
 }  // namespace iba::sim

@@ -1,0 +1,58 @@
+#include "telemetry/registry.hpp"
+
+namespace iba::telemetry {
+
+#if IBA_TELEMETRY_ENABLED
+
+Counter& Registry::counter(std::string_view name) {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return it->second;
+  }
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second;
+  }
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+DyadicHistogram& Registry::histogram(std::string_view name) {
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    return it->second;
+  }
+  return histograms_.emplace(std::string(name), DyadicHistogram{})
+      .first->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).merge(c);
+  for (const auto& [name, g] : other.gauges_) gauge(name).merge(g);
+  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+}
+
+#else  // IBA_TELEMETRY_ENABLED == 0: hand out shared dummies, store nothing.
+
+namespace {
+Counter g_null_counter;
+Gauge g_null_gauge;
+DyadicHistogram g_null_histogram;
+}  // namespace
+
+Counter& Registry::counter(std::string_view) { return g_null_counter; }
+Gauge& Registry::gauge(std::string_view) { return g_null_gauge; }
+DyadicHistogram& Registry::histogram(std::string_view) {
+  return g_null_histogram;
+}
+void Registry::merge(const Registry&) {}
+
+#endif
+
+void Registry::clear() noexcept {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace iba::telemetry

@@ -1,0 +1,12 @@
+// Compile-time switch for the telemetry subsystem.
+//
+// IBA_TELEMETRY_ENABLED defaults to 1. Configuring with -DIBA_TELEMETRY=OFF
+// defines it to 0, which turns every instrument (counters, gauges,
+// histograms, phase timers, the round trace) into a no-op with zero state
+// and zero branches in hot loops, while keeping the full API compilable so
+// call sites never need #ifdefs.
+#pragma once
+
+#ifndef IBA_TELEMETRY_ENABLED
+#define IBA_TELEMETRY_ENABLED 1
+#endif

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "concurrency/thread_pool.hpp"
@@ -76,6 +79,67 @@ TEST(ParallelFor, ZeroCountIsNoop) {
   bool ran = false;
   parallel_for(pool, 0, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+// Regression: a pool must stay usable after wait_idle — earlier drafts of
+// such pools latch an "idle" flag or miss the wake notify on the next
+// submit, hanging the second batch. Cycle through several
+// submit/wait_idle generations, including empty ones.
+TEST(ThreadPool, ReusableAcrossWaitIdleGenerations) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int generation = 1; generation <= 5; ++generation) {
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.submit([&done] { ++done; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), generation * 20);
+    pool.wait_idle();  // idle pool: must return immediately, not hang
+  }
+}
+
+// Regression: wait_idle must cover tasks that are *running* but already
+// popped from the queue, not just a non-empty queue.
+TEST(ThreadPool, WaitIdleSeesInFlightTasks) {
+  ThreadPool pool(1);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> finished{false};
+  (void)pool.submit([&] {
+    entered = true;
+    while (!finished) std::this_thread::yield();
+  });
+  while (!entered) std::this_thread::yield();
+  // The queue is now empty but the task is mid-flight; release it from a
+  // second thread and verify wait_idle only returns after it completes.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    finished = true;
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(finished.load());
+  releaser.join();
+}
+
+// Regression: the destructor drains every queued task before joining (the
+// documented contract), and a single-worker pool preserves FIFO order —
+// replication correctness depends on tasks never being skipped.
+TEST(ThreadPool, DestructorDrainsQueueInOrder) {
+  std::vector<int> order;
+  std::mutex order_mutex;
+  {
+    ThreadPool pool(1);
+    // A slow head task guarantees the rest are still queued at ~ThreadPool.
+    (void)pool.submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit([&order, &order_mutex, i] {
+        const std::lock_guard lock(order_mutex);
+        order.push_back(i);
+      });
+    }
+  }  // destructor must run all 32, front to back
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
 }  // namespace

@@ -3,8 +3,13 @@
 // reset, merge behaviour via the underlying histogram).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
+#include "core/capped.hpp"
 #include "core/metrics.hpp"
 
 namespace {
@@ -80,6 +85,92 @@ TEST(WaitRecorder, MomentsAccessorConsistent) {
   for (int i = 1; i <= 1000; ++i) recorder.record(static_cast<std::uint64_t>(i % 17));
   EXPECT_EQ(recorder.moments().count(), 1000u);
   EXPECT_DOUBLE_EQ(recorder.moments().mean(), recorder.mean());
+}
+
+// The dyadic contract, stated precisely: for any sample set and any q,
+// quantile_upper_bound(q) is (a) >= the exact q-quantile and (b) < twice
+// the exact q-quantile rounded up to its bucket top — i.e. the bound is
+// the top of the dyadic bucket [2^(k-1), 2^k) the exact quantile lies in.
+TEST(WaitRecorder, QuantileUpperBoundBracketsExactQuantile) {
+  for (const std::uint64_t scale : {1u, 3u, 17u, 1000u}) {
+    WaitRecorder recorder;
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      const std::uint64_t v = (i * i) % (scale * 64 + 1);
+      recorder.record(v);
+      values.push_back(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(values.size())));
+      const std::uint64_t exact = values[rank == 0 ? 0 : rank - 1];
+      const std::uint64_t bound = recorder.quantile_upper_bound(q);
+      EXPECT_GE(bound, exact) << "scale=" << scale << " q=" << q;
+      // Upper edge of the exact value's dyadic bucket.
+      const std::uint64_t bucket_top =
+          exact <= 1 ? exact : (std::bit_ceil(exact + 1) - 1);
+      EXPECT_LE(bound, bucket_top) << "scale=" << scale << " q=" << q;
+    }
+  }
+}
+
+TEST(WaitRecorder, QuantileUpperBoundPowerOfTwoEdges) {
+  WaitRecorder recorder;
+  // 2^k sits in bucket [2^k, 2^(k+1)), so the dyadic upper bound for a
+  // point mass at 2^k is 2^(k+1) - 1.
+  recorder.record(64);
+  EXPECT_EQ(recorder.quantile_upper_bound(0.5), 127u);
+  EXPECT_EQ(recorder.quantile_upper_bound(1.0), 127u);
+  recorder.reset();
+  // 2^k - 1 is the top of its own bucket: the bound is exact there.
+  recorder.record(63);
+  EXPECT_EQ(recorder.quantile_upper_bound(1.0), 63u);
+  recorder.reset();
+  recorder.record(0);
+  EXPECT_EQ(recorder.quantile_upper_bound(1.0), 0u);
+  recorder.record(1);
+  EXPECT_EQ(recorder.quantile_upper_bound(0.25), 0u);
+  EXPECT_EQ(recorder.quantile_upper_bound(1.0), 1u);
+}
+
+// Per-round flow conservation under the crash-requeue failure path:
+// generated + requeued must equal accepted + pool growth each round, and
+// the lifetime ledger generated = pool + in-bins + deleted must hold —
+// crashing bins return balls to the pool without creating or losing any.
+TEST(RoundMetrics, ConservationUnderCrashRequeue) {
+  using iba::core::Capped;
+  using iba::core::CappedConfig;
+  using iba::core::FailureMode;
+
+  CappedConfig config;
+  config.n = 128;
+  config.capacity = 2;
+  config.lambda_n = 112;  // λ = 7/8
+  config.failure_probability = 0.2;  // frequent crashes
+  config.failure_mode = FailureMode::kCrashRequeue;
+  Capped process(config, iba::core::Engine(99));
+
+  std::uint64_t previous_pool = 0;
+  std::uint64_t total_requeued = 0;
+  for (int round = 0; round < 500; ++round) {
+    const RoundMetrics m = process.step();
+    // Round-local flow: every thrown ball (old pool + generated) is
+    // either accepted or back in the pool; crashed buffers re-enter the
+    // pool on top.
+    EXPECT_EQ(m.thrown, previous_pool + m.generated);
+    EXPECT_EQ(m.thrown + m.requeued, m.accepted + m.pool_size);
+    // The ISSUE's phrasing: generated + requeued = accepted + pool delta.
+    EXPECT_EQ(m.generated + m.requeued,
+              m.accepted + m.pool_size - previous_pool);
+    previous_pool = m.pool_size;
+    total_requeued += m.requeued;
+    // Lifetime ledger.
+    EXPECT_EQ(process.generated_total(),
+              process.pool_size() + process.total_load() +
+                  process.deleted_total());
+  }
+  EXPECT_GT(total_requeued, 0u) << "failure path never exercised";
 }
 
 }  // namespace
