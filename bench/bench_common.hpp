@@ -1,13 +1,19 @@
 // Shared plumbing of the experiment benches: standard CLI flags (--n,
 // --rounds, --seed, --csv-dir, ...), cell execution with the principled
 // burn-in, and combined table + CSV reporting. Every bench prints the
-// paper's series as an aligned table and mirrors it to CSV.
+// paper's series as an aligned table and mirrors it to CSV. Progress and
+// warnings go through the structured logger (telemetry/log.hpp), so
+// IBA_LOG_LEVEL / IBA_LOG_FORMAT shape bench output like any other tool.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <system_error>
 #include <vector>
 
@@ -16,7 +22,9 @@
 #include "io/table.hpp"
 #include "sim/config.hpp"
 #include "sim/runner.hpp"
+#include "telemetry/ball_trace.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/registry.hpp"
 
 namespace iba::bench {
@@ -30,6 +38,9 @@ struct BenchOptions {
   std::string csv_dir = ".";
   bool write_csv = true;
   std::string telemetry_out;  ///< empty = no metrics snapshot
+  std::string trace_spans;    ///< empty = no span file
+  double trace_sample = 0.0;  ///< 0 = ball tracing off
+  bool force = false;         ///< overwrite existing output files
 };
 
 /// Declares the standard flags on `parser`.
@@ -46,9 +57,51 @@ inline void add_standard_flags(io::ArgParser& parser) {
                   "write a metrics snapshot covering every cell to this path "
                   "(.prom = Prometheus text, .jsonl = JSON lines)",
                   "");
+  parser.add_flag("trace-spans",
+                  "append sampled ball spans (JSON lines) to this file; "
+                  "requires --trace-sample > 0",
+                  "");
+  parser.add_flag("trace-sample",
+                  "fraction of balls to trace through their lifecycle "
+                  "(deterministic in the seed; 0 = off)",
+                  "0");
+  parser.add_flag("force", "overwrite existing output files", "false");
 }
 
-/// Reads the standard flags back.
+/// Per-process span-tracing sink shared by every run_cell of a bench.
+namespace detail {
+struct TraceSink {
+  std::string path;
+  double sample = 0.0;
+  std::ofstream out;
+  std::uint64_t written = 0;
+};
+inline TraceSink& trace_sink() {
+  static TraceSink sink;
+  return sink;
+}
+}  // namespace detail
+
+/// Refuses to clobber `path` unless --force was given: logs a structured
+/// error and exits. Called before any cell runs, so a misdirected output
+/// path fails fast instead of after minutes of simulation.
+inline void guard_overwrite(const std::string& path, bool force,
+                            std::string_view flag) {
+  if (path.empty() || !std::filesystem::exists(path)) return;
+  if (force) {
+    telemetry::log_warn("overwriting_output",
+                        {{"path", path}, {"flag", flag}});
+    return;
+  }
+  telemetry::log_error(
+      "output_exists",
+      {{"path", path},
+       {"flag", flag},
+       {"hint", "pass --force true to overwrite"}});
+  std::exit(2);
+}
+
+/// Reads the standard flags back (and arms the span sink).
 inline BenchOptions read_standard_flags(const io::ArgParser& parser) {
   BenchOptions options;
   options.n = static_cast<std::uint32_t>(parser.get_uint("n"));
@@ -58,6 +111,15 @@ inline BenchOptions read_standard_flags(const io::ArgParser& parser) {
   options.csv_dir = parser.get("csv-dir");
   options.write_csv = parser.get_bool("csv");
   options.telemetry_out = parser.get("telemetry-out");
+  options.trace_spans = parser.get("trace-spans");
+  options.trace_sample = parser.get_double("trace-sample");
+  options.force = parser.get_bool("force");
+
+  guard_overwrite(options.telemetry_out, options.force, "--telemetry-out");
+  guard_overwrite(options.trace_spans, options.force, "--trace-spans");
+  auto& sink = detail::trace_sink();
+  sink.path = options.trace_spans;
+  sink.sample = options.trace_sample;
   return options;
 }
 
@@ -85,17 +147,46 @@ inline sim::SimConfig make_cell(const BenchOptions& options,
   return config;
 }
 
-/// Runs one CAPPED cell, recording it into bench_registry(), and logs
-/// progress to stderr.
+/// Runs one CAPPED cell, recording it into bench_registry() and — when
+/// --trace-sample is set — tracing sampled balls, appending their spans
+/// to the --trace-spans file.
 inline sim::RunResult run_cell(const sim::SimConfig& config) {
-  std::fprintf(stderr, "[cell] %s burn_in=%llu rounds=%llu ...\n",
-               config.label().c_str(),
-               static_cast<unsigned long long>(config.burn_in),
-               static_cast<unsigned long long>(config.measure_rounds));
+  telemetry::log_info("cell_start", {{"cell", config.label()},
+                                     {"burn_in", config.burn_in},
+                                     {"rounds", config.measure_rounds}});
   sim::RunTelemetry telemetry;
   telemetry.registry = &bench_registry();
-  return sim::run_capped(config, sim::RunSpec::from_config(config),
-                         telemetry);
+
+  auto& sink = detail::trace_sink();
+  std::optional<telemetry::BallTracer> tracer;
+  if (sink.sample > 0.0) {
+    telemetry::BallTraceConfig trace_config;
+    trace_config.seed = config.seed;
+    trace_config.sample_rate = sink.sample;
+    trace_config.completed_capacity = 1u << 16;
+    tracer.emplace(trace_config);
+    telemetry.ball_trace = &*tracer;
+  }
+
+  const sim::RunResult result = sim::run_capped(
+      config, sim::RunSpec::from_config(config), telemetry);
+
+  if (tracer.has_value() && !sink.path.empty()) {
+    if (!sink.out.is_open()) {
+      sink.out.open(sink.path, std::ios::trunc);
+    }
+    for (const telemetry::BallSpan& span : tracer->completed()) {
+      telemetry::write_span_json(span, sink.out);
+      ++sink.written;
+    }
+    sink.out.flush();
+    telemetry::log_info("spans_written",
+                        {{"cell", config.label()},
+                         {"spans", tracer->completed().size()},
+                         {"dropped", tracer->dropped()},
+                         {"path", sink.path}});
+  }
+  return result;
 }
 
 /// Writes the bench-wide registry to options.telemetry_out (no-op when
@@ -104,11 +195,11 @@ inline void write_telemetry(const BenchOptions& options) {
   if (options.telemetry_out.empty()) return;
   if (telemetry::write_snapshot_file(bench_registry(),
                                      options.telemetry_out)) {
-    std::fprintf(stderr, "[telemetry] wrote %s\n",
-                 options.telemetry_out.c_str());
+    telemetry::log_info("telemetry_written",
+                        {{"path", options.telemetry_out}});
   } else {
-    std::fprintf(stderr, "[telemetry] FAILED to write %s\n",
-                 options.telemetry_out.c_str());
+    telemetry::log_error("telemetry_write_failed",
+                         {{"path", options.telemetry_out}});
   }
 }
 
@@ -128,8 +219,8 @@ inline void emit(const io::Table& table, const BenchOptions& options,
   io::CsvWriter csv(path);
   csv.header(columns);
   for (const auto& row : rows) csv.row(row);
-  std::fprintf(stderr, "[csv] wrote %s (%zu rows)\n", path.c_str(),
-               rows.size());
+  telemetry::log_info("csv_written",
+                      {{"path", path}, {"rows", rows.size()}});
 }
 
 }  // namespace iba::bench

@@ -8,13 +8,22 @@
 // showing that a small buffer (the paper's sweet spot) beats both the
 // bufferless and the large-buffer farm on tail latency.
 //
-// With --telemetry-out the farm runs with live telemetry: every round is
-// pushed onto a bounded SPSC trace ring; a tailer thread drains it into a
-// shared metrics registry and appends one JSON-lines snapshot per
-// simulated quarter-day — the pattern a production deployment would use
-// to watch pool drift and tail latency without touching the serving loop.
+// Live observability, the way a production deployment would run it:
 //
-//   $ ./server_farm [--n 4096] [--days 3] [--telemetry-out farm.jsonl]
+//   --listen <port>     embedded scrape endpoint (0 = ephemeral port):
+//                       GET /metrics (Prometheus), /healthz, /spans
+//                       (JSON-lines of recently completed ball spans)
+//   --telemetry-out F   append one JSON-lines registry snapshot per
+//                       simulated quarter-day to F
+//   --trace-sample R    trace a deterministic R-fraction of requests
+//                       through their lifecycle (feeds /spans)
+//   --throttle-us U     sleep U µs per round, to scrape a long-lived farm
+//
+// Every round is pushed onto a bounded SPSC ring; a tailer thread drains
+// it into a shared registry that both the snapshot file and the scrape
+// endpoint read — the serving loop never blocks on an observer.
+//
+//   $ ./server_farm --n 4096 --days 3 --listen 9464 --trace-sample 0.02
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -28,9 +37,13 @@
 #include "core/capped.hpp"
 #include "io/cli.hpp"
 #include "io/table.hpp"
+#include "rng/seed.hpp"
 #include "stats/welford.hpp"
+#include "telemetry/ball_trace.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/round_trace.hpp"
+#include "telemetry/scrape_server.hpp"
 #include "telemetry/shared_registry.hpp"
 
 namespace {
@@ -55,15 +68,17 @@ struct FarmReport {
   double utilization;
 };
 
-/// Tails a RoundTrace from its own thread: folds every event into a
-/// SharedRegistry and appends one JSON-lines snapshot per
-/// `snapshot_rounds` consumed events. The serving loop never blocks on
-/// it — when the tailer falls behind, events are dropped and counted.
+/// Tails a RoundTrace from its own thread: folds every event into the
+/// shared registry (which /metrics serves) and — when a sink is given —
+/// appends one JSON-lines snapshot per `snapshot_rounds` consumed
+/// events. The serving loop never blocks on it — when the tailer falls
+/// behind, events are dropped and counted.
 class LiveExporter {
  public:
-  LiveExporter(iba::telemetry::RoundTrace& trace, std::ostream& out,
+  LiveExporter(iba::telemetry::RoundTrace& trace,
+               iba::telemetry::SharedRegistry& registry, std::ostream* out,
                std::uint32_t capacity, std::uint64_t snapshot_rounds)
-      : trace_(trace), out_(out), capacity_(capacity),
+      : trace_(trace), registry_(registry), out_(out), capacity_(capacity),
         snapshot_rounds_(snapshot_rounds),
         thread_([this] { run(); }) {}
 
@@ -96,7 +111,7 @@ class LiveExporter {
       r.counter("trace_dropped_total")
           .inc(trace_.dropped() - last_dropped_);
       last_dropped_ = trace_.dropped();
-      iba::telemetry::write_json_line(r, out_);
+      if (out_ != nullptr) iba::telemetry::write_json_line(r, *out_);
     });
   }
 
@@ -110,25 +125,46 @@ class LiveExporter {
   }
 
   iba::telemetry::RoundTrace& trace_;
-  std::ostream& out_;
+  iba::telemetry::SharedRegistry& registry_;
+  std::ostream* out_;
   std::uint32_t capacity_;
   std::uint64_t snapshot_rounds_;
-  iba::telemetry::SharedRegistry registry_;
   std::uint64_t consumed_ = 0;
   std::uint64_t last_dropped_ = 0;
   std::atomic<bool> done_{false};
   std::thread thread_;
 };
 
-FarmReport run_farm(std::uint32_t n, std::uint32_t capacity,
-                    std::uint64_t days, std::uint64_t seed,
-                    std::ostream* telemetry_out) {
+struct FarmOptions {
+  std::uint32_t n = 4096;
+  std::uint64_t days = 3;
+  std::uint64_t seed = 7;
+  double trace_sample = 0.0;
+  std::uint64_t throttle_us = 0;
+};
+
+FarmReport run_farm(const FarmOptions& options, std::uint32_t capacity,
+                    iba::telemetry::SharedRegistry& registry,
+                    std::ostream* snapshot_out, bool live,
+                    iba::telemetry::SpanRing* span_ring) {
   using namespace iba;
+  const std::uint32_t n = options.n;
   core::CappedConfig config;
   config.n = n;
   config.capacity = capacity;
   config.lambda_n = diurnal_lambda_n(n, 0);
-  core::Capped farm(config, core::Engine(seed));
+  core::Capped farm(config, core::Engine(options.seed));
+
+  // Lifecycle tracing: a deterministic sample of requests feeds /spans.
+  std::optional<telemetry::BallTracer> tracer;
+  if (options.trace_sample > 0.0) {
+    telemetry::BallTraceConfig trace_config;
+    trace_config.seed = rng::derive_seed(options.seed, capacity);
+    trace_config.sample_rate = options.trace_sample;
+    tracer.emplace(trace_config);
+    tracer->set_live_ring(span_ring);
+    farm.set_ball_tracer(&*tracer);
+  }
 
   // Warm up one day before measuring.
   for (std::uint64_t t = 0; t < kRoundsPerDay; ++t) {
@@ -136,22 +172,24 @@ FarmReport run_farm(std::uint32_t n, std::uint32_t capacity,
     (void)farm.step();
   }
   farm.reset_wait_stats();
+  if (tracer.has_value()) tracer->clear_completed();
 
   // Live telemetry: bounded ring between the serving loop (producer)
   // and the exporter thread (consumer), one snapshot per quarter-day.
   telemetry::RoundTrace trace(1024);
   std::optional<LiveExporter> exporter;
-  if (telemetry_out != nullptr) {
-    exporter.emplace(trace, *telemetry_out, capacity, kRoundsPerDay / 4);
+  if (live) {
+    exporter.emplace(trace, registry, snapshot_out, capacity,
+                     kRoundsPerDay / 4);
   }
 
   double peak_backlog = 0;
   std::uint64_t served = 0;
-  const std::uint64_t horizon = days * kRoundsPerDay;
+  const std::uint64_t horizon = options.days * kRoundsPerDay;
   for (std::uint64_t t = 0; t < horizon; ++t) {
     farm.set_lambda_n(diurnal_lambda_n(n, kRoundsPerDay + t));
     core::RoundMetrics m;
-    if (telemetry_out != nullptr) {
+    if (live) {
       // Only clocked when someone is listening.
       const auto start = std::chrono::steady_clock::now();
       m = farm.step();
@@ -166,6 +204,10 @@ FarmReport run_farm(std::uint32_t n, std::uint32_t capacity,
     peak_backlog = std::max(
         peak_backlog, static_cast<double>(m.pool_size) / n);
     served += m.deleted;
+    if (options.throttle_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.throttle_us));
+    }
   }
   exporter.reset();  // drain and write the final snapshot
 
@@ -190,32 +232,70 @@ int main(int argc, char** argv) {
                   "append live JSON-lines metric snapshots to this file "
                   "(one per simulated quarter-day)",
                   "");
+  parser.add_flag("listen",
+                  "serve GET /metrics, /healthz and /spans on this port "
+                  "while the farm runs (0 = ephemeral)",
+                  "");
+  parser.add_flag("trace-sample",
+                  "fraction of requests traced through their lifecycle "
+                  "(feeds /spans)",
+                  "0");
+  parser.add_flag("throttle-us",
+                  "sleep this many microseconds per round (gives scrapers "
+                  "time on small farms)",
+                  "0");
   if (!parser.parse(argc, argv)) return 0;
-  const auto n = static_cast<std::uint32_t>(parser.get_uint("n"));
-  const auto days = parser.get_uint("days");
-  const auto seed = parser.get_uint("seed");
+  FarmOptions options;
+  options.n = static_cast<std::uint32_t>(parser.get_uint("n"));
+  options.days = parser.get_uint("days");
+  options.seed = parser.get_uint("seed");
+  options.trace_sample = parser.get_double("trace-sample");
+  options.throttle_us = parser.get_uint("throttle-us");
   const std::string telemetry_path = parser.get("telemetry-out");
+  const bool listening = parser.provided("listen");
 
   std::ofstream telemetry_file;
   if (!telemetry_path.empty()) {
     telemetry_file.open(telemetry_path);
     if (!telemetry_file) {
-      std::fprintf(stderr, "cannot open %s for writing\n",
-                   telemetry_path.c_str());
+      telemetry::log_error("telemetry_open_failed", {{"path", telemetry_path}});
       return 1;
     }
   }
 
+  // One shared registry + span ring behind both observers: the snapshot
+  // file and the scrape endpoint see the same live state.
+  telemetry::SharedRegistry registry;
+  telemetry::SpanRing span_ring(4096);
+  std::optional<telemetry::ScrapeServer> server;
+  if (listening) {
+    const auto port = static_cast<std::uint16_t>(parser.get_uint("listen"));
+    // /spans drains the ring: each request returns the spans completed
+    // since the previous one (the server thread is the single consumer).
+    server.emplace(port, registry, [&span_ring] {
+      std::vector<telemetry::BallSpan> spans;
+      telemetry::BallSpan span;
+      while (span_ring.try_pop(span)) spans.push_back(span);
+      return spans;
+    });
+    std::printf("scrape endpoint: http://localhost:%u/metrics "
+                "(/healthz, /spans)\n",
+                server->port());
+  }
+  const bool live = telemetry_file.is_open() || listening;
+
   std::printf("server farm: %u servers, diurnal load 55%%..97%%, "
               "%llu day(s) measured\n\n",
-              n, static_cast<unsigned long long>(days));
+              options.n, static_cast<unsigned long long>(options.days));
 
   io::Table table({"buffer c", "latency avg", "latency p99<=", "latency max",
                    "peak backlog/server", "utilization"});
   table.set_title("Latency (in rounds) per buffer size");
   for (const std::uint32_t c : {1u, 2u, 4u, 8u}) {
     const auto report = run_farm(
-        n, c, days, seed, telemetry_file.is_open() ? &telemetry_file : nullptr);
+        options, c, registry,
+        telemetry_file.is_open() ? &telemetry_file : nullptr, live,
+        &span_ring);
     table.add_row({io::Table::format_number(report.capacity),
                    io::Table::format_number(report.wait_avg),
                    io::Table::format_number(report.wait_p99),
@@ -225,6 +305,8 @@ int main(int argc, char** argv) {
                    io::Table::format_number(report.utilization)});
   }
   table.print();
+
+  if (server.has_value()) server->stop();
 
   std::printf("\npaper guidance: at the 97%% peak, the sweet spot is c ~ "
               "sqrt(ln(1/(1-lambda))) = %.1f -> choose c = %u\n",

@@ -6,6 +6,7 @@
 #include "common/assert.hpp"
 #include "rng/bounded.hpp"
 #include "rng/distributions.hpp"
+#include "telemetry/ball_trace.hpp"
 
 namespace iba::core {
 
@@ -144,6 +145,13 @@ RoundMetrics Capped::step_internal(std::uint64_t generated,
                                    std::span<const std::uint32_t> choices) {
   ++round_;
   pool_.add(round_, generated);
+  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+    // Ball ids are the global generation sequence: this cohort occupies
+    // ids generated_total_ .. generated_total_ + generated - 1.
+    if (tracer_ != nullptr) {
+      tracer_->on_arrivals(round_, generated_total_, generated);
+    }
+  }
   generated_total_ += generated;
   return allocate_and_delete(generated, choices);
 }
@@ -162,11 +170,29 @@ RoundMetrics Capped::allocate_and_delete(
   telemetry::ScopedPhaseTimer accept_timer(timers_, telemetry::Phase::kAccept,
                                            m.thrown);
   survivors_.clear();
+  const auto trace_throw = [this](std::uint64_t label, std::uint32_t bin,
+                                  std::uint64_t load, bool accepted) {
+    if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+      if (tracer_ != nullptr) tracer_->on_throw(label, bin, load, accepted);
+    } else {
+      (void)this;
+      (void)label;
+      (void)bin;
+      (void)load;
+      (void)accepted;
+    }
+  };
   std::size_t idx = 0;
   if (infinite()) {
     for (const auto& bucket : pool_.buckets()) {
       for (std::uint64_t k = 0; k < bucket.count; ++k) {
-        unbounded_->push(choices[idx++], bucket.label);
+        const std::uint32_t bin = choices[idx++];
+        if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+          if (tracer_ != nullptr) {
+            tracer_->on_throw(bucket.label, bin, unbounded_->load(bin), true);
+          }
+        }
+        unbounded_->push(bin, bucket.label);
       }
     }
     m.accepted = m.thrown;
@@ -175,11 +201,14 @@ RoundMetrics Capped::allocate_and_delete(
     for (const auto& bucket : pool_.buckets()) {
       for (std::uint64_t k = 0; k < bucket.count; ++k) {
         const std::uint32_t bin = choices[idx++];
-        if (bounded_->load(bin) < cap) {
+        const std::uint64_t load = bounded_->load(bin);
+        if (load < cap) {
           bounded_->push(bin, bucket.label);
           ++m.accepted;
+          trace_throw(bucket.label, bin, load, true);
         } else {
           survivors_.add(bucket.label, 1);
+          trace_throw(bucket.label, bin, load, false);
         }
       }
     }
@@ -194,11 +223,14 @@ RoundMetrics Capped::allocate_and_delete(
       std::uint64_t rejected = 0;
       for (std::uint64_t k = 0; k < it->count; ++k) {
         const std::uint32_t bin = choices[idx++];
-        if (bounded_->load(bin) < cap) {
+        const std::uint64_t load = bounded_->load(bin);
+        if (load < cap) {
           bounded_->push(bin, it->label);
           ++m.accepted;
+          trace_throw(it->label, bin, load, true);
         } else {
           ++rejected;
+          trace_throw(it->label, bin, load, false);
         }
       }
       if (rejected > 0) {
@@ -227,7 +259,11 @@ RoundMetrics Capped::allocate_and_delete(
         // The bin crashes: its buffered balls return to the pool with
         // their original labels (ages keep accruing).
         while (bounded_->load(bin) > 0) {
-          ++requeue_[bounded_->pop_front(bin)];
+          const std::uint64_t crashed = bounded_->pop_front(bin);
+          if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+            if (tracer_ != nullptr) tracer_->on_requeue(bin, crashed);
+          }
+          ++requeue_[crashed];
           ++m.requeued;
         }
       }
@@ -239,6 +275,9 @@ RoundMetrics Capped::allocate_and_delete(
   delete_timer.stop();
   deleted_total_ += m.deleted;
   if (!requeue_.empty()) merge_requeued_into_pool();
+  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+    if (tracer_ != nullptr) tracer_->on_round_end(round_);
+  }
 
   m.pool_size = pool_.total();
   m.oldest_pool_age = pool_.oldest_age(round_);
@@ -280,6 +319,7 @@ void Capped::merge_requeued_into_pool() {
 
 void Capped::delete_from_bin(std::uint32_t bin, RoundMetrics& m) {
   std::uint64_t label;
+  [[maybe_unused]] std::uint64_t position = 0;  // queue index served
   if (infinite()) {
     label = unbounded_->pop_front(bin);  // discipline applies to finite c
   } else {
@@ -288,15 +328,19 @@ void Capped::delete_from_bin(std::uint32_t bin, RoundMetrics& m) {
         label = bounded_->pop_front(bin);
         break;
       case DeletionDiscipline::kLifo:
+        position = bounded_->load(bin) - 1;
         label = bounded_->pop_back(bin);
         break;
       case DeletionDiscipline::kUniform:
-        label = bounded_->pop_at(
-            bin, rng::bounded32(engine_, bounded_->load(bin)));
+        position = rng::bounded32(engine_, bounded_->load(bin));
+        label = bounded_->pop_at(bin, static_cast<std::uint32_t>(position));
         break;
       default:
         label = bounded_->pop_front(bin);
     }
+  }
+  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+    if (tracer_ != nullptr) tracer_->on_delete(bin, label, position);
   }
   const std::uint64_t wait = round_ - label;
   waits_.record(wait);

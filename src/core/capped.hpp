@@ -36,6 +36,11 @@
 #include "queueing/bin_table.hpp"
 #include "queueing/unbounded_bin_table.hpp"
 #include "telemetry/phase_timers.hpp"
+#include "telemetry/telemetry_config.hpp"
+
+namespace iba::telemetry {
+class BallTracer;
+}  // namespace iba::telemetry
 
 namespace iba::core {
 
@@ -160,6 +165,16 @@ class Capped {
     timers_ = timers;
   }
 
+  /// Attaches (or detaches, with nullptr) a ball tracer: subsequent steps
+  /// report every arrival / throw / delete / requeue to it, from which it
+  /// shadow-tracks sampled balls (see telemetry/ball_trace.hpp). Attach
+  /// before the first step — the tracer reconstructs ball identity from
+  /// the event stream, so it must see the run from the start. With
+  /// -DIBA_TELEMETRY=OFF the hook calls compile out entirely.
+  void set_ball_tracer(telemetry::BallTracer* tracer) noexcept {
+    tracer_ = tracer;
+  }
+
   /// Waiting-time statistics over every ball deleted so far.
   [[nodiscard]] const WaitRecorder& waits() const noexcept { return waits_; }
   /// Clears the waiting-time statistics (e.g. after burn-in).
@@ -200,6 +215,7 @@ class Capped {
   std::optional<queueing::BinTable> bounded_;
   std::optional<queueing::UnboundedBinTable> unbounded_;
   telemetry::PhaseTimers* timers_ = nullptr;
+  telemetry::BallTracer* tracer_ = nullptr;
   WaitRecorder waits_;
   std::uint64_t generated_total_ = 0;
   std::uint64_t deleted_total_ = 0;

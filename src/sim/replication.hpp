@@ -13,6 +13,7 @@
 #include "rng/xoshiro256.hpp"
 #include "sim/runner.hpp"
 #include "stats/bootstrap.hpp"
+#include "telemetry/log.hpp"
 
 namespace iba::sim {
 
@@ -41,6 +42,11 @@ namespace detail {
   result.wait_mean = stats::bootstrap_mean_ci(ci_engine, wait_means);
   result.wait_max = stats::bootstrap_mean_ci(ci_engine, wait_maxes);
   result.runs = std::move(runs);
+  telemetry::log_debug("replicate_done",
+                       {{"replications", result.runs.size()},
+                        {"master_seed", master_seed},
+                        {"wait_mean", result.wait_mean.point},
+                        {"pool_mean", result.normalized_pool.point}});
   return result;
 }
 

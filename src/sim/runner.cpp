@@ -1,6 +1,7 @@
 #include "sim/runner.hpp"
 
 #include "core/capped.hpp"
+#include "telemetry/log.hpp"
 
 namespace iba::sim {
 
@@ -9,14 +10,26 @@ RunResult run_capped(const SimConfig& config) {
 }
 
 RunResult run_capped(const SimConfig& config, const RunSpec& spec) {
-  core::Capped process(config.to_capped(), core::Engine(config.seed));
-  return run_experiment(process, spec);
+  return run_capped(config, spec, RunTelemetry{});
 }
 
 RunResult run_capped(const SimConfig& config, const RunSpec& spec,
                      RunTelemetry telemetry) {
+  telemetry::log_debug("run_start", {{"n", config.n},
+                                     {"capacity", config.capacity},
+                                     {"lambda_n", config.lambda_n},
+                                     {"seed", config.seed},
+                                     {"measure_rounds", spec.measure_rounds}});
   core::Capped process(config.to_capped(), core::Engine(config.seed));
-  return run_experiment(process, spec, telemetry);
+  const RunResult result = run_experiment(process, spec, telemetry);
+  telemetry::log_debug("run_done",
+                       {{"n", config.n},
+                        {"capacity", config.capacity},
+                        {"burn_in_used", result.burn_in_used},
+                        {"wait_mean", result.wait_mean},
+                        {"wait_max", result.wait_max},
+                        {"pool_mean", result.normalized_pool.mean()}});
+  return result;
 }
 
 }  // namespace iba::sim

@@ -12,6 +12,7 @@
 #include "sim/config.hpp"
 #include "stats/autocorrelation.hpp"
 #include "stats/summary.hpp"
+#include "telemetry/ball_trace.hpp"
 #include "telemetry/phase_timers.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/round_trace.hpp"
@@ -69,6 +70,13 @@ struct RunTelemetry {
   telemetry::Registry* registry = nullptr;
   telemetry::RoundTrace* trace = nullptr;   ///< measured rounds only
   telemetry::PhaseTimers* timers = nullptr;
+  /// Per-ball span tracing (processes supporting set_ball_tracer only).
+  /// The tracer observes the whole run; its buffered spans and wait-split
+  /// histograms are cleared after burn-in so, like the wait statistics,
+  /// they describe the stabilized system. Aggregates land in `registry`
+  /// under the span_* names — simulation-deterministic, so the merge
+  /// guarantee above still holds.
+  telemetry::BallTracer* ball_trace = nullptr;
 };
 
 namespace detail {
@@ -131,6 +139,9 @@ RunResult run_experiment(P& process, const RunSpec& spec,
   if constexpr (requires { process.set_phase_timers(telemetry.timers); }) {
     process.set_phase_timers(telemetry.timers);
   }
+  if constexpr (requires { process.set_ball_tracer(telemetry.ball_trace); }) {
+    process.set_ball_tracer(telemetry.ball_trace);
+  }
 
   {
     telemetry::ScopedPhaseTimer burn_timer(telemetry.timers,
@@ -166,6 +177,9 @@ RunResult run_experiment(P& process, const RunSpec& spec,
 
   if constexpr (requires { process.reset_wait_stats(); }) {
     process.reset_wait_stats();
+  }
+  if (telemetry.ball_trace != nullptr) {
+    telemetry.ball_trace->clear_completed();  // spans of the burn-in phase
   }
 
   // Measurement window.
@@ -231,9 +245,16 @@ RunResult run_experiment(P& process, const RunSpec& spec,
       telemetry.registry->histogram("wait_rounds")
           .merge_log2(process.waits().histogram(), wait_sum);
     }
+    if (telemetry.ball_trace != nullptr) {
+      telemetry::record_ball_trace(*telemetry.registry,
+                                   *telemetry.ball_trace);
+    }
   }
   if constexpr (requires { process.set_phase_timers(nullptr); }) {
     process.set_phase_timers(nullptr);  // sink may not outlive the process
+  }
+  if constexpr (requires { process.set_ball_tracer(nullptr); }) {
+    process.set_ball_tracer(nullptr);
   }
   return result;
 }

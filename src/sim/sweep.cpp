@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "telemetry/log.hpp"
 
 namespace iba::sim {
 
@@ -135,15 +136,24 @@ std::vector<SweepOutcome> run_sweep(
     const std::vector<SweepCell>& cells,
     const std::function<void(const SweepOutcome&)>& on_cell,
     RunTelemetry telemetry) {
+  telemetry::log_debug("sweep_start", {{"cells", cells.size()}});
   std::vector<SweepOutcome> outcomes;
   outcomes.reserve(cells.size());
   for (const SweepCell& cell : cells) {
     SweepOutcome outcome{
         cell, run_capped(cell.config, RunSpec::from_config(cell.config),
                          telemetry)};
+    telemetry::log_debug("sweep_cell",
+                         {{"series", cell.series},
+                          {"x", cell.x},
+                          {"n", cell.config.n},
+                          {"capacity", cell.config.capacity},
+                          {"wait_mean", outcome.result.wait_mean},
+                          {"pool_mean", outcome.result.normalized_pool.mean()}});
     if (on_cell) on_cell(outcome);
     outcomes.push_back(std::move(outcome));
   }
+  telemetry::log_debug("sweep_done", {{"cells", outcomes.size()}});
   return outcomes;
 }
 

@@ -29,10 +29,10 @@ void prometheus_histogram(std::ostream& out, const std::string& name,
   std::uint64_t cumulative = 0;
   for (std::size_t bin = 0; bin < buckets.bin_count(); ++bin) {
     cumulative += buckets.count(bin);
-    // Integer values in bin k are <= bin_hi(k) - 1.
+    // Integer values in bin k are <= bin_hi(k)*2^shift - 1.
     out << name << "_bucket{le=\""
-        << (stats::Log2Histogram::bin_hi(bin) - 1) << "\"} " << cumulative
-        << '\n';
+        << ((stats::Log2Histogram::bin_hi(bin) << histogram.shift()) - 1)
+        << "\"} " << cumulative << '\n';
   }
   out << name << "_bucket{le=\"+Inf\"} " << histogram.count() << '\n';
   out << name << "_sum " << format_double(histogram.sum()) << '\n';
@@ -102,7 +102,7 @@ void write_json_line(const Registry& registry, std::ostream& out) {
       if (buckets.count(bin) == 0) continue;
       json.begin_object()
           .key("le")
-          .value(stats::Log2Histogram::bin_hi(bin) - 1)
+          .value((stats::Log2Histogram::bin_hi(bin) << histogram.shift()) - 1)
           .key("count")
           .value(buckets.count(bin))
           .end_object();

@@ -1,0 +1,177 @@
+#include "telemetry/log.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace iba::telemetry {
+
+namespace {
+
+/// Shared numeric formatting with the exporters, so a value reads the
+/// same in a metrics snapshot and in the log stream.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+bool needs_quoting(std::string_view text) {
+  if (text.empty()) return true;
+  for (const char ch : text) {
+    if (ch == ' ' || ch == '"' || ch == '=' || ch == '\\' || ch == '\n' ||
+        ch == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// logfmt-style value: bare when unambiguous, otherwise quoted with
+/// backslash escapes for quotes, backslashes and newlines/tabs.
+void append_kv_value(std::string& out, std::string_view text) {
+  if (!needs_quoting(text)) {
+    out.append(text);
+    return;
+  }
+  out += '"';
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  out += '"';
+}
+
+void append_kv_field(std::string& out, const LogField& field) {
+  out += ' ';
+  out.append(field.key());
+  out += '=';
+  switch (field.kind()) {
+    case LogField::Kind::kString:
+      append_kv_value(out, field.string_value());
+      break;
+    case LogField::Kind::kInt:
+      out += std::to_string(field.int_value());
+      break;
+    case LogField::Kind::kUint:
+      out += std::to_string(field.uint_value());
+      break;
+    case LogField::Kind::kDouble:
+      out += format_double(field.double_value());
+      break;
+    case LogField::Kind::kBool:
+      out += field.bool_value() ? "true" : "false";
+      break;
+  }
+}
+
+void append_json_field(io::JsonWriter& json, const LogField& field) {
+  json.key(field.key());
+  switch (field.kind()) {
+    case LogField::Kind::kString:
+      json.value(field.string_value());
+      break;
+    case LogField::Kind::kInt:
+      json.value(static_cast<std::int64_t>(field.int_value()));
+      break;
+    case LogField::Kind::kUint:
+      json.value(field.uint_value());
+      break;
+    case LogField::Kind::kDouble:
+      json.value(field.double_value());
+      break;
+    case LogField::Kind::kBool:
+      json.value(field.bool_value());
+      break;
+  }
+}
+
+LogLevel level_from_env() {
+  if (const char* env = std::getenv("IBA_LOG_LEVEL")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kInfo;
+}
+
+LogFormat format_from_env() {
+  if (const char* env = std::getenv("IBA_LOG_FORMAT")) {
+    std::string lowered(env);
+    for (char& ch : lowered) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    if (lowered == "json") return LogFormat::kJson;
+  }
+  return LogFormat::kKeyValue;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  std::string lowered(text);
+  for (char& ch : lowered) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger& Logger::global() {
+  static Logger logger(&std::cerr, level_from_env(), format_from_env());
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  std::string line;
+  if (format_ == LogFormat::kKeyValue) {
+    line = "level=";
+    line += log_level_name(level);
+    line += " event=";
+    append_kv_value(line, event);
+    for (const LogField& field : fields) append_kv_field(line, field);
+    line += '\n';
+  } else {
+    std::ostringstream out;
+    io::JsonWriter json(out);
+    json.begin_object();
+    json.key("level").value(log_level_name(level));
+    json.key("event").value(event);
+    for (const LogField& field : fields) append_json_field(json, field);
+    json.end_object();
+    out << '\n';
+    line = out.str();
+  }
+  const std::lock_guard lock(mutex_);
+  if (sink_ != nullptr) {
+    sink_->write(line.data(), static_cast<std::streamsize>(line.size()));
+    sink_->flush();
+  }
+}
+
+}  // namespace iba::telemetry

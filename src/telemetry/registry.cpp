@@ -26,10 +26,37 @@ DyadicHistogram& Registry::histogram(std::string_view name) {
       .first->second;
 }
 
+DyadicHistogram& Registry::histogram(std::string_view name,
+                                     std::uint32_t shift) {
+  if (auto it = histograms_.find(name); it != histograms_.end()) {
+    IBA_EXPECT(it->second.shift() == shift,
+               "Registry: histogram '" + std::string(name) +
+                   "' already exists with dyadic shift " +
+                   std::to_string(it->second.shift()) + ", requested " +
+                   std::to_string(shift));
+    return it->second;
+  }
+  return histograms_.emplace(std::string(name), DyadicHistogram{shift})
+      .first->second;
+}
+
 void Registry::merge(const Registry& other) {
   for (const auto& [name, c] : other.counters_) counter(name).merge(c);
   for (const auto& [name, g] : other.gauges_) gauge(name).merge(g);
-  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);  // adopt contents and layout
+      continue;
+    }
+    IBA_EXPECT(it->second.layout_compatible(h),
+               "Registry::merge: histogram '" + name +
+                   "' bucket layouts differ (dyadic shift " +
+                   std::to_string(it->second.shift()) + " vs " +
+                   std::to_string(h.shift()) +
+                   "); merging would misalign buckets");
+    it->second.merge(h);
+  }
 }
 
 #else  // IBA_TELEMETRY_ENABLED == 0: hand out shared dummies, store nothing.
@@ -43,6 +70,9 @@ DyadicHistogram g_null_histogram;
 Counter& Registry::counter(std::string_view) { return g_null_counter; }
 Gauge& Registry::gauge(std::string_view) { return g_null_gauge; }
 DyadicHistogram& Registry::histogram(std::string_view) {
+  return g_null_histogram;
+}
+DyadicHistogram& Registry::histogram(std::string_view, std::uint32_t) {
   return g_null_histogram;
 }
 void Registry::merge(const Registry&) {}

@@ -1,0 +1,156 @@
+#include "telemetry/scrape_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
+
+namespace iba::telemetry {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 200;  // stop-flag latency bound
+
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return std::move(out).str();
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(std::uint16_t port, SharedRegistry& registry,
+                           SpanSource spans)
+    : registry_(registry), spans_(std::move(spans)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  IBA_EXPECT(listen_fd_ >= 0, "ScrapeServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    IBA_EXPECT(false, std::string("ScrapeServer: cannot listen on port ") +
+                          std::to_string(port) + ": " + std::strerror(err));
+  }
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  thread_ = std::thread([this] { serve(); });
+  log_info("scrape_server_started", {{"port", port_}});
+}
+
+ScrapeServer::~ScrapeServer() { stop(); }
+
+std::uint64_t ScrapeServer::requests_served() const noexcept {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+void ScrapeServer::stop() {
+  if (!stop_.exchange(true)) {
+    log_info("scrape_server_stopping",
+             {{"port", port_}, {"requests", requests_served()}});
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ScrapeServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // The request line is all we route on; read one chunk (a GET with no
+    // body fits comfortably) and cut at the first CRLF.
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      std::string request_line(buf);
+      if (const auto eol = request_line.find("\r\n");
+          eol != std::string::npos) {
+        request_line.resize(eol);
+      }
+      send_all(client, respond(request_line));
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(client);
+  }
+}
+
+std::string ScrapeServer::respond(const std::string& request_line) {
+  // "GET /path HTTP/1.1" → method, path.
+  const auto first_space = request_line.find(' ');
+  const auto second_space = request_line.find(' ', first_space + 1);
+  const std::string method = request_line.substr(0, first_space);
+  const std::string path =
+      first_space == std::string::npos
+          ? std::string()
+          : request_line.substr(first_space + 1,
+                                second_space - first_space - 1);
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  if (path == "/healthz") {
+    return http_response(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/metrics") {
+    const Registry snapshot = registry_.snapshot();
+    std::ostringstream body;
+    write_prometheus(snapshot, body);
+    return http_response(200, "OK", "text/plain; version=0.0.4",
+                         std::move(body).str());
+  }
+  if (path == "/spans") {
+    std::ostringstream body;
+    if (spans_) {
+      for (const BallSpan& span : spans_()) write_span_json(span, body);
+    }
+    return http_response(200, "OK", "application/x-ndjson",
+                         std::move(body).str());
+  }
+  return http_response(404, "Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace iba::telemetry

@@ -1,0 +1,71 @@
+// Embedded scrape endpoint: a minimal HTTP/1.1 server over plain POSIX
+// sockets (one listener thread, no dependencies) that exposes the live
+// telemetry of a running simulation:
+//
+//   GET /metrics  Prometheus text from a SharedRegistry snapshot
+//   GET /healthz  "ok" (liveness)
+//   GET /spans    JSON-lines of recently completed ball spans
+//
+// This is the production-shaped path the ROADMAP aims at: a scraper
+// (Prometheus, curl, a dashboard) polls the process instead of tailing
+// snapshot files. The server handles one connection at a time —
+// scrape traffic, not serving traffic — and reads only the request line,
+// which is all the three GET endpoints need.
+//
+// Lifecycle: construct with a port (0 picks an ephemeral port — see
+// port() — which the smoke tests use), then stop() or destruct to join
+// the listener thread. Responses are built from consistent snapshots, so
+// the simulation threads are never blocked by a slow scraper.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/ball_trace.hpp"
+#include "telemetry/shared_registry.hpp"
+
+namespace iba::telemetry {
+
+class ScrapeServer {
+ public:
+  /// Pulls recent spans for /spans; called per request, may return an
+  /// empty vector. Null = /spans serves an empty body.
+  using SpanSource = std::function<std::vector<BallSpan>()>;
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the listener
+  /// thread. Throws ContractViolation when the socket cannot be bound.
+  ScrapeServer(std::uint16_t port, SharedRegistry& registry,
+               SpanSource spans = nullptr);
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// The bound port — the requested one, or the kernel-assigned port
+  /// when constructed with 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests served so far (all endpoints, including 404s).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+  /// Stops accepting and joins the listener thread. Idempotent.
+  void stop();
+
+ private:
+  void serve();
+  [[nodiscard]] std::string respond(const std::string& request_line);
+
+  SharedRegistry& registry_;
+  SpanSource spans_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace iba::telemetry

@@ -1,0 +1,114 @@
+// Structured logger: line formats (key=value and JSON), level
+// filtering, env-style parsing, quoting rules, and determinism of the
+// emitted bytes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/log.hpp"
+
+namespace {
+
+using iba::telemetry::LogFormat;
+using iba::telemetry::Logger;
+using iba::telemetry::LogLevel;
+using iba::telemetry::parse_log_level;
+
+TEST(Log, KeyValueLineCarriesEventAndTypedFields) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kDebug, LogFormat::kKeyValue);
+  logger.info("cell_start", {{"cell", "n=256 c=2"},
+                             {"rounds", std::uint64_t{300}},
+                             {"offset", std::int64_t{-3}},
+                             {"lambda", 0.875},
+                             {"csv", true}});
+  EXPECT_EQ(out.str(),
+            "level=info event=cell_start cell=\"n=256 c=2\" rounds=300 "
+            "offset=-3 lambda=0.875 csv=true\n");
+}
+
+TEST(Log, JsonLinesAreValidObjectsWithTypedValues) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kDebug, LogFormat::kJson);
+  logger.warn("overwrite", {{"path", "a b.json"}, {"rows", 7u}});
+  EXPECT_EQ(out.str(),
+            "{\"level\":\"warn\",\"event\":\"overwrite\","
+            "\"path\":\"a b.json\",\"rows\":7}\n");
+}
+
+TEST(Log, LevelsBelowThresholdAreDropped) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kWarn, LogFormat::kKeyValue);
+  logger.debug("hidden");
+  logger.info("hidden");
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  logger.error("visible");
+  EXPECT_EQ(out.str(), "level=error event=visible\n");
+
+  logger.set_level(LogLevel::kOff);
+  logger.error("also hidden");
+  EXPECT_EQ(out.str(), "level=error event=visible\n");
+}
+
+TEST(Log, ParseLevelAcceptsNamesCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level("chatty").has_value());
+}
+
+TEST(Log, KvQuotingEscapesOnlyWhenNeeded) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kDebug, LogFormat::kKeyValue);
+  logger.info("q", {{"bare", "simple-value_1"},
+                    {"spaced", "two words"},
+                    {"quoted", "say \"hi\""},
+                    {"empty", ""}});
+  EXPECT_EQ(out.str(),
+            "level=info event=q bare=simple-value_1 spaced=\"two words\" "
+            "quoted=\"say \\\"hi\\\"\" empty=\"\"\n");
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveWithinALine) {
+  std::ostringstream out;
+  Logger logger(&out, LogLevel::kInfo, LogFormat::kKeyValue);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&logger, t] {
+      for (int i = 0; i < kLines; ++i) {
+        logger.info("tick", {{"writer", std::int64_t{t}}});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::istringstream in(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(line.rfind("level=info event=tick writer=", 0) == 0) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
+}
+
+TEST(Log, GlobalLoggerExistsAndFiltersByLevel) {
+  Logger& global = Logger::global();
+  const LogLevel before = global.level();
+  global.set_level(LogLevel::kOff);
+  EXPECT_FALSE(global.enabled(LogLevel::kError));
+  iba::telemetry::log_error("must_not_crash", {{"k", 1u}});
+  global.set_level(before);
+}
+
+}  // namespace

@@ -84,6 +84,72 @@ TEST(Registry, MergeSemantics) {
   EXPECT_DOUBLE_EQ(a.histogram("h").sum(), 12.0);
 }
 
+TEST(Registry, ShiftedHistogramBucketsAtCoarserGranularity) {
+  Registry registry;
+  auto& ns_hist = registry.histogram("step_ns", 10);  // ~µs resolution
+  EXPECT_EQ(ns_hist.shift(), 10u);
+  ns_hist.observe(1 << 10);
+  ns_hist.observe((1 << 11) - 1);  // same 2^shift bucket as 1<<10
+  EXPECT_EQ(ns_hist.count(), 2u);
+  EXPECT_EQ(ns_hist.buckets().count(1), 2u);  // both land in bucket [1,2)
+  EXPECT_EQ(ns_hist.max(), (1u << 11) - 1);
+  // Quantile bounds are scaled back into value space.
+  EXPECT_GE(ns_hist.quantile_upper_bound(1.0), (1u << 11) - 1);
+
+  // Re-resolving with the same shift is fine; a different shift is a
+  // contract violation — one name must mean one bucket layout.
+  EXPECT_EQ(&registry.histogram("step_ns", 10), &ns_hist);
+  EXPECT_THROW((void)registry.histogram("step_ns", 3),
+               iba::ContractViolation);
+  // The shift-less accessor on an existing shifted histogram just
+  // returns it — only an explicit conflicting shift is rejected.
+  EXPECT_EQ(registry.histogram("step_ns").shift(), 10u);
+}
+
+TEST(Registry, HistogramMergeRejectsMismatchedLayouts) {
+  DyadicHistogram coarse(10), fine(0);
+  coarse.observe(2048);
+  fine.observe(2048);
+  EXPECT_FALSE(coarse.layout_compatible(fine));
+  EXPECT_THROW(coarse.merge(fine), iba::ContractViolation);
+
+  Registry a, b;
+  a.histogram("step_ns", 10).observe(4096);
+  b.histogram("step_ns").observe(4096);
+  try {
+    a.merge(b);
+    FAIL() << "merge of mismatched layouts must throw";
+  } catch (const iba::ContractViolation& e) {
+    // The error must name the metric so the operator can find the caller.
+    EXPECT_NE(std::string(e.what()).find("step_ns"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Registry, MergeAdoptsAbsentHistogramsWithTheirShift) {
+  Registry source;
+  source.histogram("step_ns", 10).observe(2048);
+  source.histogram("wait_rounds").observe(5);
+
+  Registry target;
+  target.merge(source);
+  EXPECT_EQ(target.histogram("step_ns", 10).shift(), 10u);
+  EXPECT_EQ(target.histogram("step_ns", 10).count(), 1u);
+  EXPECT_EQ(target.histogram("wait_rounds").shift(), 0u);
+  // A second merge now goes down the layout-checked path and still works.
+  target.merge(source);
+  EXPECT_EQ(target.histogram("step_ns", 10).count(), 2u);
+
+  // Shifted histograms survive the exporters: le edges are scaled back
+  // into value space (4096 >> 10 = 4 sits in the bucket whose scaled
+  // upper edge is 4·2^10 − 1 = 4095).
+  std::ostringstream prom;
+  iba::telemetry::write_prometheus(target, prom);
+  EXPECT_NE(prom.str().find("iba_step_ns_bucket{le=\"4095\"} 2"),
+            std::string::npos)
+      << prom.str();
+}
+
 TEST(Registry, MergeOrderGivesIdenticalExports) {
   // Simulates the replication path: replica registries merged in replica
   // order must export identical bytes no matter how they were produced.
