@@ -41,6 +41,8 @@ struct BenchOptions {
   std::string trace_spans;    ///< empty = no span file
   double trace_sample = 0.0;  ///< 0 = ball tracing off
   bool force = false;         ///< overwrite existing output files
+  core::RoundKernel kernel = core::RoundKernel::kBinMajor;
+  std::uint32_t shards = 1;   ///< bin ranges run in parallel per round
 };
 
 /// Declares the standard flags on `parser`.
@@ -66,6 +68,14 @@ inline void add_standard_flags(io::ArgParser& parser) {
                   "(deterministic in the seed; 0 = off)",
                   "0");
   parser.add_flag("force", "overwrite existing output files", "false");
+  parser.add_flag("kernel",
+                  "round hot-path kernel: bin-major or scalar "
+                  "(identical results, different speed)",
+                  "bin-major");
+  parser.add_flag("shards",
+                  "bin ranges run in parallel per round (bin-major only; "
+                  "results are invariant in this)",
+                  "1");
 }
 
 /// Per-process span-tracing sink shared by every run_cell of a bench.
@@ -114,6 +124,14 @@ inline BenchOptions read_standard_flags(const io::ArgParser& parser) {
   options.trace_spans = parser.get("trace-spans");
   options.trace_sample = parser.get_double("trace-sample");
   options.force = parser.get_bool("force");
+  const std::string kernel_name = parser.get("kernel");
+  if (!core::kernel_from_string(kernel_name, options.kernel)) {
+    telemetry::log_error("bad_kernel",
+                         {{"value", kernel_name},
+                          {"hint", "expected bin-major or scalar"}});
+    std::exit(2);
+  }
+  options.shards = static_cast<std::uint32_t>(parser.get_uint("shards"));
 
   guard_overwrite(options.telemetry_out, options.force, "--telemetry-out");
   guard_overwrite(options.trace_spans, options.force, "--trace-spans");
@@ -144,6 +162,8 @@ inline sim::SimConfig make_cell(const BenchOptions& options,
                        ? options.burn_in_override
                        : sim::suggested_burn_in(config.lambda());
   config.seed = options.seed;
+  config.kernel = options.kernel;
+  config.shards = options.shards;
   return config;
 }
 

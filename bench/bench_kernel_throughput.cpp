@@ -1,0 +1,257 @@
+// Round-kernel throughput: scalar ball-at-a-time loop vs the bin-major
+// counting-sort kernel (core/capped.cpp), optionally sharded. Verifies
+// that every variant produces the identical trajectory, then times the
+// steady-state round loop and reports balls/second. Machine-readable
+// results go to --json (default BENCH_kernel.json); docs/PERFORMANCE.md
+// records representative numbers.
+//
+//   ./bench_kernel_throughput                 # full size: n = 10^6
+//   ./bench_kernel_throughput --quick true    # CI smoke: n = 2^16
+//   ./bench_kernel_throughput --shards 4      # also time a sharded run
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "io/cli.hpp"
+#include "io/json.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/phase_timers.hpp"
+
+namespace {
+
+using iba::core::Capped;
+using iba::core::CappedConfig;
+using iba::core::RoundKernel;
+using iba::core::RoundMetrics;
+
+struct Measurement {
+  RoundKernel kernel = RoundKernel::kScalar;
+  std::uint32_t shards = 1;
+  std::uint64_t rounds = 0;
+  std::uint64_t balls = 0;  ///< thrown balls inside the timed window
+  double seconds = 0.0;
+  double throw_ns_per_ball = 0.0;
+  double accept_ns_per_ball = 0.0;
+  double delete_ns_per_ball = 0.0;
+
+  [[nodiscard]] double balls_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(balls) / seconds : 0.0;
+  }
+  [[nodiscard]] double ns_per_ball() const {
+    return balls > 0 ? seconds * 1e9 / static_cast<double>(balls) : 0.0;
+  }
+};
+
+CappedConfig make_config(std::uint32_t n, std::uint32_t capacity,
+                         std::uint64_t lambda_n, RoundKernel kernel,
+                         std::uint32_t shards) {
+  CappedConfig config;
+  config.n = n;
+  config.capacity = capacity;
+  config.lambda_n = lambda_n;
+  config.kernel = kernel;
+  config.shards = shards;
+  return config;
+}
+
+Measurement time_variant(const CappedConfig& config, std::uint64_t seed,
+                         std::uint64_t burn_in, std::uint64_t rounds) {
+  Capped process(config, iba::core::Engine(seed));
+  for (std::uint64_t r = 0; r < burn_in; ++r) (void)process.step();
+  Measurement out;
+  out.kernel = config.kernel;
+  out.shards = config.shards;
+  out.rounds = rounds;
+  iba::telemetry::PhaseTimers timers;
+  process.set_phase_timers(&timers);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    out.balls += process.step().thrown;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  out.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  out.throw_ns_per_ball = timers.ns_per_ball(iba::telemetry::Phase::kThrow);
+  out.accept_ns_per_ball = timers.ns_per_ball(iba::telemetry::Phase::kAccept);
+  out.delete_ns_per_ball = timers.ns_per_ball(iba::telemetry::Phase::kDelete);
+  return out;
+}
+
+/// Runs every variant over a small instance and demands byte-identical
+/// round metrics and end-state before any timing is trusted.
+bool check_determinism(std::uint32_t capacity, std::uint64_t seed,
+                       const std::vector<std::uint32_t>& shard_counts) {
+  const std::uint32_t n = 4096;
+  const std::uint64_t lambda_n = 3891;  // λ ≈ 0.95
+  const std::uint64_t rounds = 200;
+
+  std::vector<Capped> variants;
+  variants.emplace_back(
+      make_config(n, capacity, lambda_n, RoundKernel::kScalar, 1),
+      iba::core::Engine(seed));
+  variants.emplace_back(
+      make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, 1),
+      iba::core::Engine(seed));
+  for (const std::uint32_t shards : shard_counts) {
+    if (shards <= 1) continue;
+    variants.emplace_back(
+        make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, shards),
+        iba::core::Engine(seed));
+  }
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const RoundMetrics reference = variants.front().step();
+    for (std::size_t v = 1; v < variants.size(); ++v) {
+      const RoundMetrics m = variants[v].step();
+      if (m.thrown != reference.thrown || m.accepted != reference.accepted ||
+          m.deleted != reference.deleted ||
+          m.pool_size != reference.pool_size ||
+          m.total_load != reference.total_load ||
+          m.max_load != reference.max_load ||
+          m.empty_bins != reference.empty_bins ||
+          m.wait_sum != reference.wait_sum ||
+          m.wait_max != reference.wait_max) {
+        iba::telemetry::log_error(
+            "determinism_mismatch",
+            {{"round", r}, {"variant", static_cast<std::uint64_t>(v)}});
+        return false;
+      }
+    }
+  }
+  const auto reference = variants.front().snapshot();
+  for (std::size_t v = 1; v < variants.size(); ++v) {
+    const auto snap = variants[v].snapshot();
+    if (snap.engine_state != reference.engine_state ||
+        snap.bin_queues != reference.bin_queues ||
+        snap.pool.size() != reference.pool.size()) {
+      iba::telemetry::log_error("determinism_end_state_mismatch",
+                                {{"variant", static_cast<std::uint64_t>(v)}});
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iba::io::ArgParser parser(
+      "bench_kernel_throughput",
+      "scalar vs bin-major round-kernel throughput (BENCH_kernel.json)");
+  parser.add_flag("n", "number of bins", "1000000");
+  parser.add_flag("lambda", "arrival rate per bin", "0.95");
+  parser.add_flag("capacity", "bin buffer size c", "2");
+  parser.add_flag("burnin", "untimed warm-up rounds", "150");
+  parser.add_flag("rounds", "timed rounds per variant", "100");
+  parser.add_flag("seed", "master seed", "2021");
+  parser.add_flag("shards",
+                  "also time the bin-major kernel with this many shards "
+                  "(1 = skip the sharded variant)",
+                  "1");
+  parser.add_flag("quick",
+                  "CI smoke mode: n = 65536, 50 burn-in, 30 timed rounds",
+                  "false");
+  parser.add_flag("json", "output path for machine-readable results",
+                  "BENCH_kernel.json");
+  if (!parser.parse(argc, argv)) return 2;
+
+  std::uint32_t n = static_cast<std::uint32_t>(parser.get_uint("n"));
+  const double lambda = parser.get_double("lambda");
+  const std::uint32_t capacity =
+      static_cast<std::uint32_t>(parser.get_uint("capacity"));
+  std::uint64_t burn_in = parser.get_uint("burnin");
+  std::uint64_t rounds = parser.get_uint("rounds");
+  const std::uint64_t seed = parser.get_uint("seed");
+  const std::uint32_t shards =
+      static_cast<std::uint32_t>(parser.get_uint("shards"));
+  const bool quick = parser.get_bool("quick");
+  const std::string json_path = parser.get("json");
+  if (quick) {
+    if (!parser.provided("n")) n = 1u << 16;
+    if (!parser.provided("burnin")) burn_in = 50;
+    if (!parser.provided("rounds")) rounds = 30;
+  }
+  const std::uint64_t lambda_n = static_cast<std::uint64_t>(
+      std::llround(lambda * static_cast<double>(n)));
+
+  const bool determinism_ok = check_determinism(capacity, seed, {2, shards});
+  iba::telemetry::log_info("determinism_check",
+                           {{"ok", determinism_ok}});
+  if (!determinism_ok) return 1;
+
+  std::vector<Measurement> results;
+  results.push_back(time_variant(
+      make_config(n, capacity, lambda_n, RoundKernel::kScalar, 1), seed,
+      burn_in, rounds));
+  results.push_back(time_variant(
+      make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, 1), seed,
+      burn_in, rounds));
+  if (shards > 1) {
+    results.push_back(time_variant(
+        make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, shards),
+        seed, burn_in, rounds));
+  }
+
+  const double speedup = results[0].seconds > 0.0 && results[1].seconds > 0.0
+                             ? results[1].balls_per_sec() /
+                                   results[0].balls_per_sec()
+                             : 0.0;
+
+  std::printf("kernel throughput  n=%u c=%u lambda_n=%llu  %llu rounds\n", n,
+              capacity, static_cast<unsigned long long>(lambda_n),
+              static_cast<unsigned long long>(rounds));
+  for (const Measurement& m : results) {
+    std::printf(
+        "  %-9s shards=%u  %9.3f s  %12.0f balls/s  %6.2f ns/ball  "
+        "(throw %.2f / accept %.2f / delete %.2f ns/ball)\n",
+        std::string(iba::core::to_string(m.kernel)).c_str(), m.shards,
+        m.seconds, m.balls_per_sec(), m.ns_per_ball(), m.throw_ns_per_ball,
+        m.accept_ns_per_ball, m.delete_ns_per_ball);
+  }
+  std::printf("  bin-major vs scalar speedup: %.2fx\n", speedup);
+
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) {
+    iba::telemetry::log_error("json_open_failed", {{"path", json_path}});
+    return 1;
+  }
+  iba::io::JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").value("kernel_throughput");
+  json.key("n").value(static_cast<std::uint64_t>(n));
+  json.key("capacity").value(static_cast<std::uint64_t>(capacity));
+  json.key("lambda_n").value(lambda_n);
+  json.key("burn_in").value(burn_in);
+  json.key("rounds").value(rounds);
+  json.key("seed").value(seed);
+  json.key("quick").value(quick);
+  json.key("determinism_ok").value(determinism_ok);
+  json.key("results").begin_array();
+  for (const Measurement& m : results) {
+    json.begin_object();
+    json.key("kernel").value(iba::core::to_string(m.kernel));
+    json.key("shards").value(static_cast<std::uint64_t>(m.shards));
+    json.key("rounds").value(m.rounds);
+    json.key("balls").value(m.balls);
+    json.key("seconds").value(m.seconds);
+    json.key("balls_per_sec").value(m.balls_per_sec());
+    json.key("ns_per_ball").value(m.ns_per_ball());
+    json.key("throw_ns_per_ball").value(m.throw_ns_per_ball);
+    json.key("accept_ns_per_ball").value(m.accept_ns_per_ball);
+    json.key("delete_ns_per_ball").value(m.delete_ns_per_ball);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("speedup_bin_major_vs_scalar").value(speedup);
+  json.end_object();
+  out << "\n";
+  iba::telemetry::log_info("bench_json_written", {{"path", json_path}});
+  return 0;
+}

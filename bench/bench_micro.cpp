@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/capped.hpp"
@@ -19,6 +22,7 @@
 #include "rng/bounded.hpp"
 #include "rng/philox.hpp"
 #include "rng/xoshiro256.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/phase_timers.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/round_trace.hpp"
@@ -258,6 +262,58 @@ void BM_BatchGreedyRound(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchGreedyRound)->Args({1 << 13, 1})->Args({1 << 13, 2});
 
+// Runs the canonical CAPPED workload with phase timers attached and
+// writes the per-phase ns/ball numbers as a telemetry snapshot — the
+// machine-readable counterpart of the BM_Capped* console output.
+void write_phase_json(const std::string& path) {
+  core::CappedConfig config;
+  config.n = 1 << 13;
+  config.capacity = 3;
+  config.lambda_n = config.n - config.n / 16;  // λ = 15/16
+  core::Capped process(config, core::Engine(7));
+  for (int i = 0; i < 2000; ++i) (void)process.step();
+
+  telemetry::PhaseTimers timers;
+  process.set_phase_timers(&timers);
+  for (int i = 0; i < 500; ++i) (void)process.step();
+  process.set_phase_timers(nullptr);
+
+  telemetry::Registry registry;
+  registry.gauge("bench_micro_n").set(config.n);
+  registry.gauge("bench_micro_capacity").set(config.capacity);
+  registry.gauge("bench_micro_lambda_n").set(config.lambda_n);
+  telemetry::record_phase_timers(registry, timers);
+  if (telemetry::write_snapshot_file(registry, path)) {
+    std::printf("phase timings written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accepts --json <file> / --json=<file> alongside the
+// standard google-benchmark flags (which would reject an unknown flag).
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_phase_json(json_path);
+  return 0;
+}

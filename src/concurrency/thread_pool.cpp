@@ -51,6 +51,25 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
 }
 
+void parallel_for_ranges(
+    ThreadPool& pool, std::size_t count, std::size_t ranges,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  IBA_EXPECT(ranges > 0, "parallel_for_ranges: needs at least one range");
+  const std::size_t base = count / ranges;
+  const std::size_t remainder = count % ranges;
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < ranges && begin < count; ++i) {
+    const std::size_t size = base + (i < remainder ? 1 : 0);
+    const std::size_t end = begin + size;
+    futures.push_back(
+        pool.submit([&fn, i, begin, end] { fn(i, begin, end); }));
+    begin = end;
+  }
+  for (auto& future : futures) future.get();  // rethrows task exceptions
+}
+
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;

@@ -69,4 +69,15 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
+/// Splits [0, count) into `ranges` contiguous chunks whose sizes differ
+/// by at most one and runs fn(range_index, begin, end) on the pool,
+/// blocking until all complete. The partition is a pure function of
+/// (count, ranges) — never of scheduling — so range-sharded algorithms
+/// that pre-draw their randomness per range stay deterministic for any
+/// thread count. Chunks beyond `count` (ranges > count) are skipped.
+/// Exceptions from tasks propagate (the first one encountered rethrows).
+void parallel_for_ranges(
+    ThreadPool& pool, std::size_t count, std::size_t ranges,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
 }  // namespace iba::concurrency

@@ -1,5 +1,6 @@
 #include "core/capped.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -9,6 +10,20 @@
 #include "telemetry/ball_trace.hpp"
 
 namespace iba::core {
+
+namespace {
+
+// Sharded delete-phase actions, pre-sampled in bin order.
+constexpr std::uint8_t kActionNone = 0;
+constexpr std::uint8_t kActionServe = 1;
+constexpr std::uint8_t kActionCrash = 2;
+
+// The bin-major kernel indexes candidates with uint32 offsets; rounds
+// throwing more balls than that (never at supported n) use the scalar
+// path, which is byte-identical anyway.
+constexpr std::size_t kMaxKernelThrows = 0xFFFFFFFEu;
+
+}  // namespace
 
 CappedConfig CappedConfig::from_rate(std::uint32_t n, double lambda,
                                      std::uint32_t capacity) {
@@ -37,6 +52,9 @@ void CappedConfig::validate() const {
   IBA_EXPECT(failure_mode != FailureMode::kCrashRequeue ||
                  capacity != kInfiniteCapacity,
              "CappedConfig: crash-requeue requires finite capacity");
+  IBA_EXPECT(shards >= 1, "CappedConfig: shards must be at least 1");
+  IBA_EXPECT(shards == 1 || kernel == RoundKernel::kBinMajor,
+             "CappedConfig: sharding requires the bin-major kernel");
 }
 
 Capped::Capped(const CappedConfig& config, Engine engine)
@@ -82,24 +100,15 @@ CappedSnapshot Capped::snapshot() const {
   snap.pool.assign(pool_.buckets().begin(), pool_.buckets().end());
   snap.bin_queues.resize(config_.n);
   for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
-    const auto load = static_cast<std::uint32_t>(this->load(bin));
     auto& queue = snap.bin_queues[bin];
-    queue.reserve(load);
-    for (std::uint32_t i = 0; i < load; ++i) {
-      if (infinite()) {
-        // UnboundedBinTable exposes no random access; infinite-capacity
-        // snapshots rebuild via pops on a scratch copy below.
-        break;
-      }
-      queue.push_back(bounded_->peek(bin, i));
-    }
-  }
-  if (infinite()) {
-    // Drain a copy to read the queues non-destructively.
-    queueing::UnboundedBinTable copy = *unbounded_;
-    for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
-      while (copy.load(bin) > 0) {
-        snap.bin_queues[bin].push_back(copy.pop_front(bin));
+    if (infinite()) {
+      const auto view = unbounded_->items(bin);
+      queue.assign(view.begin(), view.end());
+    } else {
+      const auto load = bounded_->load(bin);
+      queue.reserve(load);
+      for (std::uint32_t i = 0; i < load; ++i) {
+        queue.push_back(bounded_->peek(bin, i));
       }
     }
   }
@@ -125,9 +134,7 @@ RoundMetrics Capped::step() {
   {
     telemetry::ScopedPhaseTimer timer(timers_, telemetry::Phase::kThrow, nu);
     choice_scratch_.resize(nu);
-    for (auto& choice : choice_scratch_) {
-      choice = rng::bounded32(engine_, config_.n);
-    }
+    rng::fill_bounded(engine_, choice_scratch_, config_.n);
   }
   return step_internal(generated, choice_scratch_);
 }
@@ -163,12 +170,100 @@ RoundMetrics Capped::allocate_and_delete(
   m.generated = generated;
   m.thrown = pool_.total();
 
-  // Allocation. Pool buckets are visited in preference order (the
-  // paper's oldest-first, or the ablation's inversion); each bin accepts
-  // while it has room, which realizes "accept the preferred min{c−ℓ, ν}
-  // requests" exactly (see the header comment).
-  telemetry::ScopedPhaseTimer accept_timer(timers_, telemetry::Phase::kAccept,
-                                           m.thrown);
+  const bool tracing = [&] {
+    if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+      return tracer_ != nullptr;
+    } else {
+      return false;
+    }
+  }();
+
+  // Fast path: the fused bin-major kernel handles acceptance and deletion
+  // in one chunked sweep (and computes the end-of-round load stats). The
+  // accept timer covers the whole sweep; the delete timer covers the
+  // sequential wait-recording tail.
+  bool load_stats_done = false;
+  bool fused = false;
+  if (config_.kernel == RoundKernel::kBinMajor && config_.shards == 1 &&
+      !tracing && !infinite() && choices.size() <= kMaxKernelThrows) {
+    telemetry::ScopedPhaseTimer accept_timer(timers_,
+                                             telemetry::Phase::kAccept,
+                                             m.thrown);
+    fused = round_fused(choices, m);
+  }
+  if (fused) {
+    // The fused sweep already deleted and recorded waits; log a
+    // zero-length delete phase so per-round call counts stay uniform
+    // across kernels (the sweep's time is attributed to kAccept).
+    telemetry::ScopedPhaseTimer delete_timer(timers_,
+                                             telemetry::Phase::kDelete,
+                                             m.deleted);
+    load_stats_done = true;
+  } else {
+    // Allocation. Pool buckets are considered in preference order (the
+    // paper's oldest-first, or the ablation's inversion); each bin
+    // accepts while it has room, which realizes "accept the preferred
+    // min{c−ℓ, ν} requests" exactly (see the header comment). The scalar
+    // path and the bin-major kernel compute the same outcome set —
+    // acceptance is independent across bins — with different
+    // memory-access order.
+    {
+      telemetry::ScopedPhaseTimer accept_timer(timers_,
+                                               telemetry::Phase::kAccept,
+                                               m.thrown);
+      if (config_.kernel == RoundKernel::kBinMajor &&
+          choices.size() <= kMaxKernelThrows) {
+        accept_bin_major(choices, m);
+      } else {
+        accept_scalar(choices, m);
+      }
+      pool_.swap(survivors_);
+    }
+
+    // Deletion: every non-empty, non-failed bin serves one ball. The
+    // unsharded bin-major pass also computes the end-of-round load stats
+    // while the bin arrays are hot, saving the separate scans below.
+    telemetry::ScopedPhaseTimer delete_timer(timers_,
+                                             telemetry::Phase::kDelete);
+    if (config_.kernel == RoundKernel::kBinMajor && config_.shards > 1) {
+      delete_sharded(m);
+    } else if (config_.kernel == RoundKernel::kBinMajor) {
+      load_stats_done = delete_bin_major(m);
+    } else {
+      delete_scalar(m);
+    }
+    delete_timer.set_balls(m.deleted);
+    delete_timer.stop();
+  }
+  deleted_total_ += m.deleted;
+  if (!requeue_.empty()) merge_requeued_into_pool();
+  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+    if (tracer_ != nullptr) tracer_->on_round_end(round_);
+  }
+
+  m.pool_size = pool_.total();
+  m.oldest_pool_age = pool_.oldest_age(round_);
+  if (!load_stats_done) {
+    if (infinite()) {
+      m.total_load = unbounded_->total_load();
+      m.max_load = unbounded_->max_load();
+      m.empty_bins = unbounded_->empty_bins();
+    } else {
+      m.total_load = bounded_->total_load();
+      m.max_load = bounded_->max_load();
+      m.empty_bins = bounded_->empty_bins();
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar (ball-at-a-time) round path — kept as the differential-testing
+// reference for the bin-major kernel.
+// ---------------------------------------------------------------------------
+
+void Capped::accept_scalar(std::span<const std::uint32_t> choices,
+                           RoundMetrics& m) {
   survivors_.clear();
   const auto trace_throw = [this](std::uint64_t label, std::uint32_t bin,
                                   std::uint64_t load, bool accepted) {
@@ -243,11 +338,9 @@ RoundMetrics Capped::allocate_and_delete(
     }
   }
   IBA_ASSERT(idx == choices.size());
-  pool_.swap(survivors_);
-  accept_timer.stop();
+}
 
-  // Deletion: every non-empty, non-failed bin serves one ball.
-  telemetry::ScopedPhaseTimer delete_timer(timers_, telemetry::Phase::kDelete);
+void Capped::delete_scalar(RoundMetrics& m) {
   const bool failures = config_.failure_probability > 0.0;
   for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
     const std::uint64_t load =
@@ -271,26 +364,698 @@ RoundMetrics Capped::allocate_and_delete(
     }
     delete_from_bin(bin, m);
   }
-  delete_timer.set_balls(m.deleted);
-  delete_timer.stop();
-  deleted_total_ += m.deleted;
-  if (!requeue_.empty()) merge_requeued_into_pool();
-  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
-    if (tracer_ != nullptr) tracer_->on_round_end(round_);
+}
+
+// ---------------------------------------------------------------------------
+// Bin-major round kernel: counting-sort throws by destination bin with a
+// stable prefix-sum scatter, then accept in one cache-linear pass over
+// bins. Stability keeps each bin's candidate list in the scalar path's
+// visit order, and acceptance is independent across bins, so each bin
+// taking the first min{c−ℓ, ν_bin} candidates reproduces the scalar
+// outcome exactly — queues, survivors, metrics and traces are
+// byte-identical. With shards > 1 the per-bin work runs on contiguous bin
+// ranges over a thread pool; all randomness stays on the master engine.
+// ---------------------------------------------------------------------------
+
+// Flattens pool buckets in acceptance-visit order: bucket_ends_[b] is
+// one past the last throw index of bucket b, so a monotone cursor maps
+// throw index → bucket during the scatter scans. The infinite-capacity
+// scalar branch visits buckets forward regardless of the acceptance
+// order (everything is accepted); mirror that.
+void Capped::flatten_pool_buckets(std::uint64_t expected_total) {
+  const bool forward =
+      infinite() || config_.acceptance == AcceptanceOrder::kOldestFirst;
+  const auto& buckets = pool_.buckets();
+  bucket_labels_.clear();
+  bucket_ends_.clear();
+  std::uint64_t cum = 0;
+  if (forward) {
+    for (const auto& bucket : buckets) {
+      bucket_labels_.push_back(bucket.label);
+      cum += bucket.count;
+      bucket_ends_.push_back(cum);
+    }
+  } else {
+    for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
+      bucket_labels_.push_back(it->label);
+      cum += it->count;
+      bucket_ends_.push_back(cum);
+    }
+  }
+  IBA_ASSERT(cum == expected_total);
+  (void)expected_total;
+}
+
+void Capped::accept_bin_major(std::span<const std::uint32_t> choices,
+                              RoundMetrics& m) {
+  const std::uint32_t n = config_.n;
+  const std::size_t nu = choices.size();
+  const std::uint32_t shards = config_.shards;
+  const bool forward =
+      infinite() || config_.acceptance == AcceptanceOrder::kOldestFirst;
+
+  flatten_pool_buckets(nu);
+  const std::size_t n_buckets = bucket_labels_.size();
+
+  const bool tracing = [&] {
+    if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+      return tracer_ != nullptr;
+    } else {
+      return false;
+    }
+  }();
+
+  // Count throws per bin.
+  counts_.resize(n);
+  starts_.resize(static_cast<std::size_t>(n) + 1);
+  if (shards == 1) {
+    std::fill(counts_.begin(), counts_.end(), 0u);
+    for (std::size_t i = 0; i < nu; ++i) ++counts_[choices[i]];
+  } else {
+    run_sharded([&](std::size_t, std::size_t lo, std::size_t hi) {
+      std::fill(counts_.begin() + static_cast<std::ptrdiff_t>(lo),
+                counts_.begin() + static_cast<std::ptrdiff_t>(hi), 0u);
+      for (std::size_t i = 0; i < nu; ++i) {
+        const std::uint32_t bin = choices[i];
+        if (bin >= lo && bin < hi) ++counts_[bin];
+      }
+    });
   }
 
-  m.pool_size = pool_.total();
-  m.oldest_pool_age = pool_.oldest_age(round_);
-  if (infinite()) {
-    m.total_load = unbounded_->total_load();
-    m.max_load = unbounded_->max_load();
-    m.empty_bins = unbounded_->empty_bins();
-  } else {
-    m.total_load = bounded_->total_load();
-    m.max_load = bounded_->max_load();
-    m.empty_bins = bounded_->empty_bins();
+  // Exclusive prefix sum; counts_ becomes the scatter cursor array.
+  starts_[0] = 0;
+  for (std::uint32_t bin = 0; bin < n; ++bin) {
+    starts_[bin + 1] = starts_[bin] + counts_[bin];
+    counts_[bin] = starts_[bin];
   }
-  return m;
+
+  if (tracing) {
+    // Loads before any acceptance, for replaying per-throw trace events.
+    init_load_.resize(n);
+    for (std::uint32_t bin = 0; bin < n; ++bin) {
+      init_load_[bin] = infinite() ? unbounded_->load(bin)
+                                   : bounded_->load(bin);
+    }
+    rank_scratch_.resize(nu);
+  } else {
+    rank_scratch_.clear();
+  }
+
+  // Scatter + accept, per contiguous bin range.
+  cand_bucket_.resize(nu);
+  rejected_.assign(static_cast<std::size_t>(shards) * n_buckets, 0);
+  shard_accepted_.assign(shards, 0);
+  shard_load_delta_.assign(shards, 0);
+  if (shards == 1) {
+    scatter_and_accept_range(choices, 0, 0, n);
+  } else {
+    run_sharded([&](std::size_t shard, std::size_t lo, std::size_t hi) {
+      scatter_and_accept_range(choices, shard,
+                               static_cast<std::uint32_t>(lo),
+                               static_cast<std::uint32_t>(hi));
+    });
+  }
+
+  // Commit shard totals sequentially.
+  std::int64_t load_delta = 0;
+  std::uint64_t accepted = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    load_delta += shard_load_delta_[s];
+    accepted += shard_accepted_[s];
+  }
+  if (infinite()) {
+    unbounded_->adjust_total_load(load_delta);
+  } else {
+    bounded_->adjust_total_load(load_delta);
+  }
+  m.accepted = accepted;
+
+  // Survivors: per-bucket rejection counts, merged across shards and
+  // re-added oldest-first (AgedPool's label-order invariant).
+  survivors_.clear();
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    const std::size_t b = forward ? i : n_buckets - 1 - i;
+    std::uint64_t rejected = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      rejected += rejected_[static_cast<std::size_t>(s) * n_buckets + b];
+    }
+    survivors_.add(bucket_labels_[b], rejected);
+  }
+
+  if (tracing) emit_throw_traces(choices);
+}
+
+void Capped::scatter_and_accept_range(std::span<const std::uint32_t> choices,
+                                      std::size_t shard,
+                                      std::uint32_t bin_begin,
+                                      std::uint32_t bin_end) {
+  const std::size_t nu = choices.size();
+  const bool tracing = !rank_scratch_.empty();
+
+  // Stable scatter of the candidates targeting [bin_begin, bin_end):
+  // scanning throws in visit order and appending at each bin's cursor
+  // preserves, per bin, exactly the scalar path's candidate order.
+  std::size_t bucket = 0;
+  for (std::size_t idx = 0; idx < nu; ++idx) {
+    while (idx >= bucket_ends_[bucket]) ++bucket;
+    const std::uint32_t bin = choices[idx];
+    if (bin < bin_begin || bin >= bin_end) continue;
+    const std::uint32_t pos = counts_[bin]++;
+    cand_bucket_[pos] = static_cast<std::uint32_t>(bucket);
+    if (tracing) rank_scratch_[idx] = pos - starts_[bin];
+  }
+
+  // Cache-linear acceptance: each bin takes the first min{c−ℓ, ν_bin}
+  // candidates of its segment; the rest count as per-bucket rejections.
+  std::uint64_t accepted = 0;
+  std::uint64_t* rejected = rejected_.data() + shard * bucket_labels_.size();
+  if (infinite()) {
+    for (std::uint32_t bin = bin_begin; bin < bin_end; ++bin) {
+      const std::uint32_t seg_begin = starts_[bin];
+      const std::uint32_t seg_end = starts_[bin + 1];
+      if (seg_begin == seg_end) continue;
+      unbounded_->push_bulk(bin, seg_end - seg_begin, [&](std::uint64_t k) {
+        return bucket_labels_[cand_bucket_[seg_begin + k]];
+      });
+      accepted += seg_end - seg_begin;
+    }
+  } else {
+    const std::uint32_t cap = config_.capacity;
+    const std::uint32_t* packed = bounded_->packed();
+    for (std::uint32_t bin = bin_begin; bin < bin_end; ++bin) {
+      const std::uint32_t seg_begin = starts_[bin];
+      const std::uint32_t seg_end = starts_[bin + 1];
+      if (seg_begin == seg_end) continue;
+      const std::uint32_t count = seg_end - seg_begin;
+      const std::uint32_t free =
+          cap - (packed[bin] & queueing::BinTable::kSizeMask);
+      const std::uint32_t take = count < free ? count : free;
+      if (take > 0) {
+        bounded_->push_bulk(bin, take, [&](std::uint32_t k) {
+          return bucket_labels_[cand_bucket_[seg_begin + k]];
+        });
+      }
+      for (std::uint32_t k = take; k < count; ++k) {
+        ++rejected[cand_bucket_[seg_begin + k]];
+      }
+      accepted += take;
+    }
+  }
+  shard_accepted_[shard] = accepted;
+  shard_load_delta_[shard] = static_cast<std::int64_t>(accepted);
+}
+
+// Fused round kernel for the common configuration: finite capacity, one
+// shard, no ball tracer. A flat counting sort over n = 10^6 bins
+// random-accesses multi-megabyte cursor arrays and loses to the scalar
+// loop on cache misses, so the kernel works in two cache-resident levels
+// instead:
+//
+//   Pass A partitions throws into contiguous 4096-bin chunks. The scan
+//   runs bucket-by-bucket (pool buckets are contiguous index ranges in
+//   visit order), appending each throw's 12-bit local bin offset to its
+//   chunk's stream and closing every bucket with one sentinel per chunk.
+//   Each chunk stream is therefore in (bucket, throw-index) order — the
+//   scalar visit order — and the bucket of an entry is implied by its
+//   sentinel-delimited segment instead of being stored per throw.
+//
+//   Pass B walks chunks in ascending bin order. It first replays
+//   acceptance: each candidate is accepted iff its bin has room at its
+//   turn, exactly the scalar rule, with the chunk's bin state (sizes,
+//   heads, labels) L1/L2-resident. It then runs the delete walk over the
+//   same chunk's bins while they are still hot, drawing failure coins and
+//   uniform positions in ascending bin order — the scalar engine
+//   sequence — and recording waits inline (the integer wait accumulator
+//   is order-independent, so mid-sweep recording equals the scalar
+//   path's end-of-round stream bit for bit).
+//
+// Outcome, RNG consumption and metrics are byte-identical to the scalar
+// path; only the memory access order differs.
+bool Capped::round_fused(std::span<const std::uint32_t> choices,
+                         RoundMetrics& m) {
+  const std::uint32_t n = config_.n;
+  const std::size_t nu = choices.size();
+  flatten_pool_buckets(nu);
+  const std::size_t n_buckets = bucket_labels_.size();
+
+  constexpr std::uint32_t kChunkBits = 13;  // 8192 bins per chunk
+  const std::uint32_t chunk_width = 1u << kChunkBits;
+  const std::uint32_t n_chunks = (n + chunk_width - 1) >> kChunkBits;
+  constexpr std::uint16_t kSentinel = 0xFFFF;
+
+  // One sentinel per (bucket, chunk): bail to the flat path if the pool's
+  // age spread would make that overhead comparable to the throws
+  // themselves (does not happen in steady state).
+  const std::size_t sentinels =
+      n_buckets * static_cast<std::size_t>(n_chunks);
+  if (sentinels > nu / 2 + 1024) return false;
+
+  // Pass A: per-chunk counts, prefix, then the bucket-major partition.
+  chunk_counts_.assign(n_chunks, 0);
+  for (std::size_t i = 0; i < nu; ++i) {
+    ++chunk_counts_[choices[i] >> kChunkBits];
+  }
+  chunk_cursor_.resize(n_chunks);
+  std::uint32_t run = 0;
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    chunk_cursor_[c] = run;
+    run += chunk_counts_[c] + static_cast<std::uint32_t>(n_buckets);
+  }
+  constexpr std::size_t kPrefetchDist = 24;
+  part16_.resize(nu + sentinels + kPrefetchDist, 0);
+  {
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      const std::uint64_t b_end = bucket_ends_[b];
+      for (; idx < b_end; ++idx) {
+        const std::uint32_t bin = choices[idx];
+        part16_[chunk_cursor_[bin >> kChunkBits]++] =
+            static_cast<std::uint16_t>(bin & (chunk_width - 1));
+      }
+      for (std::uint32_t c = 0; c < n_chunks; ++c) {
+        part16_[chunk_cursor_[c]++] = kSentinel;
+      }
+    }
+    IBA_ASSERT(idx == nu);
+  }
+
+  // Pass B: replay acceptance, then delete, chunk by chunk, on raw
+  // views of the bin arrays. total_load_ is committed once at the end of
+  // the sweep: the per-push/pop read-modify-write of one shared counter
+  // is a store-to-load-forwarding chain that throttles both loops.
+  rejected_.assign(n_buckets, 0);
+  const std::uint32_t cap = config_.capacity;
+  const bool failures = config_.failure_probability > 0.0;
+  const double p_fail = config_.failure_probability;
+  const bool crash = config_.failure_mode == FailureMode::kCrashRequeue;
+  const DeletionDiscipline discipline = config_.deletion;
+  std::uint32_t* const hs_arr = bounded_->packed_mut();
+  std::uint64_t* const lb = bounded_->labels_mut();
+  constexpr std::uint32_t kSizeMask = queueing::BinTable::kSizeMask;
+  constexpr std::uint32_t kHeadShift = queueing::BinTable::kHeadShift;
+  std::uint64_t accepted = 0;
+  std::uint64_t max_load = 0;
+  std::uint64_t empty_bins = 0;
+  std::uint64_t wait_count = 0;
+  std::uint64_t wait_sum = 0;
+  std::uint64_t wait_max = 0;
+  std::uint64_t requeued_balls = 0;
+  std::size_t p = 0;  // chunk streams are contiguous in part16_
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    const std::uint32_t bin_lo = c << kChunkBits;
+    const std::uint32_t bin_hi = std::min(n, bin_lo + chunk_width);
+    const std::size_t chunk_end = chunk_cursor_[c];
+
+    // Acceptance replay in visit order. The replay touches bin state in
+    // random order, but only within this chunk's cache-resident slice of
+    // the cursor and label arrays, so the loads hit L1/L2 instead of
+    // paying a full random-access miss per candidate.
+    std::size_t b = 0;
+    std::uint64_t label = n_buckets > 0 ? bucket_labels_[0] : 0;
+    std::uint64_t rej = 0;
+    for (; p < chunk_end; ++p) {
+      const std::uint32_t v = part16_[p];
+      if (v == kSentinel) [[unlikely]] {
+        // Bucket b has no further throws in this chunk.
+        rejected_[b] += rej;
+        rej = 0;
+        ++b;
+        if (b < n_buckets) label = bucket_labels_[b];
+        continue;
+      }
+      const std::uint32_t bin = bin_lo + v;
+      const std::uint32_t hs = hs_arr[bin];
+      const std::uint32_t load = hs & kSizeMask;
+      if (load < cap) {
+        std::uint32_t slot = (hs >> kHeadShift) + load;
+        if (slot >= cap) slot -= cap;
+        lb[static_cast<std::size_t>(bin) * cap + slot] = label;
+        hs_arr[bin] = hs + 1;
+        ++accepted;
+      } else {
+        ++rej;
+      }
+    }
+    IBA_ASSERT(b == n_buckets && rej == 0);
+
+    // Delete walk over this chunk's bins while their state is hot.
+    // Waits are recorded inline: the integer wait accumulator is
+    // order-independent, so mid-sweep recording matches the scalar
+    // path's end-of-round stream bit for bit.
+    if (!failures && discipline != DeletionDiscipline::kUniform) {
+      // Failure-free FIFO/LIFO: no engine draws, lean raw-array loop.
+      const bool lifo = discipline == DeletionDiscipline::kLifo;
+      for (std::uint32_t bin = bin_lo; bin < bin_hi; ++bin) {
+        const std::uint32_t hs = hs_arr[bin];
+        const std::uint32_t load = hs & kSizeMask;
+        if (load == 0) {
+          ++empty_bins;
+          continue;
+        }
+        const std::size_t base = static_cast<std::size_t>(bin) * cap;
+        const std::uint32_t head = hs >> kHeadShift;
+        std::uint64_t served;
+        if (lifo) {
+          std::uint32_t slot = head + load - 1;
+          if (slot >= cap) slot -= cap;
+          served = lb[base + slot];
+          hs_arr[bin] = hs - 1;  // head unchanged, size - 1
+        } else {
+          served = lb[base + head];
+          const std::uint32_t next = head + 1 == cap ? 0 : head + 1;
+          hs_arr[bin] = (next << kHeadShift) | (load - 1);
+        }
+        const std::uint64_t wait = round_ - served;
+        waits_.record(wait);
+        ++wait_count;
+        wait_sum += wait;
+        if (wait > wait_max) wait_max = wait;
+        empty_bins += static_cast<std::uint64_t>(load == 1);
+        if (load - 1 > max_load) max_load = load - 1;
+      }
+    } else {
+      // Failures and/or uniform service: per-bin coin/position draws in
+      // bin order, exactly the scalar path's engine consumption.
+      for (std::uint32_t bin = bin_lo; bin < bin_hi; ++bin) {
+        const std::uint32_t load = hs_arr[bin] & kSizeMask;
+        if (load == 0) {
+          ++empty_bins;
+          continue;
+        }
+        if (failures && rng::uniform01(engine_) < p_fail) {
+          if (crash) {
+            bounded_->drain_bulk(bin, [&](std::uint64_t crashed) {
+              ++requeue_[crashed];
+              ++m.requeued;
+            });
+            requeued_balls += load;
+            ++empty_bins;
+          } else if (load > max_load) {
+            max_load = load;
+          }
+          continue;
+        }
+        std::uint64_t served;
+        switch (discipline) {
+          case DeletionDiscipline::kLifo:
+            served = bounded_->remove_at(bin, load - 1);
+            break;
+          case DeletionDiscipline::kUniform:
+            served = bounded_->remove_at(bin, rng::bounded32(engine_, load));
+            break;
+          case DeletionDiscipline::kFifo:
+          default:
+            served = bounded_->remove_at(bin, 0);
+            break;
+        }
+        const std::uint64_t wait = round_ - served;
+        waits_.record(wait);
+        ++wait_count;
+        wait_sum += wait;
+        if (wait > wait_max) wait_max = wait;
+        empty_bins += static_cast<std::uint64_t>(load == 1);
+        if (load - 1 > max_load) max_load = load - 1;
+      }
+    }
+  }
+
+  m.accepted = accepted;
+  m.deleted = wait_count;
+  m.wait_count = wait_count;
+  // Per-round wait sums are far below 2^53, so the double equals the
+  // scalar path's per-ball accumulation exactly.
+  m.wait_sum = static_cast<double>(wait_sum);
+  m.wait_max = wait_max;
+  bounded_->adjust_total_load(static_cast<std::int64_t>(accepted) -
+                              static_cast<std::int64_t>(wait_count) -
+                              static_cast<std::int64_t>(requeued_balls));
+  m.total_load = bounded_->total_load();
+  m.max_load = max_load;
+  m.empty_bins = static_cast<std::uint32_t>(empty_bins);
+
+  // Survivors re-added oldest-first (AgedPool's label-order invariant).
+  const bool forward = config_.acceptance == AcceptanceOrder::kOldestFirst;
+  survivors_.clear();
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    const std::size_t bb = forward ? i : n_buckets - 1 - i;
+    survivors_.add(bucket_labels_[bb], rejected_[bb]);
+  }
+  pool_.swap(survivors_);
+  return true;
+}
+
+void Capped::emit_throw_traces(std::span<const std::uint32_t> choices) {
+#if IBA_TELEMETRY_ENABLED
+  // Replays the scalar path's on_throw stream: throws in visit order,
+  // each with the load the bin had at that ball's decision point —
+  // derivable from the initial load and the ball's stable rank among the
+  // bin's candidates.
+  const bool finite = !infinite();
+  const std::uint64_t cap = finite ? config_.capacity : 0;
+  std::size_t bucket = 0;
+  for (std::size_t idx = 0; idx < choices.size(); ++idx) {
+    while (idx >= bucket_ends_[bucket]) ++bucket;
+    const std::uint32_t bin = choices[idx];
+    const std::uint64_t label = bucket_labels_[bucket];
+    const std::uint64_t rank = rank_scratch_[idx];
+    const std::uint64_t initial = init_load_[bin];
+    if (!finite || rank < cap - initial) {
+      tracer_->on_throw(label, bin, initial + rank, true);
+    } else {
+      tracer_->on_throw(label, bin, cap, false);
+    }
+  }
+#else
+  (void)choices;
+#endif
+}
+
+// Sharded end-of-round service. Failure coins and uniform-deletion
+// positions are pre-sampled in bin order from the master engine — the
+// exact draw sequence of the scalar loop — so the RNG stream, and hence
+// every future round, is invariant in the shard count. Workers then pop
+// over disjoint bin ranges, and a sequential bin-order pass records
+// waits/requeues so even floating-point accumulation order matches.
+void Capped::delete_sharded(RoundMetrics& m) {
+  const std::uint32_t n = config_.n;
+  const std::uint32_t shards = config_.shards;
+  const bool failures = config_.failure_probability > 0.0;
+
+  delete_action_.assign(n, kActionNone);
+  delete_pos_.resize(n);
+  deleted_label_.resize(n);
+  for (std::uint32_t bin = 0; bin < n; ++bin) {
+    const std::uint64_t load =
+        infinite() ? unbounded_->load(bin) : bounded_->load(bin);
+    if (load == 0) continue;
+    if (failures &&
+        rng::uniform01(engine_) < config_.failure_probability) {
+      if (config_.failure_mode == FailureMode::kCrashRequeue) {
+        delete_action_[bin] = kActionCrash;
+      }
+      continue;
+    }
+    delete_action_[bin] = kActionServe;
+    std::uint32_t pos = 0;
+    if (!infinite()) {
+      switch (config_.deletion) {
+        case DeletionDiscipline::kFifo:
+          break;
+        case DeletionDiscipline::kLifo:
+          pos = static_cast<std::uint32_t>(load - 1);
+          break;
+        case DeletionDiscipline::kUniform:
+          pos = rng::bounded32(engine_,
+                               static_cast<std::uint32_t>(load));
+          break;
+      }
+    }
+    delete_pos_[bin] = pos;
+  }
+
+  shard_crashed_.resize(shards);
+  for (auto& crashed : shard_crashed_) crashed.clear();
+  shard_load_delta_.assign(shards, 0);
+  run_sharded([&](std::size_t shard, std::size_t lo, std::size_t hi) {
+    std::int64_t delta = 0;
+    auto& crashed = shard_crashed_[shard];
+    for (std::uint32_t bin = static_cast<std::uint32_t>(lo);
+         bin < static_cast<std::uint32_t>(hi); ++bin) {
+      switch (delete_action_[bin]) {
+        case kActionServe:
+          deleted_label_[bin] =
+              infinite() ? unbounded_->remove_front(bin)
+                         : bounded_->remove_at(bin, delete_pos_[bin]);
+          --delta;
+          break;
+        case kActionCrash:
+          bounded_->drain_bulk(bin, [&](std::uint64_t label) {
+            crashed.emplace_back(bin, label);
+            --delta;
+          });
+          break;
+        default:
+          break;
+      }
+    }
+    shard_load_delta_[shard] = delta;
+  });
+  std::int64_t load_delta = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    load_delta += shard_load_delta_[s];
+  }
+  if (infinite()) {
+    unbounded_->adjust_total_load(load_delta);
+  } else {
+    bounded_->adjust_total_load(load_delta);
+  }
+
+  // Sequential bin-order record pass. Shard crash lists concatenate in
+  // ascending bin order (contiguous ranges), so one cursor merges them
+  // back into the scalar loop's interleaving of deletes and requeues.
+  std::size_t crash_shard = 0;
+  std::size_t crash_item = 0;
+  const auto skip_exhausted = [&] {
+    while (crash_shard < shards &&
+           crash_item >= shard_crashed_[crash_shard].size()) {
+      ++crash_shard;
+      crash_item = 0;
+    }
+  };
+  for (std::uint32_t bin = 0; bin < n; ++bin) {
+    if (delete_action_[bin] == kActionServe) {
+      record_wait(bin, deleted_label_[bin], delete_pos_[bin], m);
+    } else if (delete_action_[bin] == kActionCrash) {
+      skip_exhausted();
+      while (crash_shard < shards) {
+        const auto& list = shard_crashed_[crash_shard];
+        if (crash_item >= list.size() || list[crash_item].first != bin) break;
+        const std::uint64_t label = list[crash_item].second;
+        if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+          if (tracer_ != nullptr) tracer_->on_requeue(bin, label);
+        }
+        ++requeue_[label];
+        ++m.requeued;
+        ++crash_item;
+        skip_exhausted();
+      }
+    }
+  }
+}
+
+// Unsharded bin-major deletion: one fused pass that serves bins, draws
+// failure coins and uniform positions in the scalar loop's exact bin
+// order, and computes the end-of-round total/max/empty load statistics
+// while each bin's arrays are still in cache. Outcome-, RNG- and
+// trace-identical to delete_scalar; total_load is committed once at the
+// end instead of per pop.
+bool Capped::delete_bin_major(RoundMetrics& m) {
+  const std::uint32_t n = config_.n;
+  const bool failures = config_.failure_probability > 0.0;
+  const double p_fail = config_.failure_probability;
+  std::uint64_t max_load = 0;
+  std::uint64_t empty_bins = 0;
+  std::int64_t delta = 0;
+  if (infinite()) {
+    for (std::uint32_t bin = 0; bin < n; ++bin) {
+      const std::uint64_t load = unbounded_->load(bin);
+      if (load == 0) {
+        ++empty_bins;
+        continue;
+      }
+      if (failures && rng::uniform01(engine_) < p_fail) {
+        // Crash-requeue is rejected for infinite capacity at config time,
+        // so a failed bin simply skips service.
+        if (load > max_load) max_load = load;
+        continue;
+      }
+      const std::uint64_t label = unbounded_->remove_front(bin);
+      --delta;
+      record_wait(bin, label, 0, m);
+      if (load == 1) {
+        ++empty_bins;
+      } else if (load - 1 > max_load) {
+        max_load = load - 1;
+      }
+    }
+    unbounded_->adjust_total_load(delta);
+    m.total_load = unbounded_->total_load();
+  } else {
+    const bool crash = config_.failure_mode == FailureMode::kCrashRequeue;
+    const DeletionDiscipline discipline = config_.deletion;
+    for (std::uint32_t bin = 0; bin < n; ++bin) {
+      const std::uint32_t load = bounded_->load(bin);
+      if (load == 0) {
+        ++empty_bins;
+        continue;
+      }
+      if (failures && rng::uniform01(engine_) < p_fail) {
+        if (crash) {
+          bounded_->drain_bulk(bin, [&](std::uint64_t label) {
+            if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+              if (tracer_ != nullptr) tracer_->on_requeue(bin, label);
+            }
+            ++requeue_[label];
+            ++m.requeued;
+            --delta;
+          });
+          ++empty_bins;
+        } else if (load > max_load) {
+          max_load = load;
+        }
+        continue;
+      }
+      std::uint32_t pos = 0;
+      switch (discipline) {
+        case DeletionDiscipline::kFifo:
+          break;
+        case DeletionDiscipline::kLifo:
+          pos = load - 1;
+          break;
+        case DeletionDiscipline::kUniform:
+          pos = rng::bounded32(engine_, load);
+          break;
+      }
+      const std::uint64_t label = bounded_->remove_at(bin, pos);
+      --delta;
+      record_wait(bin, label, pos, m);
+      if (load == 1) {
+        ++empty_bins;
+      } else if (load - 1 > max_load) {
+        max_load = load - 1;
+      }
+    }
+    bounded_->adjust_total_load(delta);
+    m.total_load = bounded_->total_load();
+  }
+  m.max_load = max_load;
+  m.empty_bins = empty_bins;
+  return true;
+}
+
+void Capped::record_wait(std::uint32_t bin, std::uint64_t label,
+                         std::uint64_t position, RoundMetrics& m) {
+  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+    if (tracer_ != nullptr) tracer_->on_delete(bin, label, position);
+  } else {
+    (void)bin;
+    (void)position;
+  }
+  const std::uint64_t wait = round_ - label;
+  waits_.record(wait);
+  ++m.deleted;
+  ++m.wait_count;
+  m.wait_sum += static_cast<double>(wait);
+  if (wait > m.wait_max) m.wait_max = wait;
+}
+
+void Capped::run_sharded(
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (shard_pool_ == nullptr) {
+    shard_pool_ = std::make_unique<concurrency::ThreadPool>(config_.shards);
+  }
+  concurrency::parallel_for_ranges(*shard_pool_, config_.n, config_.shards,
+                                   fn);
 }
 
 void Capped::merge_requeued_into_pool() {
@@ -319,7 +1084,7 @@ void Capped::merge_requeued_into_pool() {
 
 void Capped::delete_from_bin(std::uint32_t bin, RoundMetrics& m) {
   std::uint64_t label;
-  [[maybe_unused]] std::uint64_t position = 0;  // queue index served
+  std::uint64_t position = 0;  // queue index served
   if (infinite()) {
     label = unbounded_->pop_front(bin);  // discipline applies to finite c
   } else {
@@ -339,15 +1104,7 @@ void Capped::delete_from_bin(std::uint32_t bin, RoundMetrics& m) {
         label = bounded_->pop_front(bin);
     }
   }
-  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
-    if (tracer_ != nullptr) tracer_->on_delete(bin, label, position);
-  }
-  const std::uint64_t wait = round_ - label;
-  waits_.record(wait);
-  ++m.deleted;
-  ++m.wait_count;
-  m.wait_sum += static_cast<double>(wait);
-  if (wait > m.wait_max) m.wait_max = wait;
+  record_wait(bin, label, position, m);
 }
 
 }  // namespace iba::core

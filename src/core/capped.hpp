@@ -24,11 +24,13 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "concurrency/thread_pool.hpp"
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
 #include "core/process.hpp"
@@ -63,6 +65,17 @@ struct CappedConfig {
   /// What failure does: skip one service opportunity, or crash and dump
   /// the buffer back into the pool. kCrashRequeue requires finite c.
   FailureMode failure_mode = FailureMode::kSkipService;
+
+  /// How the round hot path executes. Both kernels produce byte-identical
+  /// trajectories for the same seed; kBinMajor is the fast default, the
+  /// scalar path is kept for differential testing (docs/PERFORMANCE.md).
+  RoundKernel kernel = RoundKernel::kBinMajor;
+  /// Number of contiguous bin ranges the bin-major kernel executes in
+  /// parallel (1 = inline, no thread pool). Requires kernel == kBinMajor
+  /// when > 1. Results are invariant in this value — failure coins and
+  /// uniform-deletion draws are pre-sampled in bin order from the master
+  /// engine, so the RNG stream never depends on scheduling.
+  std::uint32_t shards = 1;
 
   static constexpr std::uint32_t kInfiniteCapacity = 0xFFFFFFFFu;
 
@@ -201,6 +214,36 @@ class Capped {
                                    std::span<const std::uint32_t> choices);
   void delete_from_bin(std::uint32_t bin, RoundMetrics& m);
 
+  // -- scalar (ball-at-a-time) round path --
+  void accept_scalar(std::span<const std::uint32_t> choices, RoundMetrics& m);
+  void delete_scalar(RoundMetrics& m);
+
+  // -- bin-major round kernel (see docs/PERFORMANCE.md) --
+  void accept_bin_major(std::span<const std::uint32_t> choices,
+                        RoundMetrics& m);
+  void flatten_pool_buckets(std::uint64_t expected_total);
+  /// Fused accept+delete pass for the unsharded, untraced, finite-capacity
+  /// kernel: bucket-sliced two-level partition, chunk-local acceptance
+  /// replay, and the delete walk over each chunk's bins while they are
+  /// cache-hot. Returns false (nothing mutated) when the pool's bucket
+  /// count makes the partition bookkeeping uneconomical; callers then use
+  /// the flat paths.
+  bool round_fused(std::span<const std::uint32_t> choices, RoundMetrics& m);
+  /// preserving the scalar path's exact accumulation order.
+  void scatter_and_accept_range(std::span<const std::uint32_t> choices,
+                                std::size_t shard, std::uint32_t bin_begin,
+                                std::uint32_t bin_end);
+  void emit_throw_traces(std::span<const std::uint32_t> choices);
+  /// Fused single-pass deletion for the unsharded bin-major kernel; also
+  /// computes m.total_load / max_load / empty_bins (returns true when it
+  /// did, so the caller skips the end-of-round scans).
+  bool delete_bin_major(RoundMetrics& m);
+  void delete_sharded(RoundMetrics& m);
+  void record_wait(std::uint32_t bin, std::uint64_t label,
+                   std::uint64_t position, RoundMetrics& m);
+  void run_sharded(const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& fn);
+
   CappedConfig config_;
   Engine engine_;
   std::uint64_t round_ = 0;
@@ -214,6 +257,35 @@ class Capped {
   std::map<std::uint64_t, std::uint64_t> requeue_;  // label → crashed count
   std::optional<queueing::BinTable> bounded_;
   std::optional<queueing::UnboundedBinTable> unbounded_;
+
+  // Bin-major kernel scratch, reused across rounds. `counts_` doubles as
+  // the scatter cursor array after the prefix sum into `starts_`.
+  std::vector<std::uint32_t> counts_;         // n
+  std::vector<std::uint32_t> starts_;         // n + 1 candidate offsets
+  // Fused kernel scratch: throws are partitioned into contiguous bin-range
+  // chunks sized so the cursor arrays and per-chunk bin state stay
+  // cache-resident. Each chunk stream holds 16-bit chunk-local offsets in
+  // bucket-major visit order with one sentinel per (bucket, chunk), so the
+  // bucket of an entry is implied by its segment instead of stored.
+  std::vector<std::uint16_t> part16_;         // local bin offsets + sentinels
+  std::vector<std::uint32_t> chunk_counts_;   // throws per chunk
+  std::vector<std::uint32_t> chunk_cursor_;   // partition write cursors
+  std::vector<std::uint32_t> cand_bucket_;    // per candidate, bin-grouped
+  std::vector<std::uint64_t> bucket_labels_;  // flat copy of pool buckets
+  std::vector<std::uint64_t> bucket_ends_;    // candidate-index boundaries
+  std::vector<std::uint64_t> rejected_;       // shards × buckets
+  std::vector<std::uint64_t> shard_accepted_;  // per shard
+  std::vector<std::uint32_t> rank_scratch_;    // per throw idx (tracer only)
+  std::vector<std::uint64_t> init_load_;       // per bin (tracer only)
+  // Sharded delete-phase scratch.
+  std::vector<std::uint8_t> delete_action_;    // per bin: none/serve/crash
+  std::vector<std::uint32_t> delete_pos_;      // served queue position
+  std::vector<std::uint64_t> deleted_label_;   // per bin, kNoLabel = none
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+      shard_crashed_;                          // per shard: (bin, label)
+  std::vector<std::int64_t> shard_load_delta_;  // per shard total_load fix
+  std::unique_ptr<concurrency::ThreadPool> shard_pool_;  // shards > 1
+
   telemetry::PhaseTimers* timers_ = nullptr;
   telemetry::BallTracer* tracer_ = nullptr;
   WaitRecorder waits_;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "stats/histogram.hpp"
+#include "stats/int_moments.hpp"
 #include "stats/welford.hpp"
 
 namespace iba::core {
@@ -40,9 +41,10 @@ struct RoundMetrics {
 class WaitRecorder {
  public:
   void record(std::uint64_t wait) noexcept {
-    moments_.add(static_cast<double>(wait));
+    moments_.add(wait);
     histogram_.add(wait);
   }
+
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return moments_.count();
@@ -57,7 +59,7 @@ class WaitRecorder {
     return histogram_.quantile_upper_bound(q);
   }
 
-  [[nodiscard]] const stats::OnlineMoments& moments() const noexcept {
+  [[nodiscard]] const stats::UintMoments& moments() const noexcept {
     return moments_;
   }
   [[nodiscard]] const stats::Log2Histogram& histogram() const noexcept {
@@ -70,7 +72,11 @@ class WaitRecorder {
   }
 
  private:
-  stats::OnlineMoments moments_;
+  // Exact integer accumulation (Σw in 64 bits, Σw² in 128): cheap on
+  // the per-deleted-ball hot path — no serial FP dependency chain — and
+  // order-independent, which lets the fused bin-major kernel record
+  // waits mid-sweep and still match the scalar path bit for bit.
+  stats::UintMoments moments_;
   stats::Log2Histogram histogram_;
 };
 

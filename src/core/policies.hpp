@@ -37,6 +37,16 @@ enum class FailureMode : std::uint8_t {
                   ///< return to the pool (ages preserved) and retry
 };
 
+/// How a round's hot path is executed. Both kernels realize the same
+/// process — byte-identical metrics, waits, snapshots and traces for the
+/// same seed (tests/kernel_differential_test.cpp) — they differ only in
+/// memory-access order and parallelizability. See docs/PERFORMANCE.md.
+enum class RoundKernel : std::uint8_t {
+  kScalar,    ///< ball-at-a-time: one random bin access per throw
+  kBinMajor,  ///< batched: counting-sort throws by bin, then accept in
+              ///< one cache-linear pass over bins; shardable
+};
+
 [[nodiscard]] constexpr std::string_view to_string(ArrivalModel m) noexcept {
   switch (m) {
     case ArrivalModel::kDeterministic: return "deterministic";
@@ -71,6 +81,28 @@ enum class FailureMode : std::uint8_t {
     case FailureMode::kCrashRequeue: return "crash-requeue";
   }
   return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(RoundKernel k) noexcept {
+  switch (k) {
+    case RoundKernel::kScalar: return "scalar";
+    case RoundKernel::kBinMajor: return "bin-major";
+  }
+  return "?";
+}
+
+/// Parses the --kernel flag vocabulary; returns false on unknown names.
+[[nodiscard]] constexpr bool kernel_from_string(std::string_view name,
+                                                RoundKernel& out) noexcept {
+  if (name == "scalar") {
+    out = RoundKernel::kScalar;
+    return true;
+  }
+  if (name == "bin-major" || name == "binmajor") {
+    out = RoundKernel::kBinMajor;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace iba::core

@@ -8,23 +8,30 @@ BinTable::BinTable(std::uint32_t bins, std::uint32_t capacity)
     : bins_(bins), capacity_(capacity) {
   IBA_EXPECT(bins > 0, "BinTable: needs at least one bin");
   IBA_EXPECT(capacity > 0, "BinTable: capacity must be positive");
+  IBA_EXPECT(capacity <= kSizeMask,
+             "BinTable: capacity must fit the packed 16-bit size field");
   labels_.resize(static_cast<std::size_t>(bins) * capacity);
-  head_.assign(bins, 0);
-  size_.assign(bins, 0);
+  hs_.assign(bins, 0);
 }
 
 std::uint32_t BinTable::max_load() const noexcept {
-  return *std::max_element(size_.begin(), size_.end());
+  std::uint32_t max = 0;
+  for (const std::uint32_t hs : hs_) {
+    if ((hs & kSizeMask) > max) max = hs & kSizeMask;
+  }
+  return max;
 }
 
 std::uint32_t BinTable::empty_bins() const noexcept {
-  return static_cast<std::uint32_t>(
-      std::count(size_.begin(), size_.end(), 0u));
+  std::uint32_t empty = 0;
+  for (const std::uint32_t hs : hs_) {
+    empty += static_cast<std::uint32_t>((hs & kSizeMask) == 0);
+  }
+  return empty;
 }
 
 void BinTable::clear() noexcept {
-  std::fill(head_.begin(), head_.end(), 0u);
-  std::fill(size_.begin(), size_.end(), 0u);
+  std::fill(hs_.begin(), hs_.end(), 0u);
   total_load_ = 0;
 }
 

@@ -1,6 +1,21 @@
 // BinTable — the bins of CAPPED(c, λ): n FIFO queues of ball labels, each
 // with capacity c, laid out in one flat n×c array (cache-friendly, zero
 // per-bin allocation). This is the hot data structure of the simulator.
+//
+// Slot arithmetic uses conditional wrap instead of `% capacity_`: every
+// index that needs wrapping is < 2·capacity by construction (head < c,
+// size ≤ c), so one compare-and-subtract replaces an integer division in
+// ops that are otherwise one load/store.
+//
+// Per-bin head and size share one 32-bit word (head in the high 16
+// bits, size in the low 16 — hence capacity ≤ 65535). The round
+// kernel's hot loops then touch a single cache line per bin for cursor
+// state instead of two, and a push is one +1 on the packed word.
+//
+// The *_bulk / adjust_total_load API exists for the bin-major round
+// kernel (core/capped.cpp): shards own disjoint bin ranges, so per-bin
+// state is race-free, but total_load_ is shared — bulk operations defer
+// it and the kernel commits per-shard deltas once, sequentially.
 #pragma once
 
 #include <cstdint>
@@ -16,71 +31,132 @@ class BinTable {
  public:
   using Label = std::uint64_t;
 
+  /// Decoding of the packed per-bin cursor word (see packed()).
+  static constexpr std::uint32_t kSizeMask = 0xFFFFu;
+  static constexpr std::uint32_t kHeadShift = 16;
+
   BinTable(std::uint32_t bins, std::uint32_t capacity);
 
   /// Enqueues `label` at bin `bin`. Precondition: load(bin) < capacity().
   void push(std::uint32_t bin, Label label) noexcept {
     IBA_ASSERT(bin < bins_);
-    IBA_ASSERT(size_[bin] < capacity_);
-    const std::size_t slot =
-        static_cast<std::size_t>(bin) * capacity_ +
-        (head_[bin] + size_[bin]) % capacity_;
-    labels_[slot] = label;
-    ++size_[bin];
+    const std::uint32_t hs = hs_[bin];
+    const std::uint32_t size = hs & kSizeMask;
+    IBA_ASSERT(size < capacity_);
+    std::uint32_t slot = (hs >> kHeadShift) + size;
+    if (slot >= capacity_) slot -= capacity_;
+    labels_[static_cast<std::size_t>(bin) * capacity_ + slot] = label;
+    hs_[bin] = hs + 1;
     ++total_load_;
   }
 
   /// Dequeues and returns the oldest-enqueued label of bin `bin`.
   [[nodiscard]] Label pop_front(std::uint32_t bin) noexcept {
-    IBA_ASSERT(bin < bins_);
-    IBA_ASSERT(size_[bin] > 0);
-    const std::size_t slot =
-        static_cast<std::size_t>(bin) * capacity_ + head_[bin];
-    head_[bin] = static_cast<std::uint32_t>((head_[bin] + 1) % capacity_);
-    --size_[bin];
     --total_load_;
-    return labels_[slot];
+    return remove_at(bin, 0);
   }
 
   /// Dequeues and returns the newest-enqueued label of bin `bin`
   /// (LIFO service — used by the deletion-discipline ablation).
   [[nodiscard]] Label pop_back(std::uint32_t bin) noexcept {
     IBA_ASSERT(bin < bins_);
-    IBA_ASSERT(size_[bin] > 0);
-    --size_[bin];
+    IBA_ASSERT((hs_[bin] & kSizeMask) > 0);
     --total_load_;
-    return labels_[static_cast<std::size_t>(bin) * capacity_ +
-                   (head_[bin] + size_[bin]) % capacity_];
+    return remove_at(bin, (hs_[bin] & kSizeMask) - 1);
   }
 
   /// Removes and returns the label `i` positions behind the front,
   /// preserving the relative order of the remainder (O(c) shift —
   /// capacities are small). Used by uniform-random service.
   [[nodiscard]] Label pop_at(std::uint32_t bin, std::uint32_t i) noexcept {
-    IBA_ASSERT(bin < bins_);
-    IBA_ASSERT(i < size_[bin]);
-    const std::size_t base = static_cast<std::size_t>(bin) * capacity_;
-    const Label label = labels_[base + (head_[bin] + i) % capacity_];
-    for (std::uint32_t k = i; k + 1 < size_[bin]; ++k) {
-      labels_[base + (head_[bin] + k) % capacity_] =
-          labels_[base + (head_[bin] + k + 1) % capacity_];
-    }
-    --size_[bin];
     --total_load_;
+    return remove_at(bin, i);
+  }
+
+  /// pop_at without the total_load_ update — the sharded delete phase
+  /// calls this from worker threads and commits the count afterwards
+  /// via adjust_total_load(). Position 0 / size-1 take O(1) fast paths.
+  [[nodiscard]] Label remove_at(std::uint32_t bin, std::uint32_t i) noexcept {
+    IBA_ASSERT(bin < bins_);
+    const std::uint32_t hs = hs_[bin];
+    const std::uint32_t size = hs & kSizeMask;
+    const std::uint32_t head = hs >> kHeadShift;
+    IBA_ASSERT(i < size);
+    const std::size_t base = static_cast<std::size_t>(bin) * capacity_;
+    if (i == 0) {  // front: advance the head cursor
+      const std::uint32_t next = head + 1 == capacity_ ? 0 : head + 1;
+      hs_[bin] = (next << kHeadShift) | (size - 1);
+      return labels_[base + head];
+    }
+    hs_[bin] = hs - 1;  // head unchanged, size - 1
+    std::uint32_t cur = head + i;
+    if (cur >= capacity_) cur -= capacity_;
+    const Label label = labels_[base + cur];
+    // Shift the suffix forward one slot (no-op when i was the back).
+    for (std::uint32_t k = i; k < size - 1; ++k) {
+      const std::uint32_t next = cur + 1 == capacity_ ? 0 : cur + 1;
+      labels_[base + cur] = labels_[base + next];
+      cur = next;
+    }
     return label;
+  }
+
+  /// Appends `count` labels produced by `label_at(k)` for k in [0, count)
+  /// to bin `bin`'s queue, in order. Precondition: they fit. Defers
+  /// total_load_ (see adjust_total_load). This is the bin-major kernel's
+  /// bulk accept: the slot walk is sequential, so a bin's whole candidate
+  /// batch lands in one or two cache lines.
+  template <typename LabelAt>
+  void push_bulk(std::uint32_t bin, std::uint32_t count,
+                 LabelAt&& label_at) noexcept {
+    IBA_ASSERT(bin < bins_);
+    const std::uint32_t hs = hs_[bin];
+    IBA_ASSERT((hs & kSizeMask) + count <= capacity_);
+    const std::size_t base = static_cast<std::size_t>(bin) * capacity_;
+    std::uint32_t slot = (hs >> kHeadShift) + (hs & kSizeMask);
+    if (slot >= capacity_) slot -= capacity_;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      labels_[base + slot] = label_at(k);
+      slot = slot + 1 == capacity_ ? 0 : slot + 1;
+    }
+    hs_[bin] = hs + count;
+  }
+
+  /// Empties bin `bin`, calling `sink(label)` in front-to-back order
+  /// (crash-requeue). Defers total_load_.
+  template <typename Sink>
+  void drain_bulk(std::uint32_t bin, Sink&& sink) noexcept {
+    IBA_ASSERT(bin < bins_);
+    const std::uint32_t hs = hs_[bin];
+    const std::uint32_t size = hs & kSizeMask;
+    const std::size_t base = static_cast<std::size_t>(bin) * capacity_;
+    std::uint32_t cur = hs >> kHeadShift;
+    for (std::uint32_t k = 0; k < size; ++k) {
+      sink(labels_[base + cur]);
+      cur = cur + 1 == capacity_ ? 0 : cur + 1;
+    }
+    hs_[bin] = 0;
+  }
+
+  /// Commits the total-load delta of preceding bulk/deferred operations.
+  /// Callers serialize this (the kernel sums per-shard deltas first).
+  void adjust_total_load(std::int64_t delta) noexcept {
+    total_load_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(total_load_) + delta);
   }
 
   [[nodiscard]] std::uint32_t load(std::uint32_t bin) const noexcept {
     IBA_ASSERT(bin < bins_);
-    return size_[bin];
+    return hs_[bin] & kSizeMask;
   }
 
   /// Label `i` positions behind the front of `bin` (0 = next to delete).
   [[nodiscard]] Label peek(std::uint32_t bin, std::uint32_t i) const noexcept {
     IBA_ASSERT(bin < bins_);
-    IBA_ASSERT(i < size_[bin]);
-    return labels_[static_cast<std::size_t>(bin) * capacity_ +
-                   (head_[bin] + i) % capacity_];
+    IBA_ASSERT(i < (hs_[bin] & kSizeMask));
+    std::uint32_t slot = (hs_[bin] >> kHeadShift) + i;
+    if (slot >= capacity_) slot -= capacity_;
+    return labels_[static_cast<std::size_t>(bin) * capacity_ + slot];
   }
 
   [[nodiscard]] std::uint32_t bins() const noexcept { return bins_; }
@@ -88,6 +164,20 @@ class BinTable {
   [[nodiscard]] std::uint64_t total_load() const noexcept {
     return total_load_;
   }
+
+  /// Direct read of the packed head|size words (decode with kHeadShift /
+  /// kSizeMask). The kernel's accept pass walks loads linearly; going
+  /// through load() per bin is measurably slower at n = 10^6.
+  [[nodiscard]] const std::uint32_t* packed() const noexcept {
+    return hs_.data();
+  }
+
+  /// Raw mutable views of the per-bin arrays for the fused round kernel
+  /// (core/capped.cpp): its chunked sweep updates the packed cursors and
+  /// labels in place and commits the total-load delta once per round via
+  /// adjust_total_load().
+  [[nodiscard]] std::uint32_t* packed_mut() noexcept { return hs_.data(); }
+  [[nodiscard]] Label* labels_mut() noexcept { return labels_.data(); }
 
   /// Maximum end-of-round load over all bins (O(n) scan).
   [[nodiscard]] std::uint32_t max_load() const noexcept;
@@ -101,9 +191,8 @@ class BinTable {
   std::uint32_t bins_;
   std::uint32_t capacity_;
   std::uint64_t total_load_ = 0;
-  std::vector<Label> labels_;        // n × c slots
-  std::vector<std::uint32_t> head_;  // front index per bin
-  std::vector<std::uint32_t> size_;  // current load per bin
+  std::vector<Label> labels_;      // n × c slots
+  std::vector<std::uint32_t> hs_;  // head<<16 | size, per bin
 };
 
 }  // namespace iba::queueing

@@ -11,6 +11,7 @@
 #include <concepts>
 #include <cstdint>
 #include <random>
+#include <span>
 
 #include "common/assert.hpp"
 
@@ -45,6 +46,67 @@ template <std::uniform_random_bit_generator Engine>
 [[nodiscard]] constexpr std::uint32_t bounded32(Engine& engine,
                                                 std::uint32_t range) noexcept {
   return static_cast<std::uint32_t>(bounded(engine, range));
+}
+
+/// Fills `out` with draws from [0, range), consuming the engine stream
+/// exactly as `out.size()` sequential bounded32() calls would — callers
+/// may switch between the two freely without perturbing downstream draws.
+///
+/// The hot loop handles four draws per iteration with no threshold
+/// computation; a block that trips the `low < range` pre-test (probability
+/// range/2^64 per draw, i.e. essentially never for bin counts) replays its
+/// already-drawn words through the exact scalar algorithm so rejections
+/// consume the stream in the same order.
+template <std::uniform_random_bit_generator Engine>
+constexpr void fill_bounded(Engine& engine, std::span<std::uint32_t> out,
+                            std::uint32_t range) noexcept {
+  IBA_ASSERT(range >= 1);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"  // __int128 is a GCC/Clang builtin
+  using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+  const auto r = static_cast<std::uint64_t>(range);
+  std::size_t i = 0;
+  const std::size_t blocks_end = out.size() & ~std::size_t{3};
+  while (i < blocks_end) {
+    const std::uint64_t x0 = engine();
+    const std::uint64_t x1 = engine();
+    const std::uint64_t x2 = engine();
+    const std::uint64_t x3 = engine();
+    const u128 m0 = static_cast<u128>(x0) * r;
+    const u128 m1 = static_cast<u128>(x1) * r;
+    const u128 m2 = static_cast<u128>(x2) * r;
+    const u128 m3 = static_cast<u128>(x3) * r;
+    if ((static_cast<std::uint64_t>(m0) < r) |
+        (static_cast<std::uint64_t>(m1) < r) |
+        (static_cast<std::uint64_t>(m2) < r) |
+        (static_cast<std::uint64_t>(m3) < r)) [[unlikely]] {
+      // Replay the four words through the scalar path. Every element
+      // consumes at least one word, so the buffer is always exhausted
+      // before the engine resumes — the stream position stays exact.
+      const std::uint64_t buffered[4] = {x0, x1, x2, x3};
+      std::size_t consumed = 0;
+      const std::uint64_t threshold = (0 - r) % r;
+      for (std::size_t k = 0; k < 4; ++k) {
+        std::uint64_t x = consumed < 4 ? buffered[consumed++] : engine();
+        u128 m = static_cast<u128>(x) * r;
+        while (static_cast<std::uint64_t>(m) < threshold) {
+          x = consumed < 4 ? buffered[consumed++] : engine();
+          m = static_cast<u128>(x) * r;
+        }
+        out[i + k] = static_cast<std::uint32_t>(m >> 64);
+      }
+    } else {
+      out[i + 0] = static_cast<std::uint32_t>(m0 >> 64);
+      out[i + 1] = static_cast<std::uint32_t>(m1 >> 64);
+      out[i + 2] = static_cast<std::uint32_t>(m2 >> 64);
+      out[i + 3] = static_cast<std::uint32_t>(m3 >> 64);
+    }
+    i += 4;
+  }
+  for (; i < out.size(); ++i) {
+    out[i] = bounded32(engine, range);
+  }
 }
 
 /// Uniform draw from the closed interval [lo, hi].

@@ -13,6 +13,8 @@ core::CappedConfig SimConfig::to_capped() const {
   config.n = n;
   config.capacity = capacity;
   config.lambda_n = lambda_n;
+  config.kernel = kernel;
+  config.shards = shards;
   return config;
 }
 
@@ -21,6 +23,9 @@ void SimConfig::validate() const {
   IBA_EXPECT(capacity > 0, "SimConfig: capacity must be positive");
   IBA_EXPECT(lambda_n <= n, "SimConfig: lambda must be at most 1");
   IBA_EXPECT(measure_rounds > 0, "SimConfig: measure_rounds must be positive");
+  IBA_EXPECT(shards >= 1, "SimConfig: shards must be at least 1");
+  IBA_EXPECT(shards == 1 || kernel == core::RoundKernel::kBinMajor,
+             "SimConfig: sharding requires the bin-major kernel");
 }
 
 std::string SimConfig::label() const {

@@ -23,6 +23,12 @@ struct SimConfig {
   std::uint64_t measure_rounds = 1000;
   std::uint64_t seed = 1;
 
+  /// Round hot-path kernel and shard count, forwarded to CappedConfig.
+  /// Results are byte-identical for every (kernel, shards) combination;
+  /// these only trade wall-clock (see docs/PERFORMANCE.md).
+  core::RoundKernel kernel = core::RoundKernel::kBinMajor;
+  std::uint32_t shards = 1;
+
   [[nodiscard]] double lambda() const noexcept {
     return n == 0 ? 0.0
                   : static_cast<double>(lambda_n) / static_cast<double>(n);

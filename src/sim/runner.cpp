@@ -19,7 +19,9 @@ RunResult run_capped(const SimConfig& config, const RunSpec& spec,
                                      {"capacity", config.capacity},
                                      {"lambda_n", config.lambda_n},
                                      {"seed", config.seed},
-                                     {"measure_rounds", spec.measure_rounds}});
+                                     {"measure_rounds", spec.measure_rounds},
+                                     {"kernel", core::to_string(config.kernel)},
+                                     {"shards", config.shards}});
   core::Capped process(config.to_capped(), core::Engine(config.seed));
   const RunResult result = run_experiment(process, spec, telemetry);
   telemetry::log_debug("run_done",

@@ -16,6 +16,7 @@ namespace {
 
 using iba::concurrency::ThreadPool;
 using iba::concurrency::parallel_for;
+using iba::concurrency::parallel_for_ranges;
 
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(2);
@@ -79,6 +80,64 @@ TEST(ParallelFor, ZeroCountIsNoop) {
   bool ran = false;
   parallel_for(pool, 0, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForRanges, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t ranges : {1u, 2u, 3u, 7u}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for_ranges(pool, 100, ranges,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                        });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelForRanges, PartitionIsDeterministicAndBalanced) {
+  // The split must be a pure function of (count, ranges): sizes differ by
+  // at most one and larger chunks come first — sharded kernels rely on
+  // this to pre-draw randomness per range.
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks(5);
+  parallel_for_ranges(pool, 17, 5,
+                      [&](std::size_t r, std::size_t begin, std::size_t end) {
+                        const std::lock_guard lock(mutex);
+                        chunks[r] = {begin, end};
+                      });
+  EXPECT_EQ(chunks, (std::vector<std::pair<std::size_t, std::size_t>>{
+                        {0, 4}, {4, 8}, {8, 11}, {11, 14}, {14, 17}}));
+}
+
+TEST(ParallelForRanges, MoreRangesThanItemsSkipsEmptyChunks) {
+  ThreadPool pool(2);
+  std::atomic<int> invocations{0};
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for_ranges(pool, 3, 8,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        ++invocations;
+                        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                      });
+  EXPECT_EQ(invocations.load(), 3);  // chunks beyond count never run
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForRanges, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for_ranges(pool, 10, 3,
+                          [](std::size_t r, std::size_t, std::size_t) {
+                            if (r == 1) throw std::runtime_error("range 1");
+                          }),
+      std::runtime_error);
+}
+
+TEST(ParallelForRanges, RejectsZeroRanges) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for_ranges(
+                   pool, 4, 0, [](std::size_t, std::size_t, std::size_t) {}),
+               iba::ContractViolation);
 }
 
 // Regression: a pool must stay usable after wait_idle — earlier drafts of

@@ -1,0 +1,329 @@
+// Differential tests of the round kernels: the scalar ball-at-a-time
+// path, the bin-major counting-sort kernel, and its sharded execution
+// (1 / 2 / 7 shards) must produce byte-identical trajectories — every
+// RoundMetrics field, the waiting-time statistics (including the
+// order-sensitive Welford moments), snapshots (pool, bin queues, engine
+// state), ball-trace span streams, snapshot-resume behaviour and
+// step_with_choices — across deletion disciplines, acceptance orders,
+// arrival models and crash-requeue failures.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/capped.hpp"
+#include "rng/bounded.hpp"
+#include "rng/xoshiro256.hpp"
+#include "telemetry/ball_trace.hpp"
+#include "telemetry/export.hpp"
+
+namespace {
+
+using iba::core::AcceptanceOrder;
+using iba::core::ArrivalModel;
+using iba::core::Capped;
+using iba::core::CappedConfig;
+using iba::core::CappedSnapshot;
+using iba::core::DeletionDiscipline;
+using iba::core::Engine;
+using iba::core::FailureMode;
+using iba::core::RoundKernel;
+using iba::core::RoundMetrics;
+
+struct Scenario {
+  const char* name;
+  CappedConfig config;
+};
+
+CappedConfig base_config() {
+  CappedConfig config;
+  config.n = 64;
+  config.capacity = 2;
+  config.lambda_n = 60;
+  return config;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> all;
+  all.push_back({"base_fifo_oldest", base_config()});
+  {
+    auto c = base_config();
+    c.deletion = DeletionDiscipline::kLifo;
+    all.push_back({"lifo", c});
+  }
+  {
+    auto c = base_config();
+    c.deletion = DeletionDiscipline::kUniform;
+    all.push_back({"uniform_deletion", c});
+  }
+  {
+    auto c = base_config();
+    c.acceptance = AcceptanceOrder::kYoungestFirst;
+    all.push_back({"youngest_first", c});
+  }
+  {
+    auto c = base_config();
+    c.arrival = ArrivalModel::kBinomial;
+    all.push_back({"binomial_arrivals", c});
+  }
+  {
+    auto c = base_config();
+    c.arrival = ArrivalModel::kPoisson;
+    all.push_back({"poisson_arrivals", c});
+  }
+  {
+    auto c = base_config();
+    c.failure_probability = 0.2;
+    all.push_back({"failures_skip", c});
+  }
+  {
+    auto c = base_config();
+    c.failure_probability = 0.2;
+    c.failure_mode = FailureMode::kCrashRequeue;
+    c.deletion = DeletionDiscipline::kUniform;
+    all.push_back({"failures_crash_requeue", c});
+  }
+  {
+    auto c = base_config();
+    c.capacity = Capped::kInfiniteCapacity;
+    all.push_back({"infinite_capacity", c});
+  }
+  {
+    auto c = base_config();
+    c.capacity = 1;
+    c.lambda_n = 64;  // λ = 1, maximal pool pressure
+    all.push_back({"c1_lambda1", c});
+  }
+  {
+    auto c = base_config();
+    c.n = 97;  // prime: 7 shards get uneven ranges
+    c.capacity = 3;
+    c.lambda_n = 90;
+    all.push_back({"prime_n", c});
+  }
+  return all;
+}
+
+CappedConfig with_kernel(CappedConfig config, RoundKernel kernel,
+                         std::uint32_t shards) {
+  config.kernel = kernel;
+  config.shards = shards;
+  return config;
+}
+
+struct Variant {
+  const char* name;
+  RoundKernel kernel;
+  std::uint32_t shards;
+};
+
+constexpr Variant kVariants[] = {
+    {"scalar", RoundKernel::kScalar, 1},
+    {"bin_major", RoundKernel::kBinMajor, 1},
+    {"bin_major_2", RoundKernel::kBinMajor, 2},
+    {"bin_major_7", RoundKernel::kBinMajor, 7},
+};
+
+/// Everything observable from one run, for exact comparison.
+struct RunCapture {
+  std::vector<RoundMetrics> metrics;
+  CappedSnapshot snapshot;
+  std::uint64_t wait_count = 0;
+  double wait_mean = 0.0;
+  double wait_stddev = 0.0;
+  std::uint64_t wait_max = 0;
+  std::uint64_t wait_q99 = 0;
+  std::string spans;
+};
+
+RunCapture run(const CappedConfig& config, std::uint64_t seed,
+               std::uint64_t rounds, bool trace) {
+  Capped process(config, Engine(seed));
+  iba::telemetry::BallTraceConfig trace_config;
+  trace_config.seed = seed;
+  trace_config.sample_rate = 1.0;
+  trace_config.completed_capacity = 1u << 20;
+  iba::telemetry::BallTracer tracer(trace_config);
+  if (trace) process.set_ball_tracer(&tracer);
+
+  RunCapture capture;
+  capture.metrics.reserve(rounds);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    capture.metrics.push_back(process.step());
+  }
+  capture.snapshot = process.snapshot();
+  capture.wait_count = process.waits().count();
+  capture.wait_mean = process.waits().mean();
+  capture.wait_stddev = process.waits().stddev();
+  capture.wait_max = process.waits().max();
+  capture.wait_q99 = process.waits().quantile_upper_bound(0.99);
+  if (trace) {
+    std::ostringstream out;
+    for (const auto& span : tracer.completed()) {
+      iba::telemetry::write_span_json(span, out);
+    }
+    capture.spans = out.str();
+  }
+  return capture;
+}
+
+void expect_metrics_eq(const RoundMetrics& a, const RoundMetrics& b,
+                       const char* variant, std::uint64_t round) {
+  EXPECT_EQ(a.round, b.round) << variant << " round " << round;
+  EXPECT_EQ(a.generated, b.generated) << variant << " round " << round;
+  EXPECT_EQ(a.thrown, b.thrown) << variant << " round " << round;
+  EXPECT_EQ(a.accepted, b.accepted) << variant << " round " << round;
+  EXPECT_EQ(a.deleted, b.deleted) << variant << " round " << round;
+  EXPECT_EQ(a.pool_size, b.pool_size) << variant << " round " << round;
+  EXPECT_EQ(a.total_load, b.total_load) << variant << " round " << round;
+  EXPECT_EQ(a.max_load, b.max_load) << variant << " round " << round;
+  EXPECT_EQ(a.empty_bins, b.empty_bins) << variant << " round " << round;
+  EXPECT_EQ(a.wait_count, b.wait_count) << variant << " round " << round;
+  EXPECT_EQ(a.wait_sum, b.wait_sum) << variant << " round " << round;
+  EXPECT_EQ(a.wait_max, b.wait_max) << variant << " round " << round;
+  EXPECT_EQ(a.requeued, b.requeued) << variant << " round " << round;
+  EXPECT_EQ(a.oldest_pool_age, b.oldest_pool_age)
+      << variant << " round " << round;
+}
+
+void expect_snapshot_eq(const CappedSnapshot& a, const CappedSnapshot& b,
+                        const char* variant) {
+  EXPECT_EQ(a.round, b.round) << variant;
+  EXPECT_EQ(a.generated_total, b.generated_total) << variant;
+  EXPECT_EQ(a.deleted_total, b.deleted_total) << variant;
+  EXPECT_EQ(a.engine_state, b.engine_state) << variant;
+  ASSERT_EQ(a.pool.size(), b.pool.size()) << variant;
+  for (std::size_t i = 0; i < a.pool.size(); ++i) {
+    EXPECT_EQ(a.pool[i].label, b.pool[i].label) << variant << " bucket " << i;
+    EXPECT_EQ(a.pool[i].count, b.pool[i].count) << variant << " bucket " << i;
+  }
+  EXPECT_EQ(a.bin_queues, b.bin_queues) << variant;
+}
+
+constexpr std::uint64_t kRounds = 250;
+constexpr std::uint64_t kSeed = 20210705;
+
+TEST(KernelDifferential, AllVariantsMatchScalarEverywhere) {
+  for (const Scenario& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const RunCapture reference = run(
+        with_kernel(scenario.config, RoundKernel::kScalar, 1), kSeed,
+        kRounds, /*trace=*/false);
+    ASSERT_EQ(reference.metrics.size(), kRounds);
+    for (std::size_t v = 1; v < std::size(kVariants); ++v) {
+      const Variant& variant = kVariants[v];
+      const RunCapture capture =
+          run(with_kernel(scenario.config, variant.kernel, variant.shards),
+              kSeed, kRounds, /*trace=*/false);
+      ASSERT_EQ(capture.metrics.size(), kRounds);
+      for (std::uint64_t r = 0; r < kRounds; ++r) {
+        expect_metrics_eq(reference.metrics[r], capture.metrics[r],
+                          variant.name, r);
+      }
+      expect_snapshot_eq(reference.snapshot, capture.snapshot, variant.name);
+      // Wait statistics must match bit for bit — the Welford moments are
+      // accumulation-order-sensitive, so this checks that the sharded
+      // delete phase records waits in the scalar path's bin order.
+      EXPECT_EQ(reference.wait_count, capture.wait_count) << variant.name;
+      EXPECT_EQ(reference.wait_mean, capture.wait_mean) << variant.name;
+      EXPECT_EQ(reference.wait_stddev, capture.wait_stddev) << variant.name;
+      EXPECT_EQ(reference.wait_max, capture.wait_max) << variant.name;
+      EXPECT_EQ(reference.wait_q99, capture.wait_q99) << variant.name;
+    }
+  }
+}
+
+#if IBA_TELEMETRY_ENABLED
+TEST(KernelDifferential, SpanStreamsAreByteIdentical) {
+  for (const Scenario& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const RunCapture reference = run(
+        with_kernel(scenario.config, RoundKernel::kScalar, 1), kSeed,
+        kRounds, /*trace=*/true);
+    ASSERT_FALSE(reference.spans.empty());
+    for (std::size_t v = 1; v < std::size(kVariants); ++v) {
+      const Variant& variant = kVariants[v];
+      const RunCapture capture =
+          run(with_kernel(scenario.config, variant.kernel, variant.shards),
+              kSeed, kRounds, /*trace=*/true);
+      EXPECT_EQ(reference.spans, capture.spans)
+          << variant.name << " on " << scenario.name;
+    }
+  }
+}
+#endif
+
+TEST(KernelDifferential, SnapshotResumeCrossesKernels) {
+  // A snapshot taken from a sharded bin-major run, resumed on the scalar
+  // kernel, must continue exactly like the uninterrupted sharded run.
+  const CappedConfig sharded =
+      with_kernel(base_config(), RoundKernel::kBinMajor, 7);
+  Capped original(sharded, Engine(kSeed));
+  for (int r = 0; r < 120; ++r) (void)original.step();
+  CappedSnapshot snap = original.snapshot();
+  snap.config.kernel = RoundKernel::kScalar;
+  snap.config.shards = 1;
+  Capped resumed(snap);
+  for (int r = 0; r < 120; ++r) {
+    const RoundMetrics a = original.step();
+    const RoundMetrics b = resumed.step();
+    expect_metrics_eq(a, b, "resumed_scalar", a.round);
+  }
+  expect_snapshot_eq(original.snapshot(), resumed.snapshot(),
+                     "resumed_scalar");
+}
+
+TEST(KernelDifferential, StepWithChoicesMatchesAcrossKernels) {
+  // Caller-supplied choices (the MODCAPPED coupling path) hit the same
+  // kernels; all variants must agree ball for ball.
+  const CappedConfig config = base_config();
+  std::vector<Capped> variants;
+  for (const Variant& variant : kVariants) {
+    variants.emplace_back(
+        with_kernel(config, variant.kernel, variant.shards), Engine(kSeed));
+  }
+  Engine choice_engine(99);
+  std::vector<std::uint32_t> choices;
+  for (int r = 0; r < 200; ++r) {
+    const std::uint64_t nu = variants.front().balls_to_throw();
+    choices.resize(nu);
+    for (auto& c : choices) c = iba::rng::bounded32(choice_engine, config.n);
+    const RoundMetrics reference = variants.front().step_with_choices(choices);
+    for (std::size_t v = 1; v < variants.size(); ++v) {
+      const RoundMetrics m = variants[v].step_with_choices(choices);
+      expect_metrics_eq(reference, m, kVariants[v].name, reference.round);
+    }
+  }
+  for (std::size_t v = 1; v < variants.size(); ++v) {
+    expect_snapshot_eq(variants.front().snapshot(), variants[v].snapshot(),
+                       kVariants[v].name);
+  }
+}
+
+TEST(KernelDifferential, ShardsBeyondBinsAreHarmless) {
+  // More shards than bins: trailing ranges are empty; results unchanged.
+  CappedConfig tiny = base_config();
+  tiny.n = 5;
+  tiny.lambda_n = 4;
+  const RunCapture reference =
+      run(with_kernel(tiny, RoundKernel::kScalar, 1), kSeed, 150, false);
+  const RunCapture wide =
+      run(with_kernel(tiny, RoundKernel::kBinMajor, 7), kSeed, 150, false);
+  for (std::uint64_t r = 0; r < 150; ++r) {
+    expect_metrics_eq(reference.metrics[r], wide.metrics[r], "wide", r);
+  }
+  expect_snapshot_eq(reference.snapshot, wide.snapshot, "wide");
+}
+
+TEST(KernelDifferential, ConfigValidationRejectsShardedScalar) {
+  CappedConfig config = base_config();
+  config.kernel = RoundKernel::kScalar;
+  config.shards = 2;
+  EXPECT_THROW(config.validate(), iba::ContractViolation);
+  config.shards = 0;
+  EXPECT_THROW(config.validate(), iba::ContractViolation);
+}
+
+}  // namespace

@@ -172,6 +172,85 @@ TEST(BinTable, CycleThroughCapacityManyRounds) {
   EXPECT_LE(bt.max_load(), 2u);
 }
 
+TEST(BinTable, HeadWrapsAtEveryOffset) {
+  // Drive the head cursor through every physical slot and verify FIFO
+  // semantics and peek at each offset — the conditional-wrap arithmetic
+  // must behave exactly like the old modulo indexing.
+  const std::uint32_t capacity = 5;
+  BinTable bt(1, capacity);
+  std::uint64_t next = 1, expect = 1;
+  for (int cycle = 0; cycle < 4 * static_cast<int>(capacity); ++cycle) {
+    while (bt.load(0) < capacity) bt.push(0, next++);
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      EXPECT_EQ(bt.peek(0, i), expect + i);
+    }
+    EXPECT_EQ(bt.pop_front(0), expect++);
+    EXPECT_EQ(bt.pop_front(0), expect++);
+  }
+}
+
+TEST(BinTable, PopBackAcrossWrap) {
+  BinTable bt(1, 3);
+  bt.push(0, 1);
+  bt.push(0, 2);
+  bt.push(0, 3);
+  (void)bt.pop_front(0);
+  (void)bt.pop_front(0);
+  bt.push(0, 4);  // physically wraps past slot capacity-1
+  bt.push(0, 5);
+  EXPECT_EQ(bt.pop_back(0), 5u);
+  EXPECT_EQ(bt.pop_back(0), 4u);
+  EXPECT_EQ(bt.pop_back(0), 3u);
+}
+
+TEST(BinTable, PushBulkMatchesSequentialPush) {
+  BinTable bulk(2, 4);
+  BinTable seq(2, 4);
+  // Wrap the heads first so bulk slots cross the physical boundary.
+  for (std::uint32_t b = 0; b < 2; ++b) {
+    bulk.push(b, 0);
+    seq.push(b, 0);
+    (void)bulk.pop_front(b);
+    (void)seq.pop_front(b);
+  }
+  bulk.adjust_total_load(0);
+  const std::uint64_t labels[] = {11, 22, 33};
+  bulk.push_bulk(0, 3, [&](std::uint32_t k) { return labels[k]; });
+  bulk.adjust_total_load(3);
+  for (const std::uint64_t label : labels) seq.push(0, label);
+  EXPECT_EQ(bulk.total_load(), seq.total_load());
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(bulk.peek(0, i), seq.peek(0, i));
+  }
+}
+
+TEST(BinTable, DrainBulkVisitsFrontToBack) {
+  BinTable bt(1, 4);
+  bt.push(0, 1);
+  bt.push(0, 2);
+  (void)bt.pop_front(0);
+  bt.push(0, 3);
+  bt.push(0, 4);
+  bt.push(0, 5);  // queue 2,3,4,5 with head mid-ring
+  std::vector<std::uint64_t> drained;
+  bt.drain_bulk(0, [&](std::uint64_t label) { drained.push_back(label); });
+  bt.adjust_total_load(-static_cast<std::int64_t>(drained.size()));
+  EXPECT_EQ(drained, (std::vector<std::uint64_t>{2, 3, 4, 5}));
+  EXPECT_EQ(bt.load(0), 0u);
+  EXPECT_EQ(bt.total_load(), 0u);
+}
+
+TEST(BinTable, RemoveAtDefersTotalLoad) {
+  BinTable bt(1, 3);
+  bt.push(0, 7);
+  bt.push(0, 8);
+  EXPECT_EQ(bt.remove_at(0, 0), 7u);
+  EXPECT_EQ(bt.total_load(), 2u);  // deferred
+  bt.adjust_total_load(-1);
+  EXPECT_EQ(bt.total_load(), 1u);
+  EXPECT_EQ(bt.load(0), 1u);
+}
+
 TEST(BinTable, ClearResetsAll) {
   BinTable bt(3, 2);
   bt.push(0, 1);
@@ -205,6 +284,34 @@ TEST(UnboundedBinTable, CompactionPreservesOrder) {
     ASSERT_EQ(ut.pop_front(0), expect++);
   }
   EXPECT_EQ(ut.load(0), 50u);
+}
+
+TEST(UnboundedBinTable, ItemsViewsQueueWithoutDraining) {
+  UnboundedBinTable ut(2);
+  for (std::uint64_t i = 0; i < 100; ++i) ut.push(0, i);
+  for (std::uint64_t i = 0; i < 70; ++i) (void)ut.pop_front(0);
+  const auto view = ut.items(0);  // head is mid-storage (or compacted)
+  ASSERT_EQ(view.size(), 30u);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i], 70 + i);
+  }
+  EXPECT_EQ(ut.load(0), 30u);  // nothing consumed
+  EXPECT_EQ(ut.items(1).size(), 0u);
+}
+
+TEST(UnboundedBinTable, PushBulkAndAdjustTotalLoad) {
+  UnboundedBinTable ut(1);
+  ut.push_bulk(0, 4, [](std::uint64_t k) { return 10 * (k + 1); });
+  EXPECT_EQ(ut.total_load(), 0u);  // deferred
+  ut.adjust_total_load(4);
+  EXPECT_EQ(ut.total_load(), 4u);
+  const auto view = ut.items(0);
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[0], 10u);
+  EXPECT_EQ(view[3], 40u);
+  EXPECT_EQ(ut.remove_front(0), 10u);
+  ut.adjust_total_load(-1);
+  EXPECT_EQ(ut.total_load(), 3u);
 }
 
 TEST(UnboundedBinTable, RejectsZeroBins) {

@@ -161,6 +161,29 @@ TEST(Bounded, ChiSquareUniformOverSmallRange) {
   EXPECT_LT(chi2, 33.1);
 }
 
+TEST(FillBounded, MatchesSequentialBounded32Exactly) {
+  // The batched fill must consume the engine word-for-word like the
+  // sequential loop — the simulator's determinism contract depends on
+  // the two producing the same stream, including across the rare
+  // rejection-resampling path (small ranges near 2^32 make rejections
+  // likely; odd lengths exercise the unrolled-block tail).
+  for (const std::uint32_t range :
+       {1u, 2u, 7u, 97u, 1u << 16, 3221225473u /* 0.75·2^32: ~25% reject */,
+        4294967291u /* largest prime < 2^32 */}) {
+    for (const std::size_t length : {0u, 1u, 3u, 4u, 5u, 1023u}) {
+      Xoshiro256pp batched(42), sequential(42);
+      std::vector<std::uint32_t> out(length);
+      iba::rng::fill_bounded(batched, out, range);
+      for (std::size_t i = 0; i < length; ++i) {
+        ASSERT_EQ(out[i], iba::rng::bounded32(sequential, range))
+            << "range " << range << " index " << i;
+      }
+      // Both engines must be in the same state afterwards.
+      EXPECT_EQ(batched(), sequential()) << "range " << range;
+    }
+  }
+}
+
 TEST(Bounded, UniformInClosedInterval) {
   Xoshiro256pp eng(5);
   std::set<std::uint64_t> seen;
