@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   io::ArgParser parser("bench_baselines",
                        "related-work scalings of every substrate process");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const auto seed = options.seed;
 

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   io::ArgParser parser("bench_burnin",
                        "relaxation time of CAPPED from the empty start");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
 
   const std::uint32_t c = 1;

@@ -114,24 +114,28 @@ inline void guard_overwrite(const std::string& path, bool force,
 /// Reads the standard flags back (and arms the span sink).
 inline BenchOptions read_standard_flags(const io::ArgParser& parser) {
   BenchOptions options;
-  options.n = static_cast<std::uint32_t>(parser.get_uint("n"));
-  options.rounds = parser.get_uint("rounds");
-  options.seed = parser.get_uint("seed");
-  options.burn_in_override = parser.get_uint("burnin");
-  options.csv_dir = parser.get("csv-dir");
-  options.write_csv = parser.get_bool("csv");
-  options.telemetry_out = parser.get("telemetry-out");
-  options.trace_spans = parser.get("trace-spans");
-  options.trace_sample = parser.get_double("trace-sample");
-  options.force = parser.get_bool("force");
-  const std::string kernel_name = parser.get("kernel");
-  if (!core::kernel_from_string(kernel_name, options.kernel)) {
-    telemetry::log_error("bad_kernel",
-                         {{"value", kernel_name},
-                          {"hint", "expected bin-major or scalar"}});
-    std::exit(2);
+  try {
+    options.n =
+        static_cast<std::uint32_t>(parser.get_uint_range("n", 1, 1u << 28));
+    options.rounds = parser.get_uint_range("rounds", 1, UINT64_MAX);
+    options.seed = parser.get_uint("seed");
+    options.burn_in_override = parser.get_uint("burnin");
+    options.csv_dir = parser.get("csv-dir");
+    options.write_csv = parser.get_bool("csv");
+    options.telemetry_out = parser.get("telemetry-out");
+    options.trace_spans = parser.get("trace-spans");
+    options.trace_sample = parser.get_double_range("trace-sample", 0.0, 1.0);
+    options.force = parser.get_bool("force");
+    const std::string kernel_name = parser.get("kernel");
+    if (!core::kernel_from_string(kernel_name, options.kernel)) {
+      throw io::UsageError("--kernel expects bin-major or scalar, got '" +
+                           kernel_name + "'");
+    }
+    options.shards =
+        static_cast<std::uint32_t>(parser.get_uint_range("shards", 1, options.n));
+  } catch (const io::UsageError& e) {
+    io::fail_usage(e.what());
   }
-  options.shards = static_cast<std::uint32_t>(parser.get_uint("shards"));
 
   guard_overwrite(options.telemetry_out, options.force, "--telemetry-out");
   guard_overwrite(options.trace_spans, options.force, "--trace-spans");

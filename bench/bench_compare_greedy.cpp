@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   io::ArgParser parser("bench_compare_greedy",
                        "CAPPED vs batch GREEDY[1]/GREEDY[2] of PODC'16");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
 
   // λ = 3/4 (constant) and λ = 1 − 2^(−6) (high). GREEDY[1]'s queues

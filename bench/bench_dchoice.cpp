@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   io::ArgParser parser("bench_dchoice",
                        "CAPPED-GREEDY(c, d): buffers composed with choices");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
 
   const std::uint32_t i = 6;  // λ = 1 − 2^−6

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       "bench_disciplines",
       "deletion-discipline and acceptance-order ablations of CAPPED");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
 
   const std::uint32_t i = 6;  // λ = 1 − 2^−6: enough pressure to separate

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
                        "exact stationary pool distribution vs simulation");
   bench::add_standard_flags(parser);
   parser.add_flag("sim-rounds", "simulated rounds per cell", "100000");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const auto sim_rounds = parser.get_uint("sim-rounds");
 

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
                        "Figure 4 (left): normalized pool size vs capacity");
   bench::add_standard_flags(parser);
   parser.add_flag("cmax", "largest capacity to sweep", "5");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const auto c_max = static_cast<std::uint32_t>(parser.get_uint("cmax"));
 

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
                        "Figure 5 (right): waiting time vs injection rate");
   bench::add_standard_flags(parser);
   parser.add_flag("imax", "largest i in lambda = 1 - 2^-i", "10");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const auto i_max = static_cast<std::uint32_t>(parser.get_uint("imax"));
 

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   io::ArgParser parser("bench_hetero",
                        "capacity distribution and weighted routing");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const std::uint32_t n = options.n;
   const std::uint64_t lambda_n =

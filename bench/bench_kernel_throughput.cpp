@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
                   "false");
   parser.add_flag("json", "output path for machine-readable results",
                   "BENCH_kernel.json");
-  if (!parser.parse(argc, argv)) return 2;
+  if (!parser.parse_or_exit(argc, argv)) return 2;
 
   std::uint32_t n = static_cast<std::uint32_t>(parser.get_uint("n"));
   const double lambda = parser.get_double("lambda");

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
                        "coupled CAPPED/MODCAPPED dominance + Lemma 7 bound");
   bench::add_standard_flags(parser);
   parser.add_flag("coupled-rounds", "rounds per coupled run", "3000");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   auto options = bench::read_standard_flags(parser);
   // MODCAPPED throws ≥ m* ≈ 6cn balls per round; keep the default cell
   // size moderate so the bench stays quick.

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   bench::add_standard_flags(parser);
   parser.add_flag("i", "lambda = 1 - 2^-i", "6");
   parser.add_flag("c", "capacity", "2");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   auto options = bench::read_standard_flags(parser);
   const auto i = static_cast<std::uint32_t>(parser.get_uint("i"));
   const auto c = static_cast<std::uint32_t>(parser.get_uint("c"));

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
                        "queue tails vs the two-choice fixed point");
   bench::add_standard_flags(parser);
   parser.add_flag("horizon", "measured time units after warm-up", "300");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const double horizon = parser.get_double("horizon");
 

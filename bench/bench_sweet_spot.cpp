@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
                        "locate the optimal capacity c per injection rate");
   bench::add_standard_flags(parser);
   parser.add_flag("cmax", "largest capacity to sweep", "10");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const auto c_max = static_cast<std::uint32_t>(parser.get_uint("cmax"));
 

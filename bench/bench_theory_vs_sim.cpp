@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   io::ArgParser parser("bench_theory_vs_sim",
                        "slack of the Theorem 1/2 bounds vs measurement");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
 
   const std::vector<std::uint32_t> lambda_exponents = {1, 2, 6, 10};

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
                        "pool-time vs bin-queue-time split of the wait, "
                        "per capacity c");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
 
   const std::uint64_t lambda_n =

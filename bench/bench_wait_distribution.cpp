@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   io::ArgParser parser("bench_wait_distribution",
                        "dyadic waiting-time histograms per process");
   bench::add_standard_flags(parser);
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto options = bench::read_standard_flags(parser);
   const std::uint64_t lambda_n =
       static_cast<std::uint64_t>(options.n) - (options.n >> 6);  // 1−2^−6

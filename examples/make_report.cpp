@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   parser.add_flag("dir", "directory containing the bench CSVs", "results");
   parser.add_flag("out", "output Markdown path (default <dir>/REPORT.md)",
                   "");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const std::string dir = parser.get("dir");
   const std::string out_path =
       parser.get("out").empty() ? dir + "/REPORT.md" : parser.get("out");

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
                        "every process in the library on one workload");
   parser.add_flag("n", "number of bins", "4096");
   parser.add_flag("seed", "random seed", "11");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   const auto n = static_cast<std::uint32_t>(parser.get_uint("n"));
   const auto seed = parser.get_uint("seed");
   const std::uint64_t lambda_n = static_cast<std::uint64_t>(n) * 7 / 8;

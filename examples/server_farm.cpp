@@ -244,7 +244,7 @@ int main(int argc, char** argv) {
                   "sleep this many microseconds per round (gives scrapers "
                   "time on small farms)",
                   "0");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
   FarmOptions options;
   options.n = static_cast<std::uint32_t>(parser.get_uint("n"));
   options.days = parser.get_uint("days");

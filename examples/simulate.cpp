@@ -5,11 +5,17 @@
 //
 //   $ ./simulate --process capped --n 8192 --c 2 --lambda 0.9375
 //   $ ./simulate --process capped-greedy --d 2 --trace-csv trace.csv
-//   $ ./simulate --checkpoint-out state.ckpt   # ... later:
-//   $ ./simulate --checkpoint-in state.ckpt --rounds 1000
+//   $ ./simulate --faults "crash@50:bins=0-63,down=20" --audit-every 1
+//   $ ./simulate --checkpoint-every 500 --checkpoint-out state.ckpt
+//   $ ./simulate --resume state.ckpt --rounds 1000   # bit-identical
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error (bad flag or
+// out-of-domain parameter), 3 invariant violation detected by the
+// auditor.
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "analysis/bounds.hpp"
@@ -17,6 +23,8 @@
 #include "core/capped_greedy.hpp"
 #include "core/greedy.hpp"
 #include "core/modcapped.hpp"
+#include "fault/auditor.hpp"
+#include "fault/fault_plan.hpp"
 #include "io/cli.hpp"
 #include "io/json.hpp"
 #include "io/table.hpp"
@@ -33,20 +41,26 @@ core::ArrivalModel parse_arrival(const std::string& text) {
   if (text == "deterministic") return core::ArrivalModel::kDeterministic;
   if (text == "binomial") return core::ArrivalModel::kBinomial;
   if (text == "poisson") return core::ArrivalModel::kPoisson;
-  throw ContractViolation("simulate: unknown --arrival '" + text + "'");
+  throw io::UsageError("simulate: unknown --arrival '" + text + "'");
 }
 
 core::DeletionDiscipline parse_deletion(const std::string& text) {
   if (text == "fifo") return core::DeletionDiscipline::kFifo;
   if (text == "lifo") return core::DeletionDiscipline::kLifo;
   if (text == "uniform") return core::DeletionDiscipline::kUniform;
-  throw ContractViolation("simulate: unknown --deletion '" + text + "'");
+  throw io::UsageError("simulate: unknown --deletion '" + text + "'");
 }
 
 core::AcceptanceOrder parse_acceptance(const std::string& text) {
   if (text == "oldest-first") return core::AcceptanceOrder::kOldestFirst;
   if (text == "youngest-first") return core::AcceptanceOrder::kYoungestFirst;
-  throw ContractViolation("simulate: unknown --acceptance '" + text + "'");
+  throw io::UsageError("simulate: unknown --acceptance '" + text + "'");
+}
+
+/// --c: a finite capacity in [1, 65535] or "inf".
+std::uint32_t parse_capacity(const io::ArgParser& parser) {
+  if (parser.get("c") == "inf") return core::Capped::kInfiniteCapacity;
+  return static_cast<std::uint32_t>(parser.get_uint_range("c", 1, 65535));
 }
 
 template <core::AllocationProcess P>
@@ -140,6 +154,186 @@ void report(const std::string& process_name, std::uint32_t n, double lambda,
   table.print();
 }
 
+/// The CAPPED driver: fault injection, online auditing, periodic
+/// crash-safe checkpoints, resume, and per-round tracing in one loop.
+/// Returns the process exit code.
+int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
+                   std::uint32_t n, double lambda, std::uint64_t lambda_n,
+                   std::uint64_t seed) {
+  core::CappedConfig config;
+  config.n = n;
+  config.capacity = parse_capacity(parser);
+  config.lambda_n = lambda_n;
+  config.arrival = parse_arrival(parser.get("arrival"));
+  config.deletion = parse_deletion(parser.get("deletion"));
+  config.acceptance = parse_acceptance(parser.get("acceptance"));
+  config.failure_probability =
+      parser.get_double_range("failure-prob", 0.0, 1.0, false, true);
+  const std::string kernel_name = parser.get("kernel");
+  if (!core::kernel_from_string(kernel_name, config.kernel)) {
+    throw io::UsageError("simulate: --kernel expects bin-major or scalar, "
+                         "got '" + kernel_name + "'");
+  }
+  config.shards =
+      static_cast<std::uint32_t>(parser.get_uint_range("shards", 1, n));
+  config.pool_limit = parser.get_uint("pool-limit");
+  const std::string bp_name = parser.get("backpressure");
+  if (!core::backpressure_from_string(bp_name, config.backpressure)) {
+    throw io::UsageError("simulate: --backpressure expects none, shed or "
+                         "defer, got '" + bp_name + "'");
+  }
+  if (config.backpressure != core::BackpressureMode::kNone &&
+      config.pool_limit == 0) {
+    throw io::UsageError(
+        "simulate: --backpressure requires --pool-limit > 0");
+  }
+  config.backoff_rounds = static_cast<std::uint32_t>(
+      parser.get_uint_range("backoff", 1, 1u << 20));
+
+  const std::string fault_text = parser.get("faults");
+  const std::uint64_t fault_seed = parser.get_uint("fault-seed");
+  std::string resume_path = parser.get("resume");
+  if (resume_path.empty()) resume_path = parser.get("checkpoint-in");
+  const std::string checkpoint_out = parser.get("checkpoint-out");
+  const std::uint64_t checkpoint_every = parser.get_uint("checkpoint-every");
+  if (checkpoint_every > 0 && checkpoint_out.empty()) {
+    throw io::UsageError(
+        "simulate: --checkpoint-every requires --checkpoint-out");
+  }
+  const std::uint64_t audit_every = parser.get_uint("audit-every");
+  const std::string trace_path = parser.get("trace-csv");
+
+  std::unique_ptr<core::Capped> process;
+  std::unique_ptr<fault::FaultPlan> plan;
+  bool resumed = false;
+  if (!resume_path.empty()) {
+    resumed = true;
+    sim::Checkpoint ckpt = sim::load_checkpoint_full(resume_path);
+    process = std::make_unique<core::Capped>(ckpt.snapshot);
+    if (ckpt.has_fault_state) {
+      // The checkpoint's schedule is authoritative: the plan resumes the
+      // recorded fault trajectory, not a fresh one.
+      plan = std::make_unique<fault::FaultPlan>(
+          fault::parse_schedule(ckpt.fault_schedule),
+          ckpt.snapshot.config.n, ckpt.snapshot.config.capacity,
+          ckpt.fault_seed);
+      plan->restore(ckpt.fault_state);
+    }
+    std::fprintf(stderr, "[checkpoint] resumed from %s at round %llu%s\n",
+                 resume_path.c_str(),
+                 static_cast<unsigned long long>(process->round()),
+                 plan != nullptr ? " (fault plan restored)" : "");
+    spec.burn_in = 0;  // the checkpoint is already in steady state
+  } else {
+    process = std::make_unique<core::Capped>(config, core::Engine(seed));
+    if (!fault_text.empty()) {
+      plan = std::make_unique<fault::FaultPlan>(
+          fault::parse_schedule(fault_text), config.n, config.capacity,
+          fault_seed);
+    }
+  }
+  if (plan != nullptr) process->set_fault_plan(plan.get());
+
+  std::optional<fault::InvariantAuditor> auditor;
+  if (audit_every > 0) auditor.emplace(audit_every);
+
+  const auto save = [&](const std::string& path) {
+    sim::Checkpoint ckpt;
+    ckpt.snapshot = process->snapshot();
+    if (plan != nullptr) {
+      ckpt.has_fault_state = true;
+      ckpt.fault_schedule = fault::to_string(plan->schedule());
+      ckpt.fault_seed = plan->seed();
+      ckpt.fault_state = plan->state();
+    }
+    sim::save_checkpoint(ckpt, path);
+  };
+
+  sim::TraceRecorder trace;
+  sim::RunResult result;
+  result.burn_in_used = spec.burn_in;
+  result.measured_rounds = spec.measure_rounds;
+  double wait_sum = 0;
+  std::uint64_t since_checkpoint = 0;
+  const auto maybe_checkpoint = [&] {
+    if (checkpoint_every == 0) return;
+    if (++since_checkpoint < checkpoint_every) return;
+    since_checkpoint = 0;
+    save(checkpoint_out);
+  };
+
+  for (std::uint64_t i = 0; i < spec.burn_in; ++i) {
+    const auto m = process->step();
+    if (auditor.has_value()) auditor->observe(*process, m);
+    maybe_checkpoint();
+  }
+  // A resumed run continues the saved cumulative wait statistics
+  // bit-for-bit; resetting them would fork from the uninterrupted run.
+  if (!resumed) process->reset_wait_stats();
+
+  for (std::uint64_t i = 0; i < spec.measure_rounds; ++i) {
+    const auto m = process->step();
+    if (auditor.has_value()) auditor->observe(*process, m);
+    if (!trace_path.empty()) trace.observe(m);
+    result.pool.add(static_cast<double>(m.pool_size));
+    result.normalized_pool.add(static_cast<double>(m.pool_size) /
+                               static_cast<double>(process->n()));
+    result.max_load.add(static_cast<double>(m.max_load));
+    result.system_load.add(static_cast<double>(m.pool_size + m.total_load));
+    result.deletions += m.wait_count;
+    wait_sum += m.wait_sum;
+    if (m.wait_max > result.wait_max) result.wait_max = m.wait_max;
+    maybe_checkpoint();
+  }
+  if (result.deletions > 0) {
+    result.wait_mean = wait_sum / static_cast<double>(result.deletions);
+  }
+  result.wait_stddev = process->waits().stddev();
+  result.wait_p99_upper =
+      static_cast<double>(process->waits().quantile_upper_bound(0.99));
+  if (!trace_path.empty()) {
+    trace.write_csv(trace_path);
+    std::fprintf(stderr, "[trace] wrote %s (%zu rounds)\n", trace_path.c_str(),
+                 static_cast<std::size_t>(spec.measure_rounds));
+  }
+
+  // Report the geometry actually run — on resume that is the
+  // checkpoint's, not the CLI defaults.
+  report("CAPPED", process->n(), process->lambda(), result,
+         parser.get_bool("json"));
+  (void)n;
+  (void)lambda;
+  if (plan != nullptr) {
+    std::fprintf(stderr,
+                 "[faults] crashes=%llu repairs=%llu straggler_skips=%llu "
+                 "down_now=%llu\n",
+                 static_cast<unsigned long long>(plan->crashes_total()),
+                 static_cast<unsigned long long>(plan->repairs_total()),
+                 static_cast<unsigned long long>(plan->straggler_skips_total()),
+                 static_cast<unsigned long long>(plan->down_bins()));
+  }
+  if (!checkpoint_out.empty()) {
+    save(checkpoint_out);
+    std::fprintf(stderr, "[checkpoint] saved %s\n", checkpoint_out.c_str());
+  }
+  if (auditor.has_value()) {
+    std::fprintf(stderr,
+                 "[audit] rounds=%llu deep=%llu violations=%llu\n",
+                 static_cast<unsigned long long>(auditor->rounds_audited()),
+                 static_cast<unsigned long long>(auditor->deep_audits()),
+                 static_cast<unsigned long long>(auditor->violation_count()));
+    if (!auditor->ok()) {
+      for (const auto& v : auditor->violations()) {
+        std::fprintf(stderr, "[audit] round %llu: %s: %s\n",
+                     static_cast<unsigned long long>(v.round),
+                     v.invariant.c_str(), v.detail.c_str());
+      }
+      return 3;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,9 +342,9 @@ int main(int argc, char** argv) {
   parser.add_flag("process", "capped | modcapped | greedy | capped-greedy",
                   "capped");
   parser.add_flag("n", "number of bins", "8192");
-  parser.add_flag("c", "buffer capacity (0 = infinite)", "2");
+  parser.add_flag("c", "buffer capacity, 1..65535 or inf", "2");
   parser.add_flag("d", "choices per ball (greedy / capped-greedy)", "2");
-  parser.add_flag("lambda", "arrival rate; lambda*n must be integral",
+  parser.add_flag("lambda", "arrival rate in (0, 1); lambda*n integral",
                   "0.9375");
   parser.add_flag("rounds", "measured rounds", "1000");
   parser.add_flag("burnin", "burn-in rounds (0 = auto)", "0");
@@ -162,22 +356,47 @@ int main(int argc, char** argv) {
                   "oldest-first");
   parser.add_flag("failure-prob", "per-bin service failure probability",
                   "0");
+  parser.add_flag("kernel", "bin-major | scalar (capped only)", "bin-major");
+  parser.add_flag("shards",
+                  "parallel bin ranges per round (capped bin-major only)",
+                  "1");
+  parser.add_flag("pool-limit",
+                  "pool bound for backpressure (0 = unbounded)", "0");
+  parser.add_flag("backpressure", "none | shed | defer (capped only)",
+                  "none");
+  parser.add_flag("backoff", "defer-retry backoff, rounds", "4");
+  parser.add_flag("faults",
+                  "fault schedule, e.g. 'crash@50:bins=0-63,down=20;"
+                  "random-crash:p=0.001,down=5-40' (capped only)",
+                  "");
+  parser.add_flag("fault-seed", "seed of the fault RNG stream", "1");
+  parser.add_flag("audit-every",
+                  "run deep invariant audits every K rounds (0 = off; "
+                  "violations exit 3)",
+                  "0");
   parser.add_flag("trace-csv", "write per-round trace CSV to this path", "");
   parser.add_flag("checkpoint-in", "resume a capped run from this file", "");
+  parser.add_flag("resume", "alias for --checkpoint-in", "");
   parser.add_flag("checkpoint-out", "save capped state after the run", "");
+  parser.add_flag("checkpoint-every",
+                  "also checkpoint every K rounds during the run "
+                  "(requires --checkpoint-out)",
+                  "0");
   parser.add_flag("json", "emit the result as JSON", "false");
 
   try {
-    if (!parser.parse(argc, argv)) return 0;
+    if (!parser.parse_or_exit(argc, argv)) return 0;
 
-    const auto n = static_cast<std::uint32_t>(parser.get_uint("n"));
-    const double lambda = parser.get_double("lambda");
+    const auto n =
+        static_cast<std::uint32_t>(parser.get_uint_range("n", 1, 1u << 28));
+    const double lambda =
+        parser.get_double_range("lambda", 0.0, 1.0, true, true);
     const auto process_name = parser.get("process");
     const bool as_json = parser.get_bool("json");
     const auto trace_path = parser.get("trace-csv");
 
     sim::RunSpec spec;
-    spec.measure_rounds = parser.get_uint("rounds");
+    spec.measure_rounds = parser.get_uint_range("rounds", 1, UINT64_MAX);
     spec.burn_in = parser.provided("burnin") && parser.get_uint("burnin") > 0
                        ? parser.get_uint("burnin")
                        : sim::suggested_burn_in(lambda);
@@ -187,42 +406,12 @@ int main(int argc, char** argv) {
     const auto lambda_n = core::CappedConfig::from_rate(n, lambda, 1).lambda_n;
 
     if (process_name == "capped") {
-      core::CappedConfig config;
-      config.n = n;
-      const auto c = parser.get_uint("c");
-      config.capacity = c == 0 ? core::Capped::kInfiniteCapacity
-                               : static_cast<std::uint32_t>(c);
-      config.lambda_n = lambda_n;
-      config.arrival = parse_arrival(parser.get("arrival"));
-      config.deletion = parse_deletion(parser.get("deletion"));
-      config.acceptance = parse_acceptance(parser.get("acceptance"));
-      config.failure_probability = parser.get_double("failure-prob");
-
-      std::unique_ptr<core::Capped> process;
-      const auto checkpoint_in = parser.get("checkpoint-in");
-      if (!checkpoint_in.empty()) {
-        process = std::make_unique<core::Capped>(
-            sim::load_checkpoint(checkpoint_in));
-        std::fprintf(stderr, "[checkpoint] resumed from %s at round %llu\n",
-                     checkpoint_in.c_str(),
-                     static_cast<unsigned long long>(process->round()));
-        spec.burn_in = 0;  // the checkpoint is already in steady state
-      } else {
-        process =
-            std::make_unique<core::Capped>(config, core::Engine(seed));
-      }
-      const auto result = run_with_trace(*process, spec, trace_path);
-      report("CAPPED", n, lambda, result, as_json);
-      const auto checkpoint_out = parser.get("checkpoint-out");
-      if (!checkpoint_out.empty()) {
-        sim::save_checkpoint(process->snapshot(), checkpoint_out);
-        std::fprintf(stderr, "[checkpoint] saved %s\n",
-                     checkpoint_out.c_str());
-      }
+      return run_capped_cli(parser, spec, n, lambda, lambda_n, seed);
     } else if (process_name == "modcapped") {
       core::ModCappedConfig config;
       config.n = n;
-      config.capacity = static_cast<std::uint32_t>(parser.get_uint("c"));
+      config.capacity =
+          static_cast<std::uint32_t>(parser.get_uint_range("c", 1, 65535));
       config.lambda_n = lambda_n;
       core::ModCapped process(config, core::Engine(seed));
       const auto result = run_with_trace(process, spec, trace_path);
@@ -230,7 +419,7 @@ int main(int argc, char** argv) {
     } else if (process_name == "greedy") {
       core::BatchGreedyConfig config;
       config.n = n;
-      config.d = static_cast<std::uint32_t>(parser.get_uint("d"));
+      config.d = static_cast<std::uint32_t>(parser.get_uint_range("d", 1, 16));
       config.lambda_n = lambda_n;
       core::BatchGreedy process(config, core::Engine(seed));
       const auto result = run_with_trace(process, spec, trace_path);
@@ -239,16 +428,21 @@ int main(int argc, char** argv) {
     } else if (process_name == "capped-greedy") {
       core::CappedGreedyConfig config;
       config.n = n;
-      config.capacity = static_cast<std::uint32_t>(parser.get_uint("c"));
-      config.d = static_cast<std::uint32_t>(parser.get_uint("d"));
+      config.capacity =
+          static_cast<std::uint32_t>(parser.get_uint_range("c", 1, 65535));
+      config.d = static_cast<std::uint32_t>(parser.get_uint_range("d", 1, 16));
       config.lambda_n = lambda_n;
       core::CappedGreedy process(config, core::Engine(seed));
       const auto result = run_with_trace(process, spec, trace_path);
       report("CAPPED-GREEDY", n, lambda, result, as_json);
     } else {
-      throw ContractViolation("simulate: unknown --process '" +
-                              process_name + "'");
+      throw io::UsageError("simulate: unknown --process '" + process_name +
+                           "'");
     }
+  } catch (const io::UsageError& error) {
+    io::fail_usage(error.what());
+  } catch (const fault::ScheduleError& error) {
+    io::fail_usage(error.what());
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

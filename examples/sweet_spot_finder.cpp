@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   parser.add_flag("cmax", "largest buffer size to try", "10");
   parser.add_flag("rounds", "measured rounds per candidate", "800");
   parser.add_flag("seed", "random seed", "3");
-  if (!parser.parse(argc, argv)) return 0;
+  if (!parser.parse_or_exit(argc, argv)) return 0;
 
   const auto n = static_cast<std::uint32_t>(parser.get_uint("n"));
   const double lambda = parser.get_double("lambda");

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Deterministic corruption fuzz of the checkpoint loader: generate a
+# real checkpoint with the simulate example, then feed the loader a
+# battery of bit-flipped, truncated, and garbage variants. Every corrupt
+# file must be REJECTED with a clean non-zero exit (no crash, no signal
+# death, no silent acceptance); the pristine file must still resume.
+#
+#   scripts/fuzz_checkpoint.sh [build-dir]     # default: build
+#
+# Exits 0 when every case behaves, 1 otherwise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+simulate="$build_dir/examples/simulate"
+
+if [ ! -x "$simulate" ]; then
+  echo "error: $simulate not built (cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/iba_fuzz_ckpt.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+ckpt="$work/seed.ckpt"
+
+echo "==> generating seed checkpoint"
+"$simulate" --n 512 --lambda 0.875 --rounds 80 --seed 7 \
+  --faults 'crash@30:bins=0-255,down=10;random-crash:p=0.01,down=5' \
+  --checkpoint-out "$ckpt" --checkpoint-every 40 >/dev/null
+[ -s "$ckpt" ] || { echo "FAIL: no checkpoint written" >&2; exit 1; }
+
+# Resuming the pristine file must work (exit 0).
+if ! "$simulate" --resume "$ckpt" --rounds 20 >/dev/null 2>&1; then
+  echo "FAIL: pristine checkpoint rejected" >&2
+  exit 1
+fi
+echo "    pristine checkpoint resumes: ok"
+
+size=$(stat -c %s "$ckpt")
+fails=0
+cases=0
+
+# try <name> <file>: the loader must exit 1 (clean rejection) — not 0
+# (silent acceptance) and not >=128 (killed by a signal).
+try() {
+  local name="$1" file="$2" rc=0
+  "$simulate" --resume "$file" --rounds 5 >/dev/null 2>&1 || rc=$?
+  cases=$((cases + 1))
+  if [ "$rc" -eq 0 ]; then
+    echo "FAIL: $name was accepted" >&2
+    fails=$((fails + 1))
+  elif [ "$rc" -ge 128 ]; then
+    echo "FAIL: $name crashed the loader (exit $rc)" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+echo "==> bit flips (deterministic offsets)"
+# Offsets spread over the file: header, early body, middle, tail.
+for offset in 0 5 17 40 100 $((size / 4)) $((size / 2)) \
+              $((3 * size / 4)) $((size - 2)); do
+  [ "$offset" -lt "$size" ] || continue
+  mutant="$work/flip_$offset"
+  cp "$ckpt" "$mutant"
+  # Flip one bit of the byte at `offset`.
+  byte=$(dd if="$ckpt" bs=1 skip="$offset" count=1 2>/dev/null | od -An -tu1)
+  flipped=$((byte ^ 4))
+  printf "$(printf '\\%03o' "$flipped")" |
+    dd of="$mutant" bs=1 seek="$offset" count=1 conv=notrunc 2>/dev/null
+  try "bit flip at offset $offset" "$mutant"
+done
+
+echo "==> truncations"
+for keep in 0 1 10 $((size / 10)) $((size / 2)) $((size - 1)); do
+  mutant="$work/trunc_$keep"
+  head -c "$keep" "$ckpt" > "$mutant" || true
+  try "truncation to $keep bytes" "$mutant"
+done
+
+echo "==> garbage and format attacks"
+printf 'not a checkpoint\n' > "$work/garbage"
+try "plain-text garbage" "$work/garbage"
+head -c 512 /dev/zero > "$work/zeros"
+try "all-zero file" "$work/zeros"
+printf 'iba-checkpoint 1 0 0\n' > "$work/downlevel"
+try "downlevel v1 header" "$work/downlevel"
+printf 'iba-checkpoint 2 0 999999999\n' > "$work/liar"
+try "length-lying header" "$work/liar"
+{ cat "$ckpt"; printf 'trailing garbage'; } > "$work/appended"
+try "appended trailing bytes" "$work/appended"
+
+echo "==> $cases corrupt variants tested, $fails misbehaved"
+if [ "$fails" -ne 0 ]; then
+  exit 1
+fi
+echo "fuzz_checkpoint: all corrupt checkpoints cleanly rejected"

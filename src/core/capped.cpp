@@ -55,6 +55,11 @@ void CappedConfig::validate() const {
   IBA_EXPECT(shards >= 1, "CappedConfig: shards must be at least 1");
   IBA_EXPECT(shards == 1 || kernel == RoundKernel::kBinMajor,
              "CappedConfig: sharding requires the bin-major kernel");
+  IBA_EXPECT(backpressure == BackpressureMode::kNone || pool_limit > 0,
+             "CappedConfig: backpressure requires a positive pool_limit");
+  IBA_EXPECT(backpressure != BackpressureMode::kDeferRetry ||
+                 backoff_rounds >= 1,
+             "CappedConfig: defer-retry backoff must be at least 1 round");
 }
 
 Capped::Capped(const CappedConfig& config, Engine engine)
@@ -72,9 +77,22 @@ Capped::Capped(const CappedSnapshot& snapshot)
   round_ = snapshot.round;
   generated_total_ = snapshot.generated_total;
   deleted_total_ = snapshot.deleted_total;
+  shed_total_ = snapshot.shed_total;
   for (const auto& bucket : snapshot.pool) {
     pool_.add(bucket.label, bucket.count);
   }
+  for (const auto& bucket : snapshot.deferred) {
+    IBA_EXPECT(deferred_.empty() || deferred_.back().ready <= bucket.ready,
+               "CappedSnapshot: deferred buckets must be ready-ordered");
+    deferred_.push_back(bucket);
+    deferred_total_ += bucket.count;
+  }
+  waits_.restore(
+      stats::UintMoments::from_parts(snapshot.waits.count, snapshot.waits.sum,
+                                     snapshot.waits.sumsq_hi,
+                                     snapshot.waits.sumsq_lo),
+      stats::Log2Histogram::from_counts(snapshot.waits.histogram,
+                                        snapshot.waits.max));
   IBA_EXPECT(snapshot.bin_queues.size() == config_.n,
              "CappedSnapshot: bin_queues size must equal n");
   for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
@@ -96,8 +114,16 @@ CappedSnapshot Capped::snapshot() const {
   snap.round = round_;
   snap.generated_total = generated_total_;
   snap.deleted_total = deleted_total_;
+  snap.shed_total = shed_total_;
   snap.engine_state = engine_.state();
   snap.pool.assign(pool_.buckets().begin(), pool_.buckets().end());
+  snap.deferred.assign(deferred_.begin(), deferred_.end());
+  snap.waits.count = waits_.moments().count();
+  snap.waits.sum = waits_.moments().sum();
+  snap.waits.sumsq_hi = waits_.moments().sumsq_hi();
+  snap.waits.sumsq_lo = waits_.moments().sumsq_lo();
+  snap.waits.max = waits_.histogram().max();
+  snap.waits.histogram = waits_.histogram().counts();
   snap.bin_queues.resize(config_.n);
   for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
     auto& queue = snap.bin_queues[bin];
@@ -128,47 +154,131 @@ std::uint64_t Capped::sample_arrivals() {
   return config_.lambda_n;
 }
 
+void Capped::begin_round_faults() {
+  if (fault_plan_ == nullptr) {
+    faults_round_ = false;
+    return;
+  }
+  // The plan runs before the round's first allocation-engine draw and
+  // must only consume its own stream; the load view reflects the state
+  // at the end of the previous round.
+  fault_plan_->begin_round(
+      round_ + 1, [this](std::uint32_t bin) { return load(bin); });
+  faults_round_ = fault_plan_->active();
+  fault_flags_ = faults_round_ ? fault_plan_->flags() : nullptr;
+  fault_caps_ = faults_round_ ? fault_plan_->effective_capacity() : nullptr;
+}
+
+Capped::Admission Capped::admit_arrivals(std::uint64_t generated) {
+  Admission adm;
+  adm.generated = generated;
+  adm.admitted = generated;
+  if (config_.backpressure == BackpressureMode::kNone) return adm;
+
+  const std::uint64_t next_round = round_ + 1;
+  const std::uint64_t limit = config_.pool_limit;
+  // The bound applies at admission only: survivors and requeued balls
+  // already in flight are never dropped, so the pool can exceed the
+  // limit transiently (e.g. after a mass crash); admission then stalls
+  // until it drains back below.
+  std::uint64_t free = pool_.total() < limit ? limit - pool_.total() : 0;
+
+  // Retry pass: deferred balls whose backoff expired re-attempt
+  // admission oldest-first, ahead of this round's fresh arrivals. The
+  // eligible entries form one front group of the deque (every round
+  // processes its group, and re-deferred remainders get a strictly
+  // later ready round), so their labels are ascending and the merge
+  // below preserves the pool's oldest-first order.
+  if (!deferred_.empty() && deferred_.front().ready <= next_round) {
+    readmit_scratch_.clear();
+    while (!deferred_.empty() && deferred_.front().ready <= next_round) {
+      DeferredBucket bucket = deferred_.front();
+      deferred_.pop_front();
+      const std::uint64_t take = bucket.count < free ? bucket.count : free;
+      if (take > 0) {
+        readmit_scratch_.push_back({bucket.label, take});
+        free -= take;
+        deferred_total_ -= take;
+        bucket.count -= take;
+      }
+      if (bucket.count > 0) {
+        bucket.ready = next_round + config_.backoff_rounds;
+        deferred_.push_back(bucket);
+      }
+    }
+    if (!readmit_scratch_.empty()) merge_sorted_into_pool(readmit_scratch_);
+  }
+
+  // Fresh arrivals take whatever room remains.
+  adm.admitted = generated < free ? generated : free;
+  const std::uint64_t excess = generated - adm.admitted;
+  if (excess > 0) {
+    if (config_.backpressure == BackpressureMode::kShed) {
+      adm.shed = excess;
+      shed_total_ += excess;
+    } else {
+      deferred_.push_back(
+          {next_round, excess, next_round + config_.backoff_rounds});
+      deferred_total_ += excess;
+    }
+  }
+  return adm;
+}
+
 RoundMetrics Capped::step() {
+  begin_round_faults();
   const std::uint64_t generated = sample_arrivals();
-  const std::uint64_t nu = pool_.total() + generated;
+  const Admission adm = admit_arrivals(generated);
+  const std::uint64_t nu = pool_.total() + adm.admitted;
   {
     telemetry::ScopedPhaseTimer timer(timers_, telemetry::Phase::kThrow, nu);
     choice_scratch_.resize(nu);
     rng::fill_bounded(engine_, choice_scratch_, config_.n);
   }
-  return step_internal(generated, choice_scratch_);
+  return step_internal(adm, choice_scratch_);
 }
 
 RoundMetrics Capped::step_with_choices(
     std::span<const std::uint32_t> choices) {
   IBA_EXPECT(config_.arrival == ArrivalModel::kDeterministic,
              "Capped: step_with_choices requires deterministic arrivals");
+  IBA_EXPECT(fault_plan_ == nullptr &&
+                 config_.backpressure == BackpressureMode::kNone,
+             "Capped: step_with_choices is incompatible with fault plans "
+             "and backpressure");
   IBA_EXPECT(choices.size() == balls_to_throw(),
              "Capped: need exactly one bin choice per thrown ball");
-  return step_internal(config_.lambda_n, choices);
+  Admission adm;
+  adm.generated = config_.lambda_n;
+  adm.admitted = config_.lambda_n;
+  return step_internal(adm, choices);
 }
 
-RoundMetrics Capped::step_internal(std::uint64_t generated,
+RoundMetrics Capped::step_internal(const Admission& admission,
                                    std::span<const std::uint32_t> choices) {
   ++round_;
-  pool_.add(round_, generated);
+  pool_.add(round_, admission.admitted);
   if constexpr (IBA_TELEMETRY_ENABLED != 0) {
     // Ball ids are the global generation sequence: this cohort occupies
-    // ids generated_total_ .. generated_total_ + generated - 1.
+    // ids generated_total_ .. generated_total_ + generated - 1. (With
+    // backpressure the tracer is rejected at attach time, so admitted
+    // always equals generated here when tracing.)
     if (tracer_ != nullptr) {
-      tracer_->on_arrivals(round_, generated_total_, generated);
+      tracer_->on_arrivals(round_, generated_total_, admission.generated);
     }
   }
-  generated_total_ += generated;
-  return allocate_and_delete(generated, choices);
+  generated_total_ += admission.generated;
+  return allocate_and_delete(admission, choices);
 }
 
 RoundMetrics Capped::allocate_and_delete(
-    std::uint64_t generated, std::span<const std::uint32_t> choices) {
+    const Admission& admission, std::span<const std::uint32_t> choices) {
   RoundMetrics m;
   m.round = round_;
-  m.generated = generated;
+  m.generated = admission.generated;
+  m.shed = admission.shed;
   m.thrown = pool_.total();
+  if (faults_round_) m.faulted_bins = fault_plan_->faulted_bins();
 
   const bool tracing = [&] {
     if constexpr (IBA_TELEMETRY_ENABLED != 0) {
@@ -242,6 +352,7 @@ RoundMetrics Capped::allocate_and_delete(
   }
 
   m.pool_size = pool_.total();
+  m.deferred = deferred_total_;
   m.oldest_pool_age = pool_.oldest_age(round_);
   if (!load_stats_done) {
     if (infinite()) {
@@ -297,7 +408,8 @@ void Capped::accept_scalar(std::span<const std::uint32_t> choices,
       for (std::uint64_t k = 0; k < bucket.count; ++k) {
         const std::uint32_t bin = choices[idx++];
         const std::uint64_t load = bounded_->load(bin);
-        if (load < cap) {
+        const std::uint32_t cap_b = faults_round_ ? fault_caps_[bin] : cap;
+        if (load < cap_b) {
           bounded_->push(bin, bucket.label);
           ++m.accepted;
           trace_throw(bucket.label, bin, load, true);
@@ -319,7 +431,8 @@ void Capped::accept_scalar(std::span<const std::uint32_t> choices,
       for (std::uint64_t k = 0; k < it->count; ++k) {
         const std::uint32_t bin = choices[idx++];
         const std::uint64_t load = bounded_->load(bin);
-        if (load < cap) {
+        const std::uint32_t cap_b = faults_round_ ? fault_caps_[bin] : cap;
+        if (load < cap_b) {
           bounded_->push(bin, it->label);
           ++m.accepted;
           trace_throw(it->label, bin, load, true);
@@ -346,6 +459,25 @@ void Capped::delete_scalar(RoundMetrics& m) {
     const std::uint64_t load =
         infinite() ? unbounded_->load(bin) : bounded_->load(bin);
     if (load == 0) continue;
+    // Injected faults are consulted before the stochastic failure coin:
+    // a faulted bin draws no coin, in every kernel, so the engine's
+    // draw sequence stays identical across kernels and shard counts.
+    if (faults_round_ &&
+        (fault_flags_[bin] & FaultFlags::kNoServe) != 0) {
+      if ((fault_flags_[bin] & FaultFlags::kDrain) != 0) {
+        // Crash with state loss: the buffer returns to the pool with
+        // labels (ages) preserved, exactly like kCrashRequeue.
+        while (bounded_->load(bin) > 0) {
+          const std::uint64_t crashed = bounded_->pop_front(bin);
+          if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+            if (tracer_ != nullptr) tracer_->on_requeue(bin, crashed);
+          }
+          ++requeue_[crashed];
+          ++m.requeued;
+        }
+      }
+      continue;  // down / straggling: no service this round
+    }
     if (failures &&
         rng::uniform01(engine_) < config_.failure_probability) {
       if (config_.failure_mode == FailureMode::kCrashRequeue) {
@@ -547,8 +679,12 @@ void Capped::scatter_and_accept_range(std::span<const std::uint32_t> choices,
       const std::uint32_t seg_end = starts_[bin + 1];
       if (seg_begin == seg_end) continue;
       const std::uint32_t count = seg_end - seg_begin;
-      const std::uint32_t free =
-          cap - (packed[bin] & queueing::BinTable::kSizeMask);
+      const std::uint32_t size = packed[bin] & queueing::BinTable::kSizeMask;
+      // A degraded bin's effective capacity can sit below its current
+      // load (balls accepted before the degradation stay put), so the
+      // subtraction must saturate.
+      const std::uint32_t cap_b = faults_round_ ? fault_caps_[bin] : cap;
+      const std::uint32_t free = size < cap_b ? cap_b - size : 0;
       const std::uint32_t take = count < free ? count : free;
       if (take > 0) {
         bounded_->push_bulk(bin, take, [&](std::uint32_t k) {
@@ -645,6 +781,7 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
   // is a store-to-load-forwarding chain that throttles both loops.
   rejected_.assign(n_buckets, 0);
   const std::uint32_t cap = config_.capacity;
+  const bool faults = faults_round_;
   const bool failures = config_.failure_probability > 0.0;
   const double p_fail = config_.failure_probability;
   const bool crash = config_.failure_mode == FailureMode::kCrashRequeue;
@@ -686,7 +823,10 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
       const std::uint32_t bin = bin_lo + v;
       const std::uint32_t hs = hs_arr[bin];
       const std::uint32_t load = hs & kSizeMask;
-      if (load < cap) {
+      // Acceptance is bounded by the round's effective capacity; slot
+      // arithmetic still uses the storage capacity `cap`.
+      const std::uint32_t cap_b = faults ? fault_caps_[bin] : cap;
+      if (load < cap_b) {
         std::uint32_t slot = (hs >> kHeadShift) + load;
         if (slot >= cap) slot -= cap;
         lb[static_cast<std::size_t>(bin) * cap + slot] = label;
@@ -702,7 +842,7 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
     // Waits are recorded inline: the integer wait accumulator is
     // order-independent, so mid-sweep recording matches the scalar
     // path's end-of-round stream bit for bit.
-    if (!failures && discipline != DeletionDiscipline::kUniform) {
+    if (!failures && !faults && discipline != DeletionDiscipline::kUniform) {
       // Failure-free FIFO/LIFO: no engine draws, lean raw-array loop.
       const bool lifo = discipline == DeletionDiscipline::kLifo;
       for (std::uint32_t bin = bin_lo; bin < bin_hi; ++bin) {
@@ -741,6 +881,19 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
         if (load == 0) {
           ++empty_bins;
           continue;
+        }
+        if (faults && (fault_flags_[bin] & FaultFlags::kNoServe) != 0) {
+          if ((fault_flags_[bin] & FaultFlags::kDrain) != 0) {
+            bounded_->drain_bulk(bin, [&](std::uint64_t crashed) {
+              ++requeue_[crashed];
+              ++m.requeued;
+            });
+            requeued_balls += load;
+            ++empty_bins;
+          } else if (load > max_load) {
+            max_load = load;
+          }
+          continue;  // faulted bins draw no failure coin (see above)
         }
         if (failures && rng::uniform01(engine_) < p_fail) {
           if (crash) {
@@ -848,6 +1001,15 @@ void Capped::delete_sharded(RoundMetrics& m) {
     const std::uint64_t load =
         infinite() ? unbounded_->load(bin) : bounded_->load(bin);
     if (load == 0) continue;
+    if (faults_round_ &&
+        (fault_flags_[bin] & FaultFlags::kNoServe) != 0) {
+      // Faulted bins draw no failure coin (see delete_scalar); a
+      // state-loss crash reuses the kActionCrash drain machinery.
+      if ((fault_flags_[bin] & FaultFlags::kDrain) != 0) {
+        delete_action_[bin] = kActionCrash;
+      }
+      continue;
+    }
     if (failures &&
         rng::uniform01(engine_) < config_.failure_probability) {
       if (config_.failure_mode == FailureMode::kCrashRequeue) {
@@ -989,6 +1151,23 @@ bool Capped::delete_bin_major(RoundMetrics& m) {
         ++empty_bins;
         continue;
       }
+      if (faults_round_ &&
+          (fault_flags_[bin] & FaultFlags::kNoServe) != 0) {
+        if ((fault_flags_[bin] & FaultFlags::kDrain) != 0) {
+          bounded_->drain_bulk(bin, [&](std::uint64_t label) {
+            if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+              if (tracer_ != nullptr) tracer_->on_requeue(bin, label);
+            }
+            ++requeue_[label];
+            ++m.requeued;
+            --delta;
+          });
+          ++empty_bins;
+        } else if (load > max_load) {
+          max_load = load;
+        }
+        continue;  // faulted bins draw no failure coin (see delete_scalar)
+      }
       if (failures && rng::uniform01(engine_) < p_fail) {
         if (crash) {
           bounded_->drain_bulk(bin, [&](std::uint64_t label) {
@@ -1058,27 +1237,38 @@ void Capped::run_sharded(
                                    fn);
 }
 
-void Capped::merge_requeued_into_pool() {
-  // Two-pointer merge of the (sorted) requeue map into the (sorted)
-  // pool, preserving the oldest-first bucket order.
+void Capped::merge_sorted_into_pool(
+    std::span<const queueing::AgedPool::Bucket> entries) {
+  // Two-pointer merge of the (sorted) entries into the (sorted) pool,
+  // preserving the oldest-first bucket order.
   merge_scratch_.clear();
-  auto it = requeue_.begin();
+  std::size_t i = 0;
   for (const auto& bucket : pool_.buckets()) {
-    while (it != requeue_.end() && it->first < bucket.label) {
-      merge_scratch_.add(it->first, it->second);
-      ++it;
+    while (i < entries.size() && entries[i].label < bucket.label) {
+      merge_scratch_.add(entries[i].label, entries[i].count);
+      ++i;
     }
-    if (it != requeue_.end() && it->first == bucket.label) {
-      merge_scratch_.add(bucket.label, bucket.count + it->second);
-      ++it;
+    if (i < entries.size() && entries[i].label == bucket.label) {
+      merge_scratch_.add(bucket.label, bucket.count + entries[i].count);
+      ++i;
     } else {
       merge_scratch_.add(bucket.label, bucket.count);
     }
   }
-  for (; it != requeue_.end(); ++it) {
-    merge_scratch_.add(it->first, it->second);
+  for (; i < entries.size(); ++i) {
+    merge_scratch_.add(entries[i].label, entries[i].count);
   }
   pool_.swap(merge_scratch_);
+}
+
+void Capped::merge_requeued_into_pool() {
+  // requeue_ is a std::map, so its (label, count) pairs come out sorted
+  // and order-independent of which kernel (or shard) recorded them.
+  requeue_scratch_.clear();
+  for (const auto& [label, count] : requeue_) {
+    requeue_scratch_.push_back({label, count});
+  }
+  merge_sorted_into_pool(requeue_scratch_);
   requeue_.clear();
 }
 

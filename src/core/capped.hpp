@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -31,6 +32,7 @@
 
 #include "common/assert.hpp"
 #include "concurrency/thread_pool.hpp"
+#include "core/fault_hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
 #include "core/process.hpp"
@@ -77,6 +79,15 @@ struct CappedConfig {
   /// engine, so the RNG stream never depends on scheduling.
   std::uint32_t shards = 1;
 
+  /// Pool bound for backpressure (0 = unbounded, the paper's model).
+  /// The bound applies at admission: arrivals beyond it are shed or
+  /// deferred per `backpressure`; balls already in flight never drop.
+  std::uint64_t pool_limit = 0;
+  BackpressureMode backpressure = BackpressureMode::kNone;
+  /// Rounds a deferred arrival waits before retrying admission
+  /// (kDeferRetry). Deterministic: no randomness in the backoff.
+  std::uint32_t backoff_rounds = 4;
+
   static constexpr std::uint32_t kInfiniteCapacity = 0xFFFFFFFFu;
 
   /// λ as a real number.
@@ -94,17 +105,43 @@ struct CappedConfig {
   void validate() const;
 };
 
+/// One bucket of deferred arrivals (kDeferRetry backpressure): `count`
+/// balls generated in round `label`, eligible to retry at round `ready`.
+struct DeferredBucket {
+  std::uint64_t label = 0;
+  std::uint64_t count = 0;
+  std::uint64_t ready = 0;
+};
+
+/// Wait-recorder state captured in a snapshot — exact integer moments
+/// (Σw² split into 64-bit halves) plus the dyadic histogram — so a
+/// resumed run continues the cumulative waiting-time statistics
+/// bit-for-bit instead of restarting them.
+struct CappedWaitState {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t sumsq_hi = 0;
+  std::uint64_t sumsq_lo = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> histogram;  ///< Log2Histogram counts
+};
+
 /// Complete dynamic state of a Capped process — everything needed to
-/// resume a run bit-for-bit (except the waiting-time statistics, which
-/// restart empty; resumed runs reset them after burn-in anyway).
+/// resume a run bit-for-bit, including the cumulative waiting-time
+/// statistics and backpressure accounting. Fault-plan state (when a
+/// plan is attached) lives beside the snapshot in the checkpoint file
+/// (sim/checkpoint.hpp); the plan is external to the process.
 struct CappedSnapshot {
   CappedConfig config;
   std::uint64_t round = 0;
   std::uint64_t generated_total = 0;
   std::uint64_t deleted_total = 0;
+  std::uint64_t shed_total = 0;
   std::array<std::uint64_t, 4> engine_state{};
   std::vector<queueing::AgedPool::Bucket> pool;        ///< oldest-first
+  std::vector<DeferredBucket> deferred;                ///< retry order
   std::vector<std::vector<std::uint64_t>> bin_queues;  ///< front-first
+  CappedWaitState waits;
 };
 
 /// The CAPPED(c, λ) process. Deterministic given (config, engine).
@@ -116,7 +153,8 @@ class Capped {
   Capped(const CappedConfig& config, Engine engine);
 
   /// Resumes from a snapshot: identical future trajectory to the
-  /// process the snapshot was taken from (wait statistics start empty).
+  /// process the snapshot was taken from, with the cumulative wait
+  /// statistics continued bit-for-bit.
   explicit Capped(const CappedSnapshot& snapshot);
 
   /// Captures the complete dynamic state (O(n·c + pool)).
@@ -129,7 +167,8 @@ class Capped {
   /// ball in pool order (oldest bucket first; query balls_to_throw()
   /// for the required count *before* calling). Requires deterministic
   /// arrivals — with stochastic models the throw count is not knowable
-  /// in advance.
+  /// in advance — and no fault plan or backpressure (both change the
+  /// thrown count in ways the coupling callers cannot anticipate).
   RoundMetrics step_with_choices(std::span<const std::uint32_t> choices);
 
   /// Number of balls that will sample bins in the *next* round
@@ -184,8 +223,36 @@ class Capped {
   /// before the first step — the tracer reconstructs ball identity from
   /// the event stream, so it must see the run from the start. With
   /// -DIBA_TELEMETRY=OFF the hook calls compile out entirely.
-  void set_ball_tracer(telemetry::BallTracer* tracer) noexcept {
+  void set_ball_tracer(telemetry::BallTracer* tracer) {
+    IBA_EXPECT(tracer == nullptr ||
+                   config_.backpressure == BackpressureMode::kNone,
+               "Capped: ball tracing is incompatible with backpressure "
+               "(shed balls would break the tracer's id sequence)");
     tracer_ = tracer;
+  }
+
+  /// Attaches (or detaches, with nullptr) a fault plan: from the next
+  /// step() on, begin_round() is consulted before each round and the
+  /// per-bin flags/effective capacities it publishes are honored
+  /// identically by every kernel (scalar, bin-major, fused, sharded).
+  /// The provider must draw randomness only from its own stream — the
+  /// allocation engine's draw sequence is part of the determinism
+  /// contract. Requires finite capacity.
+  void set_fault_plan(RoundFaultProvider* plan) {
+    IBA_EXPECT(plan == nullptr || !infinite(),
+               "Capped: fault injection requires finite capacity");
+    fault_plan_ = plan;
+    faults_round_ = false;
+  }
+
+  [[nodiscard]] const CappedConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// True while a fault plan is attached (it may suppress service, which
+  /// relaxes some trajectory invariants — see fault::InvariantAuditor).
+  [[nodiscard]] bool has_fault_plan() const noexcept {
+    return fault_plan_ != nullptr;
   }
 
   /// Waiting-time statistics over every ball deleted so far.
@@ -193,13 +260,28 @@ class Capped {
   /// Clears the waiting-time statistics (e.g. after burn-in).
   void reset_wait_stats() noexcept { waits_.reset(); }
 
-  /// Lifetime accounting for conservation checks:
-  /// generated_total() == pool_size() + total_load() + deleted_total().
+  /// Lifetime accounting for conservation checks: generated_total() ==
+  /// pool_size() + total_load() + deleted_total() + shed_total() +
+  /// deferred_total() (the last two are zero without backpressure).
   [[nodiscard]] std::uint64_t generated_total() const noexcept {
     return generated_total_;
   }
   [[nodiscard]] std::uint64_t deleted_total() const noexcept {
     return deleted_total_;
+  }
+  [[nodiscard]] std::uint64_t shed_total() const noexcept {
+    return shed_total_;
+  }
+  [[nodiscard]] std::uint64_t deferred_total() const noexcept {
+    return deferred_total_;
+  }
+
+  /// Label of the ball `i` positions behind the front of bin `bin`
+  /// (0 = next to be served). For the invariant auditor's FIFO-order
+  /// scan; O(1) per peek.
+  [[nodiscard]] std::uint64_t bin_label(std::uint32_t bin,
+                                        std::uint32_t i) const noexcept {
+    return infinite() ? unbounded_->items(bin)[i] : bounded_->peek(bin, i);
   }
 
  private:
@@ -208,9 +290,23 @@ class Capped {
   }
 
   [[nodiscard]] std::uint64_t sample_arrivals();
-  RoundMetrics step_internal(std::uint64_t generated,
+  /// Outcome of one round's arrival admission (backpressure).
+  struct Admission {
+    std::uint64_t generated = 0;  ///< balls created this round
+    std::uint64_t admitted = 0;   ///< of those, admitted to the pool
+    std::uint64_t shed = 0;       ///< of those, dropped (kShed)
+  };
+  /// Applies the pool bound to this round's arrivals: readmits deferred
+  /// balls whose backoff expired (oldest first), then admits as many
+  /// fresh arrivals as fit; the excess is shed or deferred. No engine
+  /// draws. A no-op returning admitted == generated without backpressure.
+  Admission admit_arrivals(std::uint64_t generated);
+  /// Consults the fault plan (if any) for the round about to run and
+  /// caches its per-bin views for the kernels.
+  void begin_round_faults();
+  RoundMetrics step_internal(const Admission& admission,
                              std::span<const std::uint32_t> choices);
-  RoundMetrics allocate_and_delete(std::uint64_t generated,
+  RoundMetrics allocate_and_delete(const Admission& admission,
                                    std::span<const std::uint32_t> choices);
   void delete_from_bin(std::uint32_t bin, RoundMetrics& m);
 
@@ -248,6 +344,10 @@ class Capped {
   Engine engine_;
   std::uint64_t round_ = 0;
   void merge_requeued_into_pool();
+  /// Merges `entries` (sorted by label, ascending) into the pool,
+  /// preserving the oldest-first bucket order (two-pointer merge).
+  void merge_sorted_into_pool(
+      std::span<const queueing::AgedPool::Bucket> entries);
 
   queueing::AgedPool pool_;
   queueing::AgedPool survivors_;  // scratch, reused across rounds
@@ -291,6 +391,22 @@ class Capped {
   WaitRecorder waits_;
   std::uint64_t generated_total_ = 0;
   std::uint64_t deleted_total_ = 0;
+
+  // Fault-injection round state: set by begin_round_faults(), read by
+  // every kernel. Null / false outside a faulted round, so unfaulted
+  // rounds keep the lean fast paths.
+  RoundFaultProvider* fault_plan_ = nullptr;
+  bool faults_round_ = false;
+  const std::uint8_t* fault_flags_ = nullptr;
+  const std::uint32_t* fault_caps_ = nullptr;
+
+  // Backpressure state (kShed / kDeferRetry).
+  std::deque<DeferredBucket> deferred_;  // ready ascending; labels
+                                         // ascending within a ready group
+  std::vector<queueing::AgedPool::Bucket> readmit_scratch_;
+  std::vector<queueing::AgedPool::Bucket> requeue_scratch_;
+  std::uint64_t shed_total_ = 0;
+  std::uint64_t deferred_total_ = 0;
 };
 
 static_assert(AllocationProcess<Capped>);

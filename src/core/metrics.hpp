@@ -33,6 +33,13 @@ struct RoundMetrics {
                                     ///< crashing bins this round
   std::uint64_t oldest_pool_age = 0;///< age of the oldest unallocated ball
                                     ///< at end of round (starvation depth)
+
+  std::uint64_t shed = 0;        ///< arrivals dropped by backpressure
+                                 ///< this round (kShed only)
+  std::uint64_t deferred = 0;    ///< balls waiting out a retry backoff at
+                                 ///< end of round (kDeferRetry only)
+  std::uint64_t faulted_bins = 0;///< bins under an injected fault (down,
+                                 ///< draining, or straggling) this round
 };
 
 /// Accumulates the waiting times of every deleted ball over a run:
@@ -69,6 +76,15 @@ class WaitRecorder {
   void reset() noexcept {
     moments_.reset();
     histogram_ = stats::Log2Histogram{};
+  }
+
+  /// Restores a previously captured state (checkpoint resume): the
+  /// recorder continues exactly where the saved run left off, so resumed
+  /// cumulative moments stay bit-identical to the uninterrupted run.
+  void restore(const stats::UintMoments& moments,
+               const stats::Log2Histogram& histogram) {
+    moments_ = moments;
+    histogram_ = histogram;
   }
 
  private:

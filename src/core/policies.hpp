@@ -37,6 +37,15 @@ enum class FailureMode : std::uint8_t {
                   ///< return to the pool (ages preserved) and retry
 };
 
+/// What happens to arrivals when the pool is at its configured bound
+/// (graceful degradation under overload/faults — docs/ROBUSTNESS.md).
+enum class BackpressureMode : std::uint8_t {
+  kNone,        ///< unbounded pool (the paper's model)
+  kShed,        ///< arrivals beyond the bound are dropped and counted
+  kDeferRetry,  ///< arrivals beyond the bound wait out a deterministic
+                ///< backoff and retry admission, oldest first
+};
+
 /// How a round's hot path is executed. Both kernels realize the same
 /// process — byte-identical metrics, waits, snapshots and traces for the
 /// same seed (tests/kernel_differential_test.cpp) — they differ only in
@@ -81,6 +90,34 @@ enum class RoundKernel : std::uint8_t {
     case FailureMode::kCrashRequeue: return "crash-requeue";
   }
   return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(
+    BackpressureMode b) noexcept {
+  switch (b) {
+    case BackpressureMode::kNone: return "none";
+    case BackpressureMode::kShed: return "shed";
+    case BackpressureMode::kDeferRetry: return "defer";
+  }
+  return "?";
+}
+
+/// Parses the --backpressure flag vocabulary; false on unknown names.
+[[nodiscard]] constexpr bool backpressure_from_string(
+    std::string_view name, BackpressureMode& out) noexcept {
+  if (name == "none") {
+    out = BackpressureMode::kNone;
+    return true;
+  }
+  if (name == "shed") {
+    out = BackpressureMode::kShed;
+    return true;
+  }
+  if (name == "defer" || name == "defer-retry") {
+    out = BackpressureMode::kDeferRetry;
+    return true;
+  }
+  return false;
 }
 
 [[nodiscard]] constexpr std::string_view to_string(RoundKernel k) noexcept {

@@ -1,0 +1,291 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "rng/bounded.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace iba::fault {
+
+namespace {
+
+// Domain-separation salt: the fault stream must differ from the
+// allocation engine even when both are seeded from the same user seed.
+constexpr std::uint64_t kFaultStreamSalt = 0xFA171D57A7E5EEDull;
+
+using core::FaultFlags;
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultSchedule schedule, std::uint32_t n,
+                     std::uint32_t capacity, std::uint64_t seed)
+    : schedule_(std::move(schedule)),
+      n_(n),
+      capacity_(capacity),
+      seed_(seed),
+      engine_(rng::splitmix64_hash(seed ^ kFaultStreamSalt)) {
+  IBA_EXPECT(n > 0, "FaultPlan: n must be positive");
+  IBA_EXPECT(capacity > 0 && capacity != 0xFFFFFFFFu,
+             "FaultPlan: requires finite capacity");
+  for (const Event& e : schedule_.events) {
+    if (!e.bins.empty() && e.bins.max_index() >= n_) {
+      throw ScheduleError("event '" + std::string(to_string(e.kind)) +
+                          "': bin index " + std::to_string(e.bins.max_index()) +
+                          " out of range (n = " + std::to_string(n_) + ")");
+    }
+    switch (e.kind) {
+      case EventKind::kCrash:
+        one_shot_.push_back(e);
+        break;
+      case EventKind::kCrashFullest:
+        if (e.k > n_) {
+          throw ScheduleError("event 'crash-fullest': k exceeds n");
+        }
+        one_shot_.push_back(e);
+        break;
+      case EventKind::kDegrade:
+        if (e.cap > capacity_) {
+          throw ScheduleError("event 'degrade': cap exceeds the capacity " +
+                              std::to_string(capacity_));
+        }
+        one_shot_.push_back(e);
+        break;
+      case EventKind::kStraggle:
+      case EventKind::kRandomCrash:
+        persistent_.push_back(&e);
+        break;
+      case EventKind::kRolling: {
+        // Expand into one crash event per rack, count outages spaced gap
+        // rounds apart; rack i covers width consecutive bins starting at
+        // (i * width) mod n, clipped to [0, n).
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+          Event crash = e;
+          crash.kind = EventKind::kCrash;
+          crash.at = e.at + static_cast<std::uint64_t>(i) * e.gap;
+          const std::uint32_t start =
+              static_cast<std::uint32_t>((static_cast<std::uint64_t>(i) *
+                                          e.width) %
+                                         n_);
+          const std::uint32_t end =
+              std::min(n_ - 1, start + e.width - 1);
+          crash.bins.ranges = {{start, end}};
+          one_shot_.push_back(crash);
+        }
+        break;
+      }
+    }
+  }
+  // Stable by trigger round, preserving schedule order within a round.
+  std::stable_sort(one_shot_.begin(), one_shot_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+
+  flags_.assign(n_, 0);
+  eff_cap_.assign(n_, capacity_);
+  down_until_.assign(n_, 0);
+  degraded_until_.assign(n_, 0);
+  degraded_cap_.assign(n_, 0);
+}
+
+void FaultPlan::crash_bin(std::uint32_t bin, std::uint64_t round,
+                          const Event& e) {
+  if (down_until_[bin] != 0) return;  // already down: outage unchanged
+  std::uint64_t downtime = e.down_lo;
+  if (e.down_hi > e.down_lo) {
+    downtime = e.down_lo +
+               rng::bounded(engine_, e.down_hi - e.down_lo + 1);
+  }
+  down_until_[bin] = round + downtime;
+  flags_[bin] |= FaultFlags::kNoServe;
+  if (!e.retain) {
+    // State loss: the delete phase drains the buffer this round.
+    flags_[bin] |= FaultFlags::kDrain;
+    drained_scratch_.push_back(bin);
+  }
+  eff_cap_[bin] = 0;
+  down_list_.push_back(bin);
+  ++crashes_;
+}
+
+void FaultPlan::apply_degrade(std::uint32_t bin, std::uint64_t round,
+                              const Event& e) {
+  if (degraded_until_[bin] == 0) degraded_list_.push_back(bin);
+  degraded_until_[bin] = round + e.duration - 1;
+  degraded_cap_[bin] = e.cap;
+  // A down bin keeps eff_cap 0; repair restores the degraded value.
+  if (down_until_[bin] == 0) eff_cap_[bin] = e.cap;
+}
+
+void FaultPlan::begin_round(
+    std::uint64_t round,
+    const std::function<std::uint64_t(std::uint32_t)>& load) {
+  IBA_EXPECT(last_round_ == 0 || round == last_round_ + 1,
+             "FaultPlan: rounds must advance one at a time");
+  last_round_ = round;
+
+  // 1. Clear the previous round's transient marks.
+  for (const std::uint32_t bin : drained_scratch_) {
+    flags_[bin] = static_cast<std::uint8_t>(flags_[bin] &
+                                            ~FaultFlags::kDrain);
+  }
+  drained_scratch_.clear();
+  for (const std::uint32_t bin : straggle_scratch_) {
+    flags_[bin] = static_cast<std::uint8_t>(flags_[bin] &
+                                            ~FaultFlags::kNoServe);
+  }
+  straggle_scratch_.clear();
+
+  // 2. Repairs due this round.
+  std::erase_if(down_list_, [&](std::uint32_t bin) {
+    if (down_until_[bin] > round) return false;
+    down_until_[bin] = 0;
+    flags_[bin] = 0;
+    eff_cap_[bin] =
+        degraded_until_[bin] >= round ? degraded_cap_[bin] : capacity_;
+    ++repairs_;
+    return true;
+  });
+
+  // 3. Expired degradations.
+  std::erase_if(degraded_list_, [&](std::uint32_t bin) {
+    if (degraded_until_[bin] >= round) return false;
+    degraded_until_[bin] = 0;
+    if (down_until_[bin] == 0) eff_cap_[bin] = capacity_;
+    return true;
+  });
+
+  // 4. One-shot events triggering this round (schedule order within the
+  // round; the list is sorted by trigger round).
+  for (const Event& e : one_shot_) {
+    if (e.at != round) continue;
+    switch (e.kind) {
+      case EventKind::kCrash:
+        e.bins.for_each([&](std::uint32_t bin) { crash_bin(bin, round, e); });
+        break;
+      case EventKind::kCrashFullest: {
+        // k currently-up fullest bins; load ties break toward the lower
+        // index so the selection is deterministic.
+        fullest_scratch_.clear();
+        for (std::uint32_t bin = 0; bin < n_; ++bin) {
+          if (down_until_[bin] == 0) fullest_scratch_.emplace_back(load(bin), bin);
+        }
+        const std::size_t k =
+            std::min<std::size_t>(e.k, fullest_scratch_.size());
+        std::partial_sort(fullest_scratch_.begin(),
+                          fullest_scratch_.begin() +
+                              static_cast<std::ptrdiff_t>(k),
+                          fullest_scratch_.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first != b.first ? a.first > b.first
+                                                      : a.second < b.second;
+                          });
+        fullest_scratch_.resize(k);
+        // Crash in ascending bin order so sampled downtimes consume the
+        // fault stream in a canonical order.
+        std::sort(fullest_scratch_.begin(), fullest_scratch_.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.second < b.second;
+                  });
+        for (const auto& [l, bin] : fullest_scratch_) crash_bin(bin, round, e);
+        break;
+      }
+      case EventKind::kDegrade:
+        e.bins.for_each(
+            [&](std::uint32_t bin) { apply_degrade(bin, round, e); });
+        break;
+      default:
+        IBA_ASSERT(false);  // rolling was expanded; others not one-shot
+        break;
+    }
+  }
+
+  // 5. Random crashes: one coin per currently-up bin, ascending bin
+  // order, from the fault stream only.
+  for (const Event* e : persistent_) {
+    if (e->kind != EventKind::kRandomCrash) continue;
+    const std::uint64_t from = e->from == 0 ? 1 : e->from;
+    if (round < from || round > e->until) continue;
+    for (std::uint32_t bin = 0; bin < n_; ++bin) {
+      if (down_until_[bin] != 0) continue;
+      if (rng::uniform01(engine_) < e->p) crash_bin(bin, round, *e);
+    }
+  }
+
+  // 6. Stragglers: off-beat rounds mark a transient no-serve. Bins
+  // already flagged (down this round) are left alone.
+  for (const Event* e : persistent_) {
+    if (e->kind != EventKind::kStraggle) continue;
+    const std::uint64_t from = e->from == 0 ? 1 : e->from;
+    if (round < from) continue;
+    if (e->duration != 0 && round >= from + e->duration) continue;
+    if ((round - e->phase) % e->period == 0) continue;  // on-beat: serves
+    e->bins.for_each([&](std::uint32_t bin) {
+      if (flags_[bin] != 0) return;
+      flags_[bin] |= FaultFlags::kNoServe;
+      straggle_scratch_.push_back(bin);
+      ++straggler_skips_;
+    });
+  }
+
+  faulted_bins_ = down_list_.size() + straggle_scratch_.size();
+  active_ = faulted_bins_ > 0 || !degraded_list_.empty();
+}
+
+FaultPlan::State FaultPlan::state() const {
+  State s;
+  s.engine_state = engine_.state();
+  s.last_round = last_round_;
+  s.crashes = crashes_;
+  s.repairs = repairs_;
+  s.straggler_skips = straggler_skips_;
+  for (const std::uint32_t bin : down_list_) {
+    s.down.push_back({bin, down_until_[bin]});
+  }
+  std::sort(s.down.begin(), s.down.end(),
+            [](const State::Down& a, const State::Down& b) {
+              return a.bin < b.bin;
+            });
+  for (const std::uint32_t bin : degraded_list_) {
+    s.degraded.push_back({bin, degraded_until_[bin], degraded_cap_[bin]});
+  }
+  std::sort(s.degraded.begin(), s.degraded.end(),
+            [](const State::Degraded& a, const State::Degraded& b) {
+              return a.bin < b.bin;
+            });
+  return s;
+}
+
+void FaultPlan::restore(const State& state) {
+  engine_ = rng::Xoshiro256pp(state.engine_state);
+  last_round_ = state.last_round;
+  crashes_ = state.crashes;
+  repairs_ = state.repairs;
+  straggler_skips_ = state.straggler_skips;
+  flags_.assign(n_, 0);
+  eff_cap_.assign(n_, capacity_);
+  down_until_.assign(n_, 0);
+  degraded_until_.assign(n_, 0);
+  degraded_cap_.assign(n_, 0);
+  down_list_.clear();
+  degraded_list_.clear();
+  drained_scratch_.clear();
+  straggle_scratch_.clear();
+  for (const State::Degraded& d : state.degraded) {
+    IBA_EXPECT(d.bin < n_, "FaultPlan: restored degraded bin out of range");
+    degraded_until_[d.bin] = d.until;
+    degraded_cap_[d.bin] = d.cap;
+    eff_cap_[d.bin] = d.cap;
+    degraded_list_.push_back(d.bin);
+  }
+  for (const State::Down& d : state.down) {
+    IBA_EXPECT(d.bin < n_, "FaultPlan: restored down bin out of range");
+    down_until_[d.bin] = d.until;
+    flags_[d.bin] = FaultFlags::kNoServe;
+    eff_cap_[d.bin] = 0;
+    down_list_.push_back(d.bin);
+  }
+  faulted_bins_ = down_list_.size();
+  active_ = faulted_bins_ > 0 || !degraded_list_.empty();
+}
+
+}  // namespace iba::fault

@@ -1,0 +1,140 @@
+// FaultPlan — deterministic fault injection for CAPPED (docs/
+// ROBUSTNESS.md). Executes a parsed FaultSchedule round by round,
+// publishing per-bin flags and effective capacities through
+// core::RoundFaultProvider.
+//
+// Determinism contract:
+//  * All randomness (sampled downtimes, random-crash coins) comes from
+//    the plan's own xoshiro256++ stream, seeded via a splitmix64 hash of
+//    the plan seed — the allocation engine is never touched, so
+//    attaching a plan that fires no event leaves the trajectory
+//    byte-identical to an unfaulted run, and the scalar / fused /
+//    sharded kernels stay byte-identical to each other under any
+//    schedule.
+//  * Random-crash coins are drawn in ascending bin order over the
+//    currently-up bins; crash-fullest breaks load ties toward the lower
+//    bin index. Given the same (schedule, n, capacity, seed) and call
+//    sequence, every decision is reproducible.
+//  * state()/restore() capture the dynamic state (engine, outages,
+//    degradations, counters) so a checkpointed run resumes the fault
+//    trajectory bit-for-bit; the schedule itself is reconstructed from
+//    its text form by the caller.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/fault_hooks.hpp"
+#include "fault/schedule.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace iba::fault {
+
+class FaultPlan final : public core::RoundFaultProvider {
+ public:
+  /// Validates the schedule against (n, capacity) — bin indices in
+  /// range, degraded caps ≤ capacity, k ≤ n — and pre-expands rolling
+  /// outages into per-rack crash events. Throws ScheduleError on
+  /// violations.
+  FaultPlan(FaultSchedule schedule, std::uint32_t n, std::uint32_t capacity,
+            std::uint64_t seed);
+
+  // -- core::RoundFaultProvider --
+  void begin_round(
+      std::uint64_t round,
+      const std::function<std::uint64_t(std::uint32_t)>& load) override;
+  [[nodiscard]] bool active() const noexcept override { return active_; }
+  [[nodiscard]] const std::uint8_t* flags() const noexcept override {
+    return flags_.data();
+  }
+  [[nodiscard]] const std::uint32_t* effective_capacity()
+      const noexcept override {
+    return eff_cap_.data();
+  }
+  [[nodiscard]] std::uint64_t faulted_bins() const noexcept override {
+    return faulted_bins_;
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  /// Lifetime counters (telemetry / benches).
+  [[nodiscard]] std::uint64_t crashes_total() const noexcept {
+    return crashes_;
+  }
+  [[nodiscard]] std::uint64_t repairs_total() const noexcept {
+    return repairs_;
+  }
+  [[nodiscard]] std::uint64_t straggler_skips_total() const noexcept {
+    return straggler_skips_;
+  }
+  /// Bins currently out (down), for observability.
+  [[nodiscard]] std::uint64_t down_bins() const noexcept {
+    return down_list_.size();
+  }
+
+  /// Serializable dynamic state (checkpoint resume). Transient per-round
+  /// flags (drain marks, straggler skips) are deliberately absent: they
+  /// are recomputed by the next begin_round(), exactly as in the
+  /// uninterrupted run.
+  struct State {
+    std::array<std::uint64_t, 4> engine_state{};
+    std::uint64_t last_round = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t straggler_skips = 0;
+    struct Down {
+      std::uint32_t bin = 0;
+      std::uint64_t until = 0;  ///< repaired at begin of this round
+    };
+    struct Degraded {
+      std::uint32_t bin = 0;
+      std::uint64_t until = 0;  ///< last degraded round (inclusive)
+      std::uint32_t cap = 0;
+    };
+    std::vector<Down> down;          ///< ascending bin
+    std::vector<Degraded> degraded;  ///< ascending bin
+  };
+  [[nodiscard]] State state() const;
+  /// Overlays `state` onto a freshly constructed plan with the same
+  /// (schedule, n, capacity, seed). Throws ContractViolation when the
+  /// state references out-of-range bins.
+  void restore(const State& state);
+
+ private:
+  void crash_bin(std::uint32_t bin, std::uint64_t round, const Event& e);
+  void apply_degrade(std::uint32_t bin, std::uint64_t round, const Event& e);
+
+  FaultSchedule schedule_;
+  std::vector<Event> one_shot_;    ///< kCrash/kCrashFullest/kDegrade,
+                                   ///< rolling pre-expanded, by round
+  std::vector<const Event*> persistent_;  ///< straggle / random-crash
+  std::uint32_t n_;
+  std::uint32_t capacity_;
+  std::uint64_t seed_;
+  rng::Xoshiro256pp engine_;
+
+  std::vector<std::uint8_t> flags_;     // FaultFlags masks, per bin
+  std::vector<std::uint32_t> eff_cap_;  // acceptance bound, per bin
+  std::vector<std::uint64_t> down_until_;      // 0 = up
+  std::vector<std::uint64_t> degraded_until_;  // 0 = not degraded
+  std::vector<std::uint32_t> degraded_cap_;
+  std::vector<std::uint32_t> down_list_;      // unordered
+  std::vector<std::uint32_t> degraded_list_;  // unordered
+  std::vector<std::uint32_t> drained_scratch_;   // kDrain marks this round
+  std::vector<std::uint32_t> straggle_scratch_;  // transient kNoServe marks
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> fullest_scratch_;
+
+  std::uint64_t last_round_ = 0;
+  bool active_ = false;
+  std::uint64_t faulted_bins_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t straggler_skips_ = 0;
+};
+
+}  // namespace iba::fault

@@ -1,0 +1,375 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+namespace iba::fault {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& event, const std::string& why) {
+  throw ScheduleError("event '" + event + "': " + why);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::uint64_t parse_u64(const std::string& event, std::string_view key,
+                        std::string_view text) {
+  if (text.empty()) fail(event, std::string(key) + " expects a number");
+  std::uint64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') {
+      fail(event, std::string(key) + ": invalid number '" +
+                      std::string(text) + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(ch - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      fail(event, std::string(key) + ": number out of range");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::uint32_t parse_u32(const std::string& event, std::string_view key,
+                        std::string_view text) {
+  const std::uint64_t value = parse_u64(event, key, text);
+  if (value > UINT32_MAX) {
+    fail(event, std::string(key) + ": number out of range");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+double parse_prob(const std::string& event, std::string_view key,
+                  std::string_view text) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(std::string(text), &pos);
+    if (pos != text.size()) throw std::invalid_argument("junk");
+    if (!(value >= 0.0 && value < 1.0)) {
+      fail(event, std::string(key) + " must lie in [0, 1)");
+    }
+    return value;
+  } catch (const ScheduleError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(event, std::string(key) + ": invalid probability '" +
+                    std::string(text) + "'");
+  }
+}
+
+// `a-b+c+d-e` → sorted disjoint inclusive ranges.
+BinSet parse_bins(const std::string& event, std::string_view text) {
+  BinSet set;
+  while (!text.empty()) {
+    const auto plus = text.find('+');
+    std::string_view part =
+        plus == std::string_view::npos ? text : text.substr(0, plus);
+    text = plus == std::string_view::npos ? std::string_view{}
+                                          : text.substr(plus + 1);
+    const auto dash = part.find('-');
+    std::uint32_t lo;
+    std::uint32_t hi;
+    if (dash == std::string_view::npos) {
+      lo = hi = parse_u32(event, "bins", part);
+    } else {
+      lo = parse_u32(event, "bins", part.substr(0, dash));
+      hi = parse_u32(event, "bins", part.substr(dash + 1));
+      if (hi < lo) fail(event, "bins: descending range");
+    }
+    set.ranges.emplace_back(lo, hi);
+  }
+  if (set.empty()) fail(event, "bins: empty set");
+  std::sort(set.ranges.begin(), set.ranges.end());
+  for (std::size_t i = 1; i < set.ranges.size(); ++i) {
+    if (set.ranges[i].first <= set.ranges[i - 1].second) {
+      fail(event, "bins: overlapping ranges");
+    }
+  }
+  return set;
+}
+
+// `D` or `D1-D2` (inclusive, sampled).
+void parse_down(const std::string& event, std::string_view text,
+                Event& out) {
+  const auto dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    out.down_lo = out.down_hi = parse_u64(event, "down", text);
+  } else {
+    out.down_lo = parse_u64(event, "down", text.substr(0, dash));
+    out.down_hi = parse_u64(event, "down", text.substr(dash + 1));
+    if (out.down_hi < out.down_lo) fail(event, "down: descending range");
+  }
+  if (out.down_lo == 0) fail(event, "down must be at least 1 round");
+}
+
+struct Options {
+  std::map<std::string, std::string, std::less<>> values;
+  const std::string& event;
+
+  [[nodiscard]] std::optional<std::string_view> take(std::string_view key) {
+    const auto it = values.find(key);
+    if (it == values.end()) return std::nullopt;
+    std::string_view view = it->second;
+    taken.push_back(std::string(key));
+    return view;
+  }
+  [[nodiscard]] std::string_view require(std::string_view key) {
+    const auto value = take(key);
+    if (!value.has_value()) {
+      fail(event, "missing required option '" + std::string(key) + "'");
+    }
+    return *value;
+  }
+  void finish() {
+    for (const auto& [key, value] : values) {
+      if (std::find(taken.begin(), taken.end(), key) == taken.end()) {
+        fail(event, "unknown option '" + key + "'");
+      }
+    }
+  }
+
+  std::vector<std::string> taken;
+};
+
+Event parse_event(std::string_view raw) {
+  const std::string event(trim(raw));
+  if (event.empty()) fail(event, "empty event");
+
+  // kind[@R] : options
+  const auto colon = event.find(':');
+  std::string head = colon == std::string::npos ? event
+                                                : event.substr(0, colon);
+  const std::string tail =
+      colon == std::string::npos ? std::string{} : event.substr(colon + 1);
+
+  Event out;
+  const auto at_pos = head.find('@');
+  bool has_at = at_pos != std::string::npos;
+  if (has_at) {
+    out.at = parse_u64(event, "@round", std::string_view(head).substr(at_pos + 1));
+    if (out.at == 0) fail(event, "@round must be at least 1");
+    head = head.substr(0, at_pos);
+  }
+
+  if (head == "crash") {
+    out.kind = EventKind::kCrash;
+  } else if (head == "crash-fullest") {
+    out.kind = EventKind::kCrashFullest;
+  } else if (head == "degrade") {
+    out.kind = EventKind::kDegrade;
+  } else if (head == "straggle") {
+    out.kind = EventKind::kStraggle;
+  } else if (head == "random-crash") {
+    out.kind = EventKind::kRandomCrash;
+  } else if (head == "rolling") {
+    out.kind = EventKind::kRolling;
+  } else {
+    fail(event, "unknown event kind '" + head + "'");
+  }
+
+  const bool one_shot = out.kind == EventKind::kCrash ||
+                        out.kind == EventKind::kCrashFullest ||
+                        out.kind == EventKind::kDegrade ||
+                        out.kind == EventKind::kRolling;
+  if (one_shot && !has_at) {
+    fail(event, "'" + head + "' needs a trigger round: " + head + "@R:...");
+  }
+  if (!one_shot && has_at) {
+    fail(event, "'" + head + "' is persistent; use from=/until= instead of @");
+  }
+
+  // Split options on ','; bare keys (no '=') are flags.
+  Options opts{{}, event, {}};
+  std::string_view rest = tail;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    std::string_view part =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    part = trim(part);
+    if (part.empty()) continue;
+    const auto eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      opts.values.emplace(std::string(part), "");
+    } else {
+      opts.values.emplace(std::string(part.substr(0, eq)),
+                          std::string(part.substr(eq + 1)));
+    }
+  }
+
+  switch (out.kind) {
+    case EventKind::kCrash:
+      out.bins = parse_bins(event, opts.require("bins"));
+      parse_down(event, opts.require("down"), out);
+      out.retain = opts.take("retain").has_value();
+      break;
+    case EventKind::kCrashFullest:
+      out.k = parse_u32(event, "k", opts.require("k"));
+      if (out.k == 0) fail(event, "k must be at least 1");
+      parse_down(event, opts.require("down"), out);
+      out.retain = opts.take("retain").has_value();
+      break;
+    case EventKind::kDegrade:
+      out.bins = parse_bins(event, opts.require("bins"));
+      out.cap = parse_u32(event, "cap", opts.require("cap"));
+      out.duration = parse_u64(event, "for", opts.require("for"));
+      if (out.duration == 0) fail(event, "for must be at least 1 round");
+      break;
+    case EventKind::kStraggle:
+      out.bins = parse_bins(event, opts.require("bins"));
+      out.period = parse_u32(event, "period", opts.require("period"));
+      if (out.period == 0) fail(event, "period must be at least 1");
+      if (const auto v = opts.take("phase")) {
+        out.phase = parse_u32(event, "phase", *v);
+      }
+      if (const auto v = opts.take("from")) {
+        out.from = parse_u64(event, "from", *v);
+      }
+      if (const auto v = opts.take("for")) {
+        out.duration = parse_u64(event, "for", *v);
+        if (out.duration == 0) fail(event, "for must be at least 1 round");
+      }
+      break;
+    case EventKind::kRandomCrash:
+      out.p = parse_prob(event, "p", opts.require("p"));
+      parse_down(event, opts.require("down"), out);
+      out.retain = opts.take("retain").has_value();
+      if (const auto v = opts.take("from")) {
+        out.from = parse_u64(event, "from", *v);
+      }
+      if (const auto v = opts.take("until")) {
+        out.until = parse_u64(event, "until", *v);
+      }
+      if (out.until < out.from) fail(event, "until precedes from");
+      break;
+    case EventKind::kRolling:
+      out.width = parse_u32(event, "width", opts.require("width"));
+      if (out.width == 0) fail(event, "width must be at least 1");
+      out.gap = parse_u32(event, "gap", opts.require("gap"));
+      out.count = parse_u32(event, "count", opts.require("count"));
+      if (out.count == 0) fail(event, "count must be at least 1");
+      parse_down(event, opts.require("down"), out);
+      out.retain = opts.take("retain").has_value();
+      break;
+  }
+  opts.finish();
+  return out;
+}
+
+void append_bins(std::string& out, const BinSet& bins) {
+  out += "bins=";
+  bool first = true;
+  for (const auto& [lo, hi] : bins.ranges) {
+    if (!first) out += '+';
+    first = false;
+    out += std::to_string(lo);
+    if (hi != lo) {
+      out += '-';
+      out += std::to_string(hi);
+    }
+  }
+}
+
+void append_down(std::string& out, const Event& e) {
+  out += ",down=" + std::to_string(e.down_lo);
+  if (e.down_hi != e.down_lo) out += '-' + std::to_string(e.down_hi);
+  if (e.retain) out += ",retain";
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kCrash: return "crash";
+    case EventKind::kCrashFullest: return "crash-fullest";
+    case EventKind::kDegrade: return "degrade";
+    case EventKind::kStraggle: return "straggle";
+    case EventKind::kRandomCrash: return "random-crash";
+    case EventKind::kRolling: return "rolling";
+  }
+  return "?";
+}
+
+std::uint32_t BinSet::max_index() const noexcept {
+  std::uint32_t max = 0;
+  for (const auto& [lo, hi] : ranges) max = std::max(max, hi);
+  return max;
+}
+
+FaultSchedule parse_schedule(std::string_view text) {
+  FaultSchedule schedule;
+  while (!text.empty()) {
+    const auto semi = text.find(';');
+    std::string_view part =
+        semi == std::string_view::npos ? text : text.substr(0, semi);
+    text = semi == std::string_view::npos ? std::string_view{}
+                                          : text.substr(semi + 1);
+    if (trim(part).empty()) continue;
+    schedule.events.push_back(parse_event(part));
+  }
+  return schedule;
+}
+
+std::string to_string(const FaultSchedule& schedule) {
+  std::string out;
+  for (const Event& e : schedule.events) {
+    if (!out.empty()) out += ';';
+    out += to_string(e.kind);
+    switch (e.kind) {
+      case EventKind::kCrash:
+        out += '@' + std::to_string(e.at) + ':';
+        append_bins(out, e.bins);
+        append_down(out, e);
+        break;
+      case EventKind::kCrashFullest:
+        out += '@' + std::to_string(e.at) + ":k=" + std::to_string(e.k);
+        append_down(out, e);
+        break;
+      case EventKind::kDegrade:
+        out += '@' + std::to_string(e.at) + ':';
+        append_bins(out, e.bins);
+        out += ",cap=" + std::to_string(e.cap) +
+               ",for=" + std::to_string(e.duration);
+        break;
+      case EventKind::kStraggle:
+        out += ':';
+        append_bins(out, e.bins);
+        out += ",period=" + std::to_string(e.period);
+        if (e.phase != 0) out += ",phase=" + std::to_string(e.phase);
+        if (e.from != 0) out += ",from=" + std::to_string(e.from);
+        if (e.duration != 0) out += ",for=" + std::to_string(e.duration);
+        break;
+      case EventKind::kRandomCrash: {
+        char prob[40];
+        std::snprintf(prob, sizeof(prob), "%.17g", e.p);
+        out += ":p=";
+        out += prob;
+        append_down(out, e);
+        if (e.from != 0) out += ",from=" + std::to_string(e.from);
+        if (e.until != UINT64_MAX) out += ",until=" + std::to_string(e.until);
+        break;
+      }
+      case EventKind::kRolling:
+        out += '@' + std::to_string(e.at) + ":width=" +
+               std::to_string(e.width) + ",gap=" + std::to_string(e.gap) +
+               ",count=" + std::to_string(e.count);
+        append_down(out, e);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace iba::fault

@@ -1,0 +1,103 @@
+// Fault-schedule grammar — the CLI/config surface of the fault
+// subsystem (docs/ROBUSTNESS.md).
+//
+// A schedule is a semicolon-separated list of events:
+//
+//   crash@R:bins=SPEC,down=D[,retain]        one-shot crash of a bin set
+//   crash-fullest@R:k=K,down=D[,retain]      crash the K currently-fullest
+//   degrade@R:bins=SPEC,cap=C,for=T          capacity drops to C for T rounds
+//   straggle:bins=SPEC,period=J[,phase=P][,from=R][,for=T]
+//                                            serve only every J-th round
+//   random-crash:p=P,down=D[,retain][,from=R][,until=R2]
+//                                            per-round per-bin crash coin
+//   rolling@R:width=W,gap=G,count=K,down=D[,retain]
+//                                            rack outages: K crashes of W
+//                                            consecutive bins, G rounds apart
+//
+// SPEC is `+`-joined indices / inclusive ranges (`0-9+12+100-119`).
+// D is either a fixed downtime (`down=20`) or an inclusive range
+// (`down=5-40`) sampled per crashed bin from the fault stream.
+// `retain` keeps a crashed bin's buffer through the outage (state
+// retention); without it the buffer drains back into the pool (state
+// loss). All rounds are 1-based process rounds.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iba::fault {
+
+/// Parse failure of a schedule string; the message names the offending
+/// event and key. CLI front-ends map this to exit code 2.
+class ScheduleError : public std::runtime_error {
+ public:
+  explicit ScheduleError(const std::string& what)
+      : std::runtime_error("fault schedule: " + what) {}
+};
+
+enum class EventKind : std::uint8_t {
+  kCrash,         ///< one-shot crash of an explicit bin set
+  kCrashFullest,  ///< one-shot crash of the k currently-fullest bins
+  kDegrade,       ///< transient capacity degradation
+  kStraggle,      ///< periodic service (serve every j-th round)
+  kRandomCrash,   ///< per-round per-bin crash coin from the fault stream
+  kRolling,       ///< rolling rack outage (expands to kCrash at plan build)
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
+
+/// Set of bin indices as sorted, disjoint inclusive ranges.
+struct BinSet {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+
+  [[nodiscard]] bool empty() const noexcept { return ranges.empty(); }
+  /// Largest index mentioned; precondition: !empty().
+  [[nodiscard]] std::uint32_t max_index() const noexcept;
+  /// Calls fn(bin) for every member, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [lo, hi] : ranges) {
+      for (std::uint32_t bin = lo; bin <= hi; ++bin) fn(bin);
+    }
+  }
+};
+
+/// One parsed schedule event. Fields are meaningful per kind (see the
+/// grammar above); unused fields keep their defaults.
+struct Event {
+  EventKind kind = EventKind::kCrash;
+  std::uint64_t at = 0;        ///< trigger round (one-shot kinds)
+  BinSet bins;                 ///< crash / degrade / straggle
+  std::uint32_t k = 0;         ///< crash-fullest count
+  std::uint64_t down_lo = 1;   ///< downtime, rounds (lo == hi: fixed)
+  std::uint64_t down_hi = 1;   ///< sampled from [lo, hi] otherwise
+  bool retain = false;         ///< keep buffer through the outage
+  std::uint32_t cap = 0;       ///< degraded capacity
+  std::uint64_t duration = 0;  ///< degrade `for` / straggle `for` (0 = ∞)
+  double p = 0.0;              ///< random-crash probability
+  std::uint64_t from = 0;      ///< first active round (0 = start)
+  std::uint64_t until = UINT64_MAX;  ///< last active round (random-crash)
+  std::uint32_t period = 0;    ///< straggle period j
+  std::uint32_t phase = 0;     ///< straggle phase offset
+  std::uint32_t width = 0;     ///< rolling rack width
+  std::uint32_t gap = 0;       ///< rolling inter-outage gap, rounds
+  std::uint32_t count = 0;     ///< rolling outage count
+};
+
+struct FaultSchedule {
+  std::vector<Event> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
+
+/// Parses the grammar above. Throws ScheduleError with a message naming
+/// the offending event/key on any malformed input.
+[[nodiscard]] FaultSchedule parse_schedule(std::string_view text);
+
+/// Canonical round-trippable rendering (logging, plan provenance).
+[[nodiscard]] std::string to_string(const FaultSchedule& schedule);
+
+}  // namespace iba::fault

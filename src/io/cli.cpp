@@ -8,6 +8,11 @@
 
 namespace iba::io {
 
+void fail_usage(const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::exit(2);
+}
+
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
@@ -25,8 +30,10 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       std::fputs(help_text().c_str(), stdout);
       return false;
     }
-    IBA_EXPECT(arg.rfind("--", 0) == 0,
-               "ArgParser: expected --flag, got " + arg);
+    if (arg.rfind("--", 0) != 0) {
+      throw UsageError(program_ + ": expected --flag, got '" + arg +
+                       "' (see --help)");
+    }
     arg = arg.substr(2);
 
     std::string value;
@@ -35,14 +42,27 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       value = arg.substr(eq + 1);
       arg = arg.substr(0, eq);
     } else {
-      IBA_EXPECT(i + 1 < argc, "ArgParser: missing value for --" + arg);
+      if (i + 1 >= argc) {
+        throw UsageError(program_ + ": missing value for --" + arg);
+      }
       value = argv[++i];
     }
     const auto it = flags_.find(arg);
-    IBA_EXPECT(it != flags_.end(), "ArgParser: unknown flag --" + arg);
+    if (it == flags_.end()) {
+      throw UsageError(program_ + ": unknown flag --" + arg +
+                       " (see --help)");
+    }
     it->second.value = value;
   }
   return true;
+}
+
+bool ArgParser::parse_or_exit(int argc, const char* const* argv) {
+  try {
+    return parse(argc, argv);
+  } catch (const UsageError& e) {
+    fail_usage(e.what());
+  }
 }
 
 const ArgParser::Flag& ArgParser::find(const std::string& name) const {
@@ -61,19 +81,25 @@ std::int64_t ArgParser::get_int(const std::string& name) const {
   try {
     std::size_t pos = 0;
     const std::int64_t parsed = std::stoll(text, &pos);
-    IBA_EXPECT(pos == text.size(), "ArgParser: trailing junk in --" + name);
+    if (pos != text.size()) {
+      throw UsageError(program_ + ": trailing junk in --" + name + " '" +
+                       text + "'");
+    }
     return parsed;
   } catch (const std::invalid_argument&) {
-    throw ContractViolation("iba: ArgParser: --" + name +
-                            " expects an integer, got '" + text + "'");
+    throw UsageError(program_ + ": --" + name + " expects an integer, got '" +
+                     text + "'");
   } catch (const std::out_of_range&) {
-    throw ContractViolation("iba: ArgParser: --" + name + " out of range");
+    throw UsageError(program_ + ": --" + name + " out of range");
   }
 }
 
 std::uint64_t ArgParser::get_uint(const std::string& name) const {
   const std::int64_t parsed = get_int(name);
-  IBA_EXPECT(parsed >= 0, "ArgParser: --" + name + " must be non-negative");
+  if (parsed < 0) {
+    throw UsageError(program_ + ": --" + name + " must be non-negative, got " +
+                     std::to_string(parsed));
+  }
   return static_cast<std::uint64_t>(parsed);
 }
 
@@ -82,13 +108,16 @@ double ArgParser::get_double(const std::string& name) const {
   try {
     std::size_t pos = 0;
     const double parsed = std::stod(text, &pos);
-    IBA_EXPECT(pos == text.size(), "ArgParser: trailing junk in --" + name);
+    if (pos != text.size()) {
+      throw UsageError(program_ + ": trailing junk in --" + name + " '" +
+                       text + "'");
+    }
     return parsed;
   } catch (const std::invalid_argument&) {
-    throw ContractViolation("iba: ArgParser: --" + name +
-                            " expects a number, got '" + text + "'");
+    throw UsageError(program_ + ": --" + name + " expects a number, got '" +
+                     text + "'");
   } catch (const std::out_of_range&) {
-    throw ContractViolation("iba: ArgParser: --" + name + " out of range");
+    throw UsageError(program_ + ": --" + name + " out of range");
   }
 }
 
@@ -100,8 +129,35 @@ bool ArgParser::get_bool(const std::string& name) const {
   if (text == "false" || text == "0" || text == "no" || text == "off") {
     return false;
   }
-  throw ContractViolation("iba: ArgParser: --" + name +
-                          " expects a boolean, got '" + text + "'");
+  throw UsageError(program_ + ": --" + name + " expects a boolean, got '" +
+                   text + "'");
+}
+
+std::uint64_t ArgParser::get_uint_range(const std::string& name,
+                                        std::uint64_t lo,
+                                        std::uint64_t hi) const {
+  const std::uint64_t parsed = get_uint(name);
+  if (parsed < lo || parsed > hi) {
+    throw UsageError(program_ + ": --" + name + " must be in [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) +
+                     "], got " + std::to_string(parsed));
+  }
+  return parsed;
+}
+
+double ArgParser::get_double_range(const std::string& name, double lo,
+                                   double hi, bool lo_open,
+                                   bool hi_open) const {
+  const double parsed = get_double(name);
+  const bool below = lo_open ? parsed <= lo : parsed < lo;
+  const bool above = hi_open ? parsed >= hi : parsed > hi;
+  if (below || above) {
+    throw UsageError(program_ + ": --" + name + " must be in " +
+                     (lo_open ? "(" : "[") + std::to_string(lo) + ", " +
+                     std::to_string(hi) + (hi_open ? ")" : "]") + ", got '" +
+                     get(name) + "'");
+  }
+  return parsed;
 }
 
 bool ArgParser::provided(const std::string& name) const {

@@ -9,7 +9,24 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
+
 namespace iba::io {
+
+/// A user mistake on the command line (unknown flag, malformed number,
+/// out-of-domain parameter). Derives from ContractViolation so library
+/// callers that already handle contract errors keep working; CLI mains
+/// use parse_or_exit() / fail_usage() to map it to exit code 2 with a
+/// one-line diagnostic instead of an uncaught-exception abort.
+class UsageError : public ContractViolation {
+ public:
+  explicit UsageError(const std::string& what_arg)
+      : ContractViolation(what_arg) {}
+};
+
+/// Prints `message` (one line) to stderr and exits with code 2 — the
+/// conventional "usage error" status. For validation outside ArgParser.
+[[noreturn]] void fail_usage(const std::string& message);
 
 /// Parses "--key value" / "--key=value" flags. Declare flags up front so
 /// --help can describe them and typos are rejected.
@@ -22,14 +39,29 @@ class ArgParser {
                 const std::string& default_value);
 
   /// Parses argv. Returns false if --help was requested (help printed to
-  /// stdout). Throws ContractViolation on unknown flags or missing values.
+  /// stdout). Throws UsageError on unknown flags or missing values.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// Like parse(), but maps UsageError to a one-line stderr diagnostic
+  /// and exit code 2 — the front door for every binary main().
+  [[nodiscard]] bool parse_or_exit(int argc, const char* const* argv);
 
   [[nodiscard]] std::string get(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// get_uint restricted to [lo, hi]; UsageError names the flag and the
+  /// domain on violation.
+  [[nodiscard]] std::uint64_t get_uint_range(const std::string& name,
+                                             std::uint64_t lo,
+                                             std::uint64_t hi) const;
+  /// get_double restricted to the interval from lo to hi; each end is
+  /// open when the corresponding *_open flag is set.
+  [[nodiscard]] double get_double_range(const std::string& name, double lo,
+                                        double hi, bool lo_open = false,
+                                        bool hi_open = false) const;
 
   /// True when the user supplied the flag explicitly.
   [[nodiscard]] bool provided(const std::string& name) const;

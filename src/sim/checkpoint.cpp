@@ -1,17 +1,21 @@
 #include "sim/checkpoint.hpp"
 
-#include <cinttypes>
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/crc32.hpp"
 
 namespace iba::sim {
 
 namespace {
 
 constexpr const char* kMagic = "iba-checkpoint";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;
 
 [[noreturn]] void fail(const std::string& why) {
   throw std::runtime_error("checkpoint: " + why);
@@ -24,104 +28,418 @@ T read_value(std::istream& in, const char* what) {
   return value;
 }
 
+/// Reads an integer and checks it names a valid enumerator of E.
+template <typename E>
+E read_enum(std::istream& in, const char* what, int count) {
+  const int raw = read_value<int>(in, what);
+  if (raw < 0 || raw >= count) {
+    fail(std::string("out-of-range field: ") + what + " = " +
+         std::to_string(raw));
+  }
+  return static_cast<E>(raw);
+}
+
+void expect_keyword(std::istream& in, const char* keyword) {
+  const auto word = read_value<std::string>(in, keyword);
+  if (word != keyword) {
+    fail(std::string("expected section '") + keyword + "', found '" + word +
+         "'");
+  }
+}
+
+/// Appends the decimal rendering of `value` to `out` without the
+/// allocation churn of std::to_string — render_body is on the
+/// checkpoint hot path (bench_fault_recovery budgets it at <= 5% of a
+/// run), and a 2^15-bin snapshot is a couple of MB of digits.
+void append_number(std::string& out, std::uint64_t value) {
+  char digits[20];
+  char* end = digits + sizeof(digits);
+  char* cursor = end;
+  do {
+    *--cursor = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  out.append(cursor, end);
+}
+
+void append_field(std::string& out, std::uint64_t value) {
+  out.push_back(' ');
+  append_number(out, value);
+}
+
+std::string render_body(const Checkpoint& checkpoint) {
+  const core::CappedSnapshot& snapshot = checkpoint.snapshot;
+  const auto& config = snapshot.config;
+  std::string out;
+  // ~20 bytes per stored label dominates; reserve once.
+  std::size_t labels = snapshot.pool.size() * 2 + snapshot.deferred.size() * 3;
+  for (const auto& queue : snapshot.bin_queues) labels += queue.size() + 1;
+  out.reserve(512 + labels * 21);
+
+  char prob[40];
+  std::snprintf(prob, sizeof(prob), "%.17g", config.failure_probability);
+  out += "config";
+  append_field(out, config.n);
+  append_field(out, config.capacity);
+  append_field(out, config.lambda_n);
+  append_field(out, static_cast<std::uint64_t>(config.arrival));
+  append_field(out, static_cast<std::uint64_t>(config.deletion));
+  append_field(out, static_cast<std::uint64_t>(config.acceptance));
+  out.push_back(' ');
+  out += prob;
+  append_field(out, static_cast<std::uint64_t>(config.failure_mode));
+  append_field(out, static_cast<std::uint64_t>(config.kernel));
+  append_field(out, config.shards);
+  append_field(out, config.pool_limit);
+  append_field(out, static_cast<std::uint64_t>(config.backpressure));
+  append_field(out, config.backoff_rounds);
+  out.push_back('\n');
+  out += "state";
+  append_field(out, snapshot.round);
+  append_field(out, snapshot.generated_total);
+  append_field(out, snapshot.deleted_total);
+  append_field(out, snapshot.shed_total);
+  out.push_back('\n');
+  out += "engine";
+  for (const std::uint64_t word : snapshot.engine_state) {
+    append_field(out, word);
+  }
+  out.push_back('\n');
+  out += "pool";
+  append_field(out, snapshot.pool.size());
+  out.push_back('\n');
+  for (const auto& bucket : snapshot.pool) {
+    append_number(out, bucket.label);
+    append_field(out, bucket.count);
+    out.push_back('\n');
+  }
+  out += "deferred";
+  append_field(out, snapshot.deferred.size());
+  out.push_back('\n');
+  for (const auto& bucket : snapshot.deferred) {
+    append_number(out, bucket.label);
+    append_field(out, bucket.count);
+    append_field(out, bucket.ready);
+    out.push_back('\n');
+  }
+  out += "bins";
+  append_field(out, snapshot.bin_queues.size());
+  out.push_back('\n');
+  for (const auto& queue : snapshot.bin_queues) {
+    append_number(out, queue.size());
+    for (const std::uint64_t label : queue) append_field(out, label);
+    out.push_back('\n');
+  }
+  const core::CappedWaitState& waits = snapshot.waits;
+  out += "waits";
+  append_field(out, waits.count);
+  append_field(out, waits.sum);
+  append_field(out, waits.sumsq_hi);
+  append_field(out, waits.sumsq_lo);
+  append_field(out, waits.max);
+  append_field(out, waits.histogram.size());
+  for (const std::uint64_t bucket : waits.histogram) {
+    append_field(out, bucket);
+  }
+  out.push_back('\n');
+  out += "fault";
+  append_field(out, checkpoint.has_fault_state ? 1 : 0);
+  out.push_back('\n');
+  if (checkpoint.has_fault_state) {
+    const fault::FaultPlan::State& fs = checkpoint.fault_state;
+    // The schedule text is quoted by length so embedded spaces survive.
+    out += "fault-schedule";
+    append_field(out, checkpoint.fault_schedule.size());
+    out.push_back(' ');
+    out += checkpoint.fault_schedule;
+    out.push_back('\n');
+    out += "fault-seed";
+    append_field(out, checkpoint.fault_seed);
+    out.push_back('\n');
+    out += "fault-engine";
+    for (const std::uint64_t word : fs.engine_state) {
+      append_field(out, word);
+    }
+    out.push_back('\n');
+    out += "fault-counters";
+    append_field(out, fs.last_round);
+    append_field(out, fs.crashes);
+    append_field(out, fs.repairs);
+    append_field(out, fs.straggler_skips);
+    out.push_back('\n');
+    out += "fault-down";
+    append_field(out, fs.down.size());
+    out.push_back('\n');
+    for (const auto& d : fs.down) {
+      append_number(out, d.bin);
+      append_field(out, d.until);
+      out.push_back('\n');
+    }
+    out += "fault-degraded";
+    append_field(out, fs.degraded.size());
+    out.push_back('\n');
+    for (const auto& d : fs.degraded) {
+      append_number(out, d.bin);
+      append_field(out, d.until);
+      append_field(out, d.cap);
+      out.push_back('\n');
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
 }  // namespace
+
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path) {
+  const std::string body = render_body(checkpoint);
+  std::ostringstream header;
+  header << kMagic << ' ' << kVersion << ' ' << common::crc32(body) << ' '
+         << body.size() << '\n';
+  const std::string head = header.str();
+
+  // Crash-safe write: tmp file, flush, fsync, atomic rename. A crash at
+  // any point leaves either the old checkpoint or the complete new one.
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) fail("cannot open for writing: " + tmp);
+  bool ok = std::fwrite(head.data(), 1, head.size(), out) == head.size() &&
+            std::fwrite(body.data(), 1, body.size(), out) == body.size() &&
+            std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("write error: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " -> " + path);
+  }
+  // Persist the rename itself (directory entry) where possible.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
 
 void save_checkpoint(const core::CappedSnapshot& snapshot,
                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) fail("cannot open for writing: " + path);
-  out << kMagic << ' ' << kVersion << '\n';
-  const auto& config = snapshot.config;
-  out << "config " << config.n << ' ' << config.capacity << ' '
-      << config.lambda_n << ' ' << static_cast<int>(config.arrival) << ' '
-      << static_cast<int>(config.deletion) << ' '
-      << static_cast<int>(config.acceptance) << ' ';
-  char prob[40];
-  std::snprintf(prob, sizeof(prob), "%.17g", config.failure_probability);
-  out << prob << '\n';
-  out << "state " << snapshot.round << ' ' << snapshot.generated_total << ' '
-      << snapshot.deleted_total << '\n';
-  out << "engine";
-  for (const std::uint64_t word : snapshot.engine_state) out << ' ' << word;
-  out << '\n';
-  out << "pool " << snapshot.pool.size() << '\n';
-  for (const auto& bucket : snapshot.pool) {
-    out << bucket.label << ' ' << bucket.count << '\n';
-  }
-  out << "bins " << snapshot.bin_queues.size() << '\n';
-  for (const auto& queue : snapshot.bin_queues) {
-    out << queue.size();
-    for (const std::uint64_t label : queue) out << ' ' << label;
-    out << '\n';
-  }
-  if (!out) fail("write error: " + path);
+  Checkpoint checkpoint;
+  checkpoint.snapshot = snapshot;
+  save_checkpoint(checkpoint, path);
 }
 
-core::CappedSnapshot load_checkpoint(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) fail("cannot open for reading: " + path);
+Checkpoint load_checkpoint_full(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) fail("cannot open for reading: " + path);
 
-  const auto magic = read_value<std::string>(in, "magic");
+  std::string header_line;
+  if (!std::getline(file, header_line)) fail("truncated/invalid field: header");
+  std::istringstream header(header_line);
+  const auto magic = read_value<std::string>(header, "magic");
   if (magic != kMagic) fail("bad magic '" + magic + "'");
-  const auto version = read_value<int>(in, "version");
+  const auto version = read_value<int>(header, "version");
   if (version != kVersion) {
-    fail("unsupported version " + std::to_string(version));
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kVersion) + ")");
   }
+  const auto crc = read_value<std::uint32_t>(header, "crc32");
+  const auto length = read_value<std::uint64_t>(header, "body length");
 
-  core::CappedSnapshot snap;
-  auto expect_keyword = [&](const char* keyword) {
-    const auto word = read_value<std::string>(in, keyword);
-    if (word != keyword) fail(std::string("expected '") + keyword + "'");
-  };
+  std::string body((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (body.size() != length) {
+    fail("body length mismatch: header says " + std::to_string(length) +
+         " bytes, file has " + std::to_string(body.size()));
+  }
+  if (common::crc32(body) != crc) fail("CRC mismatch (corrupt file)");
 
-  expect_keyword("config");
+  std::istringstream in(body);
+  Checkpoint checkpoint;
+  core::CappedSnapshot& snap = checkpoint.snapshot;
+
+  expect_keyword(in, "config");
   snap.config.n = read_value<std::uint32_t>(in, "n");
+  if (snap.config.n == 0) fail("out-of-range field: n = 0");
   snap.config.capacity = read_value<std::uint32_t>(in, "capacity");
   snap.config.lambda_n = read_value<std::uint64_t>(in, "lambda_n");
-  snap.config.arrival =
-      static_cast<core::ArrivalModel>(read_value<int>(in, "arrival"));
-  snap.config.deletion =
-      static_cast<core::DeletionDiscipline>(read_value<int>(in, "deletion"));
+  snap.config.arrival = read_enum<core::ArrivalModel>(in, "arrival", 3);
+  snap.config.deletion = read_enum<core::DeletionDiscipline>(in, "deletion", 3);
   snap.config.acceptance =
-      static_cast<core::AcceptanceOrder>(read_value<int>(in, "acceptance"));
+      read_enum<core::AcceptanceOrder>(in, "acceptance", 2);
   snap.config.failure_probability =
       read_value<double>(in, "failure_probability");
+  if (snap.config.failure_probability < 0.0 ||
+      snap.config.failure_probability >= 1.0) {
+    fail("out-of-range field: failure_probability");
+  }
+  snap.config.failure_mode = read_enum<core::FailureMode>(in, "failure_mode", 2);
+  snap.config.kernel = read_enum<core::RoundKernel>(in, "kernel", 2);
+  snap.config.shards = read_value<std::uint32_t>(in, "shards");
+  snap.config.pool_limit = read_value<std::uint64_t>(in, "pool_limit");
+  snap.config.backpressure =
+      read_enum<core::BackpressureMode>(in, "backpressure", 3);
+  snap.config.backoff_rounds = read_value<std::uint32_t>(in, "backoff_rounds");
 
-  expect_keyword("state");
+  expect_keyword(in, "state");
   snap.round = read_value<std::uint64_t>(in, "round");
   snap.generated_total = read_value<std::uint64_t>(in, "generated_total");
   snap.deleted_total = read_value<std::uint64_t>(in, "deleted_total");
+  snap.shed_total = read_value<std::uint64_t>(in, "shed_total");
 
-  expect_keyword("engine");
+  expect_keyword(in, "engine");
   for (auto& word : snap.engine_state) {
     word = read_value<std::uint64_t>(in, "engine word");
   }
 
-  expect_keyword("pool");
+  expect_keyword(in, "pool");
   const auto buckets = read_value<std::size_t>(in, "pool size");
   snap.pool.reserve(buckets);
+  std::uint64_t prev_label = 0;
   for (std::size_t i = 0; i < buckets; ++i) {
-    const auto label = read_value<std::uint64_t>(in, "bucket label");
-    const auto count = read_value<std::uint64_t>(in, "bucket count");
+    const auto label = read_value<std::uint64_t>(in, "pool bucket label");
+    const auto count = read_value<std::uint64_t>(in, "pool bucket count");
+    if (i > 0 && label <= prev_label) {
+      fail("pool buckets not strictly label-ordered");
+    }
+    prev_label = label;
     snap.pool.push_back({label, count});
   }
 
-  expect_keyword("bins");
+  expect_keyword(in, "deferred");
+  const auto deferred = read_value<std::size_t>(in, "deferred size");
+  snap.deferred.reserve(deferred);
+  std::uint64_t prev_ready = 0;
+  for (std::size_t i = 0; i < deferred; ++i) {
+    core::DeferredBucket bucket;
+    bucket.label = read_value<std::uint64_t>(in, "deferred label");
+    bucket.count = read_value<std::uint64_t>(in, "deferred count");
+    bucket.ready = read_value<std::uint64_t>(in, "deferred ready");
+    if (i > 0 && bucket.ready < prev_ready) {
+      fail("deferred buckets not ready-ordered");
+    }
+    prev_ready = bucket.ready;
+    snap.deferred.push_back(bucket);
+  }
+
+  expect_keyword(in, "bins");
   const auto bins = read_value<std::size_t>(in, "bin count");
-  if (bins != snap.config.n) fail("bin count mismatch");
+  if (bins != snap.config.n) {
+    fail("bin count mismatch: config says " + std::to_string(snap.config.n) +
+         ", file has " + std::to_string(bins));
+  }
   snap.bin_queues.resize(bins);
   for (auto& queue : snap.bin_queues) {
-    const auto length = read_value<std::size_t>(in, "queue length");
+    const auto length2 = read_value<std::size_t>(in, "queue length");
     if (snap.config.capacity != core::CappedConfig::kInfiniteCapacity &&
-        length > snap.config.capacity) {
+        length2 > snap.config.capacity) {
       fail("queue longer than capacity");
     }
-    queue.reserve(length);
-    for (std::size_t i = 0; i < length; ++i) {
+    queue.reserve(length2);
+    for (std::size_t i = 0; i < length2; ++i) {
       queue.push_back(read_value<std::uint64_t>(in, "queue label"));
     }
   }
-  return snap;
+
+  expect_keyword(in, "waits");
+  core::CappedWaitState& waits = snap.waits;
+  waits.count = read_value<std::uint64_t>(in, "wait count");
+  waits.sum = read_value<std::uint64_t>(in, "wait sum");
+  waits.sumsq_hi = read_value<std::uint64_t>(in, "wait sumsq_hi");
+  waits.sumsq_lo = read_value<std::uint64_t>(in, "wait sumsq_lo");
+  waits.max = read_value<std::uint64_t>(in, "wait max");
+  const auto wait_buckets = read_value<std::size_t>(in, "wait histogram size");
+  if (wait_buckets > 64) fail("out-of-range field: wait histogram size");
+  waits.histogram.reserve(wait_buckets);
+  std::uint64_t hist_total = 0;
+  for (std::size_t i = 0; i < wait_buckets; ++i) {
+    const auto bucket = read_value<std::uint64_t>(in, "wait histogram bucket");
+    hist_total += bucket;
+    waits.histogram.push_back(bucket);
+  }
+  if (hist_total != waits.count) {
+    fail("wait histogram total " + std::to_string(hist_total) +
+         " != wait count " + std::to_string(waits.count));
+  }
+
+  expect_keyword(in, "fault");
+  const auto has_fault = read_value<int>(in, "fault flag");
+  if (has_fault != 0 && has_fault != 1) fail("out-of-range field: fault flag");
+  checkpoint.has_fault_state = has_fault == 1;
+  if (checkpoint.has_fault_state) {
+    fault::FaultPlan::State& fs = checkpoint.fault_state;
+    expect_keyword(in, "fault-schedule");
+    const auto schedule_len =
+        read_value<std::size_t>(in, "fault schedule length");
+    if (schedule_len > body.size()) {
+      fail("out-of-range field: fault schedule length");
+    }
+    in.get();  // the single separating space
+    checkpoint.fault_schedule.resize(schedule_len);
+    in.read(checkpoint.fault_schedule.data(),
+            static_cast<std::streamsize>(schedule_len));
+    if (static_cast<std::size_t>(in.gcount()) != schedule_len) {
+      fail("truncated/invalid field: fault schedule text");
+    }
+    expect_keyword(in, "fault-seed");
+    checkpoint.fault_seed = read_value<std::uint64_t>(in, "fault seed");
+    expect_keyword(in, "fault-engine");
+    for (auto& word : fs.engine_state) {
+      word = read_value<std::uint64_t>(in, "fault engine word");
+    }
+    expect_keyword(in, "fault-counters");
+    fs.last_round = read_value<std::uint64_t>(in, "fault last_round");
+    fs.crashes = read_value<std::uint64_t>(in, "fault crashes");
+    fs.repairs = read_value<std::uint64_t>(in, "fault repairs");
+    fs.straggler_skips = read_value<std::uint64_t>(in, "fault straggler_skips");
+    expect_keyword(in, "fault-down");
+    const auto down = read_value<std::size_t>(in, "fault down count");
+    fs.down.reserve(down);
+    std::uint32_t prev_bin = 0;
+    for (std::size_t i = 0; i < down; ++i) {
+      fault::FaultPlan::State::Down d;
+      d.bin = read_value<std::uint32_t>(in, "fault down bin");
+      d.until = read_value<std::uint64_t>(in, "fault down until");
+      if (d.bin >= snap.config.n) fail("out-of-range field: fault down bin");
+      if (i > 0 && d.bin <= prev_bin) fail("fault down bins not ascending");
+      prev_bin = d.bin;
+      fs.down.push_back(d);
+    }
+    expect_keyword(in, "fault-degraded");
+    const auto degraded = read_value<std::size_t>(in, "fault degraded count");
+    fs.degraded.reserve(degraded);
+    prev_bin = 0;
+    for (std::size_t i = 0; i < degraded; ++i) {
+      fault::FaultPlan::State::Degraded d;
+      d.bin = read_value<std::uint32_t>(in, "fault degraded bin");
+      d.until = read_value<std::uint64_t>(in, "fault degraded until");
+      d.cap = read_value<std::uint32_t>(in, "fault degraded cap");
+      if (d.bin >= snap.config.n) {
+        fail("out-of-range field: fault degraded bin");
+      }
+      if (i > 0 && d.bin <= prev_bin) {
+        fail("fault degraded bins not ascending");
+      }
+      prev_bin = d.bin;
+      fs.degraded.push_back(d);
+    }
+  }
+
+  expect_keyword(in, "end");
+  return checkpoint;
+}
+
+core::CappedSnapshot load_checkpoint(const std::string& path) {
+  Checkpoint checkpoint = load_checkpoint_full(path);
+  if (checkpoint.has_fault_state) {
+    fail("file carries fault-plan state; load with load_checkpoint_full");
+  }
+  return std::move(checkpoint.snapshot);
 }
 
 }  // namespace iba::sim

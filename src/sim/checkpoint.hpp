@@ -3,22 +3,59 @@
 // exponentially large, time") can be split across invocations with a
 // bit-identical continuation.
 //
-// The format is a versioned, line-oriented text file — trivially
-// inspectable and diff-able; see checkpoint.cpp for the grammar.
+// Format v2 (docs/ROBUSTNESS.md):
+//  * line-oriented text body — trivially inspectable and diff-able —
+//    carrying the full CappedSnapshot (config incl. kernel/shards/
+//    backpressure, engine, pool, deferred arrivals, bin queues,
+//    cumulative wait statistics) and, optionally, the attached
+//    FaultPlan's dynamic state;
+//  * a header line `iba-checkpoint 2 <crc32> <bytes>` binding the body
+//    with a CRC32 and its exact length, so truncated or bit-flipped
+//    files are rejected before any field is parsed;
+//  * crash-safe writes: the file is written to `<path>.tmp`, flushed,
+//    fsync'd, and atomically renamed over `path` — a crash mid-save
+//    leaves the previous checkpoint intact.
+//
+// Loaders throw std::runtime_error whose message names the offending
+// field ("truncated/invalid field: <name>", "CRC mismatch", ...); CLI
+// front-ends map this to a non-zero exit without crashing.
 #pragma once
 
 #include <string>
 
 #include "core/capped.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace iba::sim {
 
-/// Writes `snapshot` to `path`. Throws std::runtime_error on IO failure.
+/// Everything a resumed run needs: the process snapshot plus, when a
+/// fault plan was attached, the plan's dynamic state (the schedule text
+/// itself travels in `fault_schedule` so resume can rebuild the plan).
+struct Checkpoint {
+  core::CappedSnapshot snapshot;
+  bool has_fault_state = false;
+  std::string fault_schedule;  ///< canonical schedule text (may be "")
+  std::uint64_t fault_seed = 0;
+  fault::FaultPlan::State fault_state;
+};
+
+/// Atomically writes `checkpoint` to `path` (tmp + fsync + rename).
+/// Throws std::runtime_error on IO failure; `path` keeps its previous
+/// content in that case.
+void save_checkpoint(const Checkpoint& checkpoint, const std::string& path);
+
+/// Convenience: snapshot-only checkpoint (no fault plan attached).
 void save_checkpoint(const core::CappedSnapshot& snapshot,
                      const std::string& path);
 
-/// Reads a snapshot from `path`. Throws std::runtime_error on IO or
-/// format errors (wrong magic, truncation, inconsistent sizes).
+/// Reads and validates a checkpoint. Throws std::runtime_error on IO
+/// errors, bad magic, unsupported version, CRC/length mismatch, or any
+/// malformed field (the message names it).
+[[nodiscard]] Checkpoint load_checkpoint_full(const std::string& path);
+
+/// Convenience: loads just the process snapshot. Throws additionally
+/// when the file carries fault-plan state (the caller would silently
+/// drop it — use load_checkpoint_full).
 [[nodiscard]] core::CappedSnapshot load_checkpoint(const std::string& path);
 
 }  // namespace iba::sim

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/process.hpp"
+#include "fault/auditor.hpp"
 #include "sim/config.hpp"
 #include "stats/autocorrelation.hpp"
 #include "stats/summary.hpp"
@@ -77,6 +78,11 @@ struct RunTelemetry {
   /// under the span_* names — simulation-deterministic, so the merge
   /// guarantee above still holds.
   telemetry::BallTracer* ball_trace = nullptr;
+  /// Online invariant auditing (processes the auditor understands only —
+  /// currently Capped). Observes every round, burn-in included; deep
+  /// checks run at the auditor's own cadence. Violations never stop the
+  /// run — inspect auditor->ok() afterwards.
+  fault::InvariantAuditor* auditor = nullptr;
 };
 
 namespace detail {
@@ -136,6 +142,14 @@ RunResult run_experiment(P& process, const RunSpec& spec,
                          RunTelemetry telemetry = {}) {
   RunResult result;
 
+  const auto audit = [&](const core::RoundMetrics& m) {
+    if constexpr (requires { telemetry.auditor->observe(process, m); }) {
+      if (telemetry.auditor != nullptr) telemetry.auditor->observe(process, m);
+    } else {
+      (void)m;
+    }
+  };
+
   if constexpr (requires { process.set_phase_timers(telemetry.timers); }) {
     process.set_phase_timers(telemetry.timers);
   }
@@ -150,7 +164,9 @@ RunResult run_experiment(P& process, const RunSpec& spec,
 
     // Fixed burn-in floor.
     for (std::uint64_t i = 0; i < spec.burn_in; ++i) {
-      burn_balls += process.step().thrown;
+      const auto m = process.step();
+      burn_balls += m.thrown;
+      audit(m);
     }
     result.burn_in_used = spec.burn_in;
 
@@ -161,6 +177,7 @@ RunResult run_experiment(P& process, const RunSpec& spec,
       series.reserve(spec.stabilization_window * 4);
       while (result.burn_in_used < spec.max_burn_in) {
         const auto m = process.step();
+        audit(m);
         ++result.burn_in_used;
         burn_balls += m.thrown;
         series.push_back(static_cast<double>(m.pool_size + m.total_load));
@@ -195,6 +212,7 @@ RunResult run_experiment(P& process, const RunSpec& spec,
         timing_steps ? std::chrono::steady_clock::now()
                      : std::chrono::steady_clock::time_point{};
     const auto m = process.step();
+    audit(m);
     if (timing_steps) {
       const auto step_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                                std::chrono::steady_clock::now() - step_start)

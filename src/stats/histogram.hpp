@@ -111,6 +111,24 @@ class Log2Histogram {
     return max_;
   }
 
+  /// Raw per-bin counts, for serialization (checkpointing).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Rebuilds a histogram from serialized state. `total` is implied by
+  /// the counts (add() keeps them in lockstep); `max` is not and must be
+  /// supplied.
+  [[nodiscard]] static Log2Histogram from_counts(
+      std::vector<std::uint64_t> counts, std::uint64_t max) {
+    Log2Histogram h;
+    h.counts_ = std::move(counts);
+    h.total_ = 0;
+    for (const std::uint64_t c : h.counts_) h.total_ += c;
+    h.max_ = max;
+    return h;
+  }
+
   void merge(const Log2Histogram& other) {
     if (other.counts_.size() > counts_.size())
       counts_.resize(other.counts_.size(), 0);

@@ -38,6 +38,27 @@ class UintMoments {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Σx² halves, for serialization (checkpointing) without a 128-bit
+  /// text representation.
+  [[nodiscard]] std::uint64_t sumsq_hi() const noexcept {
+    return static_cast<std::uint64_t>(sumsq_ >> 64);
+  }
+  [[nodiscard]] std::uint64_t sumsq_lo() const noexcept {
+    return static_cast<std::uint64_t>(sumsq_);
+  }
+
+  /// Rebuilds an accumulator from serialized state (inverse of count()/
+  /// sum()/sumsq_hi()/sumsq_lo()).
+  [[nodiscard]] static UintMoments from_parts(std::uint64_t count,
+                                              std::uint64_t sum,
+                                              std::uint64_t sumsq_hi,
+                                              std::uint64_t sumsq_lo) noexcept {
+    UintMoments m;
+    m.count_ = count;
+    m.sum_ = sum;
+    m.sumsq_ = (static_cast<Uint128>(sumsq_hi) << 64) | sumsq_lo;
+    return m;
+  }
 
   [[nodiscard]] double mean() const noexcept {
     return count_ > 0

@@ -1,0 +1,181 @@
+// Backpressure semantics: bounded pool with shed or defer-retry
+// admission, conservation including shed/deferred balls, snapshot
+// round-trips, kernel byte-identity, and config validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/capped.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/schedule.hpp"
+
+namespace {
+
+using namespace iba;
+using core::BackpressureMode;
+using core::Capped;
+using core::CappedConfig;
+using core::Engine;
+using core::RoundKernel;
+
+CappedConfig pressured_config() {
+  // lambda close to 1 with a tiny pool limit, so the bound binds often.
+  CappedConfig config;
+  config.n = 128;
+  config.capacity = 2;
+  config.lambda_n = 124;
+  config.pool_limit = 64;
+  return config;
+}
+
+void expect_same_round(const core::RoundMetrics& a,
+                       const core::RoundMetrics& b, int round) {
+  ASSERT_EQ(a.round, b.round) << "round " << round;
+  ASSERT_EQ(a.generated, b.generated) << "round " << round;
+  ASSERT_EQ(a.thrown, b.thrown) << "round " << round;
+  ASSERT_EQ(a.accepted, b.accepted) << "round " << round;
+  ASSERT_EQ(a.deleted, b.deleted) << "round " << round;
+  ASSERT_EQ(a.pool_size, b.pool_size) << "round " << round;
+  ASSERT_EQ(a.total_load, b.total_load) << "round " << round;
+  ASSERT_EQ(a.shed, b.shed) << "round " << round;
+  ASSERT_EQ(a.deferred, b.deferred) << "round " << round;
+  ASSERT_EQ(a.wait_count, b.wait_count) << "round " << round;
+  ASSERT_DOUBLE_EQ(a.wait_sum, b.wait_sum) << "round " << round;
+}
+
+TEST(Backpressure, ShedDropsArrivalsAndConserves) {
+  CappedConfig config = pressured_config();
+  config.backpressure = BackpressureMode::kShed;
+  Capped p(config, Engine(1));
+  std::uint64_t shed_seen = 0;
+  for (int r = 0; r < 400; ++r) {
+    const auto m = p.step();
+    shed_seen += m.shed;
+    ASSERT_LE(m.pool_size, config.pool_limit) << "round " << r;
+    ASSERT_EQ(p.generated_total(), p.pool_size() + p.total_load() +
+                                       p.deleted_total() + p.shed_total())
+        << "round " << r;
+  }
+  EXPECT_GT(shed_seen, 0u) << "pool limit never bound — test is vacuous";
+  EXPECT_EQ(shed_seen, p.shed_total());
+  EXPECT_EQ(p.deferred_total(), 0u);
+}
+
+TEST(Backpressure, DeferRetryParksArrivalsAndConserves) {
+  CappedConfig config = pressured_config();
+  config.backpressure = BackpressureMode::kDeferRetry;
+  config.backoff_rounds = 3;
+  Capped p(config, Engine(1));
+  std::uint64_t max_deferred = 0;
+  for (int r = 0; r < 400; ++r) {
+    const auto m = p.step();
+    max_deferred = std::max(max_deferred, m.deferred);
+    ASSERT_LE(m.pool_size, config.pool_limit) << "round " << r;
+    ASSERT_EQ(m.shed, 0u) << "defer-retry never sheds";
+    ASSERT_EQ(p.generated_total(),
+              p.pool_size() + p.deferred_total() + p.total_load() +
+                  p.deleted_total())
+        << "round " << r;
+  }
+  EXPECT_GT(max_deferred, 0u) << "pool limit never bound — test is vacuous";
+  EXPECT_EQ(p.shed_total(), 0u);
+}
+
+TEST(Backpressure, DeferredBallsEventuallyAdmitted) {
+  // Transient pressure: a mass crash with state loss dumps every
+  // buffered ball back into the pool, blowing past the admission bound
+  // (requeued balls are in flight, the bound applies to arrivals only).
+  // Arrivals defer during the spike and must all be re-admitted once
+  // the outage ends and the pool drains below the limit.
+  CappedConfig config;
+  config.n = 128;
+  config.capacity = 2;
+  config.lambda_n = 96;
+  config.pool_limit = 160;
+  config.backpressure = BackpressureMode::kDeferRetry;
+  config.backoff_rounds = 2;
+  Capped p(config, Engine(3));
+  fault::FaultPlan plan(
+      fault::parse_schedule("crash@50:bins=0-127,down=20"), 128, 2, 1);
+  p.set_fault_plan(&plan);
+  bool deferred_hit = false;
+  bool drained_after = false;
+  for (int r = 0; r < 600; ++r) {
+    const auto m = p.step();
+    if (m.deferred > 0) deferred_hit = true;
+    if (deferred_hit && m.deferred == 0) drained_after = true;
+    ASSERT_EQ(p.generated_total(),
+              p.pool_size() + p.deferred_total() + p.total_load() +
+                  p.deleted_total())
+        << "round " << r;
+  }
+  EXPECT_TRUE(deferred_hit) << "the crash never pressured the pool";
+  EXPECT_TRUE(drained_after) << "deferred balls never re-admitted";
+  EXPECT_EQ(p.shed_total(), 0u);
+}
+
+TEST(Backpressure, SnapshotRoundTripPreservesShedAndDeferred) {
+  for (const BackpressureMode mode :
+       {BackpressureMode::kShed, BackpressureMode::kDeferRetry}) {
+    CappedConfig config = pressured_config();
+    config.backpressure = mode;
+    config.backoff_rounds = 4;
+    Capped original(config, Engine(5));
+    for (int r = 0; r < 150; ++r) (void)original.step();
+
+    Capped restored(original.snapshot());
+    EXPECT_EQ(restored.shed_total(), original.shed_total());
+    EXPECT_EQ(restored.deferred_total(), original.deferred_total());
+    EXPECT_EQ(restored.pool_size(), original.pool_size());
+
+    for (int r = 150; r < 300; ++r) {
+      const auto ma = original.step();
+      const auto mb = restored.step();
+      expect_same_round(ma, mb, r);
+    }
+  }
+}
+
+TEST(Backpressure, KernelsByteIdenticalUnderBackpressure) {
+  for (const BackpressureMode mode :
+       {BackpressureMode::kShed, BackpressureMode::kDeferRetry}) {
+    CappedConfig scalar_config = pressured_config();
+    scalar_config.backpressure = mode;
+    scalar_config.backoff_rounds = 3;
+    scalar_config.kernel = RoundKernel::kScalar;
+
+    CappedConfig bin_major = scalar_config;
+    bin_major.kernel = RoundKernel::kBinMajor;
+
+    CappedConfig sharded = bin_major;
+    sharded.shards = 4;
+
+    Capped a(scalar_config, Engine(7));
+    Capped b(bin_major, Engine(7));
+    Capped c(sharded, Engine(7));
+    for (int r = 0; r < 300; ++r) {
+      const auto ma = a.step();
+      const auto mb = b.step();
+      const auto mc = c.step();
+      expect_same_round(ma, mb, r);
+      expect_same_round(ma, mc, r);
+    }
+    EXPECT_EQ(a.shed_total(), b.shed_total());
+    EXPECT_EQ(a.shed_total(), c.shed_total());
+    EXPECT_EQ(a.deferred_total(), c.deferred_total());
+  }
+}
+
+TEST(Backpressure, ConfigValidationRejectsNonsense) {
+  CappedConfig config = pressured_config();
+  config.backpressure = BackpressureMode::kShed;
+  config.pool_limit = 0;  // a mode without a bound is meaningless
+  EXPECT_THROW(Capped(config, Engine(1)), ContractViolation);
+
+  CappedConfig defer = pressured_config();
+  defer.backpressure = BackpressureMode::kDeferRetry;
+  defer.backoff_rounds = 0;  // retries must wait at least one round
+  EXPECT_THROW(Capped(defer, Engine(1)), ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,358 @@
+// Crash-safe checkpoint/resume (format v2): kill-and-resume byte
+// identity with and without an attached fault plan, atomicity of the
+// writer, and rejection of corrupt / truncated / downlevel files with
+// messages naming the problem.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "core/capped.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/schedule.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace {
+
+using namespace iba;
+using core::Capped;
+using core::CappedConfig;
+using core::Engine;
+using core::RoundKernel;
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("iba_ckpt_resume_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+CappedConfig rich_config() {
+  // Exercise every persisted knob: bin-major kernel, sharding, and
+  // defer-retry backpressure.
+  CappedConfig config;
+  config.n = 256;
+  config.capacity = 3;
+  config.lambda_n = 240;
+  config.kernel = RoundKernel::kBinMajor;
+  config.shards = 2;
+  config.pool_limit = 200;
+  config.backpressure = core::BackpressureMode::kDeferRetry;
+  config.backoff_rounds = 3;
+  return config;
+}
+
+void expect_same_round(const core::RoundMetrics& a,
+                       const core::RoundMetrics& b, std::uint64_t round) {
+  ASSERT_EQ(a.round, b.round) << "round " << round;
+  ASSERT_EQ(a.generated, b.generated) << "round " << round;
+  ASSERT_EQ(a.thrown, b.thrown) << "round " << round;
+  ASSERT_EQ(a.accepted, b.accepted) << "round " << round;
+  ASSERT_EQ(a.deleted, b.deleted) << "round " << round;
+  ASSERT_EQ(a.pool_size, b.pool_size) << "round " << round;
+  ASSERT_EQ(a.total_load, b.total_load) << "round " << round;
+  ASSERT_EQ(a.max_load, b.max_load) << "round " << round;
+  ASSERT_EQ(a.shed, b.shed) << "round " << round;
+  ASSERT_EQ(a.deferred, b.deferred) << "round " << round;
+  ASSERT_EQ(a.requeued, b.requeued) << "round " << round;
+  ASSERT_EQ(a.faulted_bins, b.faulted_bins) << "round " << round;
+  ASSERT_EQ(a.wait_count, b.wait_count) << "round " << round;
+  ASSERT_DOUBLE_EQ(a.wait_sum, b.wait_sum) << "round " << round;
+  ASSERT_EQ(a.wait_max, b.wait_max) << "round " << round;
+}
+
+void expect_same_final_state(const Capped& a, const Capped& b) {
+  EXPECT_EQ(a.round(), b.round());
+  EXPECT_EQ(a.generated_total(), b.generated_total());
+  EXPECT_EQ(a.deleted_total(), b.deleted_total());
+  EXPECT_EQ(a.shed_total(), b.shed_total());
+  EXPECT_EQ(a.deferred_total(), b.deferred_total());
+  EXPECT_EQ(a.pool_size(), b.pool_size());
+  EXPECT_EQ(a.total_load(), b.total_load());
+  EXPECT_EQ(a.waits().count(), b.waits().count());
+  EXPECT_EQ(a.waits().moments().sum(), b.waits().moments().sum());
+  EXPECT_EQ(a.waits().moments().sumsq_hi(), b.waits().moments().sumsq_hi());
+  EXPECT_EQ(a.waits().moments().sumsq_lo(), b.waits().moments().sumsq_lo());
+  EXPECT_EQ(a.waits().histogram().counts(), b.waits().histogram().counts());
+  for (std::uint32_t bin = 0; bin < a.n(); ++bin) {
+    ASSERT_EQ(a.load(bin), b.load(bin)) << "bin " << bin;
+  }
+}
+
+TEST_F(CheckpointResumeTest, KillAndResumeIsByteIdentical) {
+  // Reference: 200 uninterrupted rounds.
+  Capped reference(rich_config(), Engine(42));
+  std::vector<core::RoundMetrics> expected;
+  for (int r = 0; r < 200; ++r) expected.push_back(reference.step());
+
+  // Killed run: stop at round 120, persist, reload, continue.
+  Capped first_life(rich_config(), Engine(42));
+  for (int r = 0; r < 120; ++r) (void)first_life.step();
+  const std::string file = path("ckpt");
+  sim::save_checkpoint(first_life.snapshot(), file);
+
+  Capped second_life(sim::load_checkpoint(file));
+  for (int r = 120; r < 200; ++r) {
+    const auto m = second_life.step();
+    expect_same_round(expected[static_cast<std::size_t>(r)], m,
+                      static_cast<std::uint64_t>(r + 1));
+  }
+  expect_same_final_state(reference, second_life);
+}
+
+TEST_F(CheckpointResumeTest, KillAndResumeWithFaultPlanIsByteIdentical) {
+  const char* schedule =
+      "crash@100:bins=0-63,down=30,retain;"
+      "random-crash:p=0.004,down=5-25;"
+      "degrade@110:bins=200-255,cap=1,for=60;"
+      "straggle:bins=100-119,period=4,phase=2";
+  const std::uint64_t fault_seed = 9;
+  const auto make_plan = [&] {
+    return fault::FaultPlan(fault::parse_schedule(schedule), 256, 3,
+                            fault_seed);
+  };
+
+  Capped reference(rich_config(), Engine(42));
+  fault::FaultPlan reference_plan = make_plan();
+  reference.set_fault_plan(&reference_plan);
+  std::vector<core::RoundMetrics> expected;
+  for (int r = 0; r < 250; ++r) expected.push_back(reference.step());
+
+  // Kill at round 130 — mid-outage, mid-degradation — and persist both
+  // the process snapshot and the plan's dynamic state.
+  Capped first_life(rich_config(), Engine(42));
+  fault::FaultPlan first_plan = make_plan();
+  first_life.set_fault_plan(&first_plan);
+  for (int r = 0; r < 130; ++r) (void)first_life.step();
+
+  sim::Checkpoint out;
+  out.snapshot = first_life.snapshot();
+  out.has_fault_state = true;
+  out.fault_schedule = fault::to_string(first_plan.schedule());
+  out.fault_seed = first_plan.seed();
+  out.fault_state = first_plan.state();
+  const std::string file = path("ckpt_fault");
+  sim::save_checkpoint(out, file);
+
+  const sim::Checkpoint in = sim::load_checkpoint_full(file);
+  ASSERT_TRUE(in.has_fault_state);
+  EXPECT_EQ(in.fault_seed, fault_seed);
+  Capped second_life(in.snapshot);
+  fault::FaultPlan second_plan(fault::parse_schedule(in.fault_schedule), 256,
+                               3, in.fault_seed);
+  second_plan.restore(in.fault_state);
+  second_life.set_fault_plan(&second_plan);
+
+  for (int r = 130; r < 250; ++r) {
+    const auto m = second_life.step();
+    expect_same_round(expected[static_cast<std::size_t>(r)], m,
+                      static_cast<std::uint64_t>(r + 1));
+  }
+  expect_same_final_state(reference, second_life);
+  EXPECT_EQ(second_plan.crashes_total(), reference_plan.crashes_total());
+  EXPECT_EQ(second_plan.repairs_total(), reference_plan.repairs_total());
+  EXPECT_EQ(second_plan.straggler_skips_total(),
+            reference_plan.straggler_skips_total());
+}
+
+TEST_F(CheckpointResumeTest, PlainLoaderRejectsFaultBearingFiles) {
+  Capped p(rich_config(), Engine(1));
+  fault::FaultPlan plan(fault::parse_schedule("crash@5:bins=0,down=2"), 256,
+                        3, 1);
+  p.set_fault_plan(&plan);
+  for (int r = 0; r < 10; ++r) (void)p.step();
+  sim::Checkpoint out;
+  out.snapshot = p.snapshot();
+  out.has_fault_state = true;
+  out.fault_schedule = fault::to_string(plan.schedule());
+  out.fault_seed = plan.seed();
+  out.fault_state = plan.state();
+  const std::string file = path("with_fault");
+  sim::save_checkpoint(out, file);
+  EXPECT_NO_THROW((void)sim::load_checkpoint_full(file));
+  try {
+    (void)sim::load_checkpoint(file);
+    FAIL() << "fault-bearing checkpoint accepted by the plain loader";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fault"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CheckpointResumeTest, SaveIsAtomicOverExistingFile) {
+  // A save over an existing checkpoint must never leave a torn file:
+  // the tmp staging file is gone and the content equals a fresh save.
+  Capped p(rich_config(), Engine(2));
+  for (int r = 0; r < 50; ++r) (void)p.step();
+  const std::string file = path("ckpt");
+  sim::save_checkpoint(p.snapshot(), file);
+  const auto size_before = std::filesystem::file_size(file);
+
+  for (int r = 0; r < 50; ++r) (void)p.step();
+  sim::save_checkpoint(p.snapshot(), file);
+  EXPECT_FALSE(std::filesystem::exists(file + ".tmp"))
+      << "staging file must not survive a successful save";
+  EXPECT_NO_THROW((void)sim::load_checkpoint(file));
+  EXPECT_NE(std::filesystem::file_size(file), 0u);
+  (void)size_before;
+
+  // A failed save (unwritable staging path) leaves the old file intact.
+  const std::string blocked = path("sub") + "/ckpt";
+  EXPECT_THROW(sim::save_checkpoint(p.snapshot(), blocked),
+               std::runtime_error);
+}
+
+std::string slurp(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void spit(const std::string& file, const std::string& content) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+TEST_F(CheckpointResumeTest, BitFlipsAreRejectedByCrc) {
+  Capped p(rich_config(), Engine(3));
+  for (int r = 0; r < 40; ++r) (void)p.step();
+  const std::string file = path("ckpt");
+  sim::save_checkpoint(p.snapshot(), file);
+  const std::string good = slurp(file);
+  ASSERT_FALSE(good.empty());
+
+  const std::size_t header_end = good.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  // Flip one bit at a spread of body offsets; every mutant must be
+  // rejected, none may be silently accepted.
+  for (const std::size_t offset :
+       {header_end + 1, header_end + 17, good.size() / 2, good.size() - 2}) {
+    std::string bad = good;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x08);
+    const std::string mutant = path("mutant");
+    spit(mutant, bad);
+    try {
+      (void)sim::load_checkpoint(mutant);
+      FAIL() << "accepted checkpoint with flipped bit at offset " << offset;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+          << "offset " << offset << ": " << e.what();
+    }
+  }
+}
+
+TEST_F(CheckpointResumeTest, TruncationIsRejected) {
+  Capped p(rich_config(), Engine(4));
+  for (int r = 0; r < 40; ++r) (void)p.step();
+  const std::string file = path("ckpt");
+  sim::save_checkpoint(p.snapshot(), file);
+  const std::string good = slurp(file);
+
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    const std::string cut = path("cut");
+    spit(cut, good.substr(0, static_cast<std::size_t>(
+                                 static_cast<double>(good.size()) * fraction)));
+    EXPECT_THROW((void)sim::load_checkpoint(cut), std::runtime_error)
+        << "fraction " << fraction;
+  }
+  spit(path("empty"), "");
+  EXPECT_THROW((void)sim::load_checkpoint(path("empty")), std::runtime_error);
+  EXPECT_THROW((void)sim::load_checkpoint(path("missing")),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointResumeTest, DownlevelAndForeignFilesAreNamed) {
+  const std::string v1 = path("v1");
+  spit(v1, "iba-checkpoint 1\nconfig 8 1 4\n");
+  try {
+    (void)sim::load_checkpoint(v1);
+    FAIL() << "v1 file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+
+  const std::string foreign = path("foreign");
+  spit(foreign, "not-a-checkpoint at all\n");
+  EXPECT_THROW((void)sim::load_checkpoint(foreign), std::runtime_error);
+}
+
+TEST_F(CheckpointResumeTest, MalformedFieldsAreNamed) {
+  // Rebuild a structurally valid file (header CRC/length recomputed)
+  // with one field driven out of domain: the loader's message must name
+  // the field rather than crash or accept it.
+  Capped p(rich_config(), Engine(5));
+  for (int r = 0; r < 30; ++r) (void)p.step();
+  const std::string file = path("ckpt");
+  sim::save_checkpoint(p.snapshot(), file);
+  const std::string good = slurp(file);
+  const std::size_t header_end = good.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string body = good.substr(header_end + 1);
+
+  // The config line is positional:
+  // config n capacity lambda_n arrival deletion acceptance prob
+  //        failure_mode kernel shards pool_limit backpressure backoff
+  struct Case {
+    std::size_t token;        // index into the config line (0 = "config")
+    const char* replacement;  // out-of-domain value
+    const char* expect;       // substring the error must carry
+  } const cases[] = {
+      {4, "7", "arrival"},
+      {9, "9", "kernel"},
+      {12, "5", "backpressure"},
+      {1, "0", "n"},
+  };
+  for (const Case& c : cases) {
+    const std::size_t line_end = body.find('\n');
+    ASSERT_NE(line_end, std::string::npos);
+    std::istringstream line(body.substr(0, line_end));
+    std::vector<std::string> tokens;
+    std::string token;
+    while (line >> token) tokens.push_back(token);
+    ASSERT_GT(tokens.size(), c.token);
+    tokens[c.token] = c.replacement;
+    std::string rebuilt_line;
+    for (const auto& t : tokens) {
+      if (!rebuilt_line.empty()) rebuilt_line += ' ';
+      rebuilt_line += t;
+    }
+    const std::string mutated = rebuilt_line + body.substr(line_end);
+    const std::uint32_t crc = common::crc32(mutated);
+    const std::string rebuilt = "iba-checkpoint 2 " + std::to_string(crc) +
+                                " " + std::to_string(mutated.size()) + "\n" +
+                                mutated;
+    const std::string mutant = path("mutant");
+    spit(mutant, rebuilt);
+    try {
+      (void)sim::load_checkpoint(mutant);
+      FAIL() << "accepted out-of-domain token " << c.token;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << "token " << c.token << " -> " << e.what();
+    }
+  }
+}
+
+}  // namespace

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/capped.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/schedule.hpp"
 #include "rng/bounded.hpp"
 #include "rng/xoshiro256.hpp"
 #include "telemetry/ball_trace.hpp"
@@ -186,6 +188,9 @@ void expect_metrics_eq(const RoundMetrics& a, const RoundMetrics& b,
   EXPECT_EQ(a.requeued, b.requeued) << variant << " round " << round;
   EXPECT_EQ(a.oldest_pool_age, b.oldest_pool_age)
       << variant << " round " << round;
+  EXPECT_EQ(a.shed, b.shed) << variant << " round " << round;
+  EXPECT_EQ(a.deferred, b.deferred) << variant << " round " << round;
+  EXPECT_EQ(a.faulted_bins, b.faulted_bins) << variant << " round " << round;
 }
 
 void expect_snapshot_eq(const CappedSnapshot& a, const CappedSnapshot& b,
@@ -200,6 +205,19 @@ void expect_snapshot_eq(const CappedSnapshot& a, const CappedSnapshot& b,
     EXPECT_EQ(a.pool[i].count, b.pool[i].count) << variant << " bucket " << i;
   }
   EXPECT_EQ(a.bin_queues, b.bin_queues) << variant;
+  EXPECT_EQ(a.shed_total, b.shed_total) << variant;
+  ASSERT_EQ(a.deferred.size(), b.deferred.size()) << variant;
+  for (std::size_t i = 0; i < a.deferred.size(); ++i) {
+    EXPECT_EQ(a.deferred[i].label, b.deferred[i].label) << variant;
+    EXPECT_EQ(a.deferred[i].count, b.deferred[i].count) << variant;
+    EXPECT_EQ(a.deferred[i].ready, b.deferred[i].ready) << variant;
+  }
+  EXPECT_EQ(a.waits.count, b.waits.count) << variant;
+  EXPECT_EQ(a.waits.sum, b.waits.sum) << variant;
+  EXPECT_EQ(a.waits.sumsq_hi, b.waits.sumsq_hi) << variant;
+  EXPECT_EQ(a.waits.sumsq_lo, b.waits.sumsq_lo) << variant;
+  EXPECT_EQ(a.waits.max, b.waits.max) << variant;
+  EXPECT_EQ(a.waits.histogram, b.waits.histogram) << variant;
 }
 
 constexpr std::uint64_t kRounds = 250;
@@ -315,6 +333,142 @@ TEST(KernelDifferential, ShardsBeyondBinsAreHarmless) {
     expect_metrics_eq(reference.metrics[r], wide.metrics[r], "wide", r);
   }
   expect_snapshot_eq(reference.snapshot, wide.snapshot, "wide");
+}
+
+// -- fault injection: every kernel variant must honor an identical
+// FaultPlan byte for byte, across every failure mode -----------------
+
+constexpr const char* kFaultSchedules[] = {
+    "crash@10:bins=0-15,down=8",
+    "crash@10:bins=0-15,down=3-30,retain",
+    "crash-fullest@20:k=9,down=5-15",
+    "degrade@5:bins=8-40,cap=1,for=60",
+    "straggle:bins=3+17-25,period=3,phase=1",
+    "random-crash:p=0.01,down=4-12",
+    "random-crash:p=0.01,down=6,retain,from=30,until=120",
+    "rolling@15:width=10,gap=12,count=5,down=10",
+    // everything at once: outages, degradation, stragglers, coins
+    "crash@10:bins=0-7,down=40;degrade@20:bins=30-60,cap=1,for=80;"
+    "straggle:bins=61-63,period=2;random-crash:p=0.005,down=3-9",
+};
+
+RunCapture run_with_faults(const CappedConfig& config, const char* schedule,
+                           std::uint64_t seed, std::uint64_t rounds) {
+  Capped process(config, Engine(seed));
+  iba::fault::FaultPlan plan(iba::fault::parse_schedule(schedule), config.n,
+                             config.capacity, seed + 7);
+  process.set_fault_plan(&plan);
+  RunCapture capture;
+  capture.metrics.reserve(rounds);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    capture.metrics.push_back(process.step());
+  }
+  capture.snapshot = process.snapshot();
+  capture.wait_count = process.waits().count();
+  capture.wait_mean = process.waits().mean();
+  capture.wait_stddev = process.waits().stddev();
+  capture.wait_max = process.waits().max();
+  capture.wait_q99 = process.waits().quantile_upper_bound(0.99);
+  return capture;
+}
+
+TEST(FaultDifferential, AllVariantsMatchScalarUnderEverySchedule) {
+  // Fault schedules cross every failure-mode scenario: the fault checks
+  // must precede the failure coins in every kernel, or streams diverge.
+  std::vector<Scenario> faulty;
+  faulty.push_back({"base", base_config()});
+  {
+    auto c = base_config();
+    c.failure_probability = 0.2;
+    faulty.push_back({"failures_skip", c});
+  }
+  {
+    auto c = base_config();
+    c.failure_probability = 0.2;
+    c.failure_mode = FailureMode::kCrashRequeue;
+    faulty.push_back({"failures_crash_requeue", c});
+  }
+  {
+    auto c = base_config();
+    c.deletion = DeletionDiscipline::kUniform;
+    faulty.push_back({"uniform_deletion", c});
+  }
+  for (const Scenario& scenario : faulty) {
+    for (const char* schedule : kFaultSchedules) {
+      SCOPED_TRACE(std::string(scenario.name) + " / " + schedule);
+      const RunCapture reference = run_with_faults(
+          with_kernel(scenario.config, RoundKernel::kScalar, 1), schedule,
+          kSeed, kRounds);
+      // Faults actually fire: at least one round reports faulted bins
+      // (degrade-only schedules report 0 — they never stop service).
+      for (std::size_t v = 1; v < std::size(kVariants); ++v) {
+        const Variant& variant = kVariants[v];
+        const RunCapture capture = run_with_faults(
+            with_kernel(scenario.config, variant.kernel, variant.shards),
+            schedule, kSeed, kRounds);
+        for (std::uint64_t r = 0; r < kRounds; ++r) {
+          expect_metrics_eq(reference.metrics[r], capture.metrics[r],
+                            variant.name, r);
+        }
+        expect_snapshot_eq(reference.snapshot, capture.snapshot,
+                           variant.name);
+        EXPECT_EQ(reference.wait_stddev, capture.wait_stddev) << variant.name;
+      }
+    }
+  }
+}
+
+TEST(FaultDifferential, EmptyPlanLeavesTrajectoryUntouched) {
+  // A plan whose events never fire must not perturb the allocation RNG:
+  // the trajectory equals a run with no plan attached at all.
+  const CappedConfig config = base_config();
+  const RunCapture bare =
+      run(config, kSeed, kRounds, /*trace=*/false);
+  const RunCapture planned = run_with_faults(
+      config, "crash@100000:bins=0-3,down=5", kSeed, kRounds);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    expect_metrics_eq(bare.metrics[r], planned.metrics[r], "empty_plan", r);
+  }
+  expect_snapshot_eq(bare.snapshot, planned.snapshot, "empty_plan");
+}
+
+TEST(FaultDifferential, KillAndResumeReproducesUninterruptedRun) {
+  // Snapshot process + plan state mid-outage, rebuild both, continue:
+  // byte-identical to the uninterrupted run — including on a different
+  // kernel and shard count.
+  const char* schedule =
+      "crash@100:bins=0-31,down=30-60;random-crash:p=0.01,down=10-20;"
+      "degrade@110:bins=40-50,cap=1,for=100";
+  const CappedConfig config =
+      with_kernel(base_config(), RoundKernel::kBinMajor, 2);
+
+  Capped uninterrupted(config, Engine(kSeed));
+  iba::fault::FaultPlan plan(iba::fault::parse_schedule(schedule), config.n,
+                             config.capacity, 99);
+  uninterrupted.set_fault_plan(&plan);
+  for (int r = 0; r < 120; ++r) (void)uninterrupted.step();  // mid-outage
+
+  CappedSnapshot snap = uninterrupted.snapshot();
+  const iba::fault::FaultPlan::State plan_state = plan.state();
+  EXPECT_GT(plan.down_bins(), 0u) << "checkpoint should be mid-outage";
+
+  snap.config.kernel = RoundKernel::kScalar;
+  snap.config.shards = 1;
+  Capped resumed(snap);
+  iba::fault::FaultPlan resumed_plan(iba::fault::parse_schedule(schedule),
+                                     config.n, config.capacity, 99);
+  resumed_plan.restore(plan_state);
+  resumed.set_fault_plan(&resumed_plan);
+
+  for (int r = 0; r < 150; ++r) {
+    const RoundMetrics a = uninterrupted.step();
+    const RoundMetrics b = resumed.step();
+    expect_metrics_eq(a, b, "fault_resume", a.round);
+  }
+  expect_snapshot_eq(uninterrupted.snapshot(), resumed.snapshot(),
+                     "fault_resume");
+  EXPECT_EQ(plan.crashes_total(), resumed_plan.crashes_total());
+  EXPECT_EQ(plan.repairs_total(), resumed_plan.repairs_total());
 }
 
 TEST(KernelDifferential, ConfigValidationRejectsShardedScalar) {
