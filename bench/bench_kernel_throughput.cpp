@@ -9,6 +9,7 @@
 //   ./bench_kernel_throughput --quick true    # CI smoke: n = 2^16
 //   ./bench_kernel_throughput --shards 4      # also time a sharded run
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -158,6 +159,11 @@ int main(int argc, char** argv) {
   parser.add_flag("quick",
                   "CI smoke mode: n = 65536, 50 burn-in, 30 timed rounds",
                   "false");
+  parser.add_flag("control",
+                  "none|static: also time each variant with the inert "
+                  "static control plane attached and report its overhead "
+                  "(budget: < 2%)",
+                  "none");
   parser.add_flag("json", "output path for machine-readable results",
                   "BENCH_kernel.json");
   if (!parser.parse_or_exit(argc, argv)) return 2;
@@ -172,6 +178,13 @@ int main(int argc, char** argv) {
   const std::uint32_t shards =
       static_cast<std::uint32_t>(parser.get_uint("shards"));
   const bool quick = parser.get_bool("quick");
+  const std::string control_mode = parser.get("control");
+  if (control_mode != "none" && control_mode != "static") {
+    iba::io::fail_usage("bench_kernel_throughput: --control must be "
+                        "'none' or 'static' (got '" +
+                        control_mode + "')");
+  }
+  const bool control_static = control_mode == "static";
   const std::string json_path = parser.get("json");
   if (quick) {
     if (!parser.provided("n")) n = 1u << 16;
@@ -199,6 +212,45 @@ int main(int argc, char** argv) {
         seed, burn_in, rounds));
   }
 
+  // Inert-control overhead: the same variants with --control static
+  // attached run their estimators every round but never change anything,
+  // so the trajectory is identical and the delta is the control plane's
+  // full fixed cost. Budget (docs/CONTROL.md): < 2%.
+  std::vector<Measurement> control_results;
+  std::vector<double> control_overhead_pct;
+  if (control_static) {
+    // Scheduler jitter swings a single sample by several percent — far
+    // more than the effect being measured — so base and controlled runs
+    // are interleaved and the minimum over a few repetitions is compared.
+    const int reps = quick ? 2 : 3;
+    for (const Measurement& variant : results) {
+      const CappedConfig base_config =
+          make_config(n, capacity, lambda_n, variant.kernel, variant.shards);
+      CappedConfig control_config = base_config;
+      control_config.control.policy = iba::control::Policy::kStatic;
+      control_config.control.c_max = std::max(capacity, 16u);
+      Measurement best_base;
+      Measurement best_control;
+      for (int rep = 0; rep < reps; ++rep) {
+        const Measurement base_sample =
+            time_variant(base_config, seed, burn_in, rounds);
+        const Measurement control_sample =
+            time_variant(control_config, seed, burn_in, rounds);
+        if (rep == 0 || base_sample.seconds < best_base.seconds) {
+          best_base = base_sample;
+        }
+        if (rep == 0 || control_sample.seconds < best_control.seconds) {
+          best_control = control_sample;
+        }
+      }
+      control_results.push_back(best_control);
+      control_overhead_pct.push_back(
+          best_base.seconds > 0.0
+              ? (best_control.seconds / best_base.seconds - 1.0) * 100.0
+              : 0.0);
+    }
+  }
+
   const double speedup = results[0].seconds > 0.0 && results[1].seconds > 0.0
                              ? results[1].balls_per_sec() /
                                    results[0].balls_per_sec()
@@ -216,6 +268,13 @@ int main(int argc, char** argv) {
         m.accept_ns_per_ball, m.delete_ns_per_ball);
   }
   std::printf("  bin-major vs scalar speedup: %.2fx\n", speedup);
+  for (std::size_t i = 0; i < control_results.size(); ++i) {
+    std::printf("  +static control  %-9s shards=%u  %9.3f s  %+6.2f%%\n",
+                std::string(iba::core::to_string(control_results[i].kernel))
+                    .c_str(),
+                control_results[i].shards, control_results[i].seconds,
+                control_overhead_pct[i]);
+  }
 
   std::ofstream out(json_path, std::ios::trunc);
   if (!out) {
@@ -250,6 +309,19 @@ int main(int argc, char** argv) {
   }
   json.end_array();
   json.key("speedup_bin_major_vs_scalar").value(speedup);
+  if (control_static) {
+    json.key("control_overhead").begin_array();
+    for (std::size_t i = 0; i < control_results.size(); ++i) {
+      json.begin_object();
+      json.key("kernel").value(iba::core::to_string(control_results[i].kernel));
+      json.key("shards")
+          .value(static_cast<std::uint64_t>(control_results[i].shards));
+      json.key("seconds").value(control_results[i].seconds);
+      json.key("overhead_pct").value(control_overhead_pct[i]);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
   out << "\n";
   iba::telemetry::log_info("bench_json_written", {{"path", json_path}});

@@ -66,6 +66,12 @@ struct FarmReport {
   std::uint64_t wait_max;
   double peak_backlog;
   double utilization;
+  // Populated only by an adaptive run (--adaptive).
+  std::uint32_t final_capacity = 0;
+  std::uint64_t capacity_changes = 0;
+  std::uint64_t grows = 0;
+  std::uint64_t shrinks = 0;
+  double lambda_hat = 0.0;
 };
 
 /// Tails a RoundTrace from its own thread: folds every event into the
@@ -146,13 +152,15 @@ struct FarmOptions {
 FarmReport run_farm(const FarmOptions& options, std::uint32_t capacity,
                     iba::telemetry::SharedRegistry& registry,
                     std::ostream* snapshot_out, bool live,
-                    iba::telemetry::SpanRing* span_ring) {
+                    iba::telemetry::SpanRing* span_ring,
+                    iba::control::ControlConfig control = {}) {
   using namespace iba;
   const std::uint32_t n = options.n;
   core::CappedConfig config;
   config.n = n;
   config.capacity = capacity;
   config.lambda_n = diurnal_lambda_n(n, 0);
+  config.control = control;
   core::Capped farm(config, core::Engine(options.seed));
 
   // Lifecycle tracing: a deterministic sample of requests feeds /spans.
@@ -211,12 +219,21 @@ FarmReport run_farm(const FarmOptions& options, std::uint32_t capacity,
   }
   exporter.reset();  // drain and write the final snapshot
 
-  return {capacity,
-          farm.waits().mean(),
-          static_cast<double>(farm.waits().quantile_upper_bound(0.99)),
-          farm.waits().max(),
-          peak_backlog,
-          static_cast<double>(served) / (static_cast<double>(horizon) * n)};
+  FarmReport report{
+      capacity,
+      farm.waits().mean(),
+      static_cast<double>(farm.waits().quantile_upper_bound(0.99)),
+      farm.waits().max(),
+      peak_backlog,
+      static_cast<double>(served) / (static_cast<double>(horizon) * n)};
+  if (const auto* controller = farm.controller(); controller != nullptr) {
+    report.final_capacity = farm.capacity();
+    report.capacity_changes = controller->changes_total();
+    report.grows = controller->grows_total();
+    report.shrinks = controller->shrinks_total();
+    report.lambda_hat = controller->estimator().lambda_ewma();
+  }
+  return report;
 }
 
 }  // namespace
@@ -244,7 +261,17 @@ int main(int argc, char** argv) {
                   "sleep this many microseconds per round (gives scrapers "
                   "time on small farms)",
                   "0");
+  parser.add_flag("adaptive",
+                  "also run a farm that retunes its buffer size live "
+                  "(none|static|sweet-spot|aimd)",
+                  "none");
   if (!parser.parse_or_exit(argc, argv)) return 0;
+  control::Policy adaptive_policy = control::Policy::kNone;
+  if (!control::policy_from_string(parser.get("adaptive"), adaptive_policy)) {
+    io::fail_usage("server_farm: --adaptive must be one of "
+                   "none|static|sweet-spot|aimd (got '" +
+                   parser.get("adaptive") + "')");
+  }
   FarmOptions options;
   options.n = static_cast<std::uint32_t>(parser.get_uint("n"));
   options.days = parser.get_uint("days");
@@ -305,6 +332,36 @@ int main(int argc, char** argv) {
                    io::Table::format_number(report.utilization)});
   }
   table.print();
+
+  if (adaptive_policy != control::Policy::kNone) {
+    // The adaptive farm starts at the worst fixed configuration (c = 1)
+    // and must find its own way to the sweet spot while the diurnal load
+    // swings underneath it. Window/cooldown are sized to the quarter-day
+    // so the controller tracks the cycle instead of chasing noise.
+    control::ControlConfig control;
+    control.policy = adaptive_policy;
+    control.c_max = 16;
+    control.window = 256;
+    control.cooldown = kRoundsPerDay / 16;
+    const auto report = run_farm(
+        options, 1, registry,
+        telemetry_file.is_open() ? &telemetry_file : nullptr, live,
+        &span_ring, control);
+    std::printf("\nadaptive farm (--adaptive %s): started at c = 1, "
+                "finished at c = %u after %llu change(s) "
+                "(%llu up, %llu down), lambda_hat = %.3f\n",
+                std::string(control::to_string(adaptive_policy)).c_str(),
+                report.final_capacity,
+                static_cast<unsigned long long>(report.capacity_changes),
+                static_cast<unsigned long long>(report.grows),
+                static_cast<unsigned long long>(report.shrinks),
+                report.lambda_hat);
+    std::printf("  latency avg %.3f, p99<= %.0f, max %llu, "
+                "peak backlog/server %.3f, utilization %.3f\n",
+                report.wait_avg, report.wait_p99,
+                static_cast<unsigned long long>(report.wait_max),
+                report.peak_backlog, report.utilization);
+  }
 
   if (server.has_value()) server->stop();
 

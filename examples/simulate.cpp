@@ -63,6 +63,27 @@ std::uint32_t parse_capacity(const io::ArgParser& parser) {
   return static_cast<std::uint32_t>(parser.get_uint_range("c", 1, 65535));
 }
 
+/// The --control* flag family, range-validated (bad values exit 2).
+control::ControlConfig parse_control(const io::ArgParser& parser) {
+  control::ControlConfig ctrl;
+  const std::string name = parser.get("control");
+  if (!control::policy_from_string(name, ctrl.policy)) {
+    throw io::UsageError(
+        "simulate: --control expects none, static, sweet-spot or aimd, "
+        "got '" + name + "'");
+  }
+  ctrl.c_max =
+      static_cast<std::uint32_t>(parser.get_uint_range("c-max", 1, 65535));
+  ctrl.window = static_cast<std::uint32_t>(
+      parser.get_uint_range("control-window", 1, 1u << 16));
+  ctrl.cooldown = static_cast<std::uint32_t>(
+      parser.get_uint_range("cooldown", 1, 1u << 20));
+  ctrl.hysteresis =
+      parser.get_double_range("control-hysteresis", 0.0, 1.0, false, false);
+  ctrl.admission_target = parser.get_uint("admission-target");
+  return ctrl;
+}
+
 template <core::AllocationProcess P>
 sim::RunResult run_with_trace(P& process, const sim::RunSpec& spec,
                               const std::string& trace_path) {
@@ -189,6 +210,29 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
   }
   config.backoff_rounds = static_cast<std::uint32_t>(
       parser.get_uint_range("backoff", 1, 1u << 20));
+  config.control = parse_control(parser);
+  if (config.control.enabled()) {
+    if (config.capacity == core::Capped::kInfiniteCapacity) {
+      throw io::UsageError(
+          "simulate: --control requires a finite --c (not inf)");
+    }
+    if (config.capacity > config.control.c_max) {
+      throw io::UsageError("simulate: --c " +
+                           std::to_string(config.capacity) +
+                           " exceeds --c-max " +
+                           std::to_string(config.control.c_max));
+    }
+    if (config.control.admission_target > 0 &&
+        config.backpressure == core::BackpressureMode::kNone) {
+      throw io::UsageError(
+          "simulate: --admission-target requires --backpressure shed or "
+          "defer (and --pool-limit)");
+    }
+  } else if (parser.get_uint("admission-target") > 0) {
+    throw io::UsageError(
+        "simulate: --admission-target requires --control (static, "
+        "sweet-spot or aimd)");
+  }
 
   const std::string fault_text = parser.get("faults");
   const std::uint64_t fault_seed = parser.get_uint("fault-seed");
@@ -209,13 +253,30 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
   if (!resume_path.empty()) {
     resumed = true;
     sim::Checkpoint ckpt = sim::load_checkpoint_full(resume_path);
+    // The checkpoint's control configuration is authoritative (it is
+    // part of the resumed trajectory); a conflicting --control on the
+    // command line is a hard usage error, not a silent override.
+    if (parser.provided("control") &&
+        config.control.policy != ckpt.snapshot.config.control.policy) {
+      throw io::UsageError(
+          "simulate: --control '" +
+          std::string(control::to_string(config.control.policy)) +
+          "' disagrees with checkpoint field control.policy = '" +
+          std::string(
+              control::to_string(ckpt.snapshot.config.control.policy)) +
+          "' (resume keeps the saved policy; drop --control or re-run "
+          "fresh)");
+    }
     process = std::make_unique<core::Capped>(ckpt.snapshot);
     if (ckpt.has_fault_state) {
       // The checkpoint's schedule is authoritative: the plan resumes the
-      // recorded fault trajectory, not a fresh one.
+      // recorded fault trajectory, not a fresh one. Under adaptive
+      // control the plan validates against c_max (the capacity ceiling)
+      // — the saved capacity may be mid-shrink.
+      const auto& rc = ckpt.snapshot.config;
       plan = std::make_unique<fault::FaultPlan>(
-          fault::parse_schedule(ckpt.fault_schedule),
-          ckpt.snapshot.config.n, ckpt.snapshot.config.capacity,
+          fault::parse_schedule(ckpt.fault_schedule), rc.n,
+          rc.control.enabled() ? rc.control.c_max : rc.capacity,
           ckpt.fault_seed);
       plan->restore(ckpt.fault_state);
     }
@@ -228,7 +289,8 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
     process = std::make_unique<core::Capped>(config, core::Engine(seed));
     if (!fault_text.empty()) {
       plan = std::make_unique<fault::FaultPlan>(
-          fault::parse_schedule(fault_text), config.n, config.capacity,
+          fault::parse_schedule(fault_text), config.n,
+          config.control.enabled() ? config.control.c_max : config.capacity,
           fault_seed);
     }
   }
@@ -303,6 +365,28 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
          parser.get_bool("json"));
   (void)n;
   (void)lambda;
+  if (process->controller() != nullptr) {
+    const control::Controller* ctl = process->controller();
+    std::fprintf(
+        stderr,
+        "[control] policy=%s capacity_now=%u lambda_hat=%.4f changes=%llu "
+        "grows=%llu shrinks=%llu\n",
+        std::string(control::to_string(ctl->config().policy)).c_str(),
+        process->capacity(), ctl->estimator().lambda_ewma(),
+        static_cast<unsigned long long>(ctl->changes_total()),
+        static_cast<unsigned long long>(ctl->grows_total()),
+        static_cast<unsigned long long>(ctl->shrinks_total()));
+    for (const auto& d : ctl->decisions()) {
+      std::fprintf(stderr,
+                   "[control] round %llu: c %u -> %u, pool_limit %llu -> "
+                   "%llu (lambda_hat=%.4f wait=%.2f)\n",
+                   static_cast<unsigned long long>(d.round), d.old_capacity,
+                   d.new_capacity,
+                   static_cast<unsigned long long>(d.old_pool_limit),
+                   static_cast<unsigned long long>(d.new_pool_limit),
+                   d.lambda_hat, d.mean_wait);
+    }
+  }
   if (plan != nullptr) {
     std::fprintf(stderr,
                  "[faults] crashes=%llu repairs=%llu straggler_skips=%llu "
@@ -365,6 +449,20 @@ int main(int argc, char** argv) {
   parser.add_flag("backpressure", "none | shed | defer (capped only)",
                   "none");
   parser.add_flag("backoff", "defer-retry backoff, rounds", "4");
+  parser.add_flag("control",
+                  "adaptive capacity policy: none | static | sweet-spot | "
+                  "aimd (capped only)",
+                  "none");
+  parser.add_flag("c-max", "controller capacity ceiling, 1..65535", "16");
+  parser.add_flag("control-window", "estimator window, rounds", "64");
+  parser.add_flag("cooldown",
+                  "min rounds between applied control changes", "128");
+  parser.add_flag("control-hysteresis",
+                  "policy dead band in [0, 1]", "0.1");
+  parser.add_flag("admission-target",
+                  "AIMD the pool limit toward this p95 wait bound "
+                  "(0 = off; requires backpressure)",
+                  "0");
   parser.add_flag("faults",
                   "fault schedule, e.g. 'crash@50:bins=0-63,down=20;"
                   "random-crash:p=0.001,down=5-40' (capped only)",

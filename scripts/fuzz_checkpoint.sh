@@ -89,6 +89,99 @@ try "length-lying header" "$work/liar"
 { cat "$ckpt"; printf 'trailing garbage'; } > "$work/appended"
 try "appended trailing bytes" "$work/appended"
 
+# v3 control-plane corruptions. Flipping body bytes alone is caught by
+# the CRC before the parser ever sees the field, so these cases rewrite
+# the header with a freshly computed CRC-32 (same IEEE polynomial as
+# zlib) — the mutation must then be rejected by the *named-field*
+# validation layer, not the checksum.
+mutate() {
+  python3 - "$1" "$2" "$3" <<'PY'
+import sys, zlib
+
+mode, src, dst = sys.argv[1:4]
+data = open(src, 'rb').read()
+body = data[data.index(b'\n') + 1:]
+version = 3
+
+if mode == 'truncate-estimator':
+    # Cut the body off 20 bytes into the estimator ring dump.
+    at = body.index(b'control-estimator')
+    body = body[:body.index(b'\n', at) + 20]
+elif mode == 'policy-oob':
+    # Config token 14 is the control policy enum; 9 is out of range.
+    lines = body.split(b'\n')
+    for i, line in enumerate(lines):
+        if line.startswith(b'config '):
+            toks = line.split()
+            assert len(toks) == 20, toks
+            toks[14] = b'9'
+            lines[i] = b' '.join(toks)
+            break
+    body = b'\n'.join(lines)
+elif mode == 'cooldown-flip':
+    # Flip bit 40 of cooldown_until: the loader bounds it by
+    # round + cooldown, so the inflated value must be rejected.
+    at = body.index(b'control-controller')
+    eol = body.index(b'\n', at)
+    toks = body[at:eol].split()
+    toks[1] = str(int(toks[1]) ^ (1 << 40)).encode()
+    body = body[:at] + b' '.join(toks) + body[eol:]
+elif mode == 'to-v2':
+    # Downlevel a control-free v3 body to format v2: drop the six
+    # control config tokens and the 'control 0' section flag.
+    out = []
+    for line in body.split(b'\n'):
+        if line.startswith(b'config '):
+            toks = line.split()
+            assert len(toks) == 20, toks
+            line = b' '.join(toks[:14])
+        if line == b'control 0':
+            continue
+        out.append(line)
+    body = b'\n'.join(out)
+    version = 2
+else:
+    sys.exit('unknown mutate mode: ' + mode)
+
+header = b'iba-checkpoint %d %d %d\n' % (
+    version, zlib.crc32(body) & 0xFFFFFFFF, len(body))
+open(dst, 'wb').write(header + body)
+PY
+}
+
+echo "==> v3 control-plane field corruptions (CRC recomputed)"
+cckpt="$work/control.ckpt"
+# λ = 1 − 2⁻⁵ from c = 1 so the controller actually applies a change
+# before the save: counters, cooldown and policy memory are non-trivial.
+"$simulate" --n 512 --lambda 0.96875 --c 1 --rounds 80 --seed 7 \
+  --control sweet-spot --c-max 8 --control-window 16 --cooldown 8 \
+  --checkpoint-out "$cckpt" --checkpoint-every 40 >/dev/null
+[ -s "$cckpt" ] || { echo "FAIL: no control checkpoint written" >&2; exit 1; }
+if ! "$simulate" --resume "$cckpt" --rounds 20 >/dev/null 2>&1; then
+  echo "FAIL: pristine control checkpoint rejected" >&2
+  exit 1
+fi
+echo "    pristine control checkpoint resumes: ok"
+
+mutate truncate-estimator "$cckpt" "$work/est_trunc"
+try "truncated estimator block (valid CRC)" "$work/est_trunc"
+mutate policy-oob "$cckpt" "$work/policy_oob"
+try "control policy id out of range (valid CRC)" "$work/policy_oob"
+mutate cooldown-flip "$cckpt" "$work/cooldown_flip"
+try "cooldown_until bit flip (valid CRC)" "$work/cooldown_flip"
+
+echo "==> v2 downlevel load"
+# The loader keeps kMinVersion = 2: a control-free body downleveled to
+# the v2 layout must still load and resume (exit 0), with control off.
+mutate to-v2 "$ckpt" "$work/downlevel_v2"
+cases=$((cases + 1))
+if ! "$simulate" --resume "$work/downlevel_v2" --rounds 20 >/dev/null 2>&1; then
+  echo "FAIL: v2 downlevel checkpoint rejected" >&2
+  fails=$((fails + 1))
+else
+  echo "    v2 downlevel checkpoint resumes: ok"
+fi
+
 echo "==> $cases corrupt variants tested, $fails misbehaved"
 if [ "$fails" -ne 0 ]; then
   exit 1

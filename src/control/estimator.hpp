@@ -1,0 +1,231 @@
+// OnlineEstimator — the sensing half of the adaptive control plane
+// (docs/CONTROL.md). Fed one RoundMetrics per round, it maintains, in
+// O(1) time and zero allocations per observation:
+//
+//   * λ̂ (windowed):   generated balls over the last W rounds / (W·n) —
+//                      exact integer sums, so every kernel computes the
+//                      same value bit for bit;
+//   * λ̂ (EWMA):       exponentially weighted per-round arrival rate with
+//                      α = 2/(W+1) — smoother, reacts to ramps sooner;
+//   * pool trend:      (newest − oldest pool size)/W over the window —
+//                      the backlog-growth signal the AIMD policy keys on;
+//   * wait mean:       windowed mean waiting time from exact integer
+//                      Σ wait_sum / Σ wait_count;
+//   * wait quantiles:  a dyadic (log2-bucketed) histogram of the
+//                      window's per-round mean waits, giving an upper
+//                      bound within 2× on any quantile in O(64).
+//
+// Everything is deterministic: the estimator never touches an RNG, and
+// its state is a pure function of the observed metrics stream — which is
+// itself byte-identical across the scalar / fused / sharded kernels —
+// so control decisions derived from it are too. state()/restore()
+// round-trip the full ring contents for checkpoint format v3; derived
+// sums and histogram counts are recomputed on restore rather than
+// stored, so a corrupted checkpoint cannot desynchronize them.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/metrics.hpp"
+
+namespace iba::control {
+
+/// Serializable estimator state: the raw per-round rings plus cursors
+/// and the EWMA accumulator (stored as the double's bit pattern so a
+/// resumed run continues bit-for-bit). All derived aggregates are
+/// recomputed from the rings on restore.
+struct EstimatorState {
+  std::uint64_t head = 0;    ///< next ring slot to write
+  std::uint64_t filled = 0;  ///< occupied ring slots (≤ window)
+  std::uint64_t rounds = 0;  ///< rounds observed in total
+  std::uint64_t ewma_bits = 0;
+  std::vector<std::uint64_t> generated;   ///< per-round arrivals
+  std::vector<std::uint64_t> pool;        ///< per-round end pool size
+  std::vector<std::uint64_t> wait_sum;    ///< per-round Σ wait
+  std::vector<std::uint64_t> wait_count;  ///< per-round deletions
+  bool operator==(const EstimatorState&) const = default;
+};
+
+class OnlineEstimator {
+ public:
+  OnlineEstimator(std::uint32_t n, std::uint32_t window)
+      : n_(n), window_(window) {
+    IBA_EXPECT(n > 0, "OnlineEstimator: n must be positive");
+    IBA_EXPECT(window >= 1, "OnlineEstimator: window must be at least 1");
+    gen_.assign(window, 0);
+    pool_.assign(window, 0);
+    wsum_.assign(window, 0);
+    wcnt_.assign(window, 0);
+    bucket_counts_.fill(0);
+  }
+
+  /// Ingests one completed round. O(1), allocation-free.
+  void observe(const core::RoundMetrics& m) noexcept {
+    // Per-round wait sums are integers carried in a double (exact below
+    // 2^53 — see core/capped.cpp); recover the integer for exact sums.
+    const auto wsum = static_cast<std::uint64_t>(m.wait_sum);
+    if (filled_ == window_) {
+      // Evict the oldest sample; its dyadic bucket is recomputed from
+      // the ring (deterministic integer division), not stored.
+      gen_sum_ -= gen_[head_];
+      wait_sum_ -= wsum_[head_];
+      wait_count_ -= wcnt_[head_];
+      --bucket_counts_[mean_wait_bucket(wsum_[head_], wcnt_[head_])];
+    } else {
+      ++filled_;
+    }
+    gen_[head_] = m.generated;
+    pool_[head_] = m.pool_size;
+    wsum_[head_] = wsum;
+    wcnt_[head_] = m.wait_count;
+    gen_sum_ += m.generated;
+    wait_sum_ += wsum;
+    wait_count_ += m.wait_count;
+    ++bucket_counts_[mean_wait_bucket(wsum, m.wait_count)];
+    head_ = head_ + 1 == window_ ? 0 : head_ + 1;
+
+    const double rate =
+        static_cast<double>(m.generated) / static_cast<double>(n_);
+    ewma_ = rounds_ == 0 ? rate : ewma_ + alpha() * (rate - ewma_);
+    ++rounds_;
+  }
+
+  /// True once a full window has been observed (policies hold off until
+  /// then — deciding from a half-filled window amplifies startup noise).
+  [[nodiscard]] bool warm() const noexcept { return filled_ == window_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint32_t window() const noexcept { return window_; }
+
+  /// Windowed arrival-rate estimate in [0, 1].
+  [[nodiscard]] double lambda_window() const noexcept {
+    if (filled_ == 0) return 0.0;
+    return static_cast<double>(gen_sum_) /
+           (static_cast<double>(filled_) * static_cast<double>(n_));
+  }
+
+  /// EWMA arrival-rate estimate, α = 2/(window+1).
+  [[nodiscard]] double lambda_ewma() const noexcept { return ewma_; }
+
+  /// Pool-size drift per round over the window: positive when the
+  /// backlog is growing. 0 until two samples exist.
+  [[nodiscard]] double pool_trend() const noexcept {
+    if (filled_ < 2) return 0.0;
+    const std::uint64_t newest_idx =
+        head_ == 0 ? window_ - 1 : head_ - 1;
+    const std::uint64_t oldest_idx = filled_ == window_ ? head_ : 0;
+    const double newest = static_cast<double>(pool_[newest_idx]);
+    const double oldest = static_cast<double>(pool_[oldest_idx]);
+    return (newest - oldest) / static_cast<double>(filled_ - 1);
+  }
+
+  /// Windowed mean waiting time (0 when nothing was deleted).
+  [[nodiscard]] double mean_wait() const noexcept {
+    if (wait_count_ == 0) return 0.0;
+    return static_cast<double>(wait_sum_) / static_cast<double>(wait_count_);
+  }
+
+  /// Upper bound (within 2×) on the q-quantile of the window's
+  /// per-round mean waits, from the dyadic bucket counts.
+  [[nodiscard]] std::uint64_t wait_quantile_upper(double q) const noexcept {
+    if (filled_ == 0) return 0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(filled_)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < bucket_counts_.size(); ++b) {
+      seen += bucket_counts_[b];
+      if (seen >= rank) {
+        return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+      }
+    }
+    return ~std::uint64_t{0};
+  }
+
+  [[nodiscard]] EstimatorState state() const {
+    EstimatorState s;
+    s.head = head_;
+    s.filled = filled_;
+    s.rounds = rounds_;
+    s.ewma_bits = bit_cast_to_u64(ewma_);
+    s.generated = gen_;
+    s.pool = pool_;
+    s.wait_sum = wsum_;
+    s.wait_count = wcnt_;
+    return s;
+  }
+
+  /// Restores ring contents and recomputes every derived aggregate.
+  /// Throws (via IBA_EXPECT) when the state does not fit this window.
+  void restore(const EstimatorState& s) {
+    IBA_EXPECT(s.generated.size() == window_ && s.pool.size() == window_ &&
+                   s.wait_sum.size() == window_ &&
+                   s.wait_count.size() == window_,
+               "OnlineEstimator: state window mismatch");
+    IBA_EXPECT(s.head < window_ && s.filled <= window_ && s.filled <= s.rounds,
+               "OnlineEstimator: state cursors out of range");
+    head_ = s.head;
+    filled_ = s.filled;
+    rounds_ = s.rounds;
+    ewma_ = bit_cast_to_double(s.ewma_bits);
+    gen_ = s.generated;
+    pool_ = s.pool;
+    wsum_ = s.wait_sum;
+    wcnt_ = s.wait_count;
+    gen_sum_ = 0;
+    wait_sum_ = 0;
+    wait_count_ = 0;
+    bucket_counts_.fill(0);
+    for (std::uint64_t i = 0; i < filled_; ++i) {
+      // Occupied slots: the filled_ entries ending just before head_.
+      const std::uint64_t idx = (head_ + window_ - 1 - i) % window_;
+      gen_sum_ += gen_[idx];
+      wait_sum_ += wsum_[idx];
+      wait_count_ += wcnt_[idx];
+      ++bucket_counts_[mean_wait_bucket(wsum_[idx], wcnt_[idx])];
+    }
+  }
+
+ private:
+  [[nodiscard]] double alpha() const noexcept {
+    return 2.0 / (static_cast<double>(window_) + 1.0);
+  }
+
+  /// Dyadic bucket of a round's mean wait: bucket b covers waits in
+  /// [2^(b−1), 2^b − 1], bucket 0 is wait 0 (same layout as
+  /// stats::Log2Histogram).
+  [[nodiscard]] static std::uint64_t mean_wait_bucket(
+      std::uint64_t wsum, std::uint64_t wcnt) noexcept {
+    const std::uint64_t mean = wcnt == 0 ? 0 : wsum / wcnt;
+    return mean == 0
+               ? 0
+               : static_cast<std::uint64_t>(64 - std::countl_zero(mean));
+  }
+
+  [[nodiscard]] static std::uint64_t bit_cast_to_u64(double v) noexcept {
+    return std::bit_cast<std::uint64_t>(v);
+  }
+  [[nodiscard]] static double bit_cast_to_double(std::uint64_t bits) noexcept {
+    return std::bit_cast<double>(bits);
+  }
+
+  std::uint32_t n_;
+  std::uint32_t window_;
+  std::uint64_t head_ = 0;
+  std::uint64_t filled_ = 0;
+  std::uint64_t rounds_ = 0;
+  double ewma_ = 0.0;
+  std::uint64_t gen_sum_ = 0;
+  std::uint64_t wait_sum_ = 0;
+  std::uint64_t wait_count_ = 0;
+  std::array<std::uint64_t, 65> bucket_counts_{};
+  std::vector<std::uint64_t> gen_;
+  std::vector<std::uint64_t> pool_;
+  std::vector<std::uint64_t> wsum_;
+  std::vector<std::uint64_t> wcnt_;
+};
+
+}  // namespace iba::control

@@ -1,0 +1,105 @@
+#include "control/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iba::control {
+
+namespace {
+
+[[nodiscard]] std::uint32_t clamp_capacity(double raw,
+                                           std::uint32_t c_max) noexcept {
+  const double rounded = std::round(std::max(1.0, raw));
+  if (rounded >= static_cast<double>(c_max)) return c_max;
+  return static_cast<std::uint32_t>(rounded);
+}
+
+/// √(ln(1/(1−λ̂))) with λ̂ clamped into [0, 1): the estimate can touch
+/// 1.0 exactly under a burst (every bin receives a ball every round),
+/// where the un-clamped form is +∞.
+[[nodiscard]] double sweet_spot_raw(double lambda_hat) noexcept {
+  const double lam = std::clamp(lambda_hat, 0.0, 1.0 - 1e-12);
+  return std::sqrt(std::log(1.0 / (1.0 - lam)));
+}
+
+[[nodiscard]] std::uint32_t decide_sweet_spot(const OnlineEstimator& est,
+                                              const DecisionInput& in) noexcept {
+  const double raw = sweet_spot_raw(est.lambda_ewma());
+  // Dead band: when the continuous sweet spot sits within (0.5 +
+  // hysteresis) of the current integer capacity, rounding jitter is the
+  // only thing a change would chase — keep c.
+  if (std::abs(raw - static_cast<double>(in.current_capacity)) <=
+      0.5 + in.hysteresis) {
+    return in.current_capacity;
+  }
+  return clamp_capacity(raw, in.c_max);
+}
+
+[[nodiscard]] std::uint32_t step(std::uint32_t c, std::int32_t dir) noexcept {
+  if (dir > 0) return c + 1;
+  return c > 1 ? c - 1 : 1;
+}
+
+[[nodiscard]] std::uint32_t decide_aimd(const OnlineEstimator& est,
+                                        const DecisionInput& in,
+                                        PolicyState& st) noexcept {
+  const double wait = est.mean_wait();
+  const double prev = std::bit_cast<double>(st.prev_wait_bits);
+  const double best = std::bit_cast<double>(st.best_wait_bits);
+  const double trend = est.pool_trend();
+
+  std::uint32_t target = in.current_capacity;
+  if (trend > 0.01 * static_cast<double>(in.n)) {
+    // Backlog growing: the system is under-provisioned regardless of
+    // what the wait says — additive increase.
+    target = in.current_capacity + 1;
+    st.direction = 1;
+  } else if (st.has_best != 0 && wait > 4.0 * best && trend <= 0.0) {
+    // Wait blown far past the best seen with a stable pool: the buffers
+    // themselves are the delay (FIFO queueing grows with c) —
+    // multiplicative decrease.
+    target = std::max(1u, in.current_capacity / 2);
+    st.direction = -1;
+  } else if (st.has_prev != 0) {
+    if (wait > prev * (1.0 + in.hysteresis)) {
+      // Last probe made things worse: reverse and step back.
+      st.direction = -st.direction;
+      target = step(in.current_capacity, st.direction);
+    } else if (wait < prev * (1.0 - in.hysteresis)) {
+      // Last probe helped: keep walking the same way.
+      target = step(in.current_capacity, st.direction);
+    }
+    // Within the hysteresis band: hold.
+  }
+
+  st.prev_wait_bits = std::bit_cast<std::uint64_t>(wait);
+  st.has_prev = 1;
+  if (st.has_best == 0 || wait < best) {
+    st.best_wait_bits = std::bit_cast<std::uint64_t>(wait);
+    st.has_best = 1;
+  }
+  return std::clamp(target, 1u, in.c_max);
+}
+
+}  // namespace
+
+std::uint32_t sweet_spot_capacity(double lambda_hat,
+                                  std::uint32_t c_max) noexcept {
+  return clamp_capacity(sweet_spot_raw(lambda_hat), c_max);
+}
+
+std::uint32_t decide_capacity(Policy policy, const OnlineEstimator& estimator,
+                              const DecisionInput& input, PolicyState& state) noexcept {
+  switch (policy) {
+    case Policy::kNone:
+    case Policy::kStatic:
+      return input.current_capacity;
+    case Policy::kSweetSpot:
+      return std::clamp(decide_sweet_spot(estimator, input), 1u, input.c_max);
+    case Policy::kAimd:
+      return decide_aimd(estimator, input, state);
+  }
+  return input.current_capacity;
+}
+
+}  // namespace iba::control

@@ -1,0 +1,140 @@
+// Capacity policies of the adaptive control plane (docs/CONTROL.md).
+// Three policies behind one pure decision function:
+//
+//   static      never changes anything — the controller runs its
+//               estimators but the trajectory is byte-identical to a
+//               run without control (the inertness baseline);
+//   sweet-spot  closed-form c* = round(√(ln(1/(1−λ̂)))) from the paper's
+//               Theorem 2 sweet spot (the same formula as
+//               analysis::sweet_spot_prediction — kept in lockstep by
+//               tests/control_test.cpp), clamped to [1, c_max], with a
+//               hysteresis dead band around the rounding boundary;
+//   aimd        model-free hill climbing on the windowed mean wait:
+//               additive +1 when the pool backlog grows, ±1 probing
+//               steps that reverse on a hysteresis-significant wait
+//               regression, and a multiplicative halving when the wait
+//               blows past 4× the best seen with a stable pool
+//               (over-buffered: large c inflates FIFO queueing delay).
+//
+// Decisions are pure functions of (estimator, PolicyState, inputs) — no
+// RNG, no clock — so every kernel, shard count, and checkpoint-resumed
+// run makes the same decision at the same round.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "control/estimator.hpp"
+
+namespace iba::control {
+
+/// Which capacity policy the controller runs. kNone disables the whole
+/// control plane (no estimator, no hooks — the PR3/PR4 process).
+enum class Policy : std::uint8_t {
+  kNone,
+  kStatic,
+  kSweetSpot,
+  kAimd,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Policy p) noexcept {
+  switch (p) {
+    case Policy::kNone: return "none";
+    case Policy::kStatic: return "static";
+    case Policy::kSweetSpot: return "sweet-spot";
+    case Policy::kAimd: return "aimd";
+  }
+  return "?";
+}
+
+/// Parses the --control flag vocabulary; false on unknown names.
+[[nodiscard]] constexpr bool policy_from_string(std::string_view name,
+                                                Policy& out) noexcept {
+  if (name == "none") {
+    out = Policy::kNone;
+    return true;
+  }
+  if (name == "static") {
+    out = Policy::kStatic;
+    return true;
+  }
+  if (name == "sweet-spot" || name == "sweetspot") {
+    out = Policy::kSweetSpot;
+    return true;
+  }
+  if (name == "aimd") {
+    out = Policy::kAimd;
+    return true;
+  }
+  return false;
+}
+
+/// Control-plane configuration, carried inside CappedConfig (and thus
+/// through snapshots and checkpoint format v3).
+struct ControlConfig {
+  Policy policy = Policy::kNone;
+  std::uint32_t c_max = 16;     ///< decision clamp: capacity stays in [1, c_max]
+  std::uint32_t window = 64;    ///< estimator window, rounds
+  std::uint32_t cooldown = 128; ///< min rounds between applied changes
+  double hysteresis = 0.1;      ///< dead band (see each policy's use)
+  /// Admission control (composed with PR4 backpressure): when > 0, the
+  /// controller AIMDs the pool limit so the window's p95 per-round mean
+  /// wait stays at or below this many rounds. Requires a backpressure
+  /// mode and pool_limit to be configured. 0 = capacity control only.
+  std::uint64_t admission_target = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return policy != Policy::kNone;
+  }
+
+  /// Throws ContractViolation when the configuration is unusable.
+  void validate() const {
+    IBA_EXPECT(c_max >= 1 && c_max <= 0xFFFFu,
+               "ControlConfig: c_max must lie in [1, 65535]");
+    IBA_EXPECT(window >= 1 && window <= (1u << 16),
+               "ControlConfig: window must lie in [1, 65536]");
+    IBA_EXPECT(cooldown >= 1, "ControlConfig: cooldown must be at least 1");
+    IBA_EXPECT(hysteresis >= 0.0 && hysteresis <= 1.0,
+               "ControlConfig: hysteresis must lie in [0, 1]");
+  }
+
+  bool operator==(const ControlConfig&) const = default;
+};
+
+/// Mutable per-policy memory (AIMD's hill-climb state). Serialized in
+/// checkpoint v3; doubles travel as bit patterns so resume is exact.
+struct PolicyState {
+  std::int32_t direction = 1;       ///< AIMD probe direction (+1 / −1)
+  std::uint32_t has_prev = 0;       ///< prev_wait_bits is valid
+  std::uint64_t prev_wait_bits = 0; ///< wait at the previous decision
+  std::uint32_t has_best = 0;       ///< best_wait_bits is valid
+  std::uint64_t best_wait_bits = 0; ///< best wait seen at any decision
+  bool operator==(const PolicyState&) const = default;
+};
+
+/// The paper's sweet-spot capacity for an arrival-rate estimate:
+/// round(√(ln(1/(1−λ̂)))), at least 1, clamped to c_max. Same closed
+/// form as analysis::sweet_spot_prediction / suggest_capacity (control
+/// cannot link analysis without a dependency cycle through core;
+/// tests/control_test.cpp pins the two implementations together).
+[[nodiscard]] std::uint32_t sweet_spot_capacity(double lambda_hat,
+                                                std::uint32_t c_max) noexcept;
+
+/// Everything a capacity decision may read besides the estimator.
+struct DecisionInput {
+  std::uint32_t current_capacity = 1;
+  std::uint32_t n = 1;
+  std::uint32_t c_max = 16;
+  double hysteresis = 0.1;
+};
+
+/// One capacity decision: the target capacity for the next round (may
+/// equal current_capacity — "no change"). Mutates `state` (AIMD memory)
+/// deterministically; static and sweet-spot ignore it.
+[[nodiscard]] std::uint32_t decide_capacity(Policy policy,
+                                            const OnlineEstimator& estimator,
+                                            const DecisionInput& input,
+                                            PolicyState& state) noexcept;
+
+}  // namespace iba::control

@@ -60,6 +60,16 @@ void CappedConfig::validate() const {
   IBA_EXPECT(backpressure != BackpressureMode::kDeferRetry ||
                  backoff_rounds >= 1,
              "CappedConfig: defer-retry backoff must be at least 1 round");
+  if (control.enabled()) {
+    control.validate();
+    IBA_EXPECT(capacity != kInfiniteCapacity,
+               "CappedConfig: adaptive control requires finite capacity");
+    IBA_EXPECT(capacity <= control.c_max,
+               "CappedConfig: capacity must not exceed control.c_max");
+    IBA_EXPECT(control.admission_target == 0 ||
+                   backpressure != BackpressureMode::kNone,
+               "CappedConfig: admission control requires a backpressure mode");
+  }
 }
 
 Capped::Capped(const CappedConfig& config, Engine engine)
@@ -69,6 +79,10 @@ Capped::Capped(const CappedConfig& config, Engine engine)
     unbounded_.emplace(config_.n);
   } else {
     bounded_.emplace(config_.n, config_.capacity);
+  }
+  if (config_.control.enabled()) {
+    controller_ = std::make_unique<control::Controller>(
+        config_.control, config_.n, config_.pool_limit);
   }
 }
 
@@ -95,17 +109,33 @@ Capped::Capped(const CappedSnapshot& snapshot)
                                         snapshot.waits.max));
   IBA_EXPECT(snapshot.bin_queues.size() == config_.n,
              "CappedSnapshot: bin_queues size must equal n");
+  if (!infinite()) {
+    // A snapshot taken mid-shrink can hold queues longer than the
+    // (already lowered) acceptance capacity: those bins are still
+    // draining. Widen the storage to the longest queue so the restore
+    // fits; without a controller such a snapshot is corrupt.
+    std::size_t longest = 0;
+    for (const auto& queue : snapshot.bin_queues) {
+      longest = std::max(longest, queue.size());
+    }
+    if (longest > bounded_->capacity()) {
+      IBA_EXPECT(config_.control.enabled(),
+                 "CappedSnapshot: bin queue exceeds capacity");
+      IBA_EXPECT(longest <= config_.control.c_max,
+                 "CappedSnapshot: bin queue exceeds control.c_max");
+      bounded_->grow_capacity(static_cast<std::uint32_t>(longest));
+    }
+  }
   for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
     for (const std::uint64_t label : snapshot.bin_queues[bin]) {
       if (infinite()) {
         unbounded_->push(bin, label);
       } else {
-        IBA_EXPECT(bounded_->load(bin) < config_.capacity,
-                   "CappedSnapshot: bin queue exceeds capacity");
         bounded_->push(bin, label);
       }
     }
   }
+  if (controller_ != nullptr) controller_->restore(snapshot.controller);
 }
 
 CappedSnapshot Capped::snapshot() const {
@@ -124,6 +154,7 @@ CappedSnapshot Capped::snapshot() const {
   snap.waits.sumsq_lo = waits_.moments().sumsq_lo();
   snap.waits.max = waits_.histogram().max();
   snap.waits.histogram = waits_.histogram().counts();
+  if (controller_ != nullptr) snap.controller = controller_->state();
   snap.bin_queues.resize(config_.n);
   for (std::uint32_t bin = 0; bin < config_.n; ++bin) {
     auto& queue = snap.bin_queues[bin];
@@ -163,7 +194,8 @@ void Capped::begin_round_faults() {
   // must only consume its own stream; the load view reflects the state
   // at the end of the previous round.
   fault_plan_->begin_round(
-      round_ + 1, [this](std::uint32_t bin) { return load(bin); });
+      round_ + 1, config_.capacity,
+      [this](std::uint32_t bin) { return load(bin); });
   faults_round_ = fault_plan_->active();
   fault_flags_ = faults_round_ ? fault_plan_->flags() : nullptr;
   fault_caps_ = faults_round_ ? fault_plan_->effective_capacity() : nullptr;
@@ -226,6 +258,7 @@ Capped::Admission Capped::admit_arrivals(std::uint64_t generated) {
 }
 
 RoundMetrics Capped::step() {
+  apply_control();
   begin_round_faults();
   const std::uint64_t generated = sample_arrivals();
   const Admission adm = admit_arrivals(generated);
@@ -235,7 +268,35 @@ RoundMetrics Capped::step() {
     choice_scratch_.resize(nu);
     rng::fill_bounded(engine_, choice_scratch_, config_.n);
   }
-  return step_internal(adm, choice_scratch_);
+  const RoundMetrics m = step_internal(adm, choice_scratch_);
+  if (controller_ != nullptr) controller_->observe(m);
+  return m;
+}
+
+void Capped::set_capacity(std::uint32_t capacity) {
+  IBA_EXPECT(!infinite(), "Capped: set_capacity requires finite capacity");
+  IBA_EXPECT(capacity >= 1 && capacity <= 0xFFFFu,
+             "Capped: capacity must lie in [1, 65535]");
+  if (capacity > bounded_->capacity()) {
+    bounded_->grow_capacity(capacity);
+  }
+  // Shrink touches only the acceptance bound: overfull bins drain via
+  // the regular deletions (see the header comment).
+  config_.capacity = capacity;
+}
+
+void Capped::apply_control() {
+  if (controller_ == nullptr) return;
+  const auto decision =
+      controller_->decide(round_ + 1, config_.capacity, config_.pool_limit);
+  if (!decision) return;
+  if (decision->capacity != config_.capacity) {
+    set_capacity(decision->capacity);
+  }
+  if (decision->pool_limit != 0 &&
+      decision->pool_limit != config_.pool_limit) {
+    set_pool_limit(decision->pool_limit);
+  }
 }
 
 RoundMetrics Capped::step_with_choices(
@@ -246,6 +307,9 @@ RoundMetrics Capped::step_with_choices(
                  config_.backpressure == BackpressureMode::kNone,
              "Capped: step_with_choices is incompatible with fault plans "
              "and backpressure");
+  IBA_EXPECT(controller_ == nullptr,
+             "Capped: step_with_choices is incompatible with adaptive "
+             "control (couplings assume a fixed capacity)");
   IBA_EXPECT(choices.size() == balls_to_throw(),
              "Capped: need exactly one bin choice per thrown ball");
   Admission adm;
@@ -780,7 +844,11 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
   // the sweep: the per-push/pop read-modify-write of one shared counter
   // is a store-to-load-forwarding chain that throttles both loops.
   rejected_.assign(n_buckets, 0);
+  // Acceptance bounds by the logical capacity; slot arithmetic uses the
+  // storage capacity, which can be wider after a controller shrink (the
+  // storage never narrows — spare slots are simply unused).
   const std::uint32_t cap = config_.capacity;
+  const std::uint32_t storage = bounded_->capacity();
   const bool faults = faults_round_;
   const bool failures = config_.failure_probability > 0.0;
   const double p_fail = config_.failure_probability;
@@ -828,8 +896,8 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
       const std::uint32_t cap_b = faults ? fault_caps_[bin] : cap;
       if (load < cap_b) {
         std::uint32_t slot = (hs >> kHeadShift) + load;
-        if (slot >= cap) slot -= cap;
-        lb[static_cast<std::size_t>(bin) * cap + slot] = label;
+        if (slot >= storage) slot -= storage;
+        lb[static_cast<std::size_t>(bin) * storage + slot] = label;
         hs_arr[bin] = hs + 1;
         ++accepted;
       } else {
@@ -852,17 +920,17 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
           ++empty_bins;
           continue;
         }
-        const std::size_t base = static_cast<std::size_t>(bin) * cap;
+        const std::size_t base = static_cast<std::size_t>(bin) * storage;
         const std::uint32_t head = hs >> kHeadShift;
         std::uint64_t served;
         if (lifo) {
           std::uint32_t slot = head + load - 1;
-          if (slot >= cap) slot -= cap;
+          if (slot >= storage) slot -= storage;
           served = lb[base + slot];
           hs_arr[bin] = hs - 1;  // head unchanged, size - 1
         } else {
           served = lb[base + head];
-          const std::uint32_t next = head + 1 == cap ? 0 : head + 1;
+          const std::uint32_t next = head + 1 == storage ? 0 : head + 1;
           hs_arr[bin] = (next << kHeadShift) | (load - 1);
         }
         const std::uint64_t wait = round_ - served;
@@ -972,7 +1040,9 @@ void Capped::emit_throw_traces(std::span<const std::uint32_t> choices) {
     const std::uint64_t label = bucket_labels_[bucket];
     const std::uint64_t rank = rank_scratch_[idx];
     const std::uint64_t initial = init_load_[bin];
-    if (!finite || rank < cap - initial) {
+    // Written without subtraction: a controller shrink can leave
+    // initial > cap (still-draining bin), where cap - initial underflows.
+    if (!finite || initial + rank < cap) {
       tracer_->on_throw(label, bin, initial + rank, true);
     } else {
       tracer_->on_throw(label, bin, cap, false);

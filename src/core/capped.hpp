@@ -32,6 +32,7 @@
 
 #include "common/assert.hpp"
 #include "concurrency/thread_pool.hpp"
+#include "control/controller.hpp"
 #include "core/fault_hooks.hpp"
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
@@ -88,6 +89,12 @@ struct CappedConfig {
   /// (kDeferRetry). Deterministic: no randomness in the backoff.
   std::uint32_t backoff_rounds = 4;
 
+  /// Adaptive control plane (src/control/): when control.policy is not
+  /// 'none', a controller retunes `capacity` (and, with an admission
+  /// target, `pool_limit`) at round boundaries. Requires finite
+  /// capacity, and capacity ≤ control.c_max.
+  control::ControlConfig control;
+
   static constexpr std::uint32_t kInfiniteCapacity = 0xFFFFFFFFu;
 
   /// λ as a real number.
@@ -142,6 +149,11 @@ struct CappedSnapshot {
   std::vector<DeferredBucket> deferred;                ///< retry order
   std::vector<std::vector<std::uint64_t>> bin_queues;  ///< front-first
   CappedWaitState waits;
+  /// Controller state; meaningful iff config.control.enabled(). A
+  /// snapshot taken mid-shrink records the (smaller) current capacity
+  /// in `config`, and bins still draining may exceed it — the restore
+  /// path sizes the storage to the longest queue.
+  control::ControllerState controller;
 };
 
 /// The CAPPED(c, λ) process. Deterministic given (config, engine).
@@ -194,6 +206,33 @@ class Capped {
                "Capped: lambda_n must not exceed n (lambda <= 1)");
     config_.lambda_n = lambda_n;
   }
+
+  /// Retunes the per-bin capacity for subsequent rounds (the adaptive
+  /// controller's actuator; also callable directly for scripted
+  /// capacity schedules). Growth is instantaneous — the backing storage
+  /// widens if needed and every bin accepts up to the new c from the
+  /// next round. Shrink is drain-based: storage is untouched, bins
+  /// whose load exceeds the new c simply accept nothing until the
+  /// regular one-per-round deletions bring them at or below it, so the
+  /// overfull load is monotone non-increasing and no ball is ever
+  /// dropped or reshuffled. Requires finite capacity.
+  void set_capacity(std::uint32_t capacity);
+
+  /// Retunes the admission pool bound (the controller's second
+  /// actuator). Requires a backpressure mode; takes effect at the next
+  /// round's admission.
+  void set_pool_limit(std::uint64_t pool_limit) {
+    IBA_EXPECT(config_.backpressure != BackpressureMode::kNone,
+               "Capped: set_pool_limit requires a backpressure mode");
+    IBA_EXPECT(pool_limit > 0, "Capped: pool_limit must be positive");
+    config_.pool_limit = pool_limit;
+  }
+
+  /// The adaptive controller, when config().control is enabled
+  /// (read-only: decisions, estimator, counters). Null otherwise.
+  [[nodiscard]] const control::Controller* controller() const noexcept {
+    return controller_.get();
+  }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] std::uint64_t pool_size() const noexcept {
     return pool_.total();
@@ -243,6 +282,12 @@ class Capped {
                "Capped: fault injection requires finite capacity");
     fault_plan_ = plan;
     faults_round_ = false;
+  }
+
+  /// Routes the controller's decision counters and structured log lines
+  /// into `registry` (no-op without a controller).
+  void set_control_registry(telemetry::Registry* registry) noexcept {
+    if (controller_ != nullptr) controller_->set_registry(registry);
   }
 
   [[nodiscard]] const CappedConfig& config() const noexcept {
@@ -304,6 +349,11 @@ class Capped {
   /// Consults the fault plan (if any) for the round about to run and
   /// caches its per-bin views for the kernels.
   void begin_round_faults();
+  /// Consults the controller (if any) for the round about to run and
+  /// applies its capacity / pool-limit targets. Runs before
+  /// begin_round_faults() so the fault plan re-baselines against the
+  /// round's actual capacity.
+  void apply_control();
   RoundMetrics step_internal(const Admission& admission,
                              std::span<const std::uint32_t> choices);
   RoundMetrics allocate_and_delete(const Admission& admission,
@@ -385,6 +435,8 @@ class Capped {
       shard_crashed_;                          // per shard: (bin, label)
   std::vector<std::int64_t> shard_load_delta_;  // per shard total_load fix
   std::unique_ptr<concurrency::ThreadPool> shard_pool_;  // shards > 1
+
+  std::unique_ptr<control::Controller> controller_;  // config_.control on
 
   telemetry::PhaseTimers* timers_ = nullptr;
   telemetry::BallTracer* tracer_ = nullptr;

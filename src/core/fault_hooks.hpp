@@ -36,10 +36,15 @@ class RoundFaultProvider {
   virtual ~RoundFaultProvider() = default;
 
   /// Advances the provider to `round` (strictly increasing between
-  /// calls). `load(bin)` reads the start-of-round load of a bin — used
-  /// by load-aware events (crash-the-fullest); it must not be retained.
+  /// calls). `capacity` is the round's acceptance capacity — constant
+  /// without a controller, but the adaptive control plane (src/control/)
+  /// retunes it at round boundaries, and a healthy bin's effective
+  /// capacity must track the current value, not the value at plan
+  /// construction. `load(bin)` reads the start-of-round load of a bin —
+  /// used by load-aware events (crash-the-fullest); it must not be
+  /// retained.
   virtual void begin_round(
-      std::uint64_t round,
+      std::uint64_t round, std::uint32_t capacity,
       const std::function<std::uint64_t(std::uint32_t)>& load) = 0;
 
   /// True when any bin carries a flag or a reduced capacity this round;

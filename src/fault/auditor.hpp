@@ -5,7 +5,11 @@
 //
 //   * ball conservation:  generated == pool + deferred + load + deleted
 //                         + shed (cumulative, exact integers)
-//   * bounded buffers:    load(i) <= capacity for every bin
+//   * bounded buffers:    load(i) <= capacity for every bin; under
+//                         adaptive control a post-shrink bin may sit
+//                         above the (new) capacity while it drains, but
+//                         never above control.c_max, and the overfull
+//                         load must be monotone non-increasing
 //   * FIFO age order:     buffered labels are non-decreasing front to
 //                         back — checked only where it is a true
 //                         invariant: capacity <= 2, FIFO deletion,
@@ -124,19 +128,52 @@ class InvariantAuditor {
     // fault plan that suppresses service all break that premise.
     const bool check_fifo =
         !requeues_seen_ && !process.has_fault_plan() && finite &&
-        process.capacity() <= 2 &&
+        !process.config().control.enabled() && process.capacity() <= 2 &&
         process.config().deletion == core::DeletionDiscipline::kFifo &&
         process.config().acceptance == core::AcceptanceOrder::kOldestFirst;
+    // Dynamic-capacity invariant (adaptive control): after a shrink a
+    // bin may legitimately hold more than the current capacity while it
+    // drains, but (a) never more than control.c_max or than it held at
+    // the previous deep audit, and (b) the excess must shrink
+    // monotonically — an overfull bin accepts nothing, so its load can
+    // only go down. A broken shrink (bin keeps accepting while
+    // overfull) trips `capacity_drain` here.
+    const bool dynamic_capacity = process.config().control.enabled();
+    if (dynamic_capacity && prev_overfull_.size() != process.n()) {
+      prev_overfull_.assign(process.n(), 0);
+    }
     std::uint64_t load_sum = 0;
     for (std::uint32_t bin = 0; bin < process.n(); ++bin) {
       const std::uint64_t load = process.load(bin);
       load_sum += load;
       if (finite && load > process.capacity()) {
-        report(m.round, "capacity_bound",
-               "bin " + std::to_string(bin) + " holds " +
-                   std::to_string(load) + " > capacity " +
-                   std::to_string(process.capacity()));
+        if (!dynamic_capacity) {
+          report(m.round, "capacity_bound",
+                 "bin " + std::to_string(bin) + " holds " +
+                     std::to_string(load) + " > capacity " +
+                     std::to_string(process.capacity()));
+          continue;
+        }
+        const std::uint64_t ceiling = process.config().control.c_max;
+        const std::uint64_t prev = prev_overfull_[bin];
+        if (load > ceiling) {
+          report(m.round, "capacity_bound",
+                 "bin " + std::to_string(bin) + " holds " +
+                     std::to_string(load) + " > control.c_max " +
+                     std::to_string(ceiling));
+        } else if (prev != 0 && load > prev) {
+          report(m.round, "capacity_drain",
+                 "overfull bin " + std::to_string(bin) + " grew " +
+                     std::to_string(prev) + " -> " + std::to_string(load) +
+                     " above capacity " +
+                     std::to_string(process.capacity()) +
+                     " (drain must be monotone)");
+        }
+        prev_overfull_[bin] = load;
         continue;
+      }
+      if (dynamic_capacity && prev_overfull_[bin] != 0) {
+        prev_overfull_[bin] = 0;  // drained back under the bound
       }
       std::uint64_t prev = 0;
       for (std::uint64_t i = 0; i < load; ++i) {
@@ -236,6 +273,9 @@ class InvariantAuditor {
   std::uint64_t last_deleted_ = 0;
   std::uint64_t last_shed_ = 0;
   bool requeues_seen_ = false;
+  /// Per-bin load at the previous deep audit while above the current
+  /// capacity (0 = was not overfull). Sized lazily, only under control.
+  std::vector<std::uint64_t> prev_overfull_;
   std::uint64_t rounds_audited_ = 0;
   std::uint64_t deep_audits_ = 0;
   std::uint64_t violation_count_ = 0;

@@ -112,16 +112,34 @@ void FaultPlan::apply_degrade(std::uint32_t bin, std::uint64_t round,
   if (degraded_until_[bin] == 0) degraded_list_.push_back(bin);
   degraded_until_[bin] = round + e.duration - 1;
   degraded_cap_[bin] = e.cap;
-  // A down bin keeps eff_cap 0; repair restores the degraded value.
-  if (down_until_[bin] == 0) eff_cap_[bin] = e.cap;
+  // A down bin keeps eff_cap 0; repair restores the degraded value. The
+  // min is a no-op at fixed capacity (degrade caps are validated against
+  // the ceiling); it binds when a controller has shrunk c below e.cap.
+  if (down_until_[bin] == 0) eff_cap_[bin] = std::min(e.cap, capacity_);
 }
 
 void FaultPlan::begin_round(
-    std::uint64_t round,
+    std::uint64_t round, std::uint32_t capacity,
     const std::function<std::uint64_t(std::uint32_t)>& load) {
   IBA_EXPECT(last_round_ == 0 || round == last_round_ + 1,
              "FaultPlan: rounds must advance one at a time");
   last_round_ = round;
+
+  // 0. Re-baseline on a capacity change (adaptive control): effective
+  // capacities are maintained incrementally against capacity_, so when
+  // the controller retunes c every healthy bin must be refilled with the
+  // new value (degraded bins cap at min(degraded c_i, c); down bins stay
+  // 0). O(n), but only on the controller's rare decision rounds — a
+  // fixed-capacity run never takes this branch.
+  if (capacity != capacity_) {
+    capacity_ = capacity;
+    for (std::uint32_t bin = 0; bin < n_; ++bin) {
+      if (down_until_[bin] != 0) continue;
+      eff_cap_[bin] = degraded_until_[bin] >= round
+                          ? std::min(degraded_cap_[bin], capacity_)
+                          : capacity_;
+    }
+  }
 
   // 1. Clear the previous round's transient marks.
   for (const std::uint32_t bin : drained_scratch_) {
@@ -140,8 +158,9 @@ void FaultPlan::begin_round(
     if (down_until_[bin] > round) return false;
     down_until_[bin] = 0;
     flags_[bin] = 0;
-    eff_cap_[bin] =
-        degraded_until_[bin] >= round ? degraded_cap_[bin] : capacity_;
+    eff_cap_[bin] = degraded_until_[bin] >= round
+                        ? std::min(degraded_cap_[bin], capacity_)
+                        : capacity_;
     ++repairs_;
     return true;
   });
@@ -274,7 +293,7 @@ void FaultPlan::restore(const State& state) {
     IBA_EXPECT(d.bin < n_, "FaultPlan: restored degraded bin out of range");
     degraded_until_[d.bin] = d.until;
     degraded_cap_[d.bin] = d.cap;
-    eff_cap_[d.bin] = d.cap;
+    eff_cap_[d.bin] = std::min(d.cap, capacity_);
     degraded_list_.push_back(d.bin);
   }
   for (const State::Down& d : state.down) {

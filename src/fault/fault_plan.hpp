@@ -36,13 +36,17 @@ class FaultPlan final : public core::RoundFaultProvider {
   /// Validates the schedule against (n, capacity) — bin indices in
   /// range, degraded caps ≤ capacity, k ≤ n — and pre-expands rolling
   /// outages into per-rack crash events. Throws ScheduleError on
-  /// violations.
+  /// violations. `capacity` is the validation ceiling and the initial
+  /// effective-capacity baseline; with an adaptive controller attached
+  /// to the process, pass the controller's c_max (the largest capacity
+  /// the run can reach) — begin_round() re-baselines healthy bins to
+  /// the actual per-round capacity it is handed.
   FaultPlan(FaultSchedule schedule, std::uint32_t n, std::uint32_t capacity,
             std::uint64_t seed);
 
   // -- core::RoundFaultProvider --
   void begin_round(
-      std::uint64_t round,
+      std::uint64_t round, std::uint32_t capacity,
       const std::function<std::uint64_t(std::uint32_t)>& load) override;
   [[nodiscard]] bool active() const noexcept override { return active_; }
   [[nodiscard]] const std::uint8_t* flags() const noexcept override {

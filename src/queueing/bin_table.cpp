@@ -14,6 +14,29 @@ BinTable::BinTable(std::uint32_t bins, std::uint32_t capacity)
   hs_.assign(bins, 0);
 }
 
+void BinTable::grow_capacity(std::uint32_t new_capacity) {
+  IBA_EXPECT(new_capacity >= capacity_,
+             "BinTable: grow_capacity cannot shrink the storage");
+  IBA_EXPECT(new_capacity <= kSizeMask,
+             "BinTable: capacity must fit the packed 16-bit size field");
+  if (new_capacity == capacity_) return;
+  std::vector<Label> widened(static_cast<std::size_t>(bins_) * new_capacity);
+  for (std::uint32_t bin = 0; bin < bins_; ++bin) {
+    const std::uint32_t hs = hs_[bin];
+    const std::uint32_t size = hs & kSizeMask;
+    std::uint32_t cur = hs >> kHeadShift;
+    const std::size_t src = static_cast<std::size_t>(bin) * capacity_;
+    const std::size_t dst = static_cast<std::size_t>(bin) * new_capacity;
+    for (std::uint32_t k = 0; k < size; ++k) {
+      widened[dst + k] = labels_[src + cur];
+      cur = cur + 1 == capacity_ ? 0 : cur + 1;
+    }
+    hs_[bin] = size;  // head 0, same size
+  }
+  labels_ = std::move(widened);
+  capacity_ = new_capacity;
+}
+
 std::uint32_t BinTable::max_load() const noexcept {
   std::uint32_t max = 0;
   for (const std::uint32_t hs : hs_) {

@@ -179,6 +179,15 @@ class BinTable {
   [[nodiscard]] std::uint32_t* packed_mut() noexcept { return hs_.data(); }
   [[nodiscard]] Label* labels_mut() noexcept { return labels_.data(); }
 
+  /// Re-lays the table out for a larger per-bin capacity, preserving
+  /// every queue's contents and FIFO order (each queue is rewritten at
+  /// head 0 in the widened flat array). O(n·c′) — called only at a
+  /// controller's rare capacity-grow decisions, never on the round hot
+  /// path. Shrinking storage is never needed: a lowered *acceptance*
+  /// bound drains naturally (core/capped.cpp), and slot arithmetic is
+  /// indifferent to spare slots.
+  void grow_capacity(std::uint32_t new_capacity);
+
   /// Maximum end-of-round load over all bins (O(n) scan).
   [[nodiscard]] std::uint32_t max_load() const noexcept;
 

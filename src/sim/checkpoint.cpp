@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -15,7 +16,10 @@ namespace iba::sim {
 namespace {
 
 constexpr const char* kMagic = "iba-checkpoint";
-constexpr int kVersion = 2;
+// v3 adds the adaptive-control fields (config + controller state).
+// v2 files (no control plane) still load, with control disabled.
+constexpr int kVersion = 3;
+constexpr int kMinVersion = 2;
 
 [[noreturn]] void fail(const std::string& why) {
   throw std::runtime_error("checkpoint: " + why);
@@ -93,6 +97,17 @@ std::string render_body(const Checkpoint& checkpoint) {
   append_field(out, config.pool_limit);
   append_field(out, static_cast<std::uint64_t>(config.backpressure));
   append_field(out, config.backoff_rounds);
+  // v3: adaptive-control configuration rides on the config line.
+  char hysteresis[40];
+  std::snprintf(hysteresis, sizeof(hysteresis), "%.17g",
+                config.control.hysteresis);
+  append_field(out, static_cast<std::uint64_t>(config.control.policy));
+  append_field(out, config.control.c_max);
+  append_field(out, config.control.window);
+  append_field(out, config.control.cooldown);
+  out.push_back(' ');
+  out += hysteresis;
+  append_field(out, config.control.admission_target);
   out.push_back('\n');
   out += "state";
   append_field(out, snapshot.round);
@@ -185,6 +200,45 @@ std::string render_body(const Checkpoint& checkpoint) {
       out.push_back('\n');
     }
   }
+  // v3: controller state (estimator rings + policy memory + cooldown).
+  const bool has_control = config.control.enabled();
+  out += "control";
+  append_field(out, has_control ? 1 : 0);
+  out.push_back('\n');
+  if (has_control) {
+    const control::ControllerState& cs = snapshot.controller;
+    out += "control-policy";
+    // direction is ±1; encoded as 1 (up) / 0 (down).
+    append_field(out, cs.policy.direction > 0 ? 1 : 0);
+    append_field(out, cs.policy.has_prev);
+    append_field(out, cs.policy.prev_wait_bits);
+    append_field(out, cs.policy.has_best);
+    append_field(out, cs.policy.best_wait_bits);
+    out.push_back('\n');
+    out += "control-controller";
+    append_field(out, cs.cooldown_until);
+    append_field(out, cs.changes);
+    append_field(out, cs.grows);
+    append_field(out, cs.shrinks);
+    append_field(out, cs.admission_limit);
+    append_field(out, cs.admission_base);
+    out.push_back('\n');
+    const control::EstimatorState& es = cs.estimator;
+    out += "control-estimator";
+    append_field(out, es.head);
+    append_field(out, es.filled);
+    append_field(out, es.rounds);
+    append_field(out, es.ewma_bits);
+    append_field(out, es.generated.size());
+    out.push_back('\n');
+    for (std::size_t i = 0; i < es.generated.size(); ++i) {
+      append_number(out, es.generated[i]);
+      append_field(out, es.pool[i]);
+      append_field(out, es.wait_sum[i]);
+      append_field(out, es.wait_count[i]);
+      out.push_back('\n');
+    }
+  }
   out += "end\n";
   return out;
 }
@@ -244,9 +298,9 @@ Checkpoint load_checkpoint_full(const std::string& path) {
   const auto magic = read_value<std::string>(header, "magic");
   if (magic != kMagic) fail("bad magic '" + magic + "'");
   const auto version = read_value<int>(header, "version");
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     fail("unsupported version " + std::to_string(version) + " (expected " +
-         std::to_string(kVersion) + ")");
+         std::to_string(kMinVersion) + ".." + std::to_string(kVersion) + ")");
   }
   const auto crc = read_value<std::uint32_t>(header, "crc32");
   const auto length = read_value<std::uint64_t>(header, "body length");
@@ -285,6 +339,27 @@ Checkpoint load_checkpoint_full(const std::string& path) {
   snap.config.backpressure =
       read_enum<core::BackpressureMode>(in, "backpressure", 3);
   snap.config.backoff_rounds = read_value<std::uint32_t>(in, "backoff_rounds");
+  if (version >= 3) {
+    auto& ctrl = snap.config.control;
+    ctrl.policy = read_enum<control::Policy>(in, "control policy", 4);
+    ctrl.c_max = read_value<std::uint32_t>(in, "control c_max");
+    if (ctrl.c_max < 1 || ctrl.c_max > 0xFFFFu) {
+      fail("out-of-range field: control c_max");
+    }
+    ctrl.window = read_value<std::uint32_t>(in, "control window");
+    if (ctrl.window < 1 || ctrl.window > (1u << 16)) {
+      fail("out-of-range field: control window");
+    }
+    ctrl.cooldown = read_value<std::uint32_t>(in, "control cooldown");
+    if (ctrl.cooldown < 1) fail("out-of-range field: control cooldown");
+    ctrl.hysteresis = read_value<double>(in, "control hysteresis");
+    if (ctrl.hysteresis < 0.0 || ctrl.hysteresis > 1.0) {
+      fail("out-of-range field: control hysteresis");
+    }
+    ctrl.admission_target =
+        read_value<std::uint64_t>(in, "control admission_target");
+  }
+  // (v2 files predate the control plane: control stays disabled.)
 
   expect_keyword(in, "state");
   snap.round = read_value<std::uint64_t>(in, "round");
@@ -334,10 +409,17 @@ Checkpoint load_checkpoint_full(const std::string& path) {
          ", file has " + std::to_string(bins));
   }
   snap.bin_queues.resize(bins);
+  // Under adaptive control a mid-shrink bin legitimately holds more
+  // than the (already lowered) capacity — but never more than c_max.
+  const std::size_t queue_bound =
+      snap.config.control.enabled()
+          ? std::max<std::size_t>(snap.config.capacity,
+                                  snap.config.control.c_max)
+          : snap.config.capacity;
   for (auto& queue : snap.bin_queues) {
     const auto length2 = read_value<std::size_t>(in, "queue length");
     if (snap.config.capacity != core::CappedConfig::kInfiniteCapacity &&
-        length2 > snap.config.capacity) {
+        length2 > queue_bound) {
       fail("queue longer than capacity");
     }
     queue.reserve(length2);
@@ -427,6 +509,75 @@ Checkpoint load_checkpoint_full(const std::string& path) {
       }
       prev_bin = d.bin;
       fs.degraded.push_back(d);
+    }
+  }
+
+  if (version >= 3) {
+    expect_keyword(in, "control");
+    const auto has_control = read_value<int>(in, "control flag");
+    if (has_control != 0 && has_control != 1) {
+      fail("out-of-range field: control flag");
+    }
+    if ((has_control == 1) != snap.config.control.enabled()) {
+      fail("control flag disagrees with config control policy");
+    }
+    if (has_control == 1) {
+      control::ControllerState& cs = snap.controller;
+      expect_keyword(in, "control-policy");
+      const auto direction = read_value<int>(in, "control direction");
+      if (direction != 0 && direction != 1) {
+        fail("out-of-range field: control direction");
+      }
+      cs.policy.direction = direction == 1 ? 1 : -1;
+      cs.policy.has_prev = read_value<std::uint32_t>(in, "control has_prev");
+      cs.policy.prev_wait_bits =
+          read_value<std::uint64_t>(in, "control prev_wait");
+      cs.policy.has_best = read_value<std::uint32_t>(in, "control has_best");
+      cs.policy.best_wait_bits =
+          read_value<std::uint64_t>(in, "control best_wait");
+      if (cs.policy.has_prev > 1 || cs.policy.has_best > 1) {
+        fail("out-of-range field: control policy flags");
+      }
+      expect_keyword(in, "control-controller");
+      cs.cooldown_until = read_value<std::uint64_t>(in, "control cooldown_until");
+      // The cooldown is always armed as round + cooldown, so anything
+      // beyond that is a corrupt (e.g. bit-flipped) field.
+      if (cs.cooldown_until > snap.round + snap.config.control.cooldown) {
+        fail("out-of-range field: control cooldown_until");
+      }
+      cs.changes = read_value<std::uint64_t>(in, "control changes");
+      cs.grows = read_value<std::uint64_t>(in, "control grows");
+      cs.shrinks = read_value<std::uint64_t>(in, "control shrinks");
+      cs.admission_limit =
+          read_value<std::uint64_t>(in, "control admission_limit");
+      cs.admission_base =
+          read_value<std::uint64_t>(in, "control admission_base");
+      expect_keyword(in, "control-estimator");
+      control::EstimatorState& es = cs.estimator;
+      es.head = read_value<std::uint64_t>(in, "estimator head");
+      es.filled = read_value<std::uint64_t>(in, "estimator filled");
+      es.rounds = read_value<std::uint64_t>(in, "estimator rounds");
+      es.ewma_bits = read_value<std::uint64_t>(in, "estimator ewma");
+      const auto window = read_value<std::size_t>(in, "estimator window");
+      if (window != snap.config.control.window) {
+        fail("out-of-range field: estimator window");
+      }
+      if (es.head >= window || es.filled > window || es.filled > es.rounds) {
+        fail("out-of-range field: estimator cursors");
+      }
+      es.generated.reserve(window);
+      es.pool.reserve(window);
+      es.wait_sum.reserve(window);
+      es.wait_count.reserve(window);
+      for (std::size_t i = 0; i < window; ++i) {
+        es.generated.push_back(
+            read_value<std::uint64_t>(in, "estimator ring generated"));
+        es.pool.push_back(read_value<std::uint64_t>(in, "estimator ring pool"));
+        es.wait_sum.push_back(
+            read_value<std::uint64_t>(in, "estimator ring wait_sum"));
+        es.wait_count.push_back(
+            read_value<std::uint64_t>(in, "estimator ring wait_count"));
+      }
     }
   }
 

@@ -3,15 +3,20 @@
 // exponentially large, time") can be split across invocations with a
 // bit-identical continuation.
 //
-// Format v2 (docs/ROBUSTNESS.md):
+// Format v3 (docs/ROBUSTNESS.md, docs/CONTROL.md):
 //  * line-oriented text body — trivially inspectable and diff-able —
 //    carrying the full CappedSnapshot (config incl. kernel/shards/
-//    backpressure, engine, pool, deferred arrivals, bin queues,
-//    cumulative wait statistics) and, optionally, the attached
-//    FaultPlan's dynamic state;
-//  * a header line `iba-checkpoint 2 <crc32> <bytes>` binding the body
+//    backpressure and the adaptive-control configuration, engine, pool,
+//    deferred arrivals, bin queues, cumulative wait statistics, and —
+//    when control is enabled — the controller state: estimator rings,
+//    policy memory, cooldown and admission limit, so a run killed
+//    mid-adaptation, including mid-shrink drain, resumes bit-for-bit)
+//    plus, optionally, the attached FaultPlan's dynamic state;
+//  * a header line `iba-checkpoint 3 <crc32> <bytes>` binding the body
 //    with a CRC32 and its exact length, so truncated or bit-flipped
 //    files are rejected before any field is parsed;
+//  * v2 files (predating the control plane) still load, with control
+//    disabled;
 //  * crash-safe writes: the file is written to `<path>.tmp`, flushed,
 //    fsync'd, and atomically renamed over `path` — a crash mid-save
 //    leaves the previous checkpoint intact.

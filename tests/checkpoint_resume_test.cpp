@@ -340,7 +340,7 @@ TEST_F(CheckpointResumeTest, MalformedFieldsAreNamed) {
     }
     const std::string mutated = rebuilt_line + body.substr(line_end);
     const std::uint32_t crc = common::crc32(mutated);
-    const std::string rebuilt = "iba-checkpoint 2 " + std::to_string(crc) +
+    const std::string rebuilt = "iba-checkpoint 3 " + std::to_string(crc) +
                                 " " + std::to_string(mutated.size()) + "\n" +
                                 mutated;
     const std::string mutant = path("mutant");
@@ -352,6 +352,185 @@ TEST_F(CheckpointResumeTest, MalformedFieldsAreNamed) {
       EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
           << "token " << c.token << " -> " << e.what();
     }
+  }
+}
+
+// -- format v3: adaptive-control state -------------------------------
+
+CappedConfig control_config() {
+  // rich_config plus the full control plane: sweet-spot capacity tuning
+  // AND wait-targeted admission control riding on the defer-retry
+  // backpressure — every serialized control field is live.
+  CappedConfig config = rich_config();
+  config.control.policy = iba::control::Policy::kSweetSpot;
+  config.control.c_max = 8;
+  config.control.window = 8;
+  config.control.cooldown = 16;
+  config.control.admission_target = 1;
+  return config;
+}
+
+TEST_F(CheckpointResumeTest, KillAndResumeMidAdaptationIsByteIdentical) {
+  // λ collapses at round 100 so the kill at 120 lands mid-adaptation:
+  // the estimator window straddles the change, the capacity may still
+  // be draining, and the admission loop has moved the pool limit off
+  // its configured baseline.
+  const auto drive = [](Capped& p, int from, int to,
+                        std::vector<core::RoundMetrics>* out) {
+    for (int r = from; r < to; ++r) {
+      if (p.round() + 1 == 100) p.set_lambda_n(100);
+      const auto m = p.step();
+      if (out != nullptr) out->push_back(m);
+    }
+  };
+
+  Capped reference(control_config(), Engine(42));
+  std::vector<core::RoundMetrics> expected;
+  drive(reference, 0, 220, &expected);
+
+  Capped first_life(control_config(), Engine(42));
+  drive(first_life, 0, 120, nullptr);
+  const std::string file = path("ckpt_control");
+  sim::save_checkpoint(first_life.snapshot(), file);
+
+  Capped second_life(sim::load_checkpoint(file));
+  ASSERT_NE(second_life.controller(), nullptr);
+  std::vector<core::RoundMetrics> resumed;
+  drive(second_life, 120, 220, &resumed);
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    expect_same_round(expected[120 + i], resumed[i],
+                      static_cast<std::uint64_t>(121 + i));
+  }
+  expect_same_final_state(reference, second_life);
+  EXPECT_TRUE(reference.snapshot().controller ==
+              second_life.snapshot().controller)
+      << "controller state diverged after resume";
+  EXPECT_EQ(reference.capacity(), second_life.capacity());
+  EXPECT_EQ(reference.config().pool_limit, second_life.config().pool_limit);
+}
+
+std::string reheader(const std::string& body, int version) {
+  return "iba-checkpoint " + std::to_string(version) + " " +
+         std::to_string(common::crc32(body)) + " " +
+         std::to_string(body.size()) + "\n" + body;
+}
+
+TEST_F(CheckpointResumeTest, V2DownlevelFilesLoadWithControlDisabled) {
+  // A v2 file is a v3 file minus the six control tokens on the config
+  // line and the control section; rebuilding one from a control-free
+  // save must load and resume exactly like its v3 twin.
+  Capped p(rich_config(), Engine(6));
+  for (int r = 0; r < 60; ++r) (void)p.step();
+  const std::string v3_file = path("v3");
+  sim::save_checkpoint(p.snapshot(), v3_file);
+  const std::string v3 = slurp(v3_file);
+  const std::size_t header_end = v3.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  std::string body = v3.substr(header_end + 1);
+
+  // Drop the trailing 6 control tokens from the config line.
+  const std::size_t config_end = body.find('\n');
+  ASSERT_NE(config_end, std::string::npos);
+  std::istringstream config_line(body.substr(0, config_end));
+  std::vector<std::string> tokens;
+  std::string token;
+  while (config_line >> token) tokens.push_back(token);
+  ASSERT_EQ(tokens.size(), 20u) << "v3 config line should carry 19 fields";
+  std::string v2_config;
+  for (std::size_t i = 0; i + 6 < tokens.size(); ++i) {
+    if (!v2_config.empty()) v2_config += ' ';
+    v2_config += tokens[i];
+  }
+  body = v2_config + body.substr(config_end);
+  // Drop the "control 0" section line.
+  const std::size_t control_at = body.find("\ncontrol 0\n");
+  ASSERT_NE(control_at, std::string::npos);
+  body.erase(control_at, std::string("\ncontrol 0").size());
+
+  const std::string v2_file = path("v2");
+  spit(v2_file, reheader(body, 2));
+  const core::CappedSnapshot snap = sim::load_checkpoint(v2_file);
+  EXPECT_FALSE(snap.config.control.enabled());
+
+  Capped resumed(snap);
+  for (int r = 60; r < 120; ++r) {
+    const auto m = p.step();
+    const auto b = resumed.step();
+    expect_same_round(m, b, m.round);
+  }
+  expect_same_final_state(p, resumed);
+}
+
+TEST_F(CheckpointResumeTest, V3CorruptControlFieldsAreNamed) {
+  Capped p(control_config(), Engine(8));
+  for (int r = 0; r < 60; ++r) (void)p.step();
+  const std::string file = path("ckpt");
+  sim::save_checkpoint(p.snapshot(), file);
+  const std::string good = slurp(file);
+  const std::size_t header_end = good.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const std::string body = good.substr(header_end + 1);
+
+  const auto expect_rejection = [&](const std::string& mutated_body,
+                                    const char* expect,
+                                    const char* what) {
+    const std::string mutant = path("mutant");
+    spit(mutant, reheader(mutated_body, 3));
+    try {
+      (void)sim::load_checkpoint(mutant);
+      FAIL() << what << ": corrupt file accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(expect), std::string::npos)
+          << what << " -> " << e.what();
+    }
+  };
+
+  // Policy id out of range (config token 14, first control field).
+  {
+    const std::size_t config_end = body.find('\n');
+    std::istringstream line(body.substr(0, config_end));
+    std::vector<std::string> tokens;
+    std::string token;
+    while (line >> token) tokens.push_back(token);
+    ASSERT_GT(tokens.size(), 14u);
+    tokens[14] = "9";
+    std::string rebuilt;
+    for (const auto& t : tokens) {
+      if (!rebuilt.empty()) rebuilt += ' ';
+      rebuilt += t;
+    }
+    expect_rejection(rebuilt + body.substr(config_end), "control policy",
+                     "policy id");
+  }
+
+  // Cooldown bit-flip: cooldown_until beyond round + cooldown can never
+  // be produced by the controller (it always arms round + cooldown).
+  {
+    const std::size_t line_at = body.find("control-controller ");
+    ASSERT_NE(line_at, std::string::npos);
+    const std::size_t value_at = line_at + std::string("control-controller ").size();
+    const std::size_t value_end = body.find(' ', value_at);
+    std::string mutated = body.substr(0, value_at) + "9999999" +
+                          body.substr(value_end);
+    expect_rejection(mutated, "cooldown_until", "cooldown bit-flip");
+  }
+
+  // Truncated estimator block: the file ends mid-ring.
+  {
+    const std::size_t est_at = body.find("control-estimator");
+    ASSERT_NE(est_at, std::string::npos);
+    const std::size_t cut = body.find('\n', est_at) + 20;
+    ASSERT_LT(cut, body.size());
+    expect_rejection(body.substr(0, cut), "estimator", "truncated estimator");
+  }
+
+  // Control flag contradicting the config's policy.
+  {
+    const std::size_t flag_at = body.find("\ncontrol 1\n");
+    ASSERT_NE(flag_at, std::string::npos);
+    std::string mutated = body;
+    mutated[flag_at + std::string("\ncontrol ").size()] = '0';
+    expect_rejection(mutated, "disagrees", "control flag mismatch");
   }
 }
 

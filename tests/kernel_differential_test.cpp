@@ -218,6 +218,8 @@ void expect_snapshot_eq(const CappedSnapshot& a, const CappedSnapshot& b,
   EXPECT_EQ(a.waits.sumsq_lo, b.waits.sumsq_lo) << variant;
   EXPECT_EQ(a.waits.max, b.waits.max) << variant;
   EXPECT_EQ(a.waits.histogram, b.waits.histogram) << variant;
+  EXPECT_TRUE(a.controller == b.controller)
+      << variant << " controller state diverged";
 }
 
 constexpr std::uint64_t kRounds = 250;
@@ -469,6 +471,141 @@ TEST(FaultDifferential, KillAndResumeReproducesUninterruptedRun) {
                      "fault_resume");
   EXPECT_EQ(plan.crashes_total(), resumed_plan.crashes_total());
   EXPECT_EQ(plan.repairs_total(), resumed_plan.repairs_total());
+}
+
+// -- adaptive control: the controller actuates at round boundaries from
+// kernel-independent estimator state, so controller-driven capacity
+// changes (including mid-run shrinks and their multi-round drains) must
+// keep every kernel variant byte-identical --------------------------
+
+/// λ-drop scenario: saturated (λ = 1) long enough for the sweet spot to
+/// grow the buffer, then a collapse to λ ≈ 0.31 that forces a shrink
+/// with bins draining from well above the new capacity.
+CappedConfig control_config(iba::control::Policy policy) {
+  CappedConfig config = base_config();
+  config.capacity = 2;
+  config.lambda_n = 64;
+  config.control.policy = policy;
+  config.control.c_max = 8;
+  config.control.window = 16;
+  config.control.cooldown = 8;
+  return config;
+}
+
+RunCapture run_lambda_drop(const CappedConfig& config, std::uint64_t seed,
+                           std::uint64_t rounds) {
+  Capped process(config, Engine(seed));
+  RunCapture capture;
+  capture.metrics.reserve(rounds);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (process.round() + 1 == 100) process.set_lambda_n(20);
+    capture.metrics.push_back(process.step());
+  }
+  capture.snapshot = process.snapshot();
+  capture.wait_count = process.waits().count();
+  capture.wait_mean = process.waits().mean();
+  capture.wait_stddev = process.waits().stddev();
+  capture.wait_max = process.waits().max();
+  capture.wait_q99 = process.waits().quantile_upper_bound(0.99);
+  return capture;
+}
+
+TEST(ControlDifferential, AllVariantsMatchScalarUnderEveryPolicy) {
+  for (const iba::control::Policy policy :
+       {iba::control::Policy::kStatic, iba::control::Policy::kSweetSpot,
+        iba::control::Policy::kAimd}) {
+    SCOPED_TRACE(std::string("policy=") +
+                 std::string(iba::control::to_string(policy)));
+    const CappedConfig config = control_config(policy);
+    const RunCapture reference = run_lambda_drop(
+        with_kernel(config, RoundKernel::kScalar, 1), kSeed, kRounds);
+    for (std::size_t v = 1; v < std::size(kVariants); ++v) {
+      const Variant& variant = kVariants[v];
+      const RunCapture capture = run_lambda_drop(
+          with_kernel(config, variant.kernel, variant.shards), kSeed,
+          kRounds);
+      for (std::uint64_t r = 0; r < kRounds; ++r) {
+        expect_metrics_eq(reference.metrics[r], capture.metrics[r],
+                          variant.name, r);
+      }
+      expect_snapshot_eq(reference.snapshot, capture.snapshot, variant.name);
+      EXPECT_EQ(reference.wait_stddev, capture.wait_stddev) << variant.name;
+    }
+  }
+}
+
+TEST(ControlDifferential, StaticControlIsInert) {
+  // --control static must not perturb the trajectory at all: byte
+  // identity against a run with the control plane disabled, on every
+  // kernel (the golden-regression suite relies on this).
+  for (const Variant& variant : kVariants) {
+    SCOPED_TRACE(variant.name);
+    CappedConfig off = with_kernel(base_config(), variant.kernel,
+                                   variant.shards);
+    CappedConfig on = off;
+    on.control.policy = iba::control::Policy::kStatic;
+    const RunCapture bare = run(off, kSeed, kRounds, /*trace=*/false);
+    const RunCapture controlled = run(on, kSeed, kRounds, /*trace=*/false);
+    for (std::uint64_t r = 0; r < kRounds; ++r) {
+      expect_metrics_eq(bare.metrics[r], controlled.metrics[r], variant.name,
+                        r);
+    }
+    EXPECT_EQ(bare.snapshot.engine_state, controlled.snapshot.engine_state)
+        << variant.name;
+    EXPECT_EQ(bare.snapshot.bin_queues, controlled.snapshot.bin_queues)
+        << variant.name;
+    EXPECT_EQ(bare.wait_stddev, controlled.wait_stddev) << variant.name;
+  }
+}
+
+TEST(ControlDifferential, KillAndResumeMidShrinkDrain) {
+  // Snapshot at the exact round where the controller has shrunk the
+  // capacity but bins still hold more than it (the drain window), then
+  // resume on a different kernel: byte-identical continuation,
+  // including the controller's own state.
+  const CappedConfig config = with_kernel(
+      control_config(iba::control::Policy::kSweetSpot),
+      RoundKernel::kBinMajor, 2);
+
+  // Scout: find the first post-shrink round with an overfull bin.
+  std::uint64_t drain_round = 0;
+  {
+    Capped scout(config, Engine(kSeed));
+    for (std::uint64_t r = 0; r < kRounds; ++r) {
+      if (scout.round() + 1 == 100) scout.set_lambda_n(20);
+      (void)scout.step();
+      bool overfull = false;
+      for (std::uint32_t bin = 0; bin < scout.n(); ++bin) {
+        if (scout.load(bin) > scout.capacity()) overfull = true;
+      }
+      if (overfull) {
+        drain_round = scout.round();
+        break;
+      }
+    }
+  }
+  ASSERT_GT(drain_round, 100u) << "scenario never produced a draining bin";
+
+  Capped uninterrupted(config, Engine(kSeed));
+  for (std::uint64_t r = 0; r < drain_round; ++r) {
+    if (uninterrupted.round() + 1 == 100) uninterrupted.set_lambda_n(20);
+    (void)uninterrupted.step();
+  }
+  CappedSnapshot snap = uninterrupted.snapshot();
+  snap.config.kernel = RoundKernel::kScalar;
+  snap.config.shards = 1;
+  Capped resumed(snap);
+  ASSERT_NE(resumed.controller(), nullptr);
+  for (int r = 0; r < 150; ++r) {
+    const RoundMetrics a = uninterrupted.step();
+    const RoundMetrics b = resumed.step();
+    expect_metrics_eq(a, b, "control_resume", a.round);
+  }
+  expect_snapshot_eq(uninterrupted.snapshot(), resumed.snapshot(),
+                     "control_resume");
+  // restore() carries the counters, so totals line up exactly.
+  EXPECT_EQ(uninterrupted.controller()->changes_total(),
+            resumed.controller()->changes_total());
 }
 
 TEST(KernelDifferential, ConfigValidationRejectsShardedScalar) {
