@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "core/capped.hpp"
+#include "scenario/arrival.hpp"
 
 int main(int argc, char** argv) {
   using namespace iba;
@@ -34,10 +35,18 @@ int main(int argc, char** argv) {
   for (const std::uint32_t i : lambda_exponents) {
     for (const std::uint32_t c : capacities) {
       for (const auto model : models) {
-        auto sim_config =
-            bench::make_cell(options, c, sim::lambda_n_for(options.n, i));
+        // The workload as a declarative arrival model (scenario/arrival.hpp)
+        // — the same object the scenario engine builds from a .scn file.
+        const auto arrival = scenario::ArrivalModel::constant(
+            sim::lambda_one_minus_2pow(i), model);
+        arrival.validate(options.n);
+        core::ArrivalModel distribution{};
+        std::uint64_t lambda_n = 0;
+        arrival.apply_to(options.n, distribution, lambda_n);
+
+        auto sim_config = bench::make_cell(options, c, lambda_n);
         core::CappedConfig config = sim_config.to_capped();
-        config.arrival = model;
+        config.arrival = distribution;
         std::fprintf(stderr, "[cell] %s arrivals=%s ...\n",
                      sim_config.label().c_str(),
                      std::string(core::to_string(model)).c_str());

@@ -12,6 +12,7 @@
 #include "bench_common.hpp"
 #include "core/capped.hpp"
 #include "io/plot.hpp"
+#include "scenario/arrival.hpp"
 #include "sim/trace.hpp"
 
 int main(int argc, char** argv) {
@@ -38,10 +39,14 @@ int main(int argc, char** argv) {
     if ((static_cast<std::uint64_t>(options.n) % (1ull << i)) != 0) continue;
     const double lambda = sim::lambda_one_minus_2pow(i);
     const double slack = 1.0 - lambda;
+    // The constant-λ workload as a declarative arrival model — identical
+    // lambda_n to the historical sim::lambda_n_for quantization.
+    const auto arrival = scenario::ArrivalModel::constant(lambda);
+    arrival.validate(options.n);
     core::CappedConfig config;
     config.n = options.n;
     config.capacity = c;
-    config.lambda_n = sim::lambda_n_for(options.n, i);
+    arrival.apply_to(options.n, config.arrival, config.lambda_n);
     std::fprintf(stderr, "[cell] ramp lambda=1-2^-%u ...\n", i);
     core::Capped process(config, core::Engine(options.seed));
 

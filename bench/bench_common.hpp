@@ -92,23 +92,12 @@ inline TraceSink& trace_sink() {
 }
 }  // namespace detail
 
-/// Refuses to clobber `path` unless --force was given: logs a structured
-/// error and exits. Called before any cell runs, so a misdirected output
-/// path fails fast instead of after minutes of simulation.
+/// Refuses to clobber `path` unless --force was given. Thin forward to
+/// the shared io::guard_overwrite (one-line diagnostic, exit 2), kept
+/// under the bench namespace so existing bench call sites read the same.
 inline void guard_overwrite(const std::string& path, bool force,
                             std::string_view flag) {
-  if (path.empty() || !std::filesystem::exists(path)) return;
-  if (force) {
-    telemetry::log_warn("overwriting_output",
-                        {{"path", path}, {"flag", flag}});
-    return;
-  }
-  telemetry::log_error(
-      "output_exists",
-      {{"path", path},
-       {"flag", flag},
-       {"hint", "pass --force true to overwrite"}});
-  std::exit(2);
+  io::guard_overwrite(path, force, std::string(flag));
 }
 
 /// Reads the standard flags back (and arms the span sink).

@@ -1,0 +1,172 @@
+// scenario_run — execute a declarative scenario file and emit its
+// canonical result artifact (docs/SCENARIOS.md).
+//
+//   $ ./scenario_run --scenario scenarios/steady_baseline.scn --out run.artifact
+//   $ ./scenario_run --scenario s.scn --kernel scalar --out a2.artifact
+//     # byte-identical to the bin-major run: cmp run.artifact a2.artifact
+//   $ ./scenario_run --scenario s.scn --golden tests/goldens/s.artifact
+//     # regression check: exit 3 on any byte difference
+//   $ ./scenario_run --scenario s.scn --checkpoint-out s.ckpt --stop-after 400
+//   $ ./scenario_run --scenario s.scn --resume s.ckpt --out resumed.artifact
+//     # resumed.artifact is byte-identical to the uninterrupted run
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error (bad flag,
+// malformed scenario — the diagnostic names file:line, section and key),
+// 3 expectation/audit/golden violation.
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "artifact/artifact.hpp"
+#include "fault/schedule.hpp"
+#include "io/cli.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace iba;
+
+int run(const io::ArgParser& parser) {
+  const std::string path = parser.get("scenario");
+  if (path.empty()) {
+    throw io::UsageError("scenario_run: --scenario is required");
+  }
+  const scenario::Scenario scn = scenario::load_scenario_file(path);
+
+  scenario::RunOptions options;
+  if (parser.provided("kernel")) {
+    core::RoundKernel kernel{};
+    if (!core::kernel_from_string(parser.get("kernel"), kernel)) {
+      throw io::UsageError(
+          "scenario_run: --kernel expects bin-major or scalar, got '" +
+          parser.get("kernel") + "'");
+    }
+    options.kernel = kernel;
+  }
+  if (parser.provided("shards")) {
+    options.shards =
+        static_cast<std::uint32_t>(parser.get_uint_range("shards", 1, 256));
+  }
+  if (parser.provided("seed")) options.seed = parser.get_uint("seed");
+  options.checkpoint_out = parser.get("checkpoint-out");
+  options.checkpoint_every = parser.get_uint("checkpoint-every");
+  options.resume = parser.get("resume");
+  options.stop_after = parser.get_uint("stop-after");
+  if (options.checkpoint_every > 0 && options.checkpoint_out.empty()) {
+    throw io::UsageError(
+        "scenario_run: --checkpoint-every requires --checkpoint-out");
+  }
+  if (options.stop_after > 0 && options.checkpoint_out.empty()) {
+    throw io::UsageError(
+        "scenario_run: --stop-after requires --checkpoint-out");
+  }
+
+  const std::string out_path = parser.get("out");
+  const std::string golden_path = parser.get("golden");
+  const bool force = parser.get_bool("force");
+  io::guard_overwrite(out_path, force, "--out");
+
+  if (parser.get_bool("print-canonical")) {
+    std::fputs(scn.canonical_text().c_str(), stdout);
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "[scenario] %s (digest %s): n=%u c=%u rounds=%llu+%llu\n",
+               scn.name.c_str(), scn.digest().c_str(), scn.n, scn.capacity,
+               static_cast<unsigned long long>(scn.burn_in),
+               static_cast<unsigned long long>(scn.rounds));
+
+  const scenario::RunOutcome outcome = scenario::run_scenario(scn, options);
+  if (!outcome.complete) {
+    std::fprintf(stderr,
+                 "[scenario] stopped after %llu rounds, checkpoint at %s\n",
+                 static_cast<unsigned long long>(outcome.rounds_done),
+                 options.checkpoint_out.c_str());
+    return 0;
+  }
+
+  const std::string text = artifact::render_artifact(outcome.artifact);
+  if (!out_path.empty()) {
+    artifact::write_artifact(outcome.artifact, out_path);
+    std::fprintf(stderr, "[scenario] wrote %s (%zu bytes)\n",
+                 out_path.c_str(), text.size());
+  } else if (golden_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  }
+
+  for (const std::string& failure : outcome.failures) {
+    std::fprintf(stderr, "[scenario] FAIL %s\n", failure.c_str());
+  }
+
+  if (!golden_path.empty()) {
+    const std::string golden = artifact::read_artifact_text(golden_path);
+    if (golden != text) {
+      std::fprintf(stderr,
+                   "[scenario] FAIL golden mismatch: %s differs from this "
+                   "run (%zu vs %zu bytes); regenerate with "
+                   "scripts/update_goldens.sh if the change is intended\n",
+                   golden_path.c_str(), golden.size(), text.size());
+      return 3;
+    }
+    std::fprintf(stderr, "[scenario] golden match: %s\n",
+                 golden_path.c_str());
+  }
+
+  return outcome.ok() ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::ArgParser parser("scenario_run",
+                       "run a declarative scenario file and emit its "
+                       "canonical result artifact");
+  parser.add_flag("scenario", "scenario file to run (required)", "");
+  parser.add_flag("out",
+                  "write the artifact here (default: print to stdout)", "");
+  parser.add_flag("golden",
+                  "compare the artifact against this golden file; any byte "
+                  "difference exits 3",
+                  "");
+  parser.add_flag("kernel",
+                  "override the scenario's kernel: bin-major | scalar "
+                  "(artifact bytes are invariant in this)",
+                  "");
+  parser.add_flag("shards",
+                  "override the scenario's shard count (artifact bytes are "
+                  "invariant in this)",
+                  "");
+  parser.add_flag("seed", "override the scenario's seed", "");
+  parser.add_flag("checkpoint-out", "checkpoint path (with .progress sidecar)",
+                  "");
+  parser.add_flag("checkpoint-every",
+                  "checkpoint cadence in rounds (requires --checkpoint-out; "
+                  "0 = scenario's run.checkpoint-every)",
+                  "0");
+  parser.add_flag("resume", "resume from this checkpoint", "");
+  parser.add_flag("stop-after",
+                  "stop after this many total rounds and checkpoint "
+                  "(kill-and-resume testing; requires --checkpoint-out)",
+                  "0");
+  parser.add_flag("print-canonical",
+                  "print the canonical scenario text and digest inputs, "
+                  "then exit",
+                  "false");
+  parser.add_flag("force", "overwrite existing output files", "false");
+
+  try {
+    if (!parser.parse_or_exit(argc, argv)) return 0;
+    return run(parser);
+  } catch (const scenario::ScenarioError& error) {
+    io::fail_usage(error.what());
+  } catch (const fault::ScheduleError& error) {
+    io::fail_usage(error.what());
+  } catch (const iba::ContractViolation& error) {
+    io::fail_usage(error.what());  // covers io::UsageError too
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -481,6 +481,7 @@ int main(int argc, char** argv) {
                   "(requires --checkpoint-out)",
                   "0");
   parser.add_flag("json", "emit the result as JSON", "false");
+  parser.add_flag("force", "overwrite existing output files", "false");
 
   try {
     if (!parser.parse_or_exit(argc, argv)) return 0;
@@ -492,6 +493,12 @@ int main(int argc, char** argv) {
     const auto process_name = parser.get("process");
     const bool as_json = parser.get_bool("json");
     const auto trace_path = parser.get("trace-csv");
+    // Shared overwrite guard (same contract as the benches and
+    // scenario_run): existing outputs are a usage error without --force.
+    const bool force = parser.get_bool("force");
+    io::guard_overwrite(trace_path, force, "--trace-csv");
+    io::guard_overwrite(parser.get("checkpoint-out"), force,
+                        "--checkpoint-out");
 
     sim::RunSpec spec;
     spec.measure_rounds = parser.get_uint_range("rounds", 1, UINT64_MAX);

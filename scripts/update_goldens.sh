@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerate the golden artifacts for the scenario bank (tests/goldens/)
+# and print a per-scenario diff summary. Run after an INTENDED behavior
+# change; commit the regenerated goldens together with the change that
+# caused them. CI (scenario-regression) and scenario_golden_test fail on
+# any byte drift against these files.
+#
+#   scripts/update_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+runner="$build/examples/scenario_run"
+goldens="$repo/tests/goldens"
+
+if [[ ! -x "$runner" ]]; then
+  echo "error: $runner not built (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+mkdir -p "$goldens"
+changed=0
+for scn in "$repo"/scenarios/*.scn; do
+  name="$(basename "$scn" .scn)"
+  golden="$goldens/$name.artifact"
+  fresh="$(mktemp)"
+  "$runner" --scenario "$scn" --out "$fresh" --force true 2>/dev/null \
+    || { echo "FAIL  $name (scenario_run exited $?)"; rm -f "$fresh"; exit 1; }
+  if [[ ! -f "$golden" ]]; then
+    mv "$fresh" "$golden"
+    echo "NEW   $name"
+    changed=1
+  elif cmp -s "$golden" "$fresh"; then
+    rm -f "$fresh"
+    echo "OK    $name (unchanged)"
+  else
+    # Summarize which artifact lines moved before overwriting.
+    echo "DRIFT $name:"
+    diff --unified=0 "$golden" "$fresh" | grep -E '^[+-][^+-]' | sed 's/^/        /'
+    mv "$fresh" "$golden"
+    changed=1
+  fi
+done
+
+if [[ "$changed" == 1 ]]; then
+  echo
+  echo "goldens updated — review the drift above and commit tests/goldens/"
+else
+  echo
+  echo "all goldens already match"
+fi

@@ -1,0 +1,185 @@
+#include "artifact/artifact.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+
+namespace iba::artifact {
+
+namespace {
+
+constexpr std::string_view kMagic = "iba-artifact";
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("artifact: " + message);
+}
+
+std::string hex32(std::uint32_t value) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = kHex[(value >> (28 - 4 * i)) & 0xFu];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_artifact(const ResultArtifact& artifact) {
+  std::ostringstream out;
+  out << kMagic << ' ' << kFormatVersion << '\n';
+  out << "scenario = " << artifact.scenario_name << '\n';
+  out << "digest = " << artifact.scenario_digest << '\n';
+  out << "seed = " << artifact.seed << '\n';
+  out << "n = " << artifact.n << '\n';
+  out << "c = " << artifact.capacity_initial << '\n';
+  out << "burn-in = " << artifact.burn_in << '\n';
+  out << "rounds = " << artifact.rounds << '\n';
+
+  out << "[counters]\n";
+  out << "generated = " << artifact.generated_total << '\n';
+  out << "deleted = " << artifact.deleted_total << '\n';
+  out << "shed = " << artifact.shed_total << '\n';
+  out << "deferred-end = " << artifact.deferred_end << '\n';
+
+  out << "[measured]\n";
+  out << "pool-sum = " << artifact.pool_sum << '\n';
+  out << "pool-min = " << artifact.pool_min << '\n';
+  out << "pool-max = " << artifact.pool_max << '\n';
+  out << "pool-last = " << artifact.pool_last << '\n';
+  out << "load-sum = " << artifact.load_sum << '\n';
+  out << "max-load-peak = " << artifact.max_load_peak << '\n';
+  out << "empty-bins-last = " << artifact.empty_bins_last << '\n';
+  out << "requeued-sum = " << artifact.requeued_sum << '\n';
+  out << "faulted-bin-rounds = " << artifact.faulted_bin_rounds << '\n';
+  out << "shed-measured = " << artifact.shed_measured << '\n';
+  out << "oldest-age-max = " << artifact.oldest_age_max << '\n';
+
+  out << "[waits]\n";
+  out << "count = " << artifact.wait_count << '\n';
+  out << "sum = " << artifact.wait_sum << '\n';
+  out << "sumsq-hi = " << artifact.wait_sumsq_hi << '\n';
+  out << "sumsq-lo = " << artifact.wait_sumsq_lo << '\n';
+  out << "max = " << artifact.wait_max << '\n';
+  out << "p50-upper = " << artifact.wait_p50 << '\n';
+  out << "p99-upper = " << artifact.wait_p99 << '\n';
+  out << "histogram =";
+  for (const std::uint64_t count : artifact.wait_histogram) {
+    out << ' ' << count;
+  }
+  out << '\n';
+
+  if (artifact.has_faults) {
+    out << "[faults]\n";
+    out << "crashes = " << artifact.crashes << '\n';
+    out << "repairs = " << artifact.repairs << '\n';
+    out << "straggler-skips = " << artifact.straggler_skips << '\n';
+  }
+
+  if (artifact.has_control) {
+    out << "[control]\n";
+    out << "capacity-final = " << artifact.capacity_final << '\n';
+    out << "changes = " << artifact.control_changes << '\n';
+    out << "grows = " << artifact.control_grows << '\n';
+    out << "shrinks = " << artifact.control_shrinks << '\n';
+  }
+
+  if (artifact.audited) {
+    out << "[audit]\n";
+    out << "rounds = " << artifact.audit_rounds << '\n';
+    out << "violations = " << artifact.audit_violations << '\n';
+  }
+
+  if (!artifact.checks.empty()) {
+    out << "[expectations]\n";
+    for (const ExpectationCheck& check : artifact.checks) {
+      out << check.name << " = bound " << check.bound << " observed "
+          << check.observed << ' ' << (check.pass ? "pass" : "FAIL") << '\n';
+    }
+  }
+
+  out << "end\n";
+  std::string body = out.str();
+  body += "crc32 = " + hex32(common::crc32(body)) + '\n';
+  return body;
+}
+
+void write_artifact(const ResultArtifact& artifact, const std::string& path) {
+  const std::string text = render_artifact(artifact);
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) fail("cannot open for writing: " + tmp);
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+            std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("write error: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " -> " + path);
+  }
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+void verify_artifact_text(const std::string& text) {
+  const std::size_t first_eol = text.find('\n');
+  if (first_eol == std::string::npos) fail("truncated: no header line");
+  const std::string header = text.substr(0, first_eol);
+  std::istringstream parse(header);
+  std::string magic;
+  std::uint32_t version = 0;
+  if (!(parse >> magic >> version) || magic != kMagic) {
+    fail("bad header '" + header + "'");
+  }
+  if (version != kFormatVersion) {
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kFormatVersion) + ")");
+  }
+  // The trailer is the final line: `crc32 = <8 hex>\n` over all bytes
+  // before it.
+  constexpr std::string_view kTrailerPrefix = "crc32 = ";
+  constexpr std::size_t kTrailerLen = 8 + 8 + 1;  // prefix + hex + \n
+  if (text.size() < kTrailerLen || text.back() != '\n') {
+    fail("truncated: missing crc trailer");
+  }
+  const std::size_t trailer_at = text.size() - kTrailerLen;
+  if (text.compare(trailer_at, kTrailerPrefix.size(), kTrailerPrefix) != 0 ||
+      (trailer_at != 0 && text[trailer_at - 1] != '\n')) {
+    fail("malformed crc trailer");
+  }
+  const std::string stated =
+      text.substr(trailer_at + kTrailerPrefix.size(), 8);
+  const std::string actual = hex32(
+      common::crc32(std::string_view(text).substr(0, trailer_at)));
+  if (stated != actual) {
+    fail("crc mismatch: stated " + stated + ", computed " + actual);
+  }
+}
+
+std::string read_artifact_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  verify_artifact_text(text);
+  return text;
+}
+
+}  // namespace iba::artifact

@@ -266,7 +266,11 @@ RoundMetrics Capped::step() {
   {
     telemetry::ScopedPhaseTimer timer(timers_, telemetry::Phase::kThrow, nu);
     choice_scratch_.resize(nu);
-    rng::fill_bounded(engine_, choice_scratch_, config_.n);
+    if (bin_sampler_ != nullptr) {
+      bin_sampler_->fill(engine_, choice_scratch_);
+    } else {
+      rng::fill_bounded(engine_, choice_scratch_, config_.n);
+    }
   }
   const RoundMetrics m = step_internal(adm, choice_scratch_);
   if (controller_ != nullptr) controller_->observe(m);

@@ -284,6 +284,16 @@ class Capped {
     faults_round_ = false;
   }
 
+  /// Attaches (or detaches, with nullptr) a non-uniform bin sampler:
+  /// from the next step() on, the per-ball bin choices are drawn through
+  /// it instead of uniformly (see core::BinChoiceSampler for the
+  /// determinism contract). The sampler must produce indices in
+  /// [0, n()). Not serialized in snapshots — reattach the same sampler
+  /// after a resume, exactly like a fault plan.
+  void set_bin_sampler(BinChoiceSampler* sampler) noexcept {
+    bin_sampler_ = sampler;
+  }
+
   /// Routes the controller's decision counters and structured log lines
   /// into `registry` (no-op without a controller).
   void set_control_registry(telemetry::Registry* registry) noexcept {
@@ -448,6 +458,7 @@ class Capped {
   // every kernel. Null / false outside a faulted round, so unfaulted
   // rounds keep the lean fast paths.
   RoundFaultProvider* fault_plan_ = nullptr;
+  BinChoiceSampler* bin_sampler_ = nullptr;
   bool faults_round_ = false;
   const std::uint8_t* fault_flags_ = nullptr;
   const std::uint32_t* fault_caps_ = nullptr;

@@ -5,6 +5,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <span>
 
 #include "core/metrics.hpp"
 #include "rng/xoshiro256.hpp"
@@ -14,6 +15,24 @@ namespace iba::core {
 /// All simulations consume randomness through this engine type, injected
 /// by value so every process owns an independent, reproducible stream.
 using Engine = rng::Xoshiro256pp;
+
+/// Non-uniform bin sampling hook (Zipf / hot-key skew — the scenario
+/// engine's workload knob). A process that supports it calls fill() once
+/// per round, before any kernel work, to draw the bin choice of every
+/// thrown ball from the master engine ("decide before draw"): because
+/// the full choice vector exists before acceptance starts, scalar /
+/// fused / sharded kernels and every thread count consume the identical
+/// engine stream and stay byte-identical under any sampler.
+///
+/// Implementations must draw randomness only from `engine`, must write
+/// indices in [0, n) for the process's n, and must be stateless across
+/// rounds (a pure function of the engine stream), so that reattaching
+/// the same sampler after a checkpoint resume reproduces the trajectory.
+class BinChoiceSampler {
+ public:
+  virtual ~BinChoiceSampler() = default;
+  virtual void fill(Engine& engine, std::span<std::uint32_t> out) = 0;
+};
 
 /// A round-based infinite allocation process. step() advances one round
 /// and reports what happened; n() and round() expose basic geometry.

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 #include "common/assert.hpp"
 
@@ -11,6 +13,20 @@ namespace iba::io {
 void fail_usage(const std::string& message) {
   std::fprintf(stderr, "%s\n", message.c_str());
   std::exit(2);
+}
+
+void guard_overwrite(const std::string& path, bool force,
+                     const std::string& flag) {
+  if (path.empty()) return;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return;
+  if (force) {
+    std::fprintf(stderr, "warning: overwriting %s (%s)\n", path.c_str(),
+                 flag.c_str());
+    return;
+  }
+  fail_usage(flag + " " + path +
+             ": output exists (pass --force true to overwrite)");
 }
 
 ArgParser::ArgParser(std::string program, std::string description)

@@ -28,6 +28,15 @@ class UsageError : public ContractViolation {
 /// conventional "usage error" status. For validation outside ArgParser.
 [[noreturn]] void fail_usage(const std::string& message);
 
+/// The shared overwrite guard of every output-writing binary: refuses to
+/// clobber an existing `path` unless `force`, with a one-line stderr
+/// diagnostic naming the flag and exit code 2 (a usage error — run again
+/// with --force true). With force, prints a one-line overwrite warning
+/// instead. No-op when `path` is empty or nothing exists there. Called
+/// before any simulation runs, so a misdirected output path fails fast.
+void guard_overwrite(const std::string& path, bool force,
+                     const std::string& flag);
+
 /// Parses "--key value" / "--key=value" flags. Declare flags up front so
 /// --help can describe them and typos are rejected.
 class ArgParser {

@@ -1,0 +1,469 @@
+#include "scenario/runner.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/crc32.hpp"
+#include "core/capped.hpp"
+#include "fault/auditor.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace iba::scenario {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Measured-window accumulators + the `<checkpoint>.progress` sidecar.
+// The process checkpoint carries the trajectory; this carries the
+// runner's own state, so a resumed run finishes with accumulator values
+// byte-identical to the uninterrupted run.
+
+struct Progress {
+  std::string digest;       ///< Scenario::digest() of the running config
+  std::uint64_t seed = 0;   ///< effective seed (identity check on resume)
+  std::uint64_t rounds_done = 0;
+  std::uint64_t audit_rounds = 0;      ///< completed segments only
+  std::uint64_t audit_violations = 0;  ///< completed segments only
+
+  std::uint64_t pool_sum = 0;
+  std::uint64_t pool_min = UINT64_MAX;
+  std::uint64_t pool_max = 0;
+  std::uint64_t pool_last = 0;
+  std::uint64_t load_sum = 0;
+  std::uint64_t max_load_peak = 0;
+  std::uint64_t empty_bins_last = 0;
+  std::uint64_t requeued_sum = 0;
+  std::uint64_t faulted_bin_rounds = 0;
+  std::uint64_t shed_measured = 0;
+  std::uint64_t oldest_age_max = 0;
+};
+
+constexpr std::string_view kProgressMagic = "iba-scenario-progress";
+constexpr std::uint32_t kProgressVersion = 1;
+
+[[noreturn]] void fail_progress(const std::string& message) {
+  throw std::runtime_error("scenario progress: " + message);
+}
+
+std::string render_progress(const Progress& p) {
+  std::ostringstream out;
+  out << "digest = " << p.digest << '\n';
+  out << "seed = " << p.seed << '\n';
+  out << "rounds-done = " << p.rounds_done << '\n';
+  out << "audit-rounds = " << p.audit_rounds << '\n';
+  out << "audit-violations = " << p.audit_violations << '\n';
+  out << "pool-sum = " << p.pool_sum << '\n';
+  out << "pool-min = " << p.pool_min << '\n';
+  out << "pool-max = " << p.pool_max << '\n';
+  out << "pool-last = " << p.pool_last << '\n';
+  out << "load-sum = " << p.load_sum << '\n';
+  out << "max-load-peak = " << p.max_load_peak << '\n';
+  out << "empty-bins-last = " << p.empty_bins_last << '\n';
+  out << "requeued-sum = " << p.requeued_sum << '\n';
+  out << "faulted-bin-rounds = " << p.faulted_bin_rounds << '\n';
+  out << "shed-measured = " << p.shed_measured << '\n';
+  out << "oldest-age-max = " << p.oldest_age_max << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+void save_progress(const Progress& p, const std::string& path) {
+  const std::string body = render_progress(p);
+  std::ostringstream header;
+  header << kProgressMagic << ' ' << kProgressVersion << ' '
+         << common::crc32(body) << ' ' << body.size() << '\n';
+  const std::string head = header.str();
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) fail_progress("cannot open for writing: " + tmp);
+  bool ok = std::fwrite(head.data(), 1, head.size(), out) == head.size() &&
+            std::fwrite(body.data(), 1, body.size(), out) == body.size() &&
+            std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail_progress("write error: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail_progress("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+Progress load_progress(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail_progress("cannot open: " + path);
+  std::string header;
+  if (!std::getline(in, header)) fail_progress("truncated header");
+  std::istringstream head(header);
+  std::string magic;
+  std::uint32_t version = 0;
+  std::uint32_t crc = 0;
+  std::size_t bytes = 0;
+  if (!(head >> magic >> version >> crc >> bytes) ||
+      magic != kProgressMagic) {
+    fail_progress("bad header '" + header + "'");
+  }
+  if (version != kProgressVersion) {
+    fail_progress("unsupported version " + std::to_string(version));
+  }
+  std::string body(bytes, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    fail_progress("truncated body");
+  }
+  if (common::crc32(body) != crc) fail_progress("CRC mismatch");
+
+  Progress p;
+  std::istringstream lines(body);
+  std::string line;
+  bool saw_end = false;
+  const auto parse_u64 = [](const std::string& text, const char* what) {
+    try {
+      return static_cast<std::uint64_t>(std::stoull(text));
+    } catch (const std::exception&) {
+      fail_progress(std::string("invalid field ") + what + ": '" + text +
+                    "'");
+    }
+  };
+  while (std::getline(lines, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string::npos) {
+      fail_progress("malformed line '" + line + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 3);
+    if (key == "digest") {
+      p.digest = value;
+    } else if (key == "seed") {
+      p.seed = parse_u64(value, "seed");
+    } else if (key == "rounds-done") {
+      p.rounds_done = parse_u64(value, "rounds-done");
+    } else if (key == "audit-rounds") {
+      p.audit_rounds = parse_u64(value, "audit-rounds");
+    } else if (key == "audit-violations") {
+      p.audit_violations = parse_u64(value, "audit-violations");
+    } else if (key == "pool-sum") {
+      p.pool_sum = parse_u64(value, "pool-sum");
+    } else if (key == "pool-min") {
+      p.pool_min = parse_u64(value, "pool-min");
+    } else if (key == "pool-max") {
+      p.pool_max = parse_u64(value, "pool-max");
+    } else if (key == "pool-last") {
+      p.pool_last = parse_u64(value, "pool-last");
+    } else if (key == "load-sum") {
+      p.load_sum = parse_u64(value, "load-sum");
+    } else if (key == "max-load-peak") {
+      p.max_load_peak = parse_u64(value, "max-load-peak");
+    } else if (key == "empty-bins-last") {
+      p.empty_bins_last = parse_u64(value, "empty-bins-last");
+    } else if (key == "requeued-sum") {
+      p.requeued_sum = parse_u64(value, "requeued-sum");
+    } else if (key == "faulted-bin-rounds") {
+      p.faulted_bin_rounds = parse_u64(value, "faulted-bin-rounds");
+    } else if (key == "shed-measured") {
+      p.shed_measured = parse_u64(value, "shed-measured");
+    } else if (key == "oldest-age-max") {
+      p.oldest_age_max = parse_u64(value, "oldest-age-max");
+    } else {
+      fail_progress("unknown field '" + key + "'");
+    }
+  }
+  if (!saw_end) fail_progress("missing end marker");
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Expectation evaluation — exact-integer observations, deterministic
+// double comparisons (IEEE +−×÷ only).
+
+void evaluate_expectations(const Scenario& scn,
+                           artifact::ResultArtifact& artifact) {
+  const Expectations& expect = scn.expect;
+  const auto add = [&artifact](std::string name, std::string bound,
+                               std::string observed, bool pass) {
+    artifact.checks.push_back({std::move(name), std::move(bound),
+                               std::move(observed), pass});
+  };
+  const auto fmt = [](double value) { return detail::format_double(value); };
+
+  if (expect.max_pool_over_n > 0.0) {
+    // pool_max/n <= bound  ⇔  pool_max <= bound·n (one rounding, same
+    // everywhere).
+    const bool pass =
+        static_cast<double>(artifact.pool_max) <=
+        expect.max_pool_over_n * static_cast<double>(artifact.n);
+    add("max-pool-over-n", fmt(expect.max_pool_over_n),
+        std::to_string(artifact.pool_max) + "/" + std::to_string(artifact.n),
+        pass);
+  }
+  if (expect.max_wait_mean > 0.0) {
+    // wait_sum/wait_count <= bound  ⇔  wait_sum <= bound·count.
+    const bool pass =
+        static_cast<double>(artifact.wait_sum) <=
+        expect.max_wait_mean * static_cast<double>(artifact.wait_count);
+    add("max-wait-mean", fmt(expect.max_wait_mean),
+        std::to_string(artifact.wait_sum) + "/" +
+            std::to_string(artifact.wait_count),
+        artifact.wait_count == 0 || pass);
+  }
+  if (expect.max_wait_p99 > 0) {
+    add("max-wait-p99", std::to_string(expect.max_wait_p99),
+        std::to_string(artifact.wait_p99),
+        artifact.wait_p99 <= expect.max_wait_p99);
+  }
+  if (expect.max_wait_max > 0) {
+    add("max-wait-max", std::to_string(expect.max_wait_max),
+        std::to_string(artifact.wait_max),
+        artifact.wait_max <= expect.max_wait_max);
+  }
+  if (expect.max_shed != UINT64_MAX) {
+    add("max-shed", std::to_string(expect.max_shed),
+        std::to_string(artifact.shed_total),
+        artifact.shed_total <= expect.max_shed);
+  }
+}
+
+}  // namespace
+
+RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
+  const std::uint32_t n = scn.n;
+  const core::RoundKernel kernel = options.kernel.value_or(scn.kernel);
+  const std::uint32_t shards =
+      options.shards.value_or(kernel == core::RoundKernel::kBinMajor
+                                  ? scn.shards
+                                  : std::uint32_t{1});
+  IBA_EXPECT(kernel == core::RoundKernel::kBinMajor || shards == 1,
+             "run_scenario: the scalar kernel cannot shard");
+  IBA_EXPECT(options.stop_after == 0 || !options.checkpoint_out.empty(),
+             "run_scenario: stop_after requires checkpoint_out");
+  const std::uint64_t seed = options.seed.value_or(scn.seed);
+  const std::uint64_t total_rounds = scn.burn_in + scn.rounds;
+  IBA_EXPECT(options.stop_after == 0 || options.stop_after < total_rounds,
+             "run_scenario: stop_after must precede the scenario's end");
+  const std::uint64_t checkpoint_every = !options.checkpoint_out.empty()
+                                             ? (options.checkpoint_every > 0
+                                                    ? options.checkpoint_every
+                                                    : scn.checkpoint_every)
+                                             : 0;
+
+  const std::string digest = scn.digest();
+
+  std::unique_ptr<core::Capped> process;
+  std::unique_ptr<fault::FaultPlan> plan;
+  Progress progress;
+
+  const std::uint32_t plan_ceiling =
+      scn.control.enabled() ? scn.control.c_max : scn.capacity;
+
+  if (!options.resume.empty()) {
+    sim::Checkpoint ckpt = sim::load_checkpoint_full(options.resume);
+    progress = load_progress(options.resume + ".progress");
+    IBA_EXPECT(progress.digest == digest,
+               "run_scenario: checkpoint belongs to a different scenario "
+               "(digest mismatch)");
+    IBA_EXPECT(progress.seed == seed,
+               "run_scenario: checkpoint belongs to a different seed");
+    IBA_EXPECT(ckpt.snapshot.round == progress.rounds_done,
+               "run_scenario: checkpoint and progress sidecar disagree");
+    IBA_EXPECT(progress.rounds_done < total_rounds,
+               "run_scenario: checkpoint is already past the scenario's end");
+    // Execution hints are free to change on resume — overwrite them in
+    // the restored config before the process spins up its thread pool.
+    ckpt.snapshot.config.kernel = kernel;
+    ckpt.snapshot.config.shards = shards;
+    process = std::make_unique<core::Capped>(ckpt.snapshot);
+    if (ckpt.has_fault_state) {
+      plan = std::make_unique<fault::FaultPlan>(
+          fault::parse_schedule(ckpt.fault_schedule), n, plan_ceiling,
+          ckpt.fault_seed);
+      plan->restore(ckpt.fault_state);
+    }
+  } else {
+    core::CappedConfig config;
+    config.n = n;
+    config.capacity = scn.capacity;
+    scn.arrival.apply_to(n, config.arrival, config.lambda_n);
+    config.kernel = kernel;
+    config.shards = shards;
+    config.pool_limit = scn.pool_limit;
+    config.backpressure = scn.backpressure;
+    config.backoff_rounds = scn.backoff;
+    config.control = scn.control;
+    process = std::make_unique<core::Capped>(config, core::Engine(seed));
+    if (!scn.fault_schedule.empty()) {
+      plan = std::make_unique<fault::FaultPlan>(
+          fault::parse_schedule(scn.fault_schedule), n, plan_ceiling,
+          scn.fault_seed);
+    }
+    progress.digest = digest;
+    progress.seed = seed;
+  }
+  if (plan != nullptr) process->set_fault_plan(plan.get());
+  const std::unique_ptr<core::BinChoiceSampler> sampler =
+      scn.arrival.make_sampler(n);
+  if (sampler != nullptr) process->set_bin_sampler(sampler.get());
+
+  std::optional<fault::InvariantAuditor> auditor;
+  if (scn.expect.audit) auditor.emplace(scn.expect.audit_every);
+
+  const auto save_state = [&] {
+    sim::Checkpoint ckpt;
+    ckpt.snapshot = process->snapshot();
+    if (plan != nullptr) {
+      ckpt.has_fault_state = true;
+      ckpt.fault_schedule = fault::to_string(plan->schedule());
+      ckpt.fault_seed = plan->seed();
+      ckpt.fault_state = plan->state();
+    }
+    sim::save_checkpoint(ckpt, options.checkpoint_out);
+    Progress saved = progress;
+    if (auditor.has_value()) {
+      saved.audit_rounds += auditor->rounds_audited();
+      saved.audit_violations += auditor->violation_count();
+    }
+    save_progress(saved, options.checkpoint_out + ".progress");
+  };
+
+  RunOutcome outcome;
+  for (std::uint64_t round = progress.rounds_done + 1; round <= total_rounds;
+       ++round) {
+    if (scn.arrival.time_varying()) {
+      process->set_lambda_n(scn.arrival.rate_at(round, n));
+    }
+    const core::RoundMetrics m = process->step();
+    if (auditor.has_value()) auditor->observe(*process, m);
+    if (round > scn.burn_in) {
+      progress.pool_sum += m.pool_size;
+      if (m.pool_size < progress.pool_min) progress.pool_min = m.pool_size;
+      if (m.pool_size > progress.pool_max) progress.pool_max = m.pool_size;
+      progress.pool_last = m.pool_size;
+      progress.load_sum += m.total_load;
+      if (m.max_load > progress.max_load_peak) {
+        progress.max_load_peak = m.max_load;
+      }
+      progress.empty_bins_last = m.empty_bins;
+      progress.requeued_sum += m.requeued;
+      progress.faulted_bin_rounds += m.faulted_bins;
+      progress.shed_measured += m.shed;
+      if (m.oldest_pool_age > progress.oldest_age_max) {
+        progress.oldest_age_max = m.oldest_pool_age;
+      }
+    }
+    progress.rounds_done = round;
+    // Burn-in boundary: clear the cumulative wait statistics so the
+    // measured window starts clean. Ordered before any checkpoint at
+    // this round — the snapshot then carries the cleared state and a
+    // resume does not double-reset.
+    if (round == scn.burn_in) process->reset_wait_stats();
+    if (checkpoint_every > 0 && round % checkpoint_every == 0 &&
+        round != total_rounds) {
+      save_state();
+    }
+    if (options.stop_after != 0 && round == options.stop_after) {
+      save_state();
+      outcome.complete = false;
+      outcome.rounds_done = round;
+      return outcome;
+    }
+  }
+  outcome.rounds_done = total_rounds;
+
+  // -- assemble the artifact -------------------------------------------
+  artifact::ResultArtifact& result = outcome.artifact;
+  const core::CappedSnapshot snapshot = process->snapshot();
+  result.scenario_name = scn.name;
+  result.scenario_digest = digest;
+  result.seed = seed;
+  result.n = n;
+  result.capacity_initial = scn.capacity;
+  result.burn_in = scn.burn_in;
+  result.rounds = scn.rounds;
+
+  result.generated_total = process->generated_total();
+  result.deleted_total = process->deleted_total();
+  result.shed_total = process->shed_total();
+  result.deferred_end = process->deferred_total();
+
+  result.pool_sum = progress.pool_sum;
+  result.pool_min = progress.pool_min == UINT64_MAX ? 0 : progress.pool_min;
+  result.pool_max = progress.pool_max;
+  result.pool_last = progress.pool_last;
+  result.load_sum = progress.load_sum;
+  result.max_load_peak = progress.max_load_peak;
+  result.empty_bins_last = progress.empty_bins_last;
+  result.requeued_sum = progress.requeued_sum;
+  result.faulted_bin_rounds = progress.faulted_bin_rounds;
+  result.shed_measured = progress.shed_measured;
+  result.oldest_age_max = progress.oldest_age_max;
+
+  result.wait_count = snapshot.waits.count;
+  result.wait_sum = snapshot.waits.sum;
+  result.wait_sumsq_hi = snapshot.waits.sumsq_hi;
+  result.wait_sumsq_lo = snapshot.waits.sumsq_lo;
+  result.wait_max = snapshot.waits.max;
+  result.wait_p50 = process->waits().quantile_upper_bound(0.5);
+  result.wait_p99 = process->waits().quantile_upper_bound(0.99);
+  result.wait_histogram = snapshot.waits.histogram;
+
+  if (plan != nullptr) {
+    result.has_faults = true;
+    result.crashes = plan->crashes_total();
+    result.repairs = plan->repairs_total();
+    result.straggler_skips = plan->straggler_skips_total();
+  }
+
+  if (scn.control.enabled()) {
+    result.has_control = true;
+    result.capacity_final = process->capacity();
+    result.control_changes = snapshot.controller.changes;
+    result.control_grows = snapshot.controller.grows;
+    result.control_shrinks = snapshot.controller.shrinks;
+  }
+
+  if (auditor.has_value()) {
+    result.audited = true;
+    result.audit_rounds = progress.audit_rounds + auditor->rounds_audited();
+    result.audit_violations =
+        progress.audit_violations + auditor->violation_count();
+    outcome.audit_ok = result.audit_violations == 0;
+    if (!outcome.audit_ok) {
+      for (const auto& violation : auditor->violations()) {
+        outcome.failures.push_back(
+            "audit: round " + std::to_string(violation.round) + ": " +
+            violation.invariant + ": " + violation.detail);
+      }
+      if (auditor->violations().empty()) {
+        outcome.failures.push_back(
+            "audit: violations recorded in an earlier (checkpointed) "
+            "segment");
+      }
+    }
+  }
+
+  evaluate_expectations(scn, result);
+  for (const artifact::ExpectationCheck& check : result.checks) {
+    if (!check.pass) {
+      outcome.expectations_ok = false;
+      outcome.failures.push_back("expect: " + check.name + ": bound " +
+                                 check.bound + ", observed " +
+                                 check.observed);
+    }
+  }
+
+  if (!options.checkpoint_out.empty()) save_state();
+  return outcome;
+}
+
+}  // namespace iba::scenario

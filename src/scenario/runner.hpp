@@ -1,0 +1,77 @@
+// Scenario runner — executes a parsed Scenario end to end and produces
+// the result artifact (docs/SCENARIOS.md):
+//
+//   build CappedConfig → attach fault plan / Zipf sampler / auditor →
+//   burn-in → measured window with integer accumulators → evaluate
+//   [expect] bounds → artifact::ResultArtifact.
+//
+// Determinism contract: the artifact bytes depend only on (scenario
+// semantics, seed). Kernel, shard count, checkpoint cadence and
+// kill-and-resume leave them unchanged:
+//  * kernels/shards — byte-identical by the process's decide-before-draw
+//    discipline (every random draw comes from the master engine in a
+//    fixed order, including through a BinChoiceSampler);
+//  * resume — the process checkpoint (format v3, incl. fault/control
+//    state and cumulative waits) carries the trajectory, and a small
+//    `<path>.progress` sidecar (CRC-bound) carries the runner's own
+//    measured-window accumulators, so a killed run finishes with the
+//    exact accumulator values of the uninterrupted one;
+//  * accumulators are exact u64 sums/extrema — no floating-point
+//    round-off to reorder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.hpp"
+#include "core/policies.hpp"
+#include "scenario/scenario.hpp"
+
+namespace iba::scenario {
+
+/// Execution knobs of one run — everything here is free to vary without
+/// changing the artifact bytes (that is what the determinism tests
+/// assert). Seed overrides *do* change the bytes, deliberately.
+struct RunOptions {
+  std::optional<core::RoundKernel> kernel;  ///< override [system] kernel
+  std::optional<std::uint32_t> shards;      ///< override [system] shards
+  std::optional<std::uint64_t> seed;        ///< override [run] seed
+
+  std::string checkpoint_out;  ///< checkpoint path ("" = no checkpoints)
+  /// Checkpoint cadence in rounds; 0 adopts the scenario's
+  /// checkpoint-every. Only active with a checkpoint_out path.
+  std::uint64_t checkpoint_every = 0;
+  std::string resume;  ///< checkpoint to resume from ("" = fresh run)
+  /// Stop (checkpoint and return, complete = false) once this many
+  /// total rounds — burn-in included — have run. 0 = run to the end.
+  /// Requires checkpoint_out. For kill-and-resume testing.
+  std::uint64_t stop_after = 0;
+};
+
+/// What one run produced. `artifact` is only meaningful when `complete`.
+struct RunOutcome {
+  artifact::ResultArtifact artifact;
+  bool complete = true;         ///< false when stop_after cut the run
+  bool audit_ok = true;         ///< auditor found no violations
+  bool expectations_ok = true;  ///< every [expect] bound held
+  std::uint64_t rounds_done = 0;
+  std::vector<std::string> failures;  ///< human-readable violation lines
+
+  /// The exit-code contract for CLI front-ends: 3 on audit or
+  /// expectation violations, 0 otherwise.
+  [[nodiscard]] bool ok() const noexcept {
+    return audit_ok && expectations_ok;
+  }
+};
+
+/// Runs `scenario` under `options`. Throws common::ContractViolation on
+/// inconsistent options (stop_after without checkpoint_out, scalar
+/// kernel with shards, resume mismatch) and std::runtime_error on IO
+/// failures; fault schedules that do not fit the geometry surface as
+/// fault::ScheduleError.
+[[nodiscard]] RunOutcome run_scenario(const Scenario& scenario,
+                                      const RunOptions& options = {});
+
+}  // namespace iba::scenario

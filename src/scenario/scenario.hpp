@@ -1,0 +1,133 @@
+// The declarative scenario format (docs/SCENARIOS.md) — one versioned
+// text file that composes everything a run needs:
+//
+//   [scenario]      name
+//   [system]        n, c, kernel, shards          (kernel/shards are
+//                                                  execution hints)
+//   [arrival]       rate pattern + distribution + bin skew
+//   [faults]        a fault::schedule grammar string + fault seed
+//   [backpressure]  pool-limit, mode, backoff
+//   [control]       adaptive-control policy + knobs
+//   [run]           rounds, burn-in, seed, checkpoint-every
+//   [expect]        auditor on/off and pass/fail bounds
+//
+// Sections are `[name]` headers followed by `key = value` lines; `#`
+// starts a comment. Unknown sections/keys, duplicates, missing required
+// keys and out-of-domain values are rejected with a one-line diagnostic
+// naming the file, line, section and key (the named-field style of
+// fault::schedule) — CLI front-ends map ScenarioError to exit code 2.
+//
+// Determinism rule: same scenario + seed → byte-identical result
+// artifacts, independent of kernel, shard count, thread count, and
+// kill-and-resume. canonical_text()/digest() cover exactly the fields
+// that determine the trajectory (kernel, shards and checkpoint cadence
+// are excluded), so artifacts from different kernels carry the same
+// digest and can be byte-compared against one golden.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "control/policy.hpp"
+#include "core/policies.hpp"
+#include "scenario/arrival.hpp"
+
+namespace iba::scenario {
+
+/// Parse/validation failure; the message names file:line, section and
+/// key. CLI front-ends map this to exit code 2.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::runtime_error("scenario: " + what) {}
+};
+
+/// Pass/fail bounds evaluated against the finished run ([expect]).
+/// Zero disables a bound, except max-shed where 0 is a meaningful
+/// strict bound (UINT64_MAX disables it).
+struct Expectations {
+  bool audit = false;             ///< run the invariant auditor
+  std::uint64_t audit_every = 64; ///< deep-scan cadence, rounds
+  double max_pool_over_n = 0.0;   ///< bound on max pool/n (0 = off)
+  double max_wait_mean = 0.0;     ///< bound on mean wait (0 = off)
+  std::uint64_t max_wait_p99 = 0; ///< bound on dyadic p99 bound (0 = off)
+  std::uint64_t max_wait_max = 0; ///< bound on max wait (0 = off)
+  std::uint64_t max_shed = UINT64_MAX;  ///< bound on shed_total
+
+  [[nodiscard]] bool any_bounds() const noexcept {
+    return max_pool_over_n > 0.0 || max_wait_mean > 0.0 ||
+           max_wait_p99 > 0 || max_wait_max > 0 || max_shed != UINT64_MAX;
+  }
+};
+
+/// One parsed scenario. Field defaults are what an omitted optional
+/// section leaves behind.
+struct Scenario {
+  std::string name = "unnamed";
+
+  // [system]
+  std::uint32_t n = 0;
+  std::uint32_t capacity = 1;
+  core::RoundKernel kernel = core::RoundKernel::kBinMajor;  ///< hint
+  std::uint32_t shards = 1;                                 ///< hint
+
+  // [arrival]
+  ArrivalModel arrival;
+
+  // [faults]
+  std::string fault_schedule;  ///< canonical text, "" = no faults
+  std::uint64_t fault_seed = 1;
+
+  // [backpressure]
+  std::uint64_t pool_limit = 0;
+  core::BackpressureMode backpressure = core::BackpressureMode::kNone;
+  std::uint32_t backoff = 4;
+
+  // [control]
+  control::ControlConfig control;
+
+  // [run]
+  std::uint64_t rounds = 0;   ///< measured rounds (required, >= 1)
+  std::uint64_t burn_in = 0;  ///< fixed burn-in rounds before measuring
+  std::uint64_t seed = 1;
+  std::uint64_t checkpoint_every = 0;  ///< hint; 0 = off
+
+  // [expect]
+  Expectations expect;
+
+  /// Canonical rendering of the semantic fields, in fixed order with
+  /// normalized values. Execution hints (kernel, shards,
+  /// checkpoint-every) are excluded; a trace replay contributes its
+  /// counts, not its file path. Re-parsing the canonical text yields an
+  /// equal scenario.
+  [[nodiscard]] std::string canonical_text() const;
+
+  /// CRC-32 of canonical_text(), rendered as 8 lowercase hex digits —
+  /// the config digest stamped into result artifacts.
+  [[nodiscard]] std::string digest() const;
+};
+
+/// Parses scenario text. `origin` names the source in diagnostics
+/// (file path or "<string>"); `base_dir` resolves relative trace paths
+/// ("" = current directory). Throws ScenarioError on any malformed or
+/// out-of-domain input.
+[[nodiscard]] Scenario parse_scenario(std::string_view text,
+                                      const std::string& origin,
+                                      const std::string& base_dir = "");
+
+/// Reads and parses a scenario file. Throws ScenarioError when the file
+/// cannot be read.
+[[nodiscard]] Scenario load_scenario_file(const std::string& path);
+
+namespace detail {
+
+/// Shortest round-trip decimal rendering (std::to_chars) — canonical
+/// and platform-deterministic, unlike printf %g. Used for every double
+/// that lands in canonical scenario text or artifact bounds.
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace detail
+
+}  // namespace iba::scenario

@@ -1,0 +1,142 @@
+// Artifact serialization: canonical rendering, CRC binding, atomic file
+// round-trip, and rejection of corrupted/truncated/version-skewed text.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "artifact/artifact.hpp"
+
+namespace iba::artifact {
+namespace {
+
+ResultArtifact sample_artifact() {
+  ResultArtifact a;
+  a.scenario_name = "sample";
+  a.scenario_digest = "0123abcd";
+  a.seed = 42;
+  a.n = 1024;
+  a.capacity_initial = 2;
+  a.burn_in = 64;
+  a.rounds = 256;
+  a.generated_total = 229376;
+  a.deleted_total = 228900;
+  a.pool_sum = 120000;
+  a.pool_min = 400;
+  a.pool_max = 520;
+  a.pool_last = 470;
+  a.wait_count = 228900;
+  a.wait_sum = 250000;
+  a.wait_sumsq_hi = 0;
+  a.wait_sumsq_lo = 400000;
+  a.wait_max = 5;
+  a.wait_p50 = 1;
+  a.wait_p99 = 4;
+  a.wait_histogram = {100000, 90000, 38900};
+  a.checks.push_back({"max-wait-max", "8", "5", true});
+  return a;
+}
+
+TEST(Artifact, RenderIsStableAndVerifiable) {
+  const ResultArtifact a = sample_artifact();
+  const std::string text = render_artifact(a);
+  EXPECT_EQ(text, render_artifact(a));  // rendering is pure
+  EXPECT_NO_THROW(verify_artifact_text(text));
+
+  // Shape: versioned header first, CRC trailer last.
+  EXPECT_EQ(text.rfind("iba-artifact 1\n", 0), 0u);
+  EXPECT_NE(text.find("\nend\ncrc32 = "), std::string::npos);
+  EXPECT_NE(text.find("scenario = sample\n"), std::string::npos);
+  EXPECT_NE(text.find("histogram = 100000 90000 38900\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("max-wait-max = bound 8 observed 5 pass\n"),
+            std::string::npos);
+}
+
+TEST(Artifact, EveryFieldMovesTheBytes) {
+  const std::string base = render_artifact(sample_artifact());
+  ResultArtifact mutated = sample_artifact();
+  mutated.wait_sum += 1;
+  EXPECT_NE(render_artifact(mutated), base);
+  mutated = sample_artifact();
+  mutated.checks[0].pass = false;
+  const std::string failed = render_artifact(mutated);
+  EXPECT_NE(failed, base);
+  EXPECT_NE(failed.find("FAIL"), std::string::npos);
+}
+
+TEST(Artifact, CorruptionIsDetected) {
+  std::string text = render_artifact(sample_artifact());
+
+  // Flip one digit in the body: CRC mismatch.
+  std::string corrupted = text;
+  const std::size_t pos = corrupted.find("pool-max = 520");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted[pos + 11] = '6';
+  EXPECT_THROW(verify_artifact_text(corrupted), std::runtime_error);
+
+  // Truncation: missing trailer.
+  EXPECT_THROW(verify_artifact_text(text.substr(0, text.size() / 2)),
+               std::runtime_error);
+
+  // Version skew.
+  std::string skewed = text;
+  skewed.replace(0, 14, "iba-artifact 9");
+  EXPECT_THROW(verify_artifact_text(skewed), std::runtime_error);
+
+  // Wrong magic entirely.
+  EXPECT_THROW(verify_artifact_text("not an artifact\n"),
+               std::runtime_error);
+}
+
+TEST(Artifact, FileRoundTripIsExact) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "iba_artifact_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "sample.artifact").string();
+
+  const ResultArtifact a = sample_artifact();
+  write_artifact(a, path);
+  EXPECT_EQ(read_artifact_text(path), render_artifact(a));
+
+  // Overwrite is atomic: a second write lands cleanly.
+  write_artifact(a, path);
+  EXPECT_EQ(read_artifact_text(path), render_artifact(a));
+
+  // A corrupted file on disk is rejected at read time.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "iba-artifact 1\ngarbage\nend\ncrc32 = 00000000\n";
+  }
+  EXPECT_THROW((void)read_artifact_text(path), std::runtime_error);
+
+  EXPECT_THROW((void)read_artifact_text((dir / "missing").string()),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Artifact, OptionalSectionsAppearOnlyWhenPresent) {
+  ResultArtifact plain = sample_artifact();
+  const std::string base = render_artifact(plain);
+  EXPECT_EQ(base.find("[faults]"), std::string::npos);
+  EXPECT_EQ(base.find("[control]"), std::string::npos);
+  EXPECT_EQ(base.find("[audit]"), std::string::npos);
+
+  ResultArtifact full = sample_artifact();
+  full.has_faults = true;
+  full.crashes = 3;
+  full.has_control = true;
+  full.capacity_final = 4;
+  full.audited = true;
+  full.audit_rounds = 320;
+  const std::string text = render_artifact(full);
+  EXPECT_NE(text.find("[faults]"), std::string::npos);
+  EXPECT_NE(text.find("[control]"), std::string::npos);
+  EXPECT_NE(text.find("[audit]"), std::string::npos);
+  EXPECT_NO_THROW(verify_artifact_text(text));
+}
+
+}  // namespace
+}  // namespace iba::artifact

@@ -1,0 +1,203 @@
+// scenario::ArrivalModel — rate_at() unit behavior for every pattern,
+// the platform-deterministic sine, quantization parity with the
+// historical sim::lambda_n_for, and statistical sanity of the Zipf
+// bin-choice sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "scenario/arrival.hpp"
+#include "sim/config.hpp"
+
+namespace iba::scenario {
+namespace {
+
+TEST(ArrivalModel, ConstantQuantizationMatchesSimHelpers) {
+  // The benches historically used sim::lambda_n_for(n, i); the port to
+  // ArrivalModel::constant must reproduce it exactly.
+  for (const std::uint32_t n : {512u, 1024u, 8192u, 8191u, 1000u}) {
+    for (const std::uint32_t i : {1u, 2u, 4u, 6u, 8u}) {
+      const auto model =
+          ArrivalModel::constant(sim::lambda_one_minus_2pow(i));
+      EXPECT_EQ(model.rate_at(1, n), sim::lambda_n_for(n, i))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ArrivalModel, ConstantIsNotTimeVarying) {
+  const auto model = ArrivalModel::constant(0.875);
+  EXPECT_FALSE(model.time_varying());
+  EXPECT_EQ(model.rate_at(1, 1024), 896u);
+  EXPECT_EQ(model.rate_at(1000000, 1024), 896u);
+}
+
+TEST(ArrivalModel, SinusoidOscillatesWithinBounds) {
+  ArrivalModel model;
+  model.pattern = ArrivalPattern::kSinusoid;
+  model.lambda = 0.5;
+  model.amplitude = 0.25;
+  model.period = 64;
+  model.validate(1024);
+  EXPECT_TRUE(model.time_varying());
+
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (std::uint64_t r = 1; r <= 64; ++r) {
+    const std::uint64_t rate = model.rate_at(r, 1024);
+    lo = std::min(lo, rate);
+    hi = std::max(hi, rate);
+    // Periodicity: exact repetition one period later.
+    EXPECT_EQ(model.rate_at(r + 64, 1024), rate);
+  }
+  EXPECT_EQ(lo, 256u);  // (0.5 - 0.25) * 1024
+  EXPECT_EQ(hi, 768u);  // (0.5 + 0.25) * 1024
+  // Round 1 is phase 0: sin(0) = 0, so the base rate.
+  EXPECT_EQ(model.rate_at(1, 1024), 512u);
+}
+
+TEST(ArrivalModel, SinusoidPhaseShifts) {
+  ArrivalModel base;
+  base.pattern = ArrivalPattern::kSinusoid;
+  base.lambda = 0.5;
+  base.amplitude = 0.25;
+  base.period = 64;
+  ArrivalModel shifted = base;
+  shifted.phase = 16;
+  for (std::uint64_t r = 1; r <= 128; ++r) {
+    EXPECT_EQ(shifted.rate_at(r, 1024), base.rate_at(r + 16, 1024));
+  }
+}
+
+TEST(ArrivalModel, BurstWindowsAreExact) {
+  ArrivalModel model;
+  model.pattern = ArrivalPattern::kBursts;
+  model.lambda = 0.25;
+  model.burst_lambda = 0.75;
+  model.period = 10;
+  model.burst_width = 3;
+  model.burst_start = 5;
+  model.validate(100);
+
+  const auto rate = [&](std::uint64_t r) { return model.rate_at(r, 100); };
+  EXPECT_EQ(rate(1), 25u);   // before the first burst
+  EXPECT_EQ(rate(4), 25u);
+  EXPECT_EQ(rate(5), 75u);   // burst rounds 5, 6, 7
+  EXPECT_EQ(rate(7), 75u);
+  EXPECT_EQ(rate(8), 25u);   // quiet rounds 8..14
+  EXPECT_EQ(rate(14), 25u);
+  EXPECT_EQ(rate(15), 75u);  // next burst, one period later
+}
+
+TEST(ArrivalModel, RegimesArePiecewiseConstant) {
+  ArrivalModel model;
+  model.pattern = ArrivalPattern::kRegimes;
+  model.regimes = {{1, 0.25}, {10, 0.75}, {20, 0.5}};
+  model.validate(100);
+  EXPECT_EQ(model.rate_at(1, 100), 25u);
+  EXPECT_EQ(model.rate_at(9, 100), 25u);
+  EXPECT_EQ(model.rate_at(10, 100), 75u);
+  EXPECT_EQ(model.rate_at(19, 100), 75u);
+  EXPECT_EQ(model.rate_at(20, 100), 50u);
+  EXPECT_EQ(model.rate_at(1000, 100), 50u);
+}
+
+TEST(ArrivalModel, TraceLoopsOrHolds) {
+  ArrivalModel model;
+  model.pattern = ArrivalPattern::kTrace;
+  model.trace = {5, 10, 15};
+  model.trace_loop = true;
+  model.validate(100);
+  EXPECT_EQ(model.rate_at(1, 100), 5u);
+  EXPECT_EQ(model.rate_at(3, 100), 15u);
+  EXPECT_EQ(model.rate_at(4, 100), 5u);  // wrapped
+  model.trace_loop = false;
+  EXPECT_EQ(model.rate_at(4, 100), 15u);  // held
+  EXPECT_EQ(model.rate_at(400, 100), 15u);
+}
+
+TEST(ArrivalModel, ValidateRejectsBadModels) {
+  ArrivalModel empty_trace;
+  empty_trace.pattern = ArrivalPattern::kTrace;
+  EXPECT_THROW(empty_trace.validate(100), iba::ContractViolation);
+
+  ArrivalModel bad_rate;
+  bad_rate.lambda = 1.5;
+  EXPECT_THROW(bad_rate.validate(100), iba::ContractViolation);
+}
+
+TEST(ArrivalSine, MatchesLibmWithinApproximationError) {
+  // Bhaskara I on each half wave: |error| < 0.0017. The point is not
+  // precision — it is that the value is reproducible without libm.
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(i) / 1000.0;
+    const double approx = detail::sin_turn(x);
+    const double exact = std::sin(2.0 * std::numbers::pi * x);
+    EXPECT_NEAR(approx, exact, 0.0017) << "x=" << x;
+  }
+  EXPECT_EQ(detail::sin_turn(0.0), 0.0);
+  EXPECT_EQ(detail::sin_turn(0.25), 1.0);
+  EXPECT_EQ(detail::sin_turn(0.75), -1.0);
+}
+
+TEST(ZipfSampler, StatisticallyMatchesZipfWeights) {
+  const std::uint32_t n = 64;
+  ZipfBinSampler sampler(n, 1.0);
+  core::Engine engine(123);
+
+  std::vector<std::uint32_t> draws(200000);
+  sampler.fill(engine, draws);
+  std::vector<std::uint64_t> counts(n, 0);
+  for (const std::uint32_t bin : draws) {
+    ASSERT_LT(bin, n);
+    ++counts[bin];
+  }
+
+  // P[bin i] = (1/(i+1)) / H_n. Check the head against the harmonic
+  // normalization with a generous tolerance (±10% relative at 200k).
+  double harmonic = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) harmonic += 1.0 / (i + 1.0);
+  for (const std::uint32_t i : {0u, 1u, 3u, 7u}) {
+    const double expected = draws.size() / ((i + 1.0) * harmonic);
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, 0.1 * expected)
+        << "bin " << i;
+  }
+  // Strict head-vs-tail ordering.
+  EXPECT_GT(counts[0], 4 * counts[n - 1]);
+}
+
+TEST(ZipfSampler, DeterministicInTheSeed) {
+  ZipfBinSampler a(256, 1.0), b(256, 1.0);
+  core::Engine ea(7), eb(7);
+  std::vector<std::uint32_t> da(4096), db(4096);
+  a.fill(ea, da);
+  b.fill(eb, db);
+  EXPECT_EQ(da, db);
+}
+
+TEST(ZipfSampler, SkewZeroIsNearUniform) {
+  const std::uint32_t n = 16;
+  ZipfBinSampler sampler(n, 0.0);
+  core::Engine engine(9);
+  std::vector<std::uint32_t> draws(160000);
+  sampler.fill(engine, draws);
+  std::vector<std::uint64_t> counts(n, 0);
+  for (const std::uint32_t bin : draws) ++counts[bin];
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]), 10000.0, 500.0) << i;
+  }
+}
+
+TEST(ArrivalModel, MakeSamplerOnlyForZipf) {
+  const auto uniform = ArrivalModel::constant(0.5);
+  EXPECT_EQ(uniform.make_sampler(64), nullptr);
+  ArrivalModel zipf = uniform;
+  zipf.skew = BinSkew::kZipf;
+  zipf.zipf_s = 1.0;
+  EXPECT_NE(zipf.make_sampler(64), nullptr);
+}
+
+}  // namespace
+}  // namespace iba::scenario

@@ -1,0 +1,154 @@
+// The determinism contract of the scenario engine: artifact bytes are a
+// function of (scenario semantics, seed) only. Kernel choice, shard
+// count, and kill-and-resume must leave them unchanged; a different
+// seed must not.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "artifact/artifact.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace iba::scenario {
+namespace {
+
+// A scenario that exercises most moving parts at once: time-varying
+// rate, Zipf skew, a crash, and the auditor.
+constexpr const char* kLoaded = R"(
+[scenario]
+name = determinism_probe
+
+[system]
+n = 512
+c = 2
+
+[arrival]
+model = sinusoid
+lambda = 0.75
+amplitude = 0.125
+period = 48
+skew = zipf
+zipf-s = 1
+
+[faults]
+schedule = crash@40:bins=0-7,down=12
+
+[run]
+rounds = 120
+burn-in = 32
+seed = 21
+
+[expect]
+audit = on
+audit-every = 16
+)";
+
+std::string run_bytes(const Scenario& scn, const RunOptions& options = {}) {
+  const RunOutcome outcome = run_scenario(scn, options);
+  EXPECT_TRUE(outcome.complete);
+  EXPECT_TRUE(outcome.ok()) << (outcome.failures.empty()
+                                    ? "?"
+                                    : outcome.failures.front());
+  return artifact::render_artifact(outcome.artifact);
+}
+
+TEST(ScenarioDeterminism, KernelAndShardsLeaveBytesUnchanged) {
+  const Scenario scn = parse_scenario(kLoaded, "det.scn");
+  const std::string baseline = run_bytes(scn);
+
+  RunOptions scalar;
+  scalar.kernel = core::RoundKernel::kScalar;
+  EXPECT_EQ(run_bytes(scn, scalar), baseline);
+
+  RunOptions sharded;
+  sharded.kernel = core::RoundKernel::kBinMajor;
+  sharded.shards = 4;
+  EXPECT_EQ(run_bytes(scn, sharded), baseline);
+}
+
+TEST(ScenarioDeterminism, RepeatRunsAreIdentical) {
+  const Scenario scn = parse_scenario(kLoaded, "det.scn");
+  EXPECT_EQ(run_bytes(scn), run_bytes(scn));
+}
+
+TEST(ScenarioDeterminism, SeedMovesTheBytes) {
+  const Scenario scn = parse_scenario(kLoaded, "det.scn");
+  RunOptions reseeded;
+  reseeded.seed = 22;
+  EXPECT_NE(run_bytes(scn, reseeded), run_bytes(scn));
+}
+
+TEST(ScenarioDeterminism, KillAndResumeReproducesTheRun) {
+  const Scenario scn = parse_scenario(kLoaded, "det.scn");
+  const std::string baseline = run_bytes(scn);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "iba_scenario_determinism_test";
+  std::filesystem::create_directories(dir);
+  const std::string ckpt = (dir / "probe.ckpt").string();
+
+  // Kill mid-measured-window (burn-in is 32, total is 152)...
+  RunOptions first;
+  first.checkpoint_out = ckpt;
+  first.stop_after = 90;
+  const RunOutcome stopped = run_scenario(scn, first);
+  EXPECT_FALSE(stopped.complete);
+  EXPECT_EQ(stopped.rounds_done, 90u);
+
+  // ...and resume on a DIFFERENT kernel: still byte-identical.
+  RunOptions second;
+  second.resume = ckpt;
+  second.kernel = core::RoundKernel::kScalar;
+  EXPECT_EQ(run_bytes(scn, second), baseline);
+
+  // Kill inside the burn-in too (before the wait-stats reset).
+  RunOptions early;
+  early.checkpoint_out = ckpt;
+  early.stop_after = 20;
+  (void)run_scenario(scn, early);
+  RunOptions finish;
+  finish.resume = ckpt;
+  EXPECT_EQ(run_bytes(scn, finish), baseline);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScenarioDeterminism, InconsistentOptionsAreRejected) {
+  const Scenario scn = parse_scenario(kLoaded, "det.scn");
+  RunOptions no_ckpt;
+  no_ckpt.stop_after = 10;
+  EXPECT_THROW((void)run_scenario(scn, no_ckpt), iba::ContractViolation);
+
+  RunOptions scalar_sharded;
+  scalar_sharded.kernel = core::RoundKernel::kScalar;
+  scalar_sharded.shards = 4;
+  EXPECT_THROW((void)run_scenario(scn, scalar_sharded),
+               iba::ContractViolation);
+}
+
+TEST(ScenarioDeterminism, ResumeRejectsForeignCheckpoint) {
+  const Scenario scn = parse_scenario(kLoaded, "det.scn");
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "iba_scenario_foreign_ckpt_test";
+  std::filesystem::create_directories(dir);
+  const std::string ckpt = (dir / "probe.ckpt").string();
+  RunOptions first;
+  first.checkpoint_out = ckpt;
+  first.stop_after = 40;
+  (void)run_scenario(scn, first);
+
+  // A scenario with different semantics must refuse this checkpoint.
+  Scenario other = scn;
+  other.seed = 99;
+  RunOptions resume;
+  resume.resume = ckpt;
+  EXPECT_THROW((void)run_scenario(other, resume), iba::ContractViolation);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace iba::scenario

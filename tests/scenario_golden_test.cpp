@@ -1,0 +1,96 @@
+// Golden-artifact regression: every scenario in scenarios/*.scn must
+// reproduce its committed golden in tests/goldens/ byte for byte, pass
+// its own [expect] bounds, and audit clean. Regenerate intentionally
+// with scripts/update_goldens.sh.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "artifact/artifact.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef IBA_REPO_DIR
+#error "IBA_REPO_DIR must point at the repository root"
+#endif
+
+namespace iba::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kRepo = IBA_REPO_DIR;
+
+std::set<fs::path> bank_files() {
+  std::set<fs::path> files;  // sorted for stable test order
+  for (const auto& entry : fs::directory_iterator(kRepo / "scenarios")) {
+    if (entry.path().extension() == ".scn") files.insert(entry.path());
+  }
+  return files;
+}
+
+TEST(ScenarioGoldens, BankIsNonTrivial) {
+  EXPECT_GE(bank_files().size(), 8u)
+      << "the scenario bank should keep at least 8 members";
+}
+
+TEST(ScenarioGoldens, EveryScenarioMatchesItsGolden) {
+  for (const fs::path& path : bank_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const Scenario scn = load_scenario_file(path.string());
+    EXPECT_EQ(scn.name, path.stem().string())
+        << "scenario name should match its file name";
+
+    const RunOutcome outcome = run_scenario(scn);
+    ASSERT_TRUE(outcome.complete);
+    EXPECT_TRUE(outcome.audit_ok);
+    EXPECT_TRUE(outcome.expectations_ok)
+        << (outcome.failures.empty() ? "?" : outcome.failures.front());
+    EXPECT_TRUE(outcome.artifact.all_checks_pass());
+
+    const fs::path golden =
+        kRepo / "tests" / "goldens" / (path.stem().string() + ".artifact");
+    ASSERT_TRUE(fs::exists(golden))
+        << "missing golden — run scripts/update_goldens.sh";
+    const std::string expected =
+        artifact::read_artifact_text(golden.string());
+    const std::string actual = artifact::render_artifact(outcome.artifact);
+    EXPECT_EQ(actual, expected)
+        << path.stem().string()
+        << " drifted from its golden; if intended, regenerate with "
+           "scripts/update_goldens.sh and commit the diff";
+  }
+}
+
+TEST(ScenarioGoldens, NoOrphanGoldens) {
+  std::set<std::string> names;
+  for (const fs::path& path : bank_files()) names.insert(path.stem().string());
+  for (const auto& entry :
+       fs::directory_iterator(kRepo / "tests" / "goldens")) {
+    if (entry.path().extension() != ".artifact") continue;
+    EXPECT_TRUE(names.contains(entry.path().stem().string()))
+        << entry.path().filename().string()
+        << " has no matching scenario in scenarios/";
+  }
+}
+
+TEST(ScenarioGoldens, GoldenDigestsMatchTheirScenarios) {
+  // The digest line inside each golden must equal the digest of today's
+  // scenario file — catches edits to a .scn without a golden refresh
+  // even when the run would coincidentally produce the same numbers.
+  for (const fs::path& path : bank_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const Scenario scn = load_scenario_file(path.string());
+    const fs::path golden =
+        kRepo / "tests" / "goldens" / (path.stem().string() + ".artifact");
+    if (!fs::exists(golden)) continue;  // reported by the main test
+    const std::string text = artifact::read_artifact_text(golden.string());
+    EXPECT_NE(text.find("digest = " + scn.digest() + "\n"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace iba::scenario

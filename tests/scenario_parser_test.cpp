@@ -1,0 +1,300 @@
+// Scenario DSL parser: accepted grammar, defaults, canonical-text fixed
+// point, digest stability, and the negative battery — every malformed
+// input must fail with a ScenarioError whose message names the
+// origin:line, [section] and key (the exit-2 contract of scenario_run).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace iba::scenario {
+namespace {
+
+constexpr const char* kMinimal = R"(
+[system]
+n = 1024
+c = 2
+
+[arrival]
+model = constant
+lambda = 0.875
+
+[run]
+rounds = 100
+)";
+
+TEST(ScenarioParser, MinimalScenarioGetsDefaults) {
+  const Scenario scn = parse_scenario(kMinimal, "test.scn");
+  EXPECT_EQ(scn.n, 1024u);
+  EXPECT_EQ(scn.capacity, 2u);
+  EXPECT_EQ(scn.arrival.pattern, ArrivalPattern::kConstant);
+  EXPECT_EQ(scn.arrival.distribution, core::ArrivalModel::kDeterministic);
+  EXPECT_DOUBLE_EQ(scn.arrival.lambda, 0.875);
+  EXPECT_EQ(scn.rounds, 100u);
+  EXPECT_EQ(scn.burn_in, 0u);
+  EXPECT_EQ(scn.seed, 1u);
+  EXPECT_EQ(scn.kernel, core::RoundKernel::kBinMajor);
+  EXPECT_EQ(scn.shards, 1u);
+  EXPECT_TRUE(scn.fault_schedule.empty());
+  EXPECT_FALSE(scn.control.enabled());
+  EXPECT_FALSE(scn.expect.audit);
+}
+
+TEST(ScenarioParser, CanonicalTextIsAFixedPoint) {
+  const Scenario scn = parse_scenario(kMinimal, "test.scn");
+  const std::string canon = scn.canonical_text();
+  const Scenario reparsed = parse_scenario(canon, "canon.scn");
+  EXPECT_EQ(reparsed.canonical_text(), canon);
+  EXPECT_EQ(reparsed.digest(), scn.digest());
+}
+
+TEST(ScenarioParser, DigestIgnoresExecutionHints) {
+  const Scenario base = parse_scenario(kMinimal, "test.scn");
+  const Scenario hinted = parse_scenario(R"(
+[system]
+n = 1024
+c = 2
+kernel = scalar
+
+[arrival]
+model = constant
+lambda = 0.875
+
+[run]
+rounds = 100
+checkpoint-every = 10
+)",
+                                         "test.scn");
+  EXPECT_EQ(hinted.kernel, core::RoundKernel::kScalar);
+  EXPECT_EQ(hinted.digest(), base.digest());
+
+  // Semantics DO move the digest.
+  Scenario other = base;
+  other.seed = 2;
+  EXPECT_NE(other.digest(), base.digest());
+}
+
+TEST(ScenarioParser, ParsesEveryArrivalPattern) {
+  const Scenario sine = parse_scenario(R"(
+[system]
+n = 512
+c = 1
+[arrival]
+model = sinusoid
+lambda = 0.5
+amplitude = 0.25
+period = 64
+phase = 8
+[run]
+rounds = 10
+)",
+                                       "t");
+  EXPECT_EQ(sine.arrival.pattern, ArrivalPattern::kSinusoid);
+  EXPECT_EQ(sine.arrival.period, 64u);
+  EXPECT_EQ(sine.arrival.phase, 8u);
+
+  const Scenario regimes = parse_scenario(R"(
+[system]
+n = 512
+c = 1
+[arrival]
+model = regimes
+schedule = 1:0.25; 50:0.75
+[run]
+rounds = 10
+)",
+                                          "t");
+  ASSERT_EQ(regimes.arrival.regimes.size(), 2u);
+  EXPECT_EQ(regimes.arrival.regimes[1].from, 50u);
+
+  const Scenario trace = parse_scenario(R"(
+[system]
+n = 512
+c = 1
+[arrival]
+model = trace
+counts = 1, 2, 3
+loop = off
+[run]
+rounds = 10
+)",
+                                        "t");
+  ASSERT_EQ(trace.arrival.trace.size(), 3u);
+  EXPECT_FALSE(trace.arrival.trace_loop);
+}
+
+TEST(ScenarioParser, FaultScheduleIsCanonicalized) {
+  const Scenario scn = parse_scenario(R"(
+[system]
+n = 512
+c = 1
+[arrival]
+model = constant
+lambda = 0.5
+[faults]
+schedule = crash@10:bins=0-3,down=5
+[run]
+rounds = 20
+)",
+                                      "t");
+  EXPECT_FALSE(scn.fault_schedule.empty());
+  EXPECT_NE(scn.fault_schedule.find("crash@10"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Negative battery: each case must throw with a diagnostic naming the
+// offending location.
+
+void expect_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)parse_scenario(text, "bad.scn");
+    FAIL() << "expected ScenarioError containing '" << needle << "'";
+  } catch (const ScenarioError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << "diagnostic '" << what << "' lacks '" << needle << "'";
+    EXPECT_NE(what.find("bad.scn:"), std::string::npos)
+        << "diagnostic '" << what << "' lacks the origin:line prefix";
+  }
+}
+
+TEST(ScenarioParserNegative, UnknownSection) {
+  expect_error("[bogus]\nx = 1\n", "unknown section [bogus]");
+}
+
+TEST(ScenarioParserNegative, DuplicateSection) {
+  expect_error("[system]\nn = 8\n[system]\nc = 1\n",
+               "duplicate section [system]");
+}
+
+TEST(ScenarioParserNegative, KeyBeforeSection) {
+  expect_error("n = 8\n", "before any [section]");
+}
+
+TEST(ScenarioParserNegative, DuplicateKey) {
+  expect_error("[system]\nn = 8\nn = 9\n", "[system] n: duplicate key");
+}
+
+TEST(ScenarioParserNegative, UnknownKeyIsRejected) {
+  expect_error(std::string(kMinimal) + "\n[expect]\nbogus-bound = 3\n",
+               "[expect] bogus-bound: unknown key");
+}
+
+TEST(ScenarioParserNegative, MissingSystemSection) {
+  expect_error("[arrival]\nmodel = constant\nlambda = 0.5\n[run]\nrounds = 1\n",
+               "missing required section [system]");
+}
+
+TEST(ScenarioParserNegative, MissingRequiredKey) {
+  expect_error("[system]\nc = 1\n[arrival]\nmodel = constant\nlambda = 0.5\n"
+               "[run]\nrounds = 1\n",
+               "[system] n: missing required key");
+}
+
+TEST(ScenarioParserNegative, OutOfRangeValue) {
+  expect_error("[system]\nn = 8\nc = 0\n[arrival]\nmodel = constant\n"
+               "lambda = 0.5\n[run]\nrounds = 1\n",
+               "[system] c: value 0 out of range");
+}
+
+TEST(ScenarioParserNegative, MalformedNumber) {
+  expect_error("[system]\nn = eight\nc = 1\n[arrival]\nmodel = constant\n"
+               "lambda = 0.5\n[run]\nrounds = 1\n",
+               "[system] n: expected an unsigned integer");
+}
+
+TEST(ScenarioParserNegative, UnknownArrivalModel) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = fractal\n"
+               "[run]\nrounds = 1\n",
+               "[arrival] model: unknown arrival model 'fractal'");
+}
+
+TEST(ScenarioParserNegative, SinusoidAmplitudeOverflow) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = sinusoid\n"
+               "lambda = 0.9\namplitude = 0.2\nperiod = 16\n"
+               "[run]\nrounds = 1\n",
+               "[arrival] amplitude: lambda + amplitude exceeds 1");
+}
+
+TEST(ScenarioParserNegative, RegimesMustStartAtRoundOne) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = regimes\n"
+               "schedule = 5:0.5\n[run]\nrounds = 1\n",
+               "first regime must start at round 1");
+}
+
+TEST(ScenarioParserNegative, RegimesMustAscend) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = regimes\n"
+               "schedule = 1:0.5; 10:0.6; 10:0.7\n[run]\nrounds = 1\n",
+               "strictly ascending");
+}
+
+TEST(ScenarioParserNegative, TraceNeedsExactlyOneSource) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = trace\n"
+               "[run]\nrounds = 1\n",
+               "exactly one of trace=");
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = trace\n"
+               "trace = x.trace\ncounts = 1,2\n[run]\nrounds = 1\n",
+               "exactly one of trace=");
+}
+
+TEST(ScenarioParserNegative, TraceCountAboveNIsRejected) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = trace\n"
+               "counts = 4, 9\n[run]\nrounds = 1\n",
+               "[arrival] counts: trace count 9 exceeds n=8");
+}
+
+TEST(ScenarioParserNegative, ZipfParamWithoutZipfSkew) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = constant\n"
+               "lambda = 0.5\nzipf-s = 2\n[run]\nrounds = 1\n",
+               "[arrival] zipf-s: only meaningful with skew = zipf");
+}
+
+TEST(ScenarioParserNegative, AuditEveryWithoutAudit) {
+  expect_error(std::string(kMinimal) + "\n[expect]\naudit-every = 8\n",
+               "[expect] audit-every: only meaningful with audit = on");
+}
+
+TEST(ScenarioParserNegative, ShardsRequireBinMajor) {
+  expect_error("[system]\nn = 8\nc = 1\nkernel = scalar\nshards = 4\n"
+               "[arrival]\nmodel = constant\nlambda = 0.5\n[run]\nrounds = 1\n",
+               "[system] shards: sharding requires kernel = bin-major");
+}
+
+TEST(ScenarioParserNegative, BadFaultScheduleIsNamed) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = constant\n"
+               "lambda = 0.5\n[faults]\nschedule = explode@9\n"
+               "[run]\nrounds = 1\n",
+               "[faults] schedule:");
+}
+
+TEST(ScenarioParserNegative, AdmissionTargetNeedsBackpressure) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = constant\n"
+               "lambda = 0.5\n[control]\npolicy = sweet-spot\n"
+               "admission-target = 100\n[run]\nrounds = 1\n",
+               "[control] admission-target: requires a [backpressure]");
+}
+
+TEST(ScenarioParserNegative, BadBooleanValue) {
+  expect_error("[system]\nn = 8\nc = 1\n[arrival]\nmodel = trace\n"
+               "counts = 1\nloop = maybe\n[run]\nrounds = 1\n",
+               "[arrival] loop: expected on/off");
+}
+
+TEST(ScenarioParserNegative, UnsupportedVersion) {
+  expect_error("[scenario]\nversion = 2\n" + std::string(kMinimal),
+               "[scenario] version: value 2 out of range [1, 1]");
+}
+
+TEST(ScenarioParserNegative, MissingFileHasClearError) {
+  try {
+    (void)load_scenario_file("/nonexistent/x.scn");
+    FAIL();
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("cannot open scenario file"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace iba::scenario
