@@ -23,6 +23,7 @@
 #include "io/json.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/phase_timers.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace {
 
@@ -62,7 +63,8 @@ CappedConfig make_config(std::uint32_t n, std::uint32_t capacity,
 }
 
 Measurement time_variant(const CappedConfig& config, std::uint64_t seed,
-                         std::uint64_t burn_in, std::uint64_t rounds) {
+                         std::uint64_t burn_in, std::uint64_t rounds,
+                         bool record = false) {
   Capped process(config, iba::core::Engine(seed));
   for (std::uint64_t r = 0; r < burn_in; ++r) (void)process.step();
   Measurement out;
@@ -71,6 +73,8 @@ Measurement time_variant(const CappedConfig& config, std::uint64_t seed,
   out.rounds = rounds;
   iba::telemetry::PhaseTimers timers;
   process.set_phase_timers(&timers);
+  iba::telemetry::TimeSeries series;  // cadence 1, every round sampled
+  if (record) process.set_time_series(&series);
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t r = 0; r < rounds; ++r) {
     out.balls += process.step().thrown;
@@ -164,6 +168,11 @@ int main(int argc, char** argv) {
                   "static control plane attached and report its overhead "
                   "(budget: < 2%)",
                   "none");
+  parser.add_flag("record",
+                  "also time each variant with a cadence-1 time series "
+                  "attached and report the recorder's overhead "
+                  "(budget: < 3%)",
+                  "false");
   parser.add_flag("json", "output path for machine-readable results",
                   "BENCH_kernel.json");
   if (!parser.parse_or_exit(argc, argv)) return 2;
@@ -185,6 +194,7 @@ int main(int argc, char** argv) {
                         control_mode + "')");
   }
   const bool control_static = control_mode == "static";
+  const bool record = parser.get_bool("record");
   const std::string json_path = parser.get("json");
   if (quick) {
     if (!parser.provided("n")) n = 1u << 16;
@@ -251,6 +261,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Recorder overhead: the same variants with a cadence-1 TimeSeries
+  // attached sample every round into the delta rings. The trajectory is
+  // untouched (sampling is read-only), so the delta is the recorder's
+  // full fixed cost. Budget (docs/TELEMETRY.md): < 3%. Interleaved
+  // min-of-reps for the same jitter reason as the control measurement.
+  std::vector<Measurement> record_results;
+  std::vector<double> record_overhead_pct;
+  if (record) {
+    // The effect is one observe() per million-ball round — far below
+    // this container's scheduler jitter — so it takes more repetitions
+    // than the control measurement for the minima to stabilize.
+    const int reps = quick ? 2 : 5;
+    for (const Measurement& variant : results) {
+      const CappedConfig config =
+          make_config(n, capacity, lambda_n, variant.kernel, variant.shards);
+      Measurement best_base;
+      Measurement best_record;
+      for (int rep = 0; rep < reps; ++rep) {
+        const Measurement base_sample =
+            time_variant(config, seed, burn_in, rounds);
+        const Measurement record_sample =
+            time_variant(config, seed, burn_in, rounds, /*record=*/true);
+        if (rep == 0 || base_sample.seconds < best_base.seconds) {
+          best_base = base_sample;
+        }
+        if (rep == 0 || record_sample.seconds < best_record.seconds) {
+          best_record = record_sample;
+        }
+      }
+      record_results.push_back(best_record);
+      record_overhead_pct.push_back(
+          best_base.seconds > 0.0
+              ? (best_record.seconds / best_base.seconds - 1.0) * 100.0
+              : 0.0);
+    }
+  }
+
   const double speedup = results[0].seconds > 0.0 && results[1].seconds > 0.0
                              ? results[1].balls_per_sec() /
                                    results[0].balls_per_sec()
@@ -274,6 +321,13 @@ int main(int argc, char** argv) {
                     .c_str(),
                 control_results[i].shards, control_results[i].seconds,
                 control_overhead_pct[i]);
+  }
+  for (std::size_t i = 0; i < record_results.size(); ++i) {
+    std::printf("  +recording       %-9s shards=%u  %9.3f s  %+6.2f%%\n",
+                std::string(iba::core::to_string(record_results[i].kernel))
+                    .c_str(),
+                record_results[i].shards, record_results[i].seconds,
+                record_overhead_pct[i]);
   }
 
   std::ofstream out(json_path, std::ios::trunc);
@@ -318,6 +372,19 @@ int main(int argc, char** argv) {
           .value(static_cast<std::uint64_t>(control_results[i].shards));
       json.key("seconds").value(control_results[i].seconds);
       json.key("overhead_pct").value(control_overhead_pct[i]);
+      json.end_object();
+    }
+    json.end_array();
+  }
+  if (record) {
+    json.key("record_overhead").begin_array();
+    for (std::size_t i = 0; i < record_results.size(); ++i) {
+      json.begin_object();
+      json.key("kernel").value(iba::core::to_string(record_results[i].kernel));
+      json.key("shards")
+          .value(static_cast<std::uint64_t>(record_results[i].shards));
+      json.key("seconds").value(record_results[i].seconds);
+      json.key("overhead_pct").value(record_overhead_pct[i]);
       json.end_object();
     }
     json.end_array();

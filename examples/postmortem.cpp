@@ -1,0 +1,204 @@
+// postmortem — inspect flight-recorder bundles (docs/TELEMETRY.md).
+//
+//   $ ./postmortem --bundle crash.postmortem
+//     # verify CRC + pretty-print trigger, decisions, events, series
+//   $ ./postmortem --bundle crash.postmortem --plot pool_size
+//     # ASCII plot of one recorded column over the bundle window
+//   $ ./postmortem --bundle a.postmortem --diff b.postmortem
+//     # byte-compare two bundles; first differing lines on mismatch
+//
+// Exit codes: 0 success (and identical bundles under --diff), 1 runtime
+// error (missing / torn / CRC-damaged bundle), 2 usage error, 3 bundle
+// difference under --diff.
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/cli.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace {
+
+using namespace iba;
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void print_bundle(const telemetry::PostmortemBundle& bundle) {
+  std::printf("postmortem bundle v%u\n", bundle.version);
+  std::printf("  trigger  = %s @ round %llu\n", bundle.trigger.c_str(),
+              static_cast<unsigned long long>(bundle.round));
+  std::printf("  detail   = %s\n", bundle.detail.c_str());
+  std::printf("  scenario = %s (digest %s)\n", bundle.scenario.c_str(),
+              bundle.digest.c_str());
+  std::printf("  seed     = %llu, n = %llu, engine = %s\n",
+              static_cast<unsigned long long>(bundle.seed),
+              static_cast<unsigned long long>(bundle.n),
+              bundle.engine.c_str());
+  std::printf("  decisions (%zu):\n", bundle.decisions.size());
+  for (const std::string& line : bundle.decisions) {
+    std::printf("    %s\n", line.c_str());
+  }
+  std::printf("  events (%zu):\n", bundle.events.size());
+  for (const std::string& line : bundle.events) {
+    std::printf("    %s\n", line.c_str());
+  }
+  std::printf("  timeseries: %llu sample(s) at cadence %llu\n",
+              static_cast<unsigned long long>(bundle.samples),
+              static_cast<unsigned long long>(bundle.cadence));
+  for (const auto& [name, values] : bundle.series) {
+    if (values.empty()) continue;
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    std::printf("    %-18s min %llu  max %llu  last %llu\n", name.c_str(),
+                static_cast<unsigned long long>(*lo),
+                static_cast<unsigned long long>(*hi),
+                static_cast<unsigned long long>(values.back()));
+  }
+}
+
+/// ASCII plot: `height` rows tall, samples bucket-averaged down to at
+/// most `width` columns, oldest sample on the left.
+void plot_column(const std::string& name,
+                 const std::vector<std::uint64_t>& values, std::size_t width,
+                 std::size_t height) {
+  std::vector<double> points;
+  if (values.size() <= width) {
+    points.assign(values.begin(), values.end());
+  } else {
+    points.resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::size_t from = i * values.size() / width;
+      const std::size_t to =
+          std::max(from + 1, (i + 1) * values.size() / width);
+      double sum = 0.0;
+      for (std::size_t j = from; j < to; ++j) {
+        sum += static_cast<double>(values[j]);
+      }
+      points[i] = sum / static_cast<double>(to - from);
+    }
+  }
+  double lo = points.front();
+  double hi = points.front();
+  for (const double p : points) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::printf("%s (%zu sample(s), min %.6g, max %.6g)\n", name.c_str(),
+              values.size(), lo, hi);
+  for (std::size_t row = 0; row < height; ++row) {
+    // Row 0 is the top band; a point prints in every band at or below
+    // its value, giving a filled column chart.
+    const double threshold =
+        lo + span * static_cast<double>(height - row - 1) /
+                 static_cast<double>(height);
+    std::string line;
+    line.reserve(points.size());
+    for (const double p : points) {
+      line += p >= threshold ? '#' : ' ';
+    }
+    std::printf("  %10.6g |%s\n",
+                lo + span * static_cast<double>(height - row) /
+                         static_cast<double>(height),
+        line.c_str());
+  }
+  std::printf("  %10s +%s\n", "", std::string(points.size(), '-').c_str());
+}
+
+int run(const io::ArgParser& parser) {
+  const std::string bundle_path = parser.get("bundle");
+  if (bundle_path.empty()) {
+    throw io::UsageError("postmortem: --bundle is required");
+  }
+  const telemetry::PostmortemBundle bundle =
+      telemetry::read_bundle_file(bundle_path);
+
+  const std::string diff_path = parser.get("diff");
+  if (!diff_path.empty()) {
+    const telemetry::PostmortemBundle other =
+        telemetry::read_bundle_file(diff_path);
+    if (bundle.text == other.text) {
+      std::printf("bundles identical (%zu bytes)\n", bundle.text.size());
+      return 0;
+    }
+    const std::vector<std::string> a = split_lines(bundle.text);
+    const std::vector<std::string> b = split_lines(other.text);
+    std::printf("bundles differ (%zu vs %zu bytes):\n", bundle.text.size(),
+                other.text.size());
+    const std::size_t rows = std::max(a.size(), b.size());
+    std::size_t shown = 0;
+    for (std::size_t i = 0; i < rows && shown < 16; ++i) {
+      const std::string& left = i < a.size() ? a[i] : "<eof>";
+      const std::string& right = i < b.size() ? b[i] : "<eof>";
+      if (left == right) continue;
+      std::printf("  line %zu:\n    - %s\n    + %s\n", i + 1, left.c_str(),
+                  right.c_str());
+      ++shown;
+    }
+    return 3;
+  }
+
+  const std::string plot = parser.get("plot");
+  if (!plot.empty()) {
+    for (const auto& [name, values] : bundle.series) {
+      if (name != plot) continue;
+      if (values.empty()) {
+        std::fprintf(stderr, "postmortem: column '%s' holds no samples\n",
+                     plot.c_str());
+        return 1;
+      }
+      plot_column(name, values,
+                  static_cast<std::size_t>(
+                      parser.get_uint_range("width", 8, 512)),
+                  static_cast<std::size_t>(
+                      parser.get_uint_range("height", 2, 64)));
+      return 0;
+    }
+    std::string known;
+    for (const auto& [name, values] : bundle.series) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw io::UsageError("postmortem: unknown column '" + plot +
+                         "' (have: " + known + ")");
+  }
+
+  print_bundle(bundle);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::ArgParser parser("postmortem",
+                       "verify and inspect flight-recorder postmortem "
+                       "bundles");
+  parser.add_flag("bundle", "bundle file to read (required)", "");
+  parser.add_flag("diff",
+                  "compare --bundle against this second bundle; exit 3 "
+                  "and show the first differing lines on mismatch",
+                  "");
+  parser.add_flag("plot",
+                  "ASCII-plot this recorded column (e.g. pool_size, "
+                  "max_load, shed) over the bundle window",
+                  "");
+  parser.add_flag("width", "plot width, columns", "72");
+  parser.add_flag("height", "plot height, rows", "12");
+
+  try {
+    if (!parser.parse_or_exit(argc, argv)) return 0;
+    return run(parser);
+  } catch (const iba::ContractViolation& error) {
+    io::fail_usage(error.what());  // covers io::UsageError
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

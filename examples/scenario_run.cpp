@@ -22,6 +22,7 @@
 #include "io/cli.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace {
 
@@ -61,11 +62,26 @@ int run(const io::ArgParser& parser) {
     throw io::UsageError(
         "scenario_run: --stop-after requires --checkpoint-out");
   }
+  options.timeseries_out = parser.get("timeseries-out");
+  options.flight_recorder = parser.get("flight-recorder");
+  options.debug_trigger = parser.get("debug-trigger");
+  if (!options.debug_trigger.empty()) {
+    telemetry::TriggerKind kind{};
+    if (!telemetry::trigger_from_name(options.debug_trigger, kind)) {
+      throw io::UsageError(
+          "scenario_run: --debug-trigger expects auditor-violation | "
+          "expectation-failure | shed-spike | resume-mismatch | manual, "
+          "got '" +
+          options.debug_trigger + "'");
+    }
+  }
 
   const std::string out_path = parser.get("out");
   const std::string golden_path = parser.get("golden");
   const bool force = parser.get_bool("force");
   io::guard_overwrite(out_path, force, "--out");
+  io::guard_overwrite(options.timeseries_out, force, "--timeseries-out");
+  io::guard_overwrite(options.flight_recorder, force, "--flight-recorder");
 
   if (parser.get_bool("print-canonical")) {
     std::fputs(scn.canonical_text().c_str(), stdout);
@@ -150,6 +166,20 @@ int main(int argc, char** argv) {
                   "stop after this many total rounds and checkpoint "
                   "(kill-and-resume testing; requires --checkpoint-out)",
                   "0");
+  parser.add_flag("timeseries-out",
+                  "write the multi-tier time series here after a complete "
+                  "run (forces recording on; bytes depend only on scenario "
+                  "semantics + seed)",
+                  "");
+  parser.add_flag("flight-recorder",
+                  "arm the flight recorder; the postmortem bundle lands "
+                  "here when a trigger fires",
+                  "");
+  parser.add_flag("debug-trigger",
+                  "fire this trigger after the run for exercising the "
+                  "bundle path (auditor-violation | expectation-failure | "
+                  "shed-spike | resume-mismatch | manual)",
+                  "");
   parser.add_flag("print-canonical",
                   "print the canonical scenario text and digest inputs, "
                   "then exit",

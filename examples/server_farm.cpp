@@ -12,7 +12,10 @@
 //
 //   --listen <port>     embedded scrape endpoint (0 = ephemeral port):
 //                       GET /metrics (Prometheus), /healthz, /spans
-//                       (JSON-lines of recently completed ball spans)
+//                       (JSON-lines of recently completed ball spans),
+//                       /timeseries (multi-tier per-round series of the
+//                       running configuration), /profile (per-phase
+//                       ns/ball from the phase timers)
 //   --telemetry-out F   append one JSON-lines registry snapshot per
 //                       simulated quarter-day to F
 //   --trace-sample R    trace a deterministic R-fraction of requests
@@ -29,6 +32,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -42,9 +46,11 @@
 #include "telemetry/ball_trace.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/log.hpp"
+#include "telemetry/phase_timers.hpp"
 #include "telemetry/round_trace.hpp"
 #include "telemetry/scrape_server.hpp"
 #include "telemetry/shared_registry.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace {
 
@@ -149,10 +155,20 @@ struct FarmOptions {
   std::uint64_t throttle_us = 0;
 };
 
+/// Live observation state shared with the scrape server's /timeseries
+/// and /profile endpoints. The serving loop writes under the mutex (one
+/// uncontended lock per round); the server thread renders under it.
+struct LiveObservation {
+  std::mutex mutex;
+  iba::telemetry::TimeSeries series;
+  iba::telemetry::PhaseTimers timers;
+};
+
 FarmReport run_farm(const FarmOptions& options, std::uint32_t capacity,
                     iba::telemetry::SharedRegistry& registry,
                     std::ostream* snapshot_out, bool live,
                     iba::telemetry::SpanRing* span_ring,
+                    LiveObservation* observation = nullptr,
                     iba::control::ControlConfig control = {}) {
   using namespace iba;
   const std::uint32_t n = options.n;
@@ -162,6 +178,23 @@ FarmReport run_farm(const FarmOptions& options, std::uint32_t capacity,
   config.lambda_n = diurnal_lambda_n(n, 0);
   config.control = control;
   core::Capped farm(config, core::Engine(options.seed));
+
+  // /timeseries and /profile describe the configuration currently
+  // running; each run starts both afresh.
+  if (observation != nullptr) {
+    const std::lock_guard<std::mutex> lock(observation->mutex);
+    observation->series.reset();
+    observation->timers.reset();
+    farm.set_time_series(&observation->series);
+    farm.set_phase_timers(&observation->timers);
+  }
+  const auto step_observed = [&]() -> core::RoundMetrics {
+    if (observation != nullptr) {
+      const std::lock_guard<std::mutex> lock(observation->mutex);
+      return farm.step();
+    }
+    return farm.step();
+  };
 
   // Lifecycle tracing: a deterministic sample of requests feeds /spans.
   std::optional<telemetry::BallTracer> tracer;
@@ -177,7 +210,7 @@ FarmReport run_farm(const FarmOptions& options, std::uint32_t capacity,
   // Warm up one day before measuring.
   for (std::uint64_t t = 0; t < kRoundsPerDay; ++t) {
     farm.set_lambda_n(diurnal_lambda_n(n, t));
-    (void)farm.step();
+    (void)step_observed();
   }
   farm.reset_wait_stats();
   if (tracer.has_value()) tracer->clear_completed();
@@ -200,14 +233,14 @@ FarmReport run_farm(const FarmOptions& options, std::uint32_t capacity,
     if (live) {
       // Only clocked when someone is listening.
       const auto start = std::chrono::steady_clock::now();
-      m = farm.step();
+      m = step_observed();
       const auto ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - start)
               .count());
       (void)trace.try_push({m, ns});
     } else {
-      m = farm.step();
+      m = step_observed();
     }
     peak_backlog = std::max(
         peak_backlog, static_cast<double>(m.pool_size) / n);
@@ -294,19 +327,34 @@ int main(int argc, char** argv) {
   // file and the scrape endpoint see the same live state.
   telemetry::SharedRegistry registry;
   telemetry::SpanRing span_ring(4096);
+  std::optional<LiveObservation> observation;
   std::optional<telemetry::ScrapeServer> server;
   if (listening) {
+    observation.emplace();
     const auto port = static_cast<std::uint16_t>(parser.get_uint("listen"));
     // /spans drains the ring: each request returns the spans completed
     // since the previous one (the server thread is the single consumer).
-    server.emplace(port, registry, [&span_ring] {
-      std::vector<telemetry::BallSpan> spans;
-      telemetry::BallSpan span;
-      while (span_ring.try_pop(span)) spans.push_back(span);
-      return spans;
-    });
+    // /timeseries and /profile render the currently running
+    // configuration's trajectory and per-phase timing under the shared
+    // observation mutex.
+    server.emplace(
+        port, registry,
+        [&span_ring] {
+          std::vector<telemetry::BallSpan> spans;
+          telemetry::BallSpan span;
+          while (span_ring.try_pop(span)) spans.push_back(span);
+          return spans;
+        },
+        [&observation] {
+          const std::lock_guard<std::mutex> lock(observation->mutex);
+          return observation->series.render_text();
+        },
+        [&observation] {
+          const std::lock_guard<std::mutex> lock(observation->mutex);
+          return telemetry::render_profile_text(observation->timers);
+        });
     std::printf("scrape endpoint: http://localhost:%u/metrics "
-                "(/healthz, /spans)\n",
+                "(/healthz, /spans, /timeseries, /profile)\n",
                 server->port());
   }
   const bool live = telemetry_file.is_open() || listening;
@@ -322,7 +370,7 @@ int main(int argc, char** argv) {
     const auto report = run_farm(
         options, c, registry,
         telemetry_file.is_open() ? &telemetry_file : nullptr, live,
-        &span_ring);
+        &span_ring, observation.has_value() ? &*observation : nullptr);
     table.add_row({io::Table::format_number(report.capacity),
                    io::Table::format_number(report.wait_avg),
                    io::Table::format_number(report.wait_p99),
@@ -346,7 +394,8 @@ int main(int argc, char** argv) {
     const auto report = run_farm(
         options, 1, registry,
         telemetry_file.is_open() ? &telemetry_file : nullptr, live,
-        &span_ring, control);
+        &span_ring, observation.has_value() ? &*observation : nullptr,
+        control);
     std::printf("\nadaptive farm (--adaptive %s): started at c = 1, "
                 "finished at c = %u after %llu change(s) "
                 "(%llu up, %llu down), lambda_hat = %.3f\n",

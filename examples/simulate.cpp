@@ -13,6 +13,7 @@
 // out-of-domain parameter), 3 invariant violation detected by the
 // auditor.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -32,6 +33,8 @@
 #include "sim/config.hpp"
 #include "sim/runner.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace {
 
@@ -299,6 +302,45 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
   std::optional<fault::InvariantAuditor> auditor;
   if (audit_every > 0) auditor.emplace(audit_every);
 
+  // Recording: a per-round time series and an armed flight recorder
+  // whose bundle dumps on the first auditor violation. Both inert with
+  // -DIBA_TELEMETRY=OFF.
+  const std::string timeseries_out = parser.get("timeseries-out");
+  const std::string flight_recorder = parser.get("flight-recorder");
+  const bool recording = telemetry::TimeSeries::kEnabled &&
+                         (!timeseries_out.empty() || !flight_recorder.empty());
+  std::optional<telemetry::TimeSeries> series;
+  std::optional<telemetry::FlightRecorder> recorder;
+  std::uint64_t seen_violations = 0;
+  if (recording) {
+    telemetry::TimeSeriesConfig ts_config;
+    ts_config.cadence = parser.get_uint_range("ts-cadence", 1, UINT64_MAX);
+    series.emplace(ts_config);
+    recorder.emplace();
+    recorder->attach_time_series(&*series);
+    recorder->set_context("simulate", "-", seed, process->n());
+    process->set_time_series(&*series);
+  }
+  const auto record_round = [&] {
+    if (!recording || !auditor.has_value() ||
+        auditor->violation_count() <= seen_violations) {
+      return;
+    }
+    seen_violations = auditor->violation_count();
+    std::string detail = "invariant violation";
+    if (!auditor->violations().empty()) {
+      const auto& v = auditor->violations().back();
+      detail = v.invariant + ": " + v.detail;
+    }
+    recorder->note_event(process->round(), "audit-violation", detail);
+    if (recorder->trigger(telemetry::TriggerKind::kAuditorViolation,
+                          process->round(), detail) &&
+        !flight_recorder.empty()) {
+      recorder->write_bundle(flight_recorder);
+      std::fprintf(stderr, "[recorder] wrote %s\n", flight_recorder.c_str());
+    }
+  };
+
   const auto save = [&](const std::string& path) {
     sim::Checkpoint ckpt;
     ckpt.snapshot = process->snapshot();
@@ -327,6 +369,7 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
   for (std::uint64_t i = 0; i < spec.burn_in; ++i) {
     const auto m = process->step();
     if (auditor.has_value()) auditor->observe(*process, m);
+    record_round();
     maybe_checkpoint();
   }
   // A resumed run continues the saved cumulative wait statistics
@@ -336,6 +379,7 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
   for (std::uint64_t i = 0; i < spec.measure_rounds; ++i) {
     const auto m = process->step();
     if (auditor.has_value()) auditor->observe(*process, m);
+    record_round();
     if (!trace_path.empty()) trace.observe(m);
     result.pool.add(static_cast<double>(m.pool_size));
     result.normalized_pool.add(static_cast<double>(m.pool_size) /
@@ -399,6 +443,16 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
   if (!checkpoint_out.empty()) {
     save(checkpoint_out);
     std::fprintf(stderr, "[checkpoint] saved %s\n", checkpoint_out.c_str());
+  }
+  if (recording && !timeseries_out.empty()) {
+    std::ofstream ts_out(timeseries_out, std::ios::binary);
+    ts_out << series->render_text();
+    if (!ts_out) {
+      throw std::runtime_error("simulate: cannot write " + timeseries_out);
+    }
+    std::fprintf(stderr, "[timeseries] wrote %s (%llu rounds)\n",
+                 timeseries_out.c_str(),
+                 static_cast<unsigned long long>(series->rounds_observed()));
   }
   if (auditor.has_value()) {
     std::fprintf(stderr,
@@ -473,6 +527,16 @@ int main(int argc, char** argv) {
                   "violations exit 3)",
                   "0");
   parser.add_flag("trace-csv", "write per-round trace CSV to this path", "");
+  parser.add_flag("timeseries-out",
+                  "write the multi-tier per-round time series here "
+                  "(capped only)",
+                  "");
+  parser.add_flag("ts-cadence",
+                  "time-series sampling cadence, rounds", "1");
+  parser.add_flag("flight-recorder",
+                  "arm the flight recorder; the postmortem bundle lands "
+                  "here on the first auditor violation (capped only)",
+                  "");
   parser.add_flag("checkpoint-in", "resume a capped run from this file", "");
   parser.add_flag("resume", "alias for --checkpoint-in", "");
   parser.add_flag("checkpoint-out", "save capped state after the run", "");
@@ -499,6 +563,10 @@ int main(int argc, char** argv) {
     io::guard_overwrite(trace_path, force, "--trace-csv");
     io::guard_overwrite(parser.get("checkpoint-out"), force,
                         "--checkpoint-out");
+    io::guard_overwrite(parser.get("timeseries-out"), force,
+                        "--timeseries-out");
+    io::guard_overwrite(parser.get("flight-recorder"), force,
+                        "--flight-recorder");
 
     sim::RunSpec spec;
     spec.measure_rounds = parser.get_uint_range("rounds", 1, UINT64_MAX);

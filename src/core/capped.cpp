@@ -1,6 +1,7 @@
 #include "core/capped.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -274,7 +275,36 @@ RoundMetrics Capped::step() {
   }
   const RoundMetrics m = step_internal(adm, choice_scratch_);
   if (controller_ != nullptr) controller_->observe(m);
+  if constexpr (IBA_TELEMETRY_ENABLED != 0) {
+    if (timeseries_ != nullptr) record_time_series(m);
+  }
   return m;
+}
+
+void Capped::record_time_series(const RoundMetrics& m) {
+  telemetry::TimeSeriesSample s;
+  s.round = m.round;
+  s.pool_size = m.pool_size;
+  s.total_load = m.total_load;
+  s.max_load = m.max_load;
+  s.generated = m.generated;
+  s.deleted = m.deleted;
+  s.shed = m.shed;
+  s.deferred = m.deferred;
+  s.requeued = m.requeued;
+  s.faulted_bins = m.faulted_bins;
+  s.capacity = config_.capacity;
+  s.wait_p50 = waits_.quantile_upper_bound(0.50);
+  s.wait_p95 = waits_.quantile_upper_bound(0.95);
+  s.wait_p99 = waits_.quantile_upper_bound(0.99);
+  if (controller_ != nullptr) {
+    // λ̂ as ×10⁶ fixed point: the EWMA is a pure function of the
+    // byte-identical metrics stream, so the rounding is too.
+    s.lambda_hat_micro = static_cast<std::uint64_t>(
+        controller_->estimator().lambda_ewma() * 1e6 + 0.5);
+    s.control_changes = controller_->changes_total();
+  }
+  timeseries_->observe(s);
 }
 
 void Capped::set_capacity(std::uint32_t capacity) {
@@ -358,24 +388,15 @@ RoundMetrics Capped::allocate_and_delete(
 
   // Fast path: the fused bin-major kernel handles acceptance and deletion
   // in one chunked sweep (and computes the end-of-round load stats). The
-  // accept timer covers the whole sweep; the delete timer covers the
-  // sequential wait-recording tail.
+  // kernel times itself internally, splitting the sweep between kAccept
+  // and kDelete so phase attribution matches the unfused kernels.
   bool load_stats_done = false;
   bool fused = false;
   if (config_.kernel == RoundKernel::kBinMajor && config_.shards == 1 &&
       !tracing && !infinite() && choices.size() <= kMaxKernelThrows) {
-    telemetry::ScopedPhaseTimer accept_timer(timers_,
-                                             telemetry::Phase::kAccept,
-                                             m.thrown);
     fused = round_fused(choices, m);
   }
   if (fused) {
-    // The fused sweep already deleted and recorded waits; log a
-    // zero-length delete phase so per-round call counts stay uniform
-    // across kernels (the sweep's time is attributed to kAccept).
-    telemetry::ScopedPhaseTimer delete_timer(timers_,
-                                             telemetry::Phase::kDelete,
-                                             m.deleted);
     load_stats_done = true;
   } else {
     // Allocation. Pool buckets are considered in preference order (the
@@ -814,6 +835,15 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
       n_buckets * static_cast<std::size_t>(n_chunks);
   if (sentinels > nu / 2 + 1024) return false;
 
+  // The sweep interleaves acceptance and deletion per chunk, so phase
+  // attribution is done here: delete-walk time is accumulated per chunk
+  // and subtracted from the sweep total, giving consistent kAccept /
+  // kDelete booking across all kernels. No clock reads without a sink.
+  const bool timing = timers_ != nullptr;
+  std::uint64_t delete_ns = 0;
+  std::chrono::steady_clock::time_point t_sweep;
+  if (timing) t_sweep = std::chrono::steady_clock::now();
+
   // Pass A: per-chunk counts, prefix, then the bucket-major partition.
   chunk_counts_.assign(n_chunks, 0);
   for (std::size_t i = 0; i < nu; ++i) {
@@ -910,6 +940,9 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
     }
     IBA_ASSERT(b == n_buckets && rej == 0);
 
+    std::chrono::steady_clock::time_point t_del;
+    if (timing) t_del = std::chrono::steady_clock::now();
+
     // Delete walk over this chunk's bins while their state is hot.
     // Waits are recorded inline: the integer wait accumulator is
     // order-independent, so mid-sweep recording matches the scalar
@@ -1002,6 +1035,12 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
         if (load - 1 > max_load) max_load = load - 1;
       }
     }
+    if (timing) {
+      delete_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t_del)
+              .count());
+    }
   }
 
   m.accepted = accepted;
@@ -1026,6 +1065,17 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
     survivors_.add(bucket_labels_[bb], rejected_[bb]);
   }
   pool_.swap(survivors_);
+
+  if (timing) {
+    const auto total_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t_sweep)
+            .count());
+    const std::uint64_t accept_ns =
+        total_ns > delete_ns ? total_ns - delete_ns : 0;
+    timers_->add(telemetry::Phase::kAccept, accept_ns, m.thrown);
+    timers_->add(telemetry::Phase::kDelete, delete_ns, m.deleted);
+  }
   return true;
 }
 

@@ -42,6 +42,7 @@
 #include "queueing/unbounded_bin_table.hpp"
 #include "telemetry/phase_timers.hpp"
 #include "telemetry/telemetry_config.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace iba::telemetry {
 class BallTracer;
@@ -256,6 +257,16 @@ class Capped {
     timers_ = timers;
   }
 
+  /// Attaches (or detaches, with nullptr) a time-series recorder: every
+  /// subsequent step() ends by feeding it one TimeSeriesSample built
+  /// purely from simulation state (no engine draws, no wall-clock), so
+  /// recording never perturbs the trajectory and the recorded content is
+  /// byte-identical across kernels and shard counts. With
+  /// -DIBA_TELEMETRY=OFF the sampling hook compiles out entirely.
+  void set_time_series(telemetry::TimeSeries* series) noexcept {
+    timeseries_ = series;
+  }
+
   /// Attaches (or detaches, with nullptr) a ball tracer: subsequent steps
   /// report every arrival / throw / delete / requeue to it, from which it
   /// shadow-tracks sampled balls (see telemetry/ball_trace.hpp). Attach
@@ -366,6 +377,9 @@ class Capped {
   void apply_control();
   RoundMetrics step_internal(const Admission& admission,
                              std::span<const std::uint32_t> choices);
+  /// Builds the end-of-round TimeSeriesSample and feeds the attached
+  /// recorder. Pure function of simulation state.
+  void record_time_series(const RoundMetrics& m);
   RoundMetrics allocate_and_delete(const Admission& admission,
                                    std::span<const std::uint32_t> choices);
   void delete_from_bin(std::uint32_t bin, RoundMetrics& m);
@@ -450,6 +464,7 @@ class Capped {
 
   telemetry::PhaseTimers* timers_ = nullptr;
   telemetry::BallTracer* tracer_ = nullptr;
+  telemetry::TimeSeries* timeseries_ = nullptr;
   WaitRecorder waits_;
   std::uint64_t generated_total_ = 0;
   std::uint64_t deleted_total_ = 0;

@@ -8,12 +8,16 @@
 #include <memory>
 #include <sstream>
 
+#include <optional>
+
 #include "common/assert.hpp"
 #include "common/crc32.hpp"
 #include "core/capped.hpp"
 #include "fault/auditor.hpp"
 #include "fault/fault_plan.hpp"
 #include "sim/checkpoint.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace iba::scenario {
 
@@ -185,6 +189,97 @@ Progress load_progress(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// The `<checkpoint>.record` sidecar: the recording state (time-series
+// rings + flight-recorder logs/latch) is not part of checkpoint v3, so a
+// recording run carries it beside the checkpoint the same way the
+// progress sidecar carries the measured-window accumulators. Without it
+// a resumed run could not reproduce the uninterrupted run's bundle or
+// series bytes.
+
+constexpr std::string_view kRecordMagic = "iba-scenario-record";
+constexpr std::uint32_t kRecordVersion = 1;
+constexpr std::string_view kRecordSplit = "--recorder--\n";
+
+[[noreturn]] void fail_record(const std::string& message) {
+  throw std::runtime_error("scenario record sidecar: " + message);
+}
+
+void write_text_atomic(const std::string& text, const std::string& path,
+                       void (*fail)(const std::string&)) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) fail("cannot open for writing: " + tmp);
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+            std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("write error: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+void save_record_sidecar(const telemetry::TimeSeries& series,
+                         const telemetry::FlightRecorder& recorder,
+                         const std::string& path) {
+  const std::string body = series.state_text() +
+                           std::string(kRecordSplit) + recorder.state_text();
+  std::ostringstream out;
+  out << kRecordMagic << ' ' << kRecordVersion << ' ' << common::crc32(body)
+      << ' ' << body.size() << '\n'
+      << body;
+  write_text_atomic(out.str(), path, fail_record);
+}
+
+void load_record_sidecar(telemetry::TimeSeries& series,
+                         telemetry::FlightRecorder& recorder,
+                         const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail_record("cannot open: " + path +
+                " (resuming a recording run requires the .record sidecar "
+                "of a recording run)");
+  }
+  std::string header;
+  if (!std::getline(in, header)) fail_record("truncated header");
+  std::istringstream head(header);
+  std::string magic;
+  std::uint32_t version = 0;
+  std::uint32_t crc = 0;
+  std::size_t bytes = 0;
+  if (!(head >> magic >> version >> crc >> bytes) || magic != kRecordMagic) {
+    fail_record("bad header '" + header + "'");
+  }
+  if (version != kRecordVersion) {
+    fail_record("unsupported version " + std::to_string(version));
+  }
+  std::string body(bytes, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    fail_record("truncated body");
+  }
+  if (common::crc32(body) != crc) fail_record("CRC mismatch");
+  const std::size_t split = body.find(kRecordSplit);
+  if (split == std::string::npos) fail_record("missing recorder section");
+  series.restore_state(body.substr(0, split));
+  recorder.restore_state(body.substr(split + kRecordSplit.size()));
+}
+
+/// CRC-32 of `text` as 8 lowercase hex digits (the digest rendering).
+std::string crc_hex(const std::string& text) {
+  const std::uint32_t crc = common::crc32(text);
+  char buf[9];
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = kHex[(crc >> (28 - 4 * i)) & 0xFu];
+  }
+  return std::string(buf, 8);
+}
+
+// ---------------------------------------------------------------------------
 // Expectation evaluation — exact-integer observations, deterministic
 // double comparisons (IEEE +−×÷ only).
 
@@ -260,6 +355,31 @@ RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
 
   const std::string digest = scn.digest();
 
+  // -- recording ---------------------------------------------------------
+  // Active when the scenario asks for it or any recording output is
+  // requested. Inert (and the flags with it) with -DIBA_TELEMETRY=OFF.
+  const bool recording =
+      telemetry::TimeSeries::kEnabled &&
+      (scn.record.timeseries || !options.timeseries_out.empty() ||
+       !options.flight_recorder.empty() || !options.debug_trigger.empty());
+  telemetry::TriggerKind debug_kind = telemetry::TriggerKind::kManual;
+  IBA_EXPECT(
+      options.debug_trigger.empty() ||
+          telemetry::trigger_from_name(options.debug_trigger, debug_kind),
+      "run_scenario: unknown debug trigger '" + options.debug_trigger + "'");
+  std::optional<telemetry::TimeSeries> series;
+  std::optional<telemetry::FlightRecorder> recorder;
+  if (recording) {
+    telemetry::TimeSeriesConfig ts_config;
+    ts_config.cadence = scn.record.cadence;
+    series.emplace(ts_config);
+    telemetry::FlightRecorderConfig fr_config;
+    fr_config.window = scn.record.window;
+    recorder.emplace(fr_config);
+    recorder->attach_time_series(&*series);
+    recorder->set_context(scn.name, digest, seed, n);
+  }
+
   std::unique_ptr<core::Capped> process;
   std::unique_ptr<fault::FaultPlan> plan;
   Progress progress;
@@ -270,6 +390,22 @@ RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
   if (!options.resume.empty()) {
     sim::Checkpoint ckpt = sim::load_checkpoint_full(options.resume);
     progress = load_progress(options.resume + ".progress");
+    if (recording && !options.flight_recorder.empty() &&
+        (progress.digest != digest || progress.seed != seed ||
+         ckpt.snapshot.round != progress.rounds_done)) {
+      // A broken resume is exactly what the black box is for: dump the
+      // identity mismatch before the contract check aborts the run. This
+      // bundle describes the failed stitch, so it is the one deliberate
+      // exception to the bytes-identical-across-resume contract.
+      recorder->trigger(telemetry::TriggerKind::kResumeMismatch,
+                        ckpt.snapshot.round,
+                        "expected digest " + digest + " seed " +
+                            std::to_string(seed) + ", checkpoint has digest " +
+                            progress.digest + " seed " +
+                            std::to_string(progress.seed) + " round " +
+                            std::to_string(progress.rounds_done));
+      recorder->write_bundle(options.flight_recorder);
+    }
     IBA_EXPECT(progress.digest == digest,
                "run_scenario: checkpoint belongs to a different scenario "
                "(digest mismatch)");
@@ -289,6 +425,9 @@ RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
           fault::parse_schedule(ckpt.fault_schedule), n, plan_ceiling,
           ckpt.fault_seed);
       plan->restore(ckpt.fault_state);
+    }
+    if (recording) {
+      load_record_sidecar(*series, *recorder, options.resume + ".record");
     }
   } else {
     core::CappedConfig config;
@@ -314,9 +453,45 @@ RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
   const std::unique_ptr<core::BinChoiceSampler> sampler =
       scn.arrival.make_sampler(n);
   if (sampler != nullptr) process->set_bin_sampler(sampler.get());
+  if (recording) process->set_time_series(&*series);
 
   std::optional<fault::InvariantAuditor> auditor;
   if (scn.expect.audit) auditor.emplace(scn.expect.audit_every);
+
+  // Poll baselines for the flight recorder: decisions and fault counters
+  // are cumulative (and survive a resume via the process/plan state), so
+  // per-round deltas against these pick up exactly the new activity.
+  std::uint64_t seen_changes = 0;
+  std::uint64_t seen_crashes = 0;
+  std::uint64_t seen_repairs = 0;
+  std::uint64_t seen_violations = 0;
+  if (recording) {
+    if (const control::Controller* ctl = process->controller()) {
+      seen_changes = ctl->changes_total();
+    }
+    if (plan != nullptr) {
+      seen_crashes = plan->crashes_total();
+      seen_repairs = plan->repairs_total();
+    }
+  }
+
+  // Fires a trigger; on the latching call stamps the engine fingerprint
+  // (CRC of the master engine state — identical across kernels by the
+  // decide-before-draw discipline) and writes the bundle.
+  const auto fire = [&](telemetry::TriggerKind kind, std::uint64_t round,
+                        const std::string& detail) {
+    if (!recording) return;
+    if (!recorder->triggered()) {
+      const core::CappedSnapshot snap = process->snapshot();
+      std::ostringstream words;
+      for (const std::uint64_t word : snap.engine_state) words << word << ' ';
+      recorder->set_engine_fingerprint(crc_hex(words.str()));
+    }
+    if (recorder->trigger(kind, round, detail) &&
+        !options.flight_recorder.empty()) {
+      recorder->write_bundle(options.flight_recorder);
+    }
+  };
 
   const auto save_state = [&] {
     sim::Checkpoint ckpt;
@@ -334,6 +509,10 @@ RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
       saved.audit_violations += auditor->violation_count();
     }
     save_progress(saved, options.checkpoint_out + ".progress");
+    if (recording) {
+      save_record_sidecar(*series, *recorder,
+                          options.checkpoint_out + ".record");
+    }
   };
 
   RunOutcome outcome;
@@ -344,6 +523,56 @@ RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
     }
     const core::RoundMetrics m = process->step();
     if (auditor.has_value()) auditor->observe(*process, m);
+    if (recording) {
+      if (const control::Controller* ctl = process->controller();
+          ctl != nullptr && ctl->changes_total() > seen_changes) {
+        seen_changes = ctl->changes_total();
+        if (!ctl->decisions().empty()) {
+          const control::DecisionRecord& d = ctl->decisions().back();
+          telemetry::RecordedDecision rec;
+          rec.round = d.round;
+          rec.old_capacity = d.old_capacity;
+          rec.new_capacity = d.new_capacity;
+          rec.old_pool_limit = d.old_pool_limit;
+          rec.new_pool_limit = d.new_pool_limit;
+          rec.lambda_hat_micro =
+              static_cast<std::uint64_t>(d.lambda_hat * 1e6 + 0.5);
+          recorder->note_decision(rec);
+        }
+      }
+      if (plan != nullptr) {
+        if (plan->crashes_total() > seen_crashes) {
+          recorder->note_event(
+              round, "fault",
+              "crashes +" +
+                  std::to_string(plan->crashes_total() - seen_crashes));
+          seen_crashes = plan->crashes_total();
+        }
+        if (plan->repairs_total() > seen_repairs) {
+          recorder->note_event(
+              round, "fault",
+              "repairs +" +
+                  std::to_string(plan->repairs_total() - seen_repairs));
+          seen_repairs = plan->repairs_total();
+        }
+      }
+      if (auditor.has_value() &&
+          auditor->violation_count() > seen_violations) {
+        seen_violations = auditor->violation_count();
+        std::string detail = "invariant violation";
+        if (!auditor->violations().empty()) {
+          const auto& v = auditor->violations().back();
+          detail = v.invariant + ": " + v.detail;
+        }
+        recorder->note_event(round, "audit-violation", detail);
+        fire(telemetry::TriggerKind::kAuditorViolation, round, detail);
+      }
+      if (scn.record.shed_spike > 0 && m.shed > scn.record.shed_spike) {
+        fire(telemetry::TriggerKind::kShedSpike, round,
+             "shed " + std::to_string(m.shed) + " exceeds bound " +
+                 std::to_string(scn.record.shed_spike));
+      }
+    }
     if (round > scn.burn_in) {
       progress.pool_sum += m.pool_size;
       if (m.pool_size < progress.pool_min) progress.pool_min = m.pool_size;
@@ -459,6 +688,25 @@ RunOutcome run_scenario(const Scenario& scn, const RunOptions& options) {
       outcome.failures.push_back("expect: " + check.name + ": bound " +
                                  check.bound + ", observed " +
                                  check.observed);
+    }
+  }
+
+  if (recording) {
+    if (!outcome.expectations_ok) {
+      fire(telemetry::TriggerKind::kExpectationFailure, total_rounds,
+           outcome.failures.empty() ? std::string("expectation failed")
+                                    : outcome.failures.front());
+    }
+    if (!options.debug_trigger.empty()) {
+      fire(debug_kind, total_rounds,
+           "debug trigger '" + options.debug_trigger + "'");
+    }
+    if (!options.timeseries_out.empty()) {
+      write_text_atomic(series->render_text(), options.timeseries_out,
+                        [](const std::string& message) {
+                          throw std::runtime_error("scenario timeseries: " +
+                                                   message);
+                        });
     }
   }
 

@@ -48,6 +48,21 @@ struct RunOptions {
   /// total rounds — burn-in included — have run. 0 = run to the end.
   /// Requires checkpoint_out. For kill-and-resume testing.
   std::uint64_t stop_after = 0;
+
+  /// Write the full multi-tier time series here once the run completes
+  /// ("" = off). Forces recording on even without a [record] section.
+  /// Content is a pure function of (scenario semantics, seed) — the
+  /// determinism contract above extends to these bytes.
+  std::string timeseries_out;
+  /// Arm the flight recorder; the postmortem bundle lands here when a
+  /// trigger fires ("" = off). Bundle bytes obey the same determinism
+  /// contract (the resume-mismatch bundle, describing a broken resume,
+  /// is the one deliberate exception).
+  std::string flight_recorder;
+  /// Fire this trigger (a telemetry::trigger_name) after the run
+  /// completes, for exercising the bundle path in tests and CI. Ignored
+  /// when a real trigger already fired. "" = off.
+  std::string debug_trigger;
 };
 
 /// What one run produced. `artifact` is only meaningful when `complete`.

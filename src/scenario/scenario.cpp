@@ -56,7 +56,7 @@ std::string_view trim(std::string_view s) {
 
 constexpr std::string_view kKnownSections[] = {
     "scenario", "system",  "arrival", "faults",
-    "backpressure", "control", "run",     "expect",
+    "backpressure", "control", "run",     "expect",  "record",
 };
 
 bool known_section(std::string_view name) {
@@ -485,6 +485,13 @@ void parse_control(const Fields& fields, control::ControlConfig& config) {
       fields.u64_or("admission-target", 0, 0, UINT64_MAX);
 }
 
+void parse_record(const Fields& fields, RecordSpec& record) {
+  record.timeseries = fields.flag_or("timeseries", false);
+  record.cadence = fields.u64_or("cadence", 1, 1, UINT64_MAX);
+  record.window = fields.u64_or("window", 64, 1, 1u << 20);
+  record.shed_spike = fields.u64_or("shed-spike", 0, 0, UINT64_MAX);
+}
+
 void parse_expect(const Fields& fields, Expectations& expect) {
   expect.audit = fields.flag_or("audit", false);
   expect.audit_every = fields.u64_or("audit-every", 64, 1, UINT64_MAX);
@@ -579,6 +586,9 @@ Scenario parse_scenario(std::string_view text, const std::string& origin,
 
   const Fields expect(doc, "expect");
   if (expect.present()) parse_expect(expect, scn.expect);
+
+  const Fields record(doc, "record");
+  if (record.present()) parse_record(record, scn.record);
 
   doc.finish();
 

@@ -10,6 +10,7 @@
 //   [control]       adaptive-control policy + knobs
 //   [run]           rounds, burn-in, seed, checkpoint-every
 //   [expect]        auditor on/off and pass/fail bounds
+//   [record]        time-series / flight-recorder knobs (execution hints)
 //
 // Sections are `[name]` headers followed by `key = value` lines; `#`
 // starts a comment. Unknown sections/keys, duplicates, missing required
@@ -62,6 +63,17 @@ struct Expectations {
   }
 };
 
+/// Recording knobs ([record]). Like kernel and shards these are
+/// execution hints: they shape what gets observed, never the trajectory,
+/// so they are excluded from canonical_text()/digest() — a scenario
+/// records the same run bytes with or without a [record] section.
+struct RecordSpec {
+  bool timeseries = false;        ///< sample every-`cadence` rounds
+  std::uint64_t cadence = 1;      ///< sampling cadence, rounds (>= 1)
+  std::uint64_t window = 64;      ///< postmortem bundle window, samples
+  std::uint64_t shed_spike = 0;   ///< per-round shed trigger bound (0 = off)
+};
+
 /// One parsed scenario. Field defaults are what an omitted optional
 /// section leaves behind.
 struct Scenario {
@@ -96,6 +108,9 @@ struct Scenario {
 
   // [expect]
   Expectations expect;
+
+  // [record] — execution hints, excluded from canonical_text()/digest()
+  RecordSpec record;
 
   /// Canonical rendering of the semantic fields, in fixed order with
   /// normalized values. Execution hints (kernel, shards,

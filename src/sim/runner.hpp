@@ -17,6 +17,7 @@
 #include "telemetry/phase_timers.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/round_trace.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace iba::sim {
 
@@ -83,6 +84,11 @@ struct RunTelemetry {
   /// checks run at the auditor's own cadence. Violations never stop the
   /// run — inspect auditor->ok() afterwards.
   fault::InvariantAuditor* auditor = nullptr;
+  /// Fixed-cadence columnar time series (processes supporting
+  /// set_time_series only — currently Capped). Observes every round,
+  /// burn-in included; content is a pure function of simulation state,
+  /// so identical runs yield byte-identical renderings.
+  telemetry::TimeSeries* timeseries = nullptr;
 };
 
 namespace detail {
@@ -155,6 +161,9 @@ RunResult run_experiment(P& process, const RunSpec& spec,
   }
   if constexpr (requires { process.set_ball_tracer(telemetry.ball_trace); }) {
     process.set_ball_tracer(telemetry.ball_trace);
+  }
+  if constexpr (requires { process.set_time_series(telemetry.timeseries); }) {
+    process.set_time_series(telemetry.timeseries);
   }
 
   {
@@ -273,6 +282,9 @@ RunResult run_experiment(P& process, const RunSpec& spec,
   }
   if constexpr (requires { process.set_ball_tracer(nullptr); }) {
     process.set_ball_tracer(nullptr);
+  }
+  if constexpr (requires { process.set_time_series(nullptr); }) {
+    process.set_time_series(nullptr);
   }
   return result;
 }

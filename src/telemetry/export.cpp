@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <string>
 
 #include "io/json.hpp"
@@ -136,6 +137,21 @@ void record_phase_timers(Registry& registry, const PhaseTimers& timers) {
     registry.counter(base + "_balls_total").inc(timers.balls(phase));
     registry.counter(base + "_calls_total").inc(timers.calls(phase));
   }
+}
+
+std::string render_profile_text(const PhaseTimers& timers) {
+  std::ostringstream out;
+  out << "iba-profile 1\n";
+  char buf[64];
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    std::snprintf(buf, sizeof(buf), "%.10g", timers.ns_per_ball(phase));
+    out << "phase " << phase_name(phase) << " ns = " << timers.ns(phase)
+        << " balls = " << timers.balls(phase)
+        << " calls = " << timers.calls(phase) << " ns-per-ball = " << buf
+        << '\n';
+  }
+  return out.str();
 }
 
 }  // namespace iba::telemetry

@@ -40,4 +40,9 @@ void record_phase_timers(Registry& registry, const PhaseTimers& timers);
 /// '_' when the name starts with a digit).
 [[nodiscard]] std::string sanitize_metric_name(std::string_view name);
 
+/// Per-phase profile text for the scrape server's GET /profile: one line
+/// per phase with accumulated ns, balls, calls and ns-per-ball (%.10g).
+/// Wall-clock derived — diffable across scrapes, not across machines.
+[[nodiscard]] std::string render_profile_text(const PhaseTimers& timers);
+
 }  // namespace iba::telemetry

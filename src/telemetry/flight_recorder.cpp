@@ -1,0 +1,392 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+
+namespace iba::telemetry {
+
+namespace {
+
+constexpr std::string_view kMagic = "iba-postmortem";
+constexpr std::uint32_t kBundleVersion = 1;
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("postmortem: " + message);
+}
+
+std::string hex32(std::uint32_t value) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = kHex[(value >> (28 - 4 * i)) & 0xFu];
+  }
+  return out;
+}
+
+std::string decision_line(const RecordedDecision& d) {
+  std::ostringstream out;
+  out << "round " << d.round << " capacity " << d.old_capacity << " -> "
+      << d.new_capacity << " pool-limit " << d.old_pool_limit << " -> "
+      << d.new_pool_limit << " lambda-micro " << d.lambda_hat_micro;
+  return out.str();
+}
+
+std::string event_line(const RecordedEvent& e) {
+  std::ostringstream out;
+  out << "round " << e.round << ' ' << e.kind << ' ' << e.detail;
+  return out.str();
+}
+
+/// Strips newlines so a hostile detail cannot forge bundle structure.
+std::string one_line(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+}  // namespace
+
+const char* trigger_name(TriggerKind kind) noexcept {
+  constexpr const char* kNames[kTriggerKindCount] = {
+      "auditor-violation", "expectation-failure", "shed-spike",
+      "resume-mismatch", "manual"};
+  return kNames[static_cast<std::size_t>(kind)];
+}
+
+bool trigger_from_name(const std::string& name, TriggerKind& kind) noexcept {
+  for (std::size_t i = 0; i < kTriggerKindCount; ++i) {
+    if (name == trigger_name(static_cast<TriggerKind>(i))) {
+      kind = static_cast<TriggerKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {
+  if (config_.window == 0) fail("window must be at least 1");
+}
+
+void FlightRecorder::set_context(std::string scenario_name,
+                                 std::string digest, std::uint64_t seed,
+                                 std::uint64_t n) {
+  scenario_name_ = one_line(std::move(scenario_name));
+  digest_ = one_line(std::move(digest));
+  seed_ = seed;
+  n_ = n;
+}
+
+void FlightRecorder::note_decision(const RecordedDecision& decision) {
+#if IBA_TELEMETRY_ENABLED
+  decisions_.push_back(decision);
+  while (decisions_.size() > config_.max_decisions) decisions_.pop_front();
+#else
+  (void)decision;
+#endif
+}
+
+void FlightRecorder::note_event(std::uint64_t round, std::string kind,
+                                std::string detail) {
+#if IBA_TELEMETRY_ENABLED
+  events_.push_back(
+      {round, one_line(std::move(kind)), one_line(std::move(detail))});
+  while (events_.size() > config_.max_events) events_.pop_front();
+#else
+  (void)round;
+  (void)kind;
+  (void)detail;
+#endif
+}
+
+bool FlightRecorder::trigger(TriggerKind kind, std::uint64_t round,
+                             const std::string& detail) {
+#if IBA_TELEMETRY_ENABLED
+  note_event(round, std::string("trigger:") + trigger_name(kind), detail);
+  if (triggered_) return false;
+  triggered_ = true;
+  kind_ = kind;
+  trigger_round_ = round;
+  trigger_detail_ = one_line(detail);
+  return true;
+#else
+  (void)kind;
+  (void)round;
+  (void)detail;
+  return false;
+#endif
+}
+
+std::string FlightRecorder::render_bundle() const {
+  if (!triggered_) fail("render_bundle requires a latched trigger");
+  std::ostringstream out;
+  out << kMagic << ' ' << kBundleVersion << '\n';
+  out << "trigger = " << trigger_name(kind_) << '\n';
+  out << "round = " << trigger_round_ << '\n';
+  out << "detail = " << trigger_detail_ << '\n';
+  out << "scenario = " << scenario_name_ << '\n';
+  out << "digest = " << digest_ << '\n';
+  out << "seed = " << seed_ << '\n';
+  out << "n = " << n_ << '\n';
+  out << "engine = " << engine_fingerprint_ << '\n';
+
+  out << "[decisions]\n";
+  out << "count = " << decisions_.size() << '\n';
+  for (const RecordedDecision& d : decisions_) {
+    out << "decision = " << decision_line(d) << '\n';
+  }
+
+  out << "[events]\n";
+  out << "count = " << events_.size() << '\n';
+  for (const RecordedEvent& e : events_) {
+    out << "event = " << event_line(e) << '\n';
+  }
+
+  out << "[timeseries]\n";
+  if (series_ != nullptr) {
+    out << series_->render_window(config_.window);
+  } else {
+    out << "cadence = 0\nsamples = 0\n";
+  }
+
+  out << "end\n";
+  std::string body = out.str();
+  body += "crc32 = " + hex32(common::crc32(body)) + '\n';
+  return body;
+}
+
+void FlightRecorder::write_bundle(const std::string& path) const {
+  const std::string text = render_bundle();
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) fail("cannot open for writing: " + tmp);
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+            std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("write error: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " -> " + path);
+  }
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+std::string FlightRecorder::state_text() const {
+  std::ostringstream out;
+  out << "scenario = " << scenario_name_ << '\n';
+  out << "digest = " << digest_ << '\n';
+  out << "seed = " << seed_ << '\n';
+  out << "n = " << n_ << '\n';
+  out << "triggered = " << (triggered_ ? 1 : 0) << '\n';
+  out << "trigger-kind = " << trigger_name(kind_) << '\n';
+  out << "trigger-round = " << trigger_round_ << '\n';
+  out << "trigger-detail = " << trigger_detail_ << '\n';
+  for (const RecordedDecision& d : decisions_) {
+    out << "decision = " << d.round << ' ' << d.old_capacity << ' '
+        << d.new_capacity << ' ' << d.old_pool_limit << ' '
+        << d.new_pool_limit << ' ' << d.lambda_hat_micro << '\n';
+  }
+  for (const RecordedEvent& e : events_) {
+    // kind is token-shaped (no spaces); detail takes the rest of line.
+    out << "event = " << e.round << ' ' << e.kind << ' ' << e.detail << '\n';
+  }
+  return out.str();
+}
+
+void FlightRecorder::restore_state(const std::string& text) {
+  decisions_.clear();
+  events_.clear();
+  triggered_ = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find(" = ");
+    if (eq == std::string::npos) fail("malformed state line: " + line);
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 3);
+    if (key == "scenario") {
+      scenario_name_ = value;
+    } else if (key == "digest") {
+      digest_ = value;
+    } else if (key == "seed") {
+      seed_ = std::stoull(value);
+    } else if (key == "n") {
+      n_ = std::stoull(value);
+    } else if (key == "triggered") {
+      triggered_ = value == "1";
+    } else if (key == "trigger-kind") {
+      if (!trigger_from_name(value, kind_)) {
+        fail("unknown trigger kind '" + value + "'");
+      }
+    } else if (key == "trigger-round") {
+      trigger_round_ = std::stoull(value);
+    } else if (key == "trigger-detail") {
+      trigger_detail_ = value;
+    } else if (key == "decision") {
+      RecordedDecision d;
+      std::istringstream parse(value);
+      if (!(parse >> d.round >> d.old_capacity >> d.new_capacity >>
+            d.old_pool_limit >> d.new_pool_limit >> d.lambda_hat_micro)) {
+        fail("malformed decision state: " + value);
+      }
+      decisions_.push_back(d);
+    } else if (key == "event") {
+      RecordedEvent e;
+      std::istringstream parse(value);
+      if (!(parse >> e.round >> e.kind)) {
+        fail("malformed event state: " + value);
+      }
+      std::getline(parse, e.detail);
+      if (!e.detail.empty() && e.detail.front() == ' ') e.detail.erase(0, 1);
+      events_.push_back(e);
+    } else {
+      fail("unknown state key '" + key + "'");
+    }
+  }
+  while (decisions_.size() > config_.max_decisions) decisions_.pop_front();
+  while (events_.size() > config_.max_events) events_.pop_front();
+}
+
+void verify_bundle_text(const std::string& text) {
+  const std::size_t first_eol = text.find('\n');
+  if (first_eol == std::string::npos) fail("truncated: no header line");
+  const std::string header = text.substr(0, first_eol);
+  std::istringstream parse(header);
+  std::string magic;
+  std::uint32_t version = 0;
+  if (!(parse >> magic >> version) || magic != kMagic) {
+    fail("bad header '" + header + "'");
+  }
+  if (version != kBundleVersion) {
+    fail("unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kBundleVersion) + ")");
+  }
+  constexpr std::string_view kTrailerPrefix = "crc32 = ";
+  constexpr std::size_t kTrailerLen = 8 + 8 + 1;
+  if (text.size() < kTrailerLen || text.back() != '\n') {
+    fail("truncated: missing crc trailer");
+  }
+  const std::size_t trailer_at = text.size() - kTrailerLen;
+  if (text.compare(trailer_at, kTrailerPrefix.size(), kTrailerPrefix) != 0 ||
+      (trailer_at != 0 && text[trailer_at - 1] != '\n')) {
+    fail("malformed crc trailer");
+  }
+  const std::string stated = text.substr(trailer_at + kTrailerPrefix.size(), 8);
+  const std::string actual =
+      hex32(common::crc32(std::string_view(text).substr(0, trailer_at)));
+  if (stated != actual) {
+    fail("crc mismatch: stated " + stated + ", computed " + actual);
+  }
+}
+
+PostmortemBundle read_bundle_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  PostmortemBundle bundle;
+  bundle.text = buffer.str();
+  verify_bundle_text(bundle.text);
+
+  std::istringstream lines(bundle.text);
+  std::string line;
+  std::getline(lines, line);  // verified header
+  {
+    std::istringstream parse(line);
+    std::string magic;
+    parse >> magic >> bundle.version;
+  }
+  enum class Section { kHeader, kDecisions, kEvents, kTimeseries, kDone };
+  Section section = Section::kHeader;
+  while (std::getline(lines, line)) {
+    if (line == "end") {
+      section = Section::kDone;
+      continue;
+    }
+    if (line == "[decisions]") {
+      section = Section::kDecisions;
+      continue;
+    }
+    if (line == "[events]") {
+      section = Section::kEvents;
+      continue;
+    }
+    if (line == "[timeseries]") {
+      section = Section::kTimeseries;
+      continue;
+    }
+    if (section == Section::kDone) continue;  // crc trailer
+    const auto eq = line.find(" = ");
+    if (eq == std::string::npos) fail("malformed bundle line: " + line);
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 3);
+    switch (section) {
+      case Section::kHeader:
+        if (key == "trigger") bundle.trigger = value;
+        else if (key == "round") bundle.round = std::stoull(value);
+        else if (key == "detail") bundle.detail = value;
+        else if (key == "scenario") bundle.scenario = value;
+        else if (key == "digest") bundle.digest = value;
+        else if (key == "seed") bundle.seed = std::stoull(value);
+        else if (key == "n") bundle.n = std::stoull(value);
+        else if (key == "engine") bundle.engine = value;
+        else fail("unknown bundle key '" + key + "'");
+        break;
+      case Section::kDecisions:
+        if (key == "decision") bundle.decisions.push_back(value);
+        break;
+      case Section::kEvents:
+        if (key == "event") bundle.events.push_back(value);
+        break;
+      case Section::kTimeseries:
+        if (key == "cadence") {
+          bundle.cadence = std::stoull(value);
+        } else if (key == "samples") {
+          bundle.samples = std::stoull(value);
+        } else if (key.rfind("col ", 0) == 0) {
+          // Resolve the delta coding back into values.
+          std::vector<std::uint64_t> values;
+          std::istringstream parse(value);
+          std::string token;
+          while (parse >> token) {
+            if (values.empty()) {
+              values.push_back(std::stoull(token));
+            } else {
+              const auto delta =
+                  static_cast<std::uint64_t>(std::stoll(token));
+              values.push_back(values.back() + delta);
+            }
+          }
+          bundle.series.emplace_back(key.substr(4), std::move(values));
+        } else {
+          fail("unknown timeseries key '" + key + "'");
+        }
+        break;
+      case Section::kDone:
+        break;
+    }
+  }
+  return bundle;
+}
+
+}  // namespace iba::telemetry

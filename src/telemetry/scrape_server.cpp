@@ -44,8 +44,12 @@ void send_all(int fd, const std::string& data) {
 }  // namespace
 
 ScrapeServer::ScrapeServer(std::uint16_t port, SharedRegistry& registry,
-                           SpanSource spans)
-    : registry_(registry), spans_(std::move(spans)) {
+                           SpanSource spans, TextSource timeseries,
+                           TextSource profile)
+    : registry_(registry),
+      spans_(std::move(spans)),
+      timeseries_(std::move(timeseries)),
+      profile_(std::move(profile)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   IBA_EXPECT(listen_fd_ >= 0, "ScrapeServer: socket() failed");
   const int one = 1;
@@ -149,6 +153,14 @@ std::string ScrapeServer::respond(const std::string& request_line) {
     }
     return http_response(200, "OK", "application/x-ndjson",
                          std::move(body).str());
+  }
+  if (path == "/timeseries") {
+    return http_response(200, "OK", "text/plain",
+                         timeseries_ ? timeseries_() : std::string());
+  }
+  if (path == "/profile") {
+    return http_response(200, "OK", "text/plain",
+                         profile_ ? profile_() : std::string());
   }
   return http_response(404, "Not Found", "text/plain", "not found\n");
 }

@@ -2,9 +2,11 @@
 // sockets (one listener thread, no dependencies) that exposes the live
 // telemetry of a running simulation:
 //
-//   GET /metrics  Prometheus text from a SharedRegistry snapshot
-//   GET /healthz  "ok" (liveness)
-//   GET /spans    JSON-lines of recently completed ball spans
+//   GET /metrics     Prometheus text from a SharedRegistry snapshot
+//   GET /healthz     "ok" (liveness)
+//   GET /spans       JSON-lines of recently completed ball spans
+//   GET /timeseries  rendered per-round time series (delta-coded tiers)
+//   GET /profile     per-phase ns / balls / ns-per-ball from PhaseTimers
 //
 // This is the production-shaped path the ROADMAP aims at: a scraper
 // (Prometheus, curl, a dashboard) polls the process instead of tailing
@@ -35,11 +37,17 @@ class ScrapeServer {
   /// Pulls recent spans for /spans; called per request, may return an
   /// empty vector. Null = /spans serves an empty body.
   using SpanSource = std::function<std::vector<BallSpan>()>;
+  /// Renders a text body per request (for /timeseries and /profile).
+  /// Sources must build their reply from a consistent snapshot — the
+  /// listener thread calls them concurrently with the simulation. Null =
+  /// the endpoint serves an empty body.
+  using TextSource = std::function<std::string()>;
 
   /// Binds 0.0.0.0:`port` (0 = ephemeral) and starts the listener
   /// thread. Throws ContractViolation when the socket cannot be bound.
   ScrapeServer(std::uint16_t port, SharedRegistry& registry,
-               SpanSource spans = nullptr);
+               SpanSource spans = nullptr, TextSource timeseries = nullptr,
+               TextSource profile = nullptr);
   ~ScrapeServer();
 
   ScrapeServer(const ScrapeServer&) = delete;
@@ -61,6 +69,8 @@ class ScrapeServer {
 
   SharedRegistry& registry_;
   SpanSource spans_;
+  TextSource timeseries_;
+  TextSource profile_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
