@@ -8,6 +8,16 @@
 //   ./bench_kernel_throughput                 # full size: n = 10^6
 //   ./bench_kernel_throughput --quick true    # CI smoke: n = 2^16
 //   ./bench_kernel_throughput --shards 4      # also time a sharded run
+//
+// Shard-scaling mode sweeps the bin-major kernel over shard counts and
+// writes a second JSON (default BENCH_scale.json) gated by
+// scripts/bench_trend.py exactly like the kernel baseline:
+//
+//   ./bench_kernel_throughput --large true --arena true
+//       --shards-sweep 1,2,4,8                # n = 10^7 scaling curve
+//   ./bench_kernel_throughput --huge true --arena true --shards-sweep 4
+//                                             # n = 10^8 smoke: asserts
+//                                             # no per-round allocations
 
 #include <algorithm>
 #include <chrono>
@@ -15,6 +25,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,23 +53,46 @@ struct Measurement {
   double accept_ns_per_ball = 0.0;
   double delete_ns_per_ball = 0.0;
 
+  // Arena telemetry (meaningful only when the variant ran with an
+  // arena): allocation counter after the timed window, and whether the
+  // timed window itself allocated nothing — the large-n steady-state
+  // requirement.
+  std::uint64_t arena_allocations = 0;
+  std::uint64_t arena_live_bytes = 0;
+  std::uint64_t arena_huge_bytes = 0;
+  bool arena_steady = true;
+
   [[nodiscard]] double balls_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(balls) / seconds : 0.0;
   }
   [[nodiscard]] double ns_per_ball() const {
     return balls > 0 ? seconds * 1e9 / static_cast<double>(balls) : 0.0;
   }
+  [[nodiscard]] double seconds_per_round() const {
+    return rounds > 0 ? seconds / static_cast<double>(rounds) : 0.0;
+  }
+};
+
+/// Execution hints shared by every timed variant (byte-inert: arena,
+/// huge pages and pinning never change the trajectory).
+struct ExecOptions {
+  bool arena = false;
+  bool huge_pages = false;
+  bool pin_threads = false;
 };
 
 CappedConfig make_config(std::uint32_t n, std::uint32_t capacity,
                          std::uint64_t lambda_n, RoundKernel kernel,
-                         std::uint32_t shards) {
+                         std::uint32_t shards, const ExecOptions& exec = {}) {
   CappedConfig config;
   config.n = n;
   config.capacity = capacity;
   config.lambda_n = lambda_n;
   config.kernel = kernel;
   config.shards = shards;
+  config.arena.enabled = exec.arena;
+  config.arena.huge_pages = exec.huge_pages;
+  config.pin_threads = exec.pin_threads;
   return config;
 }
 
@@ -75,6 +109,11 @@ Measurement time_variant(const CappedConfig& config, std::uint64_t seed,
   process.set_phase_timers(&timers);
   iba::telemetry::TimeSeries series;  // cadence 1, every round sampled
   if (record) process.set_time_series(&series);
+  // Allocation count entering the timed window: any growth during it
+  // means a round still allocates at steady state (the ArenaBuffers'
+  // geometric headroom is supposed to absorb the ±√ν throw jitter).
+  const std::uint64_t allocs_before =
+      process.arena() ? process.arena()->allocation_count() : 0;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t r = 0; r < rounds; ++r) {
     out.balls += process.step().thrown;
@@ -83,6 +122,12 @@ Measurement time_variant(const CappedConfig& config, std::uint64_t seed,
   out.seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
           .count();
+  if (const auto* arena = process.arena()) {
+    out.arena_allocations = arena->allocation_count();
+    out.arena_live_bytes = arena->live_bytes();
+    out.arena_huge_bytes = arena->huge_advised_bytes();
+    out.arena_steady = arena->allocation_count() == allocs_before;
+  }
   out.throw_ns_per_ball = timers.ns_per_ball(iba::telemetry::Phase::kThrow);
   out.accept_ns_per_ball = timers.ns_per_ball(iba::telemetry::Phase::kAccept);
   out.delete_ns_per_ball = timers.ns_per_ball(iba::telemetry::Phase::kDelete);
@@ -90,7 +135,9 @@ Measurement time_variant(const CappedConfig& config, std::uint64_t seed,
 }
 
 /// Runs every variant over a small instance and demands byte-identical
-/// round metrics and end-state before any timing is trusted.
+/// round metrics and end-state before any timing is trusted. The widest
+/// sharded variant repeats with the arena and thread pinning forced on:
+/// the execution hints must be byte-inert too.
 bool check_determinism(std::uint32_t capacity, std::uint64_t seed,
                        const std::vector<std::uint32_t>& shard_counts) {
   const std::uint32_t n = 4096;
@@ -104,12 +151,21 @@ bool check_determinism(std::uint32_t capacity, std::uint64_t seed,
   variants.emplace_back(
       make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, 1),
       iba::core::Engine(seed));
+  std::uint32_t max_shards = 1;
   for (const std::uint32_t shards : shard_counts) {
     if (shards <= 1) continue;
+    max_shards = std::max(max_shards, shards);
     variants.emplace_back(
         make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, shards),
         iba::core::Engine(seed));
   }
+  ExecOptions forced;
+  forced.arena = true;
+  forced.pin_threads = true;
+  variants.emplace_back(
+      make_config(n, capacity, lambda_n, RoundKernel::kBinMajor,
+                  std::max(max_shards, 2u), forced),
+      iba::core::Engine(seed));
 
   for (std::uint64_t r = 0; r < rounds; ++r) {
     const RoundMetrics reference = variants.front().step();
@@ -163,6 +219,29 @@ int main(int argc, char** argv) {
   parser.add_flag("quick",
                   "CI smoke mode: n = 65536, 50 burn-in, 30 timed rounds",
                   "false");
+  parser.add_flag("large",
+                  "large-n mode: n = 10^7, 10 burn-in, 20 timed rounds",
+                  "false");
+  parser.add_flag("huge",
+                  "very-large-n smoke: n = 10^8, 3 burn-in, 4 timed "
+                  "rounds (pair with --arena true to assert rounds stop "
+                  "allocating)",
+                  "false");
+  parser.add_flag("shards-sweep",
+                  "comma-separated shard counts (e.g. 1,2,4,8): also "
+                  "sweep the bin-major kernel over these and write the "
+                  "scaling curve to --scale-json",
+                  "");
+  parser.add_flag("arena",
+                  "back bin/scratch state with the mmap arena",
+                  "false");
+  parser.add_flag("huge-pages",
+                  "advise MADV_HUGEPAGE on arena mappings", "false");
+  parser.add_flag("pin-threads",
+                  "pin shard workers to CPUs (best-effort)", "false");
+  parser.add_flag("scale-json",
+                  "output path for the --shards-sweep scaling results",
+                  "BENCH_scale.json");
   parser.add_flag("control",
                   "none|static: also time each variant with the inert "
                   "static control plane attached and report its overhead "
@@ -187,6 +266,39 @@ int main(int argc, char** argv) {
   const std::uint32_t shards =
       static_cast<std::uint32_t>(parser.get_uint("shards"));
   const bool quick = parser.get_bool("quick");
+  const bool large = parser.get_bool("large");
+  const bool huge = parser.get_bool("huge");
+  if (quick + large + huge > 1) {
+    iba::io::fail_usage(
+        "bench_kernel_throughput: --quick, --large and --huge are "
+        "mutually exclusive size presets");
+  }
+  ExecOptions exec;
+  exec.arena = parser.get_bool("arena");
+  exec.huge_pages = parser.get_bool("huge-pages");
+  exec.pin_threads = parser.get_bool("pin-threads");
+  if (exec.huge_pages && !exec.arena) {
+    iba::io::fail_usage(
+        "bench_kernel_throughput: --huge-pages needs --arena true");
+  }
+  const std::string sweep_spec = parser.get("shards-sweep");
+  std::vector<std::uint32_t> sweep;
+  for (std::size_t pos = 0; pos < sweep_spec.size();) {
+    const std::size_t comma = sweep_spec.find(',', pos);
+    const std::string item = sweep_spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    try {
+      const unsigned long value = std::stoul(item);
+      if (value == 0 || value > 256) throw std::out_of_range(item);
+      sweep.push_back(static_cast<std::uint32_t>(value));
+    } catch (const std::exception&) {
+      iba::io::fail_usage("bench_kernel_throughput: --shards-sweep "
+                          "expects comma-separated counts in [1, 256] "
+                          "(got '" + item + "')");
+    }
+    pos = comma == std::string::npos ? sweep_spec.size() : comma + 1;
+  }
+  const std::string scale_json_path = parser.get("scale-json");
   const std::string control_mode = parser.get("control");
   if (control_mode != "none" && control_mode != "static") {
     iba::io::fail_usage("bench_kernel_throughput: --control must be "
@@ -201,24 +313,52 @@ int main(int argc, char** argv) {
     if (!parser.provided("burnin")) burn_in = 50;
     if (!parser.provided("rounds")) rounds = 30;
   }
+  if (large) {
+    if (!parser.provided("n")) n = 10'000'000;
+    if (!parser.provided("burnin")) burn_in = 10;
+    if (!parser.provided("rounds")) rounds = 20;
+  }
+  if (huge) {
+    // Burn-in must cover the rounds where the grow-only scratch buffers
+    // still chase the ±√ν throw jitter; 3 is enough for the geometric
+    // headroom to win, after which a steady round allocates nothing.
+    if (!parser.provided("n")) n = 100'000'000;
+    if (!parser.provided("burnin")) burn_in = 3;
+    if (!parser.provided("rounds")) rounds = 4;
+  }
   const std::uint64_t lambda_n = static_cast<std::uint64_t>(
       std::llround(lambda * static_cast<double>(n)));
 
-  const bool determinism_ok = check_determinism(capacity, seed, {2, shards});
+  std::vector<std::uint32_t> determinism_shards = {2, shards};
+  determinism_shards.insert(determinism_shards.end(), sweep.begin(),
+                            sweep.end());
+  const bool determinism_ok =
+      check_determinism(capacity, seed, determinism_shards);
   iba::telemetry::log_info("determinism_check",
                            {{"ok", determinism_ok}});
   if (!determinism_ok) return 1;
 
   std::vector<Measurement> results;
   results.push_back(time_variant(
-      make_config(n, capacity, lambda_n, RoundKernel::kScalar, 1), seed,
-      burn_in, rounds));
+      make_config(n, capacity, lambda_n, RoundKernel::kScalar, 1, exec),
+      seed, burn_in, rounds));
   results.push_back(time_variant(
-      make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, 1), seed,
-      burn_in, rounds));
+      make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, 1, exec),
+      seed, burn_in, rounds));
   if (shards > 1) {
     results.push_back(time_variant(
-        make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, shards),
+        make_config(n, capacity, lambda_n, RoundKernel::kBinMajor, shards,
+                    exec),
+        seed, burn_in, rounds));
+  }
+
+  // Shard-scaling sweep: the bin-major kernel only (the scalar kernel
+  // cannot shard), same instance, one row per shard count.
+  std::vector<Measurement> scale_results;
+  for (const std::uint32_t sweep_shards : sweep) {
+    scale_results.push_back(time_variant(
+        make_config(n, capacity, lambda_n, RoundKernel::kBinMajor,
+                    sweep_shards, exec),
         seed, burn_in, rounds));
   }
 
@@ -315,6 +455,37 @@ int main(int argc, char** argv) {
         m.accept_ns_per_ball, m.delete_ns_per_ball);
   }
   std::printf("  bin-major vs scalar speedup: %.2fx\n", speedup);
+  for (const Measurement& m : scale_results) {
+    std::printf(
+        "  sweep     shards=%u  %9.3f s  %12.0f balls/s  %6.2f ns/ball  "
+        "%8.2f ms/round%s\n",
+        m.shards, m.seconds, m.balls_per_sec(), m.ns_per_ball(),
+        m.seconds_per_round() * 1e3,
+        exec.arena ? (m.arena_steady ? "  arena steady" : "  ARENA GREW")
+                   : "");
+  }
+  double scale_speedup = 0.0;
+  if (scale_results.size() > 1) {
+    const Measurement& first = scale_results.front();
+    const Measurement& last = scale_results.back();
+    if (first.seconds > 0.0 && last.seconds > 0.0) {
+      scale_speedup = last.balls_per_sec() / first.balls_per_sec();
+    }
+    std::printf("  shards=%u vs shards=%u speedup: %.2fx\n", last.shards,
+                first.shards, scale_speedup);
+  }
+
+  // Steady-state allocation gate: with the arena on, no timed round may
+  // allocate (the large-n acceptance bar — growth here means a round
+  // still churns memory at steady state).
+  bool arena_ok = true;
+  if (exec.arena) {
+    for (const Measurement& m : results) arena_ok &= m.arena_steady;
+    for (const Measurement& m : scale_results) arena_ok &= m.arena_steady;
+    if (!arena_ok) {
+      iba::telemetry::log_error("arena_allocated_in_timed_rounds", {});
+    }
+  }
   for (std::size_t i = 0; i < control_results.size(); ++i) {
     std::printf("  +static control  %-9s shards=%u  %9.3f s  %+6.2f%%\n",
                 std::string(iba::core::to_string(control_results[i].kernel))
@@ -359,6 +530,12 @@ int main(int argc, char** argv) {
     json.key("throw_ns_per_ball").value(m.throw_ns_per_ball);
     json.key("accept_ns_per_ball").value(m.accept_ns_per_ball);
     json.key("delete_ns_per_ball").value(m.delete_ns_per_ball);
+    if (exec.arena) {
+      json.key("arena_allocations").value(m.arena_allocations);
+      json.key("arena_live_bytes").value(m.arena_live_bytes);
+      json.key("arena_huge_bytes").value(m.arena_huge_bytes);
+      json.key("arena_steady").value(m.arena_steady);
+    }
     json.end_object();
   }
   json.end_array();
@@ -392,5 +569,58 @@ int main(int argc, char** argv) {
   json.end_object();
   out << "\n";
   iba::telemetry::log_info("bench_json_written", {{"path", json_path}});
-  return 0;
+
+  // The scaling curve gets its own artifact in the same results[] shape
+  // bench_trend.py keys on, so the committed BENCH_scale.json baseline
+  // is gated exactly like the kernel baseline.
+  if (!sweep.empty()) {
+    std::ofstream scale_out(scale_json_path, std::ios::trunc);
+    if (!scale_out) {
+      iba::telemetry::log_error("json_open_failed",
+                                {{"path", scale_json_path}});
+      return 1;
+    }
+    iba::io::JsonWriter scale(scale_out);
+    scale.begin_object();
+    scale.key("bench").value("kernel_scale");
+    scale.key("n").value(static_cast<std::uint64_t>(n));
+    scale.key("capacity").value(static_cast<std::uint64_t>(capacity));
+    scale.key("lambda_n").value(lambda_n);
+    scale.key("burn_in").value(burn_in);
+    scale.key("rounds").value(rounds);
+    scale.key("seed").value(seed);
+    scale.key("arena").value(exec.arena);
+    scale.key("huge_pages").value(exec.huge_pages);
+    scale.key("pin_threads").value(exec.pin_threads);
+    scale.key("determinism_ok").value(determinism_ok);
+    scale.key("results").begin_array();
+    for (const Measurement& m : scale_results) {
+      scale.begin_object();
+      scale.key("kernel").value(iba::core::to_string(m.kernel));
+      scale.key("shards").value(static_cast<std::uint64_t>(m.shards));
+      scale.key("rounds").value(m.rounds);
+      scale.key("balls").value(m.balls);
+      scale.key("seconds").value(m.seconds);
+      scale.key("balls_per_sec").value(m.balls_per_sec());
+      scale.key("ns_per_ball").value(m.ns_per_ball());
+      scale.key("seconds_per_round").value(m.seconds_per_round());
+      scale.key("throw_ns_per_ball").value(m.throw_ns_per_ball);
+      scale.key("accept_ns_per_ball").value(m.accept_ns_per_ball);
+      scale.key("delete_ns_per_ball").value(m.delete_ns_per_ball);
+      if (exec.arena) {
+        scale.key("arena_allocations").value(m.arena_allocations);
+        scale.key("arena_live_bytes").value(m.arena_live_bytes);
+        scale.key("arena_huge_bytes").value(m.arena_huge_bytes);
+        scale.key("arena_steady").value(m.arena_steady);
+      }
+      scale.end_object();
+    }
+    scale.end_array();
+    scale.key("speedup_max_vs_min_shards").value(scale_speedup);
+    scale.end_object();
+    scale_out << "\n";
+    iba::telemetry::log_info("bench_json_written",
+                             {{"path", scale_json_path}});
+  }
+  return arena_ok ? 0 : 1;
 }

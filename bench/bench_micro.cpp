@@ -4,9 +4,11 @@
 // balls; flat bin table ops).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,8 +21,10 @@
 #include "rng/alias.hpp"
 #include "stats/histogram.hpp"
 #include "stats/p2_quantile.hpp"
+#include "io/cli.hpp"
 #include "rng/bounded.hpp"
 #include "rng/philox.hpp"
+#include "rng/simd.hpp"
 #include "rng/xoshiro256.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/phase_timers.hpp"
@@ -55,6 +59,64 @@ void BM_BoundedDraw(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_BoundedDraw)->Arg(1 << 10)->Arg(1 << 15)->Arg((1 << 20) + 7);
+
+// The batched bounded-draw backends head-to-head on the kernel's real
+// workload shape (one draw per thrown ball, awkward non-power-of-two
+// range). Arg is the batch length; range(1) selects the backend.
+void BM_FillBounded(benchmark::State& state) {
+  const auto backend = static_cast<rng::SimdBackend>(state.range(1));
+  if (backend == rng::SimdBackend::kAvx2 && !rng::avx2_supported()) {
+    state.SkipWithError("AVX2 unavailable on this host");
+    return;
+  }
+  rng::set_simd_backend(backend);
+  core::Engine engine(9);
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(state.range(0)));
+  const std::uint64_t range = 10'000'000;  // n = 10^7, rejection path live
+  std::uint64_t draws = 0;
+  for (auto _ : state) {
+    rng::fill_bounded(engine, std::span<std::uint32_t>(out), range);
+    draws += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  rng::reset_simd_backend();
+  state.counters["draws/s"] = benchmark::Counter(
+      static_cast<double>(draws), benchmark::Counter::kIsRate);
+  state.SetLabel(backend == rng::SimdBackend::kAvx2 ? "avx2" : "scalar");
+}
+BENCHMARK(BM_FillBounded)
+    ->Args({1 << 16, static_cast<int>(rng::SimdBackend::kScalar)})
+    ->Args({1 << 16, static_cast<int>(rng::SimdBackend::kAvx2)})
+    ->Args({1 << 20, static_cast<int>(rng::SimdBackend::kScalar)})
+    ->Args({1 << 20, static_cast<int>(rng::SimdBackend::kAvx2)});
+
+// Pass-A scatter serial vs parallel: the bin-major kernel's accept
+// phase at shards = 1 runs the serial counting sort, shards > 1 the
+// staged parallel partition. Phase timers isolate the accept cost from
+// throw/delete.
+void BM_CappedScatter(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  core::CappedConfig config;
+  config.n = 1 << 16;
+  config.capacity = 2;
+  config.lambda_n = config.n - config.n / 16;  // λ = 15/16
+  config.kernel = core::RoundKernel::kBinMajor;
+  config.shards = shards;
+  core::Capped process(config, core::Engine(11));
+  for (int i = 0; i < 300; ++i) (void)process.step();
+
+  telemetry::PhaseTimers timers;
+  process.set_phase_timers(&timers);
+  std::uint64_t balls = 0;
+  for (auto _ : state) balls += process.step().thrown;
+  process.set_phase_timers(nullptr);
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(balls), benchmark::Counter::kIsRate);
+  state.counters["accept_ns/ball"] =
+      timers.ns_per_ball(telemetry::Phase::kAccept);
+  state.SetLabel(shards == 1 ? "serial" : "parallel");
+}
+BENCHMARK(BM_CappedScatter)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_BinTablePushPop(benchmark::State& state) {
   queueing::BinTable bins(1 << 10, 4);
@@ -262,9 +324,52 @@ void BM_BatchGreedyRound(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchGreedyRound)->Args({1 << 13, 1})->Args({1 << 13, 2});
 
+/// ns per bounded draw of `backend` over repeated length-2^20 batches
+/// (0 when the backend is unavailable here).
+double time_fill_bounded_ns(rng::SimdBackend backend) {
+  if (backend == rng::SimdBackend::kAvx2 && !rng::avx2_supported()) {
+    return 0.0;
+  }
+  rng::set_simd_backend(backend);
+  core::Engine engine(9);
+  std::vector<std::uint32_t> out(1u << 20);
+  const std::uint64_t range = 10'000'000;
+  rng::fill_bounded(engine, std::span<std::uint32_t>(out), range);  // warm
+  const int reps = 20;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) {
+    rng::fill_bounded(engine, std::span<std::uint32_t>(out), range);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  rng::reset_simd_backend();
+  benchmark::DoNotOptimize(out.data());
+  return std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+             .count() *
+         1e9 / (static_cast<double>(reps) * static_cast<double>(out.size()));
+}
+
+/// Accept-phase ns/ball of the bin-major kernel at `shards` (serial
+/// counting sort at 1, staged parallel partition above).
+double time_scatter_accept_ns(std::uint32_t shards) {
+  core::CappedConfig config;
+  config.n = 1 << 16;
+  config.capacity = 2;
+  config.lambda_n = config.n - config.n / 16;
+  config.kernel = core::RoundKernel::kBinMajor;
+  config.shards = shards;
+  core::Capped process(config, core::Engine(11));
+  for (int i = 0; i < 300; ++i) (void)process.step();
+  telemetry::PhaseTimers timers;
+  process.set_phase_timers(&timers);
+  for (int i = 0; i < 200; ++i) (void)process.step();
+  process.set_phase_timers(nullptr);
+  return timers.ns_per_ball(telemetry::Phase::kAccept);
+}
+
 // Runs the canonical CAPPED workload with phase timers attached and
 // writes the per-phase ns/ball numbers as a telemetry snapshot — the
-// machine-readable counterpart of the BM_Capped* console output.
+// machine-readable counterpart of the BM_Capped* console output — plus
+// the fill_bounded scalar-vs-SIMD and scatter serial-vs-parallel rows.
 void write_phase_json(const std::string& path) {
   core::CappedConfig config;
   config.n = 1 << 13;
@@ -282,6 +387,14 @@ void write_phase_json(const std::string& path) {
   registry.gauge("bench_micro_n").set(config.n);
   registry.gauge("bench_micro_capacity").set(config.capacity);
   registry.gauge("bench_micro_lambda_n").set(config.lambda_n);
+  registry.gauge("fill_bounded_scalar_ns_per_draw")
+      .set(time_fill_bounded_ns(rng::SimdBackend::kScalar));
+  registry.gauge("fill_bounded_avx2_ns_per_draw")
+      .set(time_fill_bounded_ns(rng::SimdBackend::kAvx2));
+  registry.gauge("scatter_serial_accept_ns_per_ball")
+      .set(time_scatter_accept_ns(1));
+  registry.gauge("scatter_parallel_accept_ns_per_ball")
+      .set(time_scatter_accept_ns(4));
   telemetry::record_phase_timers(registry, timers);
   if (telemetry::write_snapshot_file(registry, path)) {
     std::printf("phase timings written to %s\n", path.c_str());
@@ -292,10 +405,12 @@ void write_phase_json(const std::string& path) {
 
 }  // namespace
 
-// Custom main: accepts --json <file> / --json=<file> alongside the
-// standard google-benchmark flags (which would reject an unknown flag).
+// Custom main: accepts --json <file> / --json=<file> and --force [true]
+// alongside the standard google-benchmark flags (which would reject an
+// unknown flag). --json goes through the shared overwrite guard.
 int main(int argc, char** argv) {
   std::string json_path;
+  bool force = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -303,10 +418,20 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
+      // Optional explicit value, matching ArgParser's bool style.
+      if (i + 1 < argc && (std::strcmp(argv[i + 1], "true") == 0 ||
+                           std::strcmp(argv[i + 1], "false") == 0)) {
+        force = std::strcmp(argv[++i], "true") == 0;
+      }
+    } else if (std::strncmp(argv[i], "--force=", 8) == 0) {
+      force = std::strcmp(argv[i] + 8, "true") == 0;
     } else {
       args.push_back(argv[i]);
     }
   }
+  iba::io::guard_overwrite(json_path, force, "--json");
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {

@@ -200,6 +200,12 @@ int run_capped_cli(const io::ArgParser& parser, sim::RunSpec spec,
   }
   config.shards =
       static_cast<std::uint32_t>(parser.get_uint_range("shards", 1, n));
+  config.pin_threads = parser.get_bool("pin-threads");
+  config.arena.enabled = parser.get_bool("arena");
+  config.arena.huge_pages = parser.get_bool("huge-pages");
+  if (config.arena.huge_pages && !config.arena.enabled) {
+    throw io::UsageError("simulate: --huge-pages requires --arena true");
+  }
   config.pool_limit = parser.get_uint("pool-limit");
   const std::string bp_name = parser.get("backpressure");
   if (!core::backpressure_from_string(bp_name, config.backpressure)) {
@@ -498,6 +504,17 @@ int main(int argc, char** argv) {
   parser.add_flag("shards",
                   "parallel bin ranges per round (capped bin-major only)",
                   "1");
+  parser.add_flag("pin-threads",
+                  "pin shard workers to CPUs, best-effort; never changes "
+                  "results (capped only)",
+                  "false");
+  parser.add_flag("arena",
+                  "back bin/scratch state with the mmap arena "
+                  "(first-touch NUMA placement; capped only)",
+                  "false");
+  parser.add_flag("huge-pages",
+                  "advise MADV_HUGEPAGE on arena mappings (needs --arena)",
+                  "false");
   parser.add_flag("pool-limit",
                   "pool bound for backpressure (0 = unbounded)", "0");
   parser.add_flag("backpressure", "none | shed | defer (capped only)",

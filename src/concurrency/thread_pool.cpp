@@ -1,16 +1,38 @@
 #include "concurrency/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace iba::concurrency {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, bool pin_threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (pin_threads) {
+#if defined(__linux__)
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      CPU_SET(static_cast<int>(i % hw), &set);
+      if (pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set),
+                                 &set) == 0) {
+        ++pinned_count_;
+      }
+    }
+#endif
+    // Non-Linux: no affinity API — run unpinned (pinned_count_ stays 0;
+    // the owner decides whether that deserves a warning).
   }
 }
 
@@ -67,7 +89,18 @@ void parallel_for_ranges(
         pool.submit([&fn, i, begin, end] { fn(i, begin, end); }));
     begin = end;
   }
-  for (auto& future : futures) future.get();  // rethrows task exceptions
+  // Drain every range before rethrowing: the queued tasks capture fn by
+  // reference, so returning while any are still pending would leave them
+  // a dangling callable.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void parallel_for(ThreadPool& pool, std::size_t count,
@@ -77,7 +110,17 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     futures.push_back(pool.submit([&fn, i] { fn(i); }));
   }
-  for (auto& future : futures) future.get();  // rethrows task exceptions
+  // Same drain-then-rethrow as parallel_for_ranges: no task may outlive
+  // the caller's fn.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace iba::concurrency

@@ -1,0 +1,215 @@
+// Large-allocation arena for the round kernels' bin and scatter state.
+//
+// The round hot path streams through a handful of multi-megabyte (at
+// n = 10^8, multi-gigabyte) flat arrays. The arena backs those arrays
+// with anonymous mmap blocks so that
+//
+//   - pages are faulted in lazily: a first-touch pass on the shard
+//     workers places each shard's bin range on that worker's NUMA node
+//     (first-touch policy), instead of wherever the constructor ran;
+//   - opt-in madvise(MADV_HUGEPAGE) lets the kernel back the blocks
+//     with transparent huge pages, cutting TLB pressure on the
+//     counting-sort scatter;
+//   - allocation traffic is observable: allocation_count()/live_bytes()
+//     let benchmarks assert the steady state allocates nothing per
+//     round.
+//
+// Everything degrades gracefully: without mmap support (or below the
+// threshold, or with the arena disabled) allocations fall back to the
+// global heap, and a failed madvise is recorded, not fatal. The arena
+// changes where bytes live, never what they hold — ArenaConfig fields
+// are execution hints and deliberately not part of checkpoints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace iba::core {
+
+/// Execution hints for Arena (not serialized; see header comment).
+struct ArenaConfig {
+  bool enabled = false;     ///< back large buffers with anonymous mmap
+  bool huge_pages = false;  ///< madvise(MADV_HUGEPAGE) each mapped block
+};
+
+/// Block allocator. All allocations return logically zeroed, 64-byte
+/// aligned memory; mapped blocks are zero *without* being touched, so
+/// the caller controls page placement via its own first-touch pass.
+class Arena {
+ public:
+  explicit Arena(ArenaConfig config = {});
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Zeroed, 64-byte-aligned block. Mapped when the arena is enabled,
+  /// the platform has mmap, and `bytes` >= kMmapThreshold; heap
+  /// otherwise. bytes == 0 returns nullptr.
+  [[nodiscard]] void* allocate(std::size_t bytes);
+
+  /// Releases a block obtained from allocate(). nullptr is a no-op.
+  void deallocate(void* ptr) noexcept;
+
+  [[nodiscard]] const ArenaConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Cumulative number of allocate() calls — flat after warmup proves
+  /// the round loop allocates nothing.
+  [[nodiscard]] std::uint64_t allocation_count() const noexcept {
+    return allocation_count_;
+  }
+  /// Bytes currently held (mapped + heap blocks).
+  [[nodiscard]] std::size_t live_bytes() const noexcept {
+    return live_bytes_;
+  }
+  /// Bytes currently backed by mmap (0 when disabled/unsupported).
+  [[nodiscard]] std::size_t mapped_bytes() const noexcept {
+    return mapped_bytes_;
+  }
+  /// Currently mapped bytes for which MADV_HUGEPAGE was accepted.
+  [[nodiscard]] std::size_t huge_advised_bytes() const noexcept {
+    return huge_advised_bytes_;
+  }
+  /// True when this build/platform can mmap at all.
+  [[nodiscard]] static bool mmap_supported() noexcept;
+
+  /// Blocks smaller than this always come from the heap: the mmap +
+  /// page-fault overhead only pays off for buffers that dominate the
+  /// round's cache and TLB footprint.
+  static constexpr std::size_t kMmapThreshold = std::size_t{1} << 20;
+
+ private:
+  struct Block {
+    void* ptr = nullptr;
+    std::size_t bytes = 0;  // rounded-up length as mapped/allocated
+    bool mapped = false;
+    bool huge = false;  // MADV_HUGEPAGE accepted for this block
+  };
+
+  ArenaConfig config_;
+  std::vector<Block> blocks_;
+  std::uint64_t allocation_count_ = 0;
+  std::size_t live_bytes_ = 0;
+  std::size_t mapped_bytes_ = 0;
+  std::size_t huge_advised_bytes_ = 0;
+};
+
+/// Grow-only flat buffer over an optional Arena (heap without one).
+/// Deliberately leaner than std::vector: elements are trivial, fresh
+/// capacity is logically zeroed exactly once (at allocation), and
+/// resize() never re-zeroes previously used elements — every consumer
+/// in the round kernels writes its range before reading it.
+template <typename T>
+class ArenaBuffer {
+  static_assert(std::is_trivial_v<T>,
+                "ArenaBuffer holds trivially copyable scratch only");
+
+ public:
+  ArenaBuffer() = default;
+  ~ArenaBuffer() { release(); }
+
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  ArenaBuffer(ArenaBuffer&& other) noexcept { swap(other); }
+  ArenaBuffer& operator=(ArenaBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+
+  /// Attach before the first allocation (nullptr = heap).
+  void set_arena(Arena* arena) noexcept { arena_ = arena; }
+
+  void resize(std::size_t n) {
+    if (n > capacity_) {
+      grow(n);
+    }
+    size_ = n;
+  }
+
+  void assign(std::size_t n, T value) {
+    resize(n);
+    for (std::size_t i = 0; i < size_; ++i) {
+      data_[i] = value;
+    }
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] T* begin() noexcept { return data_; }
+  [[nodiscard]] T* end() noexcept { return data_ + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+
+  void swap(ArenaBuffer& other) noexcept {
+    std::swap(arena_, other.arena_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+  }
+
+ private:
+  void grow(std::size_t n) {
+    // Geometric growth so per-round high-water wobble (e.g. Poisson
+    // arrivals) settles into a fixed capacity after warmup.
+    std::size_t new_capacity = capacity_ + capacity_ / 2;
+    if (new_capacity < n) {
+      new_capacity = n;
+    }
+    T* fresh;
+    if (arena_ != nullptr) {
+      fresh = static_cast<T*>(arena_->allocate(new_capacity * sizeof(T)));
+    } else {
+      fresh = static_cast<T*>(
+          ::operator new(new_capacity * sizeof(T),
+                         std::align_val_t{64}));
+      std::memset(fresh, 0, new_capacity * sizeof(T));
+    }
+    if (size_ > 0) {
+      std::memcpy(fresh, data_, size_ * sizeof(T));
+    }
+    release();
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void release() noexcept {
+    if (data_ == nullptr) {
+      return;
+    }
+    if (arena_ != nullptr) {
+      arena_->deallocate(data_);
+    } else {
+      ::operator delete(data_, std::align_val_t{64});
+    }
+    data_ = nullptr;
+    capacity_ = 0;
+    size_ = 0;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace iba::core

@@ -5,10 +5,13 @@
 #include <cmath>
 #include <utility>
 
+#include <cstring>
+
 #include "common/assert.hpp"
 #include "rng/bounded.hpp"
 #include "rng/distributions.hpp"
 #include "telemetry/ball_trace.hpp"
+#include "telemetry/log.hpp"
 
 namespace iba::core {
 
@@ -23,6 +26,15 @@ constexpr std::uint8_t kActionCrash = 2;
 // throwing more balls than that (never at supported n) use the scalar
 // path, which is byte-identical anyway.
 constexpr std::size_t kMaxKernelThrows = 0xFFFFFFFEu;
+
+// Read+write prefetch hint; a no-op where the builtin is unavailable.
+inline void prefetch_rw(const void* address) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, 1);
+#else
+  (void)address;
+#endif
+}
 
 }  // namespace
 
@@ -76,10 +88,26 @@ void CappedConfig::validate() const {
 Capped::Capped(const CappedConfig& config, Engine engine)
     : config_(config), engine_(engine) {
   config_.validate();
+  if (config_.arena.enabled) {
+    arena_ = std::make_unique<Arena>(config_.arena);
+    choice_scratch_.set_arena(arena_.get());
+    counts_.set_arena(arena_.get());
+    starts_.set_arena(arena_.get());
+    part16_.set_arena(arena_.get());
+    cand_bucket_.set_arena(arena_.get());
+    staged_.set_arena(arena_.get());
+    staged_idx_.set_arena(arena_.get());
+  }
   if (infinite()) {
     unbounded_.emplace(config_.n);
   } else {
-    bounded_.emplace(config_.n, config_.capacity);
+    bounded_.emplace(config_.n, config_.capacity, arena_.get());
+  }
+  if (config_.shards > 1) {
+    ensure_shard_pool();
+  }
+  if (arena_ != nullptr) {
+    first_touch_state();
   }
   if (config_.control.enabled()) {
     controller_ = std::make_unique<control::Controller>(
@@ -646,29 +674,8 @@ void Capped::accept_bin_major(std::span<const std::uint32_t> choices,
     }
   }();
 
-  // Count throws per bin.
   counts_.resize(n);
   starts_.resize(static_cast<std::size_t>(n) + 1);
-  if (shards == 1) {
-    std::fill(counts_.begin(), counts_.end(), 0u);
-    for (std::size_t i = 0; i < nu; ++i) ++counts_[choices[i]];
-  } else {
-    run_sharded([&](std::size_t, std::size_t lo, std::size_t hi) {
-      std::fill(counts_.begin() + static_cast<std::ptrdiff_t>(lo),
-                counts_.begin() + static_cast<std::ptrdiff_t>(hi), 0u);
-      for (std::size_t i = 0; i < nu; ++i) {
-        const std::uint32_t bin = choices[i];
-        if (bin >= lo && bin < hi) ++counts_[bin];
-      }
-    });
-  }
-
-  // Exclusive prefix sum; counts_ becomes the scatter cursor array.
-  starts_[0] = 0;
-  for (std::uint32_t bin = 0; bin < n; ++bin) {
-    starts_[bin + 1] = starts_[bin] + counts_[bin];
-    counts_[bin] = starts_[bin];
-  }
 
   if (tracing) {
     // Loads before any acceptance, for replaying per-throw trace events.
@@ -682,18 +689,28 @@ void Capped::accept_bin_major(std::span<const std::uint32_t> choices,
     rank_scratch_.clear();
   }
 
-  // Scatter + accept, per contiguous bin range.
   cand_bucket_.resize(nu);
   rejected_.assign(static_cast<std::size_t>(shards) * n_buckets, 0);
   shard_accepted_.assign(shards, 0);
   shard_load_delta_.assign(shards, 0);
   if (shards == 1) {
+    // Serial counting sort: count, exclusive prefix (counts_ becomes the
+    // scatter cursor array), then the fused scatter + accept pass.
+    std::fill(counts_.begin(), counts_.end(), 0u);
+    for (std::size_t i = 0; i < nu; ++i) ++counts_[choices[i]];
+    starts_[0] = 0;
+    for (std::uint32_t bin = 0; bin < n; ++bin) {
+      starts_[bin + 1] = starts_[bin] + counts_[bin];
+      counts_[bin] = starts_[bin];
+    }
     scatter_and_accept_range(choices, 0, 0, n);
   } else {
+    // Parallel partition (every shard scans only its slice of the
+    // throws), then per-range acceptance over the identical arrays.
+    partition_choices_parallel(choices, tracing);
     run_sharded([&](std::size_t shard, std::size_t lo, std::size_t hi) {
-      scatter_and_accept_range(choices, shard,
-                               static_cast<std::uint32_t>(lo),
-                               static_cast<std::uint32_t>(hi));
+      accept_range(shard, static_cast<std::uint32_t>(lo),
+                   static_cast<std::uint32_t>(hi));
     });
   }
 
@@ -746,6 +763,11 @@ void Capped::scatter_and_accept_range(std::span<const std::uint32_t> choices,
     if (tracing) rank_scratch_[idx] = pos - starts_[bin];
   }
 
+  accept_range(shard, bin_begin, bin_end);
+}
+
+void Capped::accept_range(std::size_t shard, std::uint32_t bin_begin,
+                          std::uint32_t bin_end) {
   // Cache-linear acceptance: each bin takes the first min{c−ℓ, ν_bin}
   // candidates of its segment; the rest count as per-bucket rejections.
   std::uint64_t accepted = 0;
@@ -788,6 +810,119 @@ void Capped::scatter_and_accept_range(std::span<const std::uint32_t> choices,
   }
   shard_accepted_[shard] = accepted;
   shard_load_delta_[shard] = static_cast<std::int64_t>(accepted);
+}
+
+// Parallel counting sort across shards, replacing the old scheme where
+// every shard re-scanned all ν throws twice (count + scatter) to pick
+// out its own bins — serial work in disguise. Here each shard scans only
+// its 1/S slice of the throws:
+//
+//   1. count its slice's throws per destination bin *range* (S² counters
+//      total — micro);
+//   2. barrier + serial S² prefix over those counters: every (slice,
+//      range) pair gets a disjoint cursor into a staging array laid out
+//      range-major, slices in order within a range;
+//   3. scatter its slice into the staging array as (bin << 32 | bucket)
+//      records. Within a range's staging segment, records are ordered by
+//      (slice, throw index) = global throw order — the scatter is stable;
+//   4. barrier; then each shard owns its range's contiguous staging
+//      segment and runs a private counting sort over it into the global
+//      counts_/starts_/cand_bucket_ arrays, offset by the segment start.
+//
+// The arrays produced are byte-identical to the serial partition (proof:
+// starts_[bin] = #throws to lower bins globally, since ranges are bin-
+// ordered and segments are throw-ordered), so the acceptance pass — and
+// every downstream byte — cannot tell which partition built them.
+void Capped::partition_choices_parallel(
+    std::span<const std::uint32_t> choices, bool tracing) {
+  const std::uint32_t n = config_.n;
+  const std::uint32_t shards = config_.shards;
+  const std::size_t nu = choices.size();
+  const std::size_t s_sq = static_cast<std::size_t>(shards) * shards;
+
+  // Inverse of parallel_for_ranges' partition: bin → its range index.
+  // The first `rem` ranges have base+1 bins, the rest have base (when
+  // shards > n, base is 0 and every existing bin sits alone in range
+  // `bin`, dividing by base+1 — never by zero).
+  const std::size_t base = static_cast<std::size_t>(n) / shards;
+  const std::size_t rem = static_cast<std::size_t>(n) % shards;
+  const std::size_t wide_end = rem * (base + 1);
+  const auto range_of = [base, rem, wide_end](std::uint32_t bin) noexcept {
+    return bin < wide_end
+               ? static_cast<std::size_t>(bin) / (base + 1)
+               : rem + (static_cast<std::size_t>(bin) - wide_end) / base;
+  };
+
+  // Phase 1: per-(slice, range) counts.
+  range_count_.assign(s_sq, 0);
+  run_sharded_items(nu, [&](std::size_t slice, std::size_t lo,
+                            std::size_t hi) {
+    std::uint64_t* slice_counts = range_count_.data() + slice * shards;
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++slice_counts[range_of(choices[i])];
+    }
+  });
+
+  // Phase 2: serial S² prefix — staging cursors and segment bounds.
+  range_cursor_.resize(s_sq);
+  range_base_.assign(static_cast<std::size_t>(shards) + 1, 0);
+  std::uint64_t acc = 0;
+  for (std::uint32_t r = 0; r < shards; ++r) {
+    range_base_[r] = acc;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      range_cursor_[static_cast<std::size_t>(s) * shards + r] = acc;
+      acc += range_count_[static_cast<std::size_t>(s) * shards + r];
+    }
+  }
+  range_base_[shards] = acc;
+  IBA_ASSERT(acc == nu);
+
+  // Phase 3: stage each slice's throws per destination range.
+  staged_.resize(nu);
+  if (tracing) staged_idx_.resize(nu);
+  run_sharded_items(nu, [&](std::size_t slice, std::size_t lo,
+                            std::size_t hi) {
+    std::uint64_t* cursor = range_cursor_.data() + slice * shards;
+    // Bucket of the slice's first throw; then a monotone cursor, exactly
+    // the serial scan's bucket walk.
+    std::size_t bucket = static_cast<std::size_t>(
+        std::upper_bound(bucket_ends_.begin(), bucket_ends_.end(), lo) -
+        bucket_ends_.begin());
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      while (idx >= bucket_ends_[bucket]) ++bucket;
+      const std::uint32_t bin = choices[idx];
+      const std::uint64_t pos = cursor[range_of(bin)]++;
+      staged_[pos] = (static_cast<std::uint64_t>(bin) << 32) |
+                     static_cast<std::uint64_t>(bucket);
+      if (tracing) staged_idx_[pos] = static_cast<std::uint32_t>(idx);
+    }
+  });
+
+  // Phase 4: per-range private counting sort into the global arrays.
+  run_sharded([&](std::size_t r, std::size_t lo, std::size_t hi) {
+    std::uint32_t* const counts = counts_.data();
+    std::uint32_t* const starts = starts_.data();
+    std::fill(counts + lo, counts + hi, 0u);
+    const std::uint64_t seg_lo = range_base_[r];
+    const std::uint64_t seg_hi = range_base_[r + 1];
+    for (std::uint64_t p = seg_lo; p < seg_hi; ++p) {
+      ++counts[staged_[p] >> 32];
+    }
+    std::uint32_t running = static_cast<std::uint32_t>(seg_lo);
+    for (std::size_t bin = lo; bin < hi; ++bin) {
+      starts[bin] = running;
+      running += counts[bin];
+      counts[bin] = starts[bin];
+    }
+    for (std::uint64_t p = seg_lo; p < seg_hi; ++p) {
+      const std::uint64_t record = staged_[p];
+      const std::uint32_t bin = static_cast<std::uint32_t>(record >> 32);
+      const std::uint32_t pos = counts[bin]++;
+      cand_bucket_[pos] = static_cast<std::uint32_t>(record);
+      if (tracing) rank_scratch_[staged_idx_[p]] = pos - starts[bin];
+    }
+  });
+  starts_[n] = static_cast<std::uint32_t>(nu);
 }
 
 // Fused round kernel for the common configuration: finite capacity, one
@@ -855,8 +990,11 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
     chunk_cursor_[c] = run;
     run += chunk_counts_[c] + static_cast<std::uint32_t>(n_buckets);
   }
+  // The kPrefetchDist slack keeps the replay loop's look-ahead read in
+  // bounds; stale values there are harmless (the prefetched address is
+  // masked into the chunk and never dereferenced architecturally).
   constexpr std::size_t kPrefetchDist = 24;
-  part16_.resize(nu + sentinels + kPrefetchDist, 0);
+  part16_.resize(nu + sentinels + kPrefetchDist);
   {
     std::size_t idx = 0;
     for (std::size_t b = 0; b < n_buckets; ++b) {
@@ -914,6 +1052,18 @@ bool Capped::round_fused(std::span<const std::uint32_t> choices,
     std::uint64_t rej = 0;
     for (; p < chunk_end; ++p) {
       const std::uint32_t v = part16_[p];
+      // Software prefetch kPrefetchDist entries ahead: the replay's only
+      // cold loads are the cursor word and label line of the upcoming
+      // bins. Sentinels and the tail slack read garbage offsets — the
+      // mask and clamp keep the hinted address inside the arrays, and a
+      // useless hint costs nothing measurable.
+      {
+        const std::uint32_t ahead =
+            part16_[p + kPrefetchDist] & (chunk_width - 1);
+        const std::uint32_t pf_bin = std::min(n - 1, bin_lo + ahead);
+        prefetch_rw(hs_arr + pf_bin);
+        prefetch_rw(lb + static_cast<std::size_t>(pf_bin) * storage);
+      }
       if (v == kSentinel) [[unlikely]] {
         // Bucket b has no further throws in this chunk.
         rejected_[b] += rej;
@@ -1352,13 +1502,60 @@ void Capped::record_wait(std::uint32_t bin, std::uint64_t label,
   if (wait > m.wait_max) m.wait_max = wait;
 }
 
+void Capped::ensure_shard_pool() {
+  if (shard_pool_ != nullptr) return;
+  shard_pool_ = std::make_unique<concurrency::ThreadPool>(
+      config_.shards, config_.pin_threads);
+  if (config_.pin_threads &&
+      shard_pool_->pinned_count() < shard_pool_->thread_count()) {
+    // Pinning is a placement hint, never a correctness knob: warn and run.
+    telemetry::log_warn(
+        "pin_threads_unavailable",
+        {{"requested", shard_pool_->thread_count()},
+         {"pinned", shard_pool_->pinned_count()}});
+  }
+}
+
 void Capped::run_sharded(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
-  if (shard_pool_ == nullptr) {
-    shard_pool_ = std::make_unique<concurrency::ThreadPool>(config_.shards);
-  }
+  ensure_shard_pool();
   concurrency::parallel_for_ranges(*shard_pool_, config_.n, config_.shards,
                                    fn);
+}
+
+void Capped::run_sharded_items(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  ensure_shard_pool();
+  concurrency::parallel_for_ranges(*shard_pool_, count, config_.shards, fn);
+}
+
+void Capped::first_touch_state() {
+  if (infinite() || arena_ == nullptr) return;
+  const std::uint32_t n = config_.n;
+  // Pre-size the per-bin arrays so their pages exist to be touched.
+  counts_.resize(n);
+  starts_.resize(static_cast<std::size_t>(n) + 1);
+  const std::size_t storage = bounded_->capacity();
+  std::uint32_t* const hs = bounded_->packed_mut();
+  std::uint64_t* const lb = bounded_->labels_mut();
+  std::uint32_t* const counts = counts_.data();
+  std::uint32_t* const starts = starts_.data();
+  // Touching writes the zeroes the buffers are already guaranteed to
+  // hold; its only effect is page placement, so running it serially
+  // (shards == 1) or on workers changes nothing observable.
+  const auto touch = [&](std::size_t, std::size_t lo, std::size_t hi) {
+    std::memset(hs + lo, 0, (hi - lo) * sizeof(std::uint32_t));
+    std::memset(lb + lo * storage, 0,
+                (hi - lo) * storage * sizeof(std::uint64_t));
+    std::memset(counts + lo, 0, (hi - lo) * sizeof(std::uint32_t));
+    std::memset(starts + lo, 0, (hi - lo) * sizeof(std::uint32_t));
+  };
+  if (config_.shards > 1) {
+    run_sharded(touch);
+  } else {
+    touch(0, 0, n);
+  }
 }
 
 void Capped::merge_sorted_into_pool(

@@ -37,6 +37,7 @@
 #include "core/metrics.hpp"
 #include "core/policies.hpp"
 #include "core/process.hpp"
+#include "core/arena.hpp"
 #include "queueing/aged_pool.hpp"
 #include "queueing/bin_table.hpp"
 #include "queueing/unbounded_bin_table.hpp"
@@ -80,6 +81,17 @@ struct CappedConfig {
   /// uniform-deletion draws are pre-sampled in bin order from the master
   /// engine, so the RNG stream never depends on scheduling.
   std::uint32_t shards = 1;
+
+  // Execution hints for shards > 1 and large n. None of these changes a
+  // single result byte — they steer thread and page placement only — so
+  // they are deliberately NOT serialized into checkpoints (a snapshot
+  // taken with them on resumes bit-identically with them off).
+  /// Pin pool workers to CPUs so first-touched pages stay on the
+  /// worker's NUMA node (best-effort; see concurrency::ThreadPool).
+  bool pin_threads = false;
+  /// mmap/huge-page arena behind the bin table and kernel scratch
+  /// (see core/arena.hpp).
+  ArenaConfig arena;
 
   /// Pool bound for backpressure (0 = unbounded, the paper's model).
   /// The bound applies at admission: arrivals beyond it are shed or
@@ -199,6 +211,11 @@ class Capped {
   [[nodiscard]] std::uint64_t lambda_n() const noexcept {
     return config_.lambda_n;
   }
+
+  /// The backing arena, or nullptr when config.arena.enabled is false.
+  /// Exposed for allocation-steadiness checks: after warm-up, a round
+  /// must not grow allocation_count()/live_bytes().
+  [[nodiscard]] const Arena* arena() const noexcept { return arena_.get(); }
 
   /// Changes the arrival rate for subsequent rounds (time-varying load,
   /// e.g. diurnal patterns). Takes effect from the next step().
@@ -413,6 +430,29 @@ class Capped {
                    std::uint64_t position, RoundMetrics& m);
   void run_sharded(const std::function<void(std::size_t, std::size_t,
                                             std::size_t)>& fn);
+  /// Like run_sharded but partitions [0, count) items (throw indices)
+  /// instead of the bin space, with the same deterministic split.
+  void run_sharded_items(std::size_t count,
+                         const std::function<void(std::size_t, std::size_t,
+                                                  std::size_t)>& fn);
+  /// Lazily builds the shard pool (shards > 1), honoring pin_threads
+  /// and warning once when pinning did not stick.
+  void ensure_shard_pool();
+  /// Parallel counting sort of the throws into counts_/starts_/
+  /// cand_bucket_ (and rank_scratch_ when tracing), byte-identical to
+  /// the serial partition: per-slice range counts, a cross-shard
+  /// prefix-sum barrier, a range-staged stable scatter, then per-range
+  /// local counting sorts — each shard touching only its own slices.
+  void partition_choices_parallel(std::span<const std::uint32_t> choices,
+                                  bool tracing);
+  /// The acceptance half of scatter_and_accept_range: per-bin bulk
+  /// accept over an already-built partition.
+  void accept_range(std::size_t shard, std::uint32_t bin_begin,
+                    std::uint32_t bin_end);
+  /// First-touch pass over the arena-backed bin/scatter state, run on
+  /// the shard workers with the bin-range partition so pages land on
+  /// the NUMA node of the worker that will stream them.
+  void first_touch_state();
 
   CappedConfig config_;
   Engine engine_;
@@ -426,7 +466,10 @@ class Capped {
   queueing::AgedPool pool_;
   queueing::AgedPool survivors_;  // scratch, reused across rounds
   queueing::AgedPool merge_scratch_;
-  std::vector<std::uint32_t> choice_scratch_;
+  // The arena must outlive everything allocated from it (bounded_ and
+  // the ArenaBuffer scratch below), hence its position in this list.
+  std::unique_ptr<Arena> arena_;  // config_.arena.enabled only
+  ArenaBuffer<std::uint32_t> choice_scratch_;
   std::vector<queueing::AgedPool::Bucket> reverse_survivor_scratch_;
   std::map<std::uint64_t, std::uint64_t> requeue_;  // label → crashed count
   std::optional<queueing::BinTable> bounded_;
@@ -434,17 +477,25 @@ class Capped {
 
   // Bin-major kernel scratch, reused across rounds. `counts_` doubles as
   // the scatter cursor array after the prefix sum into `starts_`.
-  std::vector<std::uint32_t> counts_;         // n
-  std::vector<std::uint32_t> starts_;         // n + 1 candidate offsets
+  ArenaBuffer<std::uint32_t> counts_;         // n
+  ArenaBuffer<std::uint32_t> starts_;         // n + 1 candidate offsets
   // Fused kernel scratch: throws are partitioned into contiguous bin-range
   // chunks sized so the cursor arrays and per-chunk bin state stay
   // cache-resident. Each chunk stream holds 16-bit chunk-local offsets in
   // bucket-major visit order with one sentinel per (bucket, chunk), so the
   // bucket of an entry is implied by its segment instead of stored.
-  std::vector<std::uint16_t> part16_;         // local bin offsets + sentinels
+  ArenaBuffer<std::uint16_t> part16_;         // local bin offsets + sentinels
   std::vector<std::uint32_t> chunk_counts_;   // throws per chunk
   std::vector<std::uint32_t> chunk_cursor_;   // partition write cursors
-  std::vector<std::uint32_t> cand_bucket_;    // per candidate, bin-grouped
+  ArenaBuffer<std::uint32_t> cand_bucket_;    // per candidate, bin-grouped
+  // Parallel-partition scratch (shards > 1): throws staged per bin
+  // range as (bin << 32 | bucket) records, slice-ordered so the final
+  // per-range counting sorts see the global visit order.
+  ArenaBuffer<std::uint64_t> staged_;         // nu staged records
+  ArenaBuffer<std::uint32_t> staged_idx_;     // throw index (tracer only)
+  std::vector<std::uint64_t> range_count_;    // shards × shards
+  std::vector<std::uint64_t> range_cursor_;   // shards × shards
+  std::vector<std::uint64_t> range_base_;     // shards + 1 staging bounds
   std::vector<std::uint64_t> bucket_labels_;  // flat copy of pool buckets
   std::vector<std::uint64_t> bucket_ends_;    // candidate-index boundaries
   std::vector<std::uint64_t> rejected_;       // shards × buckets

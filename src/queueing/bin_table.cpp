@@ -4,14 +4,19 @@
 
 namespace iba::queueing {
 
-BinTable::BinTable(std::uint32_t bins, std::uint32_t capacity)
-    : bins_(bins), capacity_(capacity) {
+BinTable::BinTable(std::uint32_t bins, std::uint32_t capacity,
+                   core::Arena* arena)
+    : bins_(bins), capacity_(capacity), arena_(arena) {
   IBA_EXPECT(bins > 0, "BinTable: needs at least one bin");
   IBA_EXPECT(capacity > 0, "BinTable: capacity must be positive");
   IBA_EXPECT(capacity <= kSizeMask,
              "BinTable: capacity must fit the packed 16-bit size field");
+  labels_.set_arena(arena);
+  hs_.set_arena(arena);
+  // Fresh arena/heap blocks are logically zero, so resize (not assign)
+  // keeps mapped pages untouched for the caller's first-touch pass.
   labels_.resize(static_cast<std::size_t>(bins) * capacity);
-  hs_.assign(bins, 0);
+  hs_.resize(bins);
 }
 
 void BinTable::grow_capacity(std::uint32_t new_capacity) {
@@ -20,7 +25,9 @@ void BinTable::grow_capacity(std::uint32_t new_capacity) {
   IBA_EXPECT(new_capacity <= kSizeMask,
              "BinTable: capacity must fit the packed 16-bit size field");
   if (new_capacity == capacity_) return;
-  std::vector<Label> widened(static_cast<std::size_t>(bins_) * new_capacity);
+  core::ArenaBuffer<Label> widened;
+  widened.set_arena(arena_);
+  widened.resize(static_cast<std::size_t>(bins_) * new_capacity);
   for (std::uint32_t bin = 0; bin < bins_; ++bin) {
     const std::uint32_t hs = hs_[bin];
     const std::uint32_t size = hs & kSizeMask;

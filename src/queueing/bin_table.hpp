@@ -19,9 +19,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "common/assert.hpp"
+#include "core/arena.hpp"
 
 namespace iba::queueing {
 
@@ -35,7 +35,13 @@ class BinTable {
   static constexpr std::uint32_t kSizeMask = 0xFFFFu;
   static constexpr std::uint32_t kHeadShift = 16;
 
-  BinTable(std::uint32_t bins, std::uint32_t capacity);
+  /// With an arena, the flat label and cursor arrays come from it
+  /// (mapped, optionally huge-paged) and pages stay untouched until the
+  /// caller's first-touch pass decides their NUMA placement. Without
+  /// one, allocation behaves like the plain heap path. The arena must
+  /// outlive the table.
+  explicit BinTable(std::uint32_t bins, std::uint32_t capacity,
+                    core::Arena* arena = nullptr);
 
   /// Enqueues `label` at bin `bin`. Precondition: load(bin) < capacity().
   void push(std::uint32_t bin, Label label) noexcept {
@@ -200,8 +206,9 @@ class BinTable {
   std::uint32_t bins_;
   std::uint32_t capacity_;
   std::uint64_t total_load_ = 0;
-  std::vector<Label> labels_;      // n × c slots
-  std::vector<std::uint32_t> hs_;  // head<<16 | size, per bin
+  core::Arena* arena_ = nullptr;         // not owned; may be null
+  core::ArenaBuffer<Label> labels_;      // n × c slots
+  core::ArenaBuffer<std::uint32_t> hs_;  // head<<16 | size, per bin
 };
 
 }  // namespace iba::queueing

@@ -8,12 +8,15 @@
 // path.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 #include <random>
 #include <span>
 
 #include "common/assert.hpp"
+#include "rng/bounded_simd.hpp"
+#include "rng/simd.hpp"
 
 namespace iba::rng {
 
@@ -48,9 +51,8 @@ template <std::uniform_random_bit_generator Engine>
   return static_cast<std::uint32_t>(bounded(engine, range));
 }
 
-/// Fills `out` with draws from [0, range), consuming the engine stream
-/// exactly as `out.size()` sequential bounded32() calls would — callers
-/// may switch between the two freely without perturbing downstream draws.
+/// Portable batched fill: draws from [0, range), consuming the engine
+/// stream exactly as `out.size()` sequential bounded32() calls would.
 ///
 /// The hot loop handles four draws per iteration with no threshold
 /// computation; a block that trips the `low < range` pre-test (probability
@@ -58,8 +60,9 @@ template <std::uniform_random_bit_generator Engine>
 /// already-drawn words through the exact scalar algorithm so rejections
 /// consume the stream in the same order.
 template <std::uniform_random_bit_generator Engine>
-constexpr void fill_bounded(Engine& engine, std::span<std::uint32_t> out,
-                            std::uint32_t range) noexcept {
+constexpr void fill_bounded_scalar(Engine& engine,
+                                   std::span<std::uint32_t> out,
+                                   std::uint32_t range) noexcept {
   IBA_ASSERT(range >= 1);
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wpedantic"  // __int128 is a GCC/Clang builtin
@@ -106,6 +109,77 @@ constexpr void fill_bounded(Engine& engine, std::span<std::uint32_t> out,
   }
   for (; i < out.size(); ++i) {
     out[i] = bounded32(engine, range);
+  }
+}
+
+/// AVX2-backed fill: buffers engine words (the xoshiro recurrence is
+/// inherently serial) and vectorizes the Lemire multiply-high reduction
+/// plus the rejection pre-test over 8-wide blocks. Any block in which a
+/// lane might reject is handed back and replayed — buffered words first,
+/// then fresh engine words — through the exact scalar algorithm, so the
+/// produced values AND the engine stream position are bit-identical to
+/// fill_bounded_scalar for every length and range.
+template <std::uniform_random_bit_generator Engine>
+void fill_bounded_avx2(Engine& engine, std::span<std::uint32_t> out,
+                       std::uint32_t range) noexcept {
+  IBA_ASSERT(range >= 1);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"  // __int128 is a GCC/Clang builtin
+  using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+  const auto r = static_cast<std::uint64_t>(range);
+  // 4 KiB of buffered words amortizes the dispatch + loop overhead while
+  // staying comfortably inside L1.
+  constexpr std::size_t kBatchWords = 512;
+  alignas(32) std::uint64_t words[kBatchWords];
+  std::size_t i = 0;
+  while (out.size() - i >= detail::kSimdBlock) {
+    const std::size_t batch = std::min(
+        kBatchWords, (out.size() - i) & ~(detail::kSimdBlock - 1));
+    for (std::size_t k = 0; k < batch; ++k) {
+      words[k] = engine();
+    }
+    const std::size_t done =
+        detail::reduce_bounded_avx2(words, batch, r, out.data() + i);
+    i += done;
+    if (done < batch) [[unlikely]] {
+      // Replay the unreduced words through the scalar path. Every element
+      // consumes at least one word, so the buffer is always exhausted
+      // before the engine resumes — the stream position stays exact.
+      std::size_t consumed = done;
+      const std::uint64_t threshold = (0 - r) % r;
+      const std::size_t pending = batch - done;
+      for (std::size_t k = 0; k < pending; ++k) {
+        std::uint64_t x = consumed < batch ? words[consumed++] : engine();
+        u128 m = static_cast<u128>(x) * r;
+        while (static_cast<std::uint64_t>(m) < threshold) {
+          x = consumed < batch ? words[consumed++] : engine();
+          m = static_cast<u128>(x) * r;
+        }
+        out[i + k] = static_cast<std::uint32_t>(m >> 64);
+      }
+      i += pending;
+    }
+  }
+  for (; i < out.size(); ++i) {
+    out[i] = bounded32(engine, range);
+  }
+}
+
+/// Fills `out` with draws from [0, range) on the fastest available
+/// backend (see rng/simd.hpp). Every backend consumes the engine stream
+/// exactly as `out.size()` sequential bounded32() calls would and emits
+/// identical bytes — callers may switch backends (or mix with bounded32)
+/// freely without perturbing downstream draws.
+template <std::uniform_random_bit_generator Engine>
+void fill_bounded(Engine& engine, std::span<std::uint32_t> out,
+                  std::uint32_t range) noexcept {
+  // Below two SIMD blocks the batching cannot pay for itself.
+  if (out.size() >= 2 * detail::kSimdBlock &&
+      active_simd_backend() == SimdBackend::kAvx2) {
+    fill_bounded_avx2(engine, out, range);
+  } else {
+    fill_bounded_scalar(engine, out, range);
   }
 }
 

@@ -1,0 +1,90 @@
+#include "rng/bounded_simd.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define IBA_HAVE_AVX2_TARGET 1
+#include <immintrin.h>
+#endif
+
+namespace iba::rng::detail {
+
+#if defined(IBA_HAVE_AVX2_TARGET)
+
+namespace {
+
+// 64x64 -> high-64 multiply of four u64 lanes by a u32 range, without
+// AVX-512. Split x = xh * 2^32 + xl; with A = xl * range and
+// B = xh * range (both exact in 64 bits since range < 2^32):
+//   low64  = (A + (B << 32)) mod 2^64
+//   high64 = (B + (A >> 32)) >> 32
+// B + (A >> 32) <= (2^32-1)^2 + (2^32-2) < 2^64, so the sum never wraps
+// and high64 is exact. high64 < range <= 2^32 fits a u32 lane.
+struct MulHiLanes {
+  __m256i low64;
+  __m256i high64;
+};
+
+__attribute__((target("avx2"))) inline MulHiLanes mulhi_lanes(
+    __m256i x, __m256i range) noexcept {
+  const __m256i a = _mm256_mul_epu32(x, range);  // xl * r (vpmuludq)
+  const __m256i b = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), range);
+  MulHiLanes result;
+  result.low64 = _mm256_add_epi64(a, _mm256_slli_epi64(b, 32));
+  result.high64 =
+      _mm256_srli_epi64(_mm256_add_epi64(b, _mm256_srli_epi64(a, 32)), 32);
+  return result;
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) std::size_t reduce_bounded_avx2(
+    const std::uint64_t* words, std::size_t count, std::uint64_t range,
+    std::uint32_t* out) noexcept {
+  const __m256i r = _mm256_set1_epi64x(static_cast<long long>(range));
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  // Unsigned low64 < range via signed compare on sign-flipped lanes.
+  const __m256i r_flipped = _mm256_xor_si256(r, sign);
+  const __m256i pick_even_lo = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const __m256i pick_even_hi = _mm256_setr_epi32(0, 0, 0, 0, 0, 2, 4, 6);
+
+  std::size_t i = 0;
+  for (; i + kSimdBlock <= count; i += kSimdBlock) {
+    const __m256i x0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + i));
+    const __m256i x1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + i + 4));
+    const MulHiLanes m0 = mulhi_lanes(x0, r);
+    const MulHiLanes m1 = mulhi_lanes(x1, r);
+    const __m256i rej0 =
+        _mm256_cmpgt_epi64(r_flipped, _mm256_xor_si256(m0.low64, sign));
+    const __m256i rej1 =
+        _mm256_cmpgt_epi64(r_flipped, _mm256_xor_si256(m1.low64, sign));
+    if (!_mm256_testz_si256(_mm256_or_si256(rej0, rej1),
+                            _mm256_or_si256(rej0, rej1))) {
+      break;  // a lane may reject: hand this block back for scalar replay
+    }
+    // Each high64 lane is < 2^32: compact the even dwords of both
+    // vectors into one 8 x u32 vector, preserving draw order.
+    const __m256i lo_half = _mm256_permutevar8x32_epi32(m0.high64,
+                                                        pick_even_lo);
+    const __m256i hi_half = _mm256_permutevar8x32_epi32(m1.high64,
+                                                        pick_even_hi);
+    const __m256i packed = _mm256_blend_epi32(lo_half, hi_half, 0xF0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), packed);
+  }
+  return i;
+}
+
+#else  // !IBA_HAVE_AVX2_TARGET
+
+std::size_t reduce_bounded_avx2(const std::uint64_t* /*words*/,
+                                std::size_t /*count*/,
+                                std::uint64_t /*range*/,
+                                std::uint32_t* /*out*/) noexcept {
+  return 0;  // unreachable: dispatch never selects AVX2 on this platform
+}
+
+#endif
+
+}  // namespace iba::rng::detail

@@ -1,0 +1,29 @@
+// AVX2 block reduction for fill_bounded: Lemire multiply-high over a
+// buffer of pre-drawn engine words. Compiled in its own translation unit
+// with a per-function target("avx2") attribute so the rest of the build
+// keeps the baseline ISA; callers must consult rng::active_simd_backend()
+// before entering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iba::rng::detail {
+
+/// Lane width the AVX2 reducer commits per step. fill_bounded hands the
+/// reducer batches that are multiples of this and replays the rest
+/// through the scalar algorithm.
+inline constexpr std::size_t kSimdBlock = 8;
+
+/// Reduces words[0..count) to out[0..count) as floor(word * range / 2^64),
+/// stopping early at the first kSimdBlock-wide block in which any lane
+/// trips the Lemire rejection pre-test (low64 < range). Returns the number
+/// of outputs committed — always a multiple of kSimdBlock, and at most
+/// count rounded down to a multiple of kSimdBlock. The caller replays the
+/// remaining words through the exact scalar algorithm, which keeps the
+/// engine stream bit-identical to the scalar path.
+std::size_t reduce_bounded_avx2(const std::uint64_t* words, std::size_t count,
+                                std::uint64_t range,
+                                std::uint32_t* out) noexcept;
+
+}  // namespace iba::rng::detail

@@ -1,0 +1,70 @@
+#include "rng/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace iba::rng {
+namespace {
+
+std::atomic<int> g_override{-1};
+
+bool probe_avx2() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+SimdBackend resolve_simd_backend(const char* env_value,
+                                 bool avx2_ok) noexcept {
+  if (env_value != nullptr && std::strcmp(env_value, "scalar") == 0) {
+    return SimdBackend::kScalar;
+  }
+  // "avx2", "auto", unset, and unrecognized values all defer to the
+  // probe: the backend must never be a semantic choice, so the only
+  // honored request is the downgrade.
+  return avx2_ok ? SimdBackend::kAvx2 : SimdBackend::kScalar;
+}
+
+bool avx2_supported() noexcept {
+  static const bool supported = probe_avx2();
+  return supported;
+}
+
+SimdBackend active_simd_backend() noexcept {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return static_cast<SimdBackend>(forced);
+  }
+  static const int resolved = static_cast<int>(
+      resolve_simd_backend(std::getenv("IBA_SIMD"), avx2_supported()));
+  return static_cast<SimdBackend>(resolved);
+}
+
+void set_simd_backend(SimdBackend backend) noexcept {
+  if (backend == SimdBackend::kAvx2 && !avx2_supported()) {
+    backend = SimdBackend::kScalar;
+  }
+  g_override.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+void reset_simd_backend() noexcept {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* simd_backend_name(SimdBackend backend) noexcept {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace iba::rng

@@ -1,0 +1,211 @@
+// Unit tests of the core::Arena mmap/huge-page allocator and the
+// grow-only ArenaBuffer that fronts it: zeroing and alignment
+// guarantees, the mmap threshold, graceful fallback when disabled,
+// allocation accounting (the "no allocations at steady state" signal),
+// and the buffer's geometric-growth / content-preservation contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "core/arena.hpp"
+
+namespace {
+
+using iba::core::Arena;
+using iba::core::ArenaBuffer;
+using iba::core::ArenaConfig;
+
+bool all_zero(const void* ptr, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(ptr);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+TEST(Arena, SmallAllocationsComeFromTheHeapZeroedAndAligned) {
+  ArenaConfig config;
+  config.enabled = true;
+  Arena arena(config);
+  void* ptr = arena.allocate(4096);  // below kMmapThreshold
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ptr) % 64, 0u);
+  EXPECT_TRUE(all_zero(ptr, 4096));
+  EXPECT_EQ(arena.allocation_count(), 1u);
+  EXPECT_GE(arena.live_bytes(), 4096u);
+  EXPECT_EQ(arena.mapped_bytes(), 0u);
+  arena.deallocate(ptr);
+  EXPECT_EQ(arena.live_bytes(), 0u);
+}
+
+TEST(Arena, LargeAllocationsAreMappedWhenEnabled) {
+  ArenaConfig config;
+  config.enabled = true;
+  Arena arena(config);
+  const std::size_t bytes = Arena::kMmapThreshold + 12345;
+  void* ptr = arena.allocate(bytes);
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ptr) % 64, 0u);
+  EXPECT_TRUE(all_zero(ptr, bytes));
+  if (Arena::mmap_supported()) {
+    // Mapped length rounds up to the 2 MiB huge-page granule.
+    EXPECT_GE(arena.mapped_bytes(), bytes);
+    EXPECT_EQ(arena.mapped_bytes() % (std::size_t{2} << 20), 0u);
+  } else {
+    EXPECT_EQ(arena.mapped_bytes(), 0u);
+  }
+  // Writable end to end.
+  std::memset(ptr, 0xAB, bytes);
+  arena.deallocate(ptr);
+  EXPECT_EQ(arena.mapped_bytes(), 0u);
+  EXPECT_EQ(arena.live_bytes(), 0u);
+}
+
+TEST(Arena, DisabledArenaNeverMaps) {
+  Arena arena;  // default config: disabled
+  void* ptr = arena.allocate(Arena::kMmapThreshold * 4);
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_TRUE(all_zero(ptr, Arena::kMmapThreshold * 4));
+  EXPECT_EQ(arena.mapped_bytes(), 0u);
+  EXPECT_EQ(arena.huge_advised_bytes(), 0u);
+  arena.deallocate(ptr);
+}
+
+TEST(Arena, HugePageAdviceIsBoundedByMappedBytes) {
+  // madvise(MADV_HUGEPAGE) may be refused (THP off, non-Linux) — that
+  // must degrade to plain mapped memory, never fail.
+  ArenaConfig config;
+  config.enabled = true;
+  config.huge_pages = true;
+  Arena arena(config);
+  const std::size_t bytes = Arena::kMmapThreshold * 3;
+  void* ptr = arena.allocate(bytes);
+  ASSERT_NE(ptr, nullptr);
+  EXPECT_TRUE(all_zero(ptr, bytes));
+  EXPECT_LE(arena.huge_advised_bytes(), arena.mapped_bytes());
+  std::memset(ptr, 1, bytes);  // still plain writable memory
+  arena.deallocate(ptr);
+  EXPECT_EQ(arena.huge_advised_bytes(), 0u);
+}
+
+TEST(Arena, ZeroBytesReturnsNull) {
+  ArenaConfig config;
+  config.enabled = true;
+  Arena arena(config);
+  EXPECT_EQ(arena.allocate(0), nullptr);
+  arena.deallocate(nullptr);  // no-op
+  EXPECT_EQ(arena.allocation_count(), 0u);
+}
+
+TEST(Arena, DestructorReleasesOutstandingBlocks) {
+  // Blocks not explicitly deallocated are reclaimed by the destructor
+  // (ASan would flag a leak or a bad munmap here).
+  ArenaConfig config;
+  config.enabled = true;
+  Arena arena(config);
+  (void)arena.allocate(512);
+  (void)arena.allocate(Arena::kMmapThreshold * 2);
+  EXPECT_EQ(arena.allocation_count(), 2u);
+}
+
+TEST(ArenaBuffer, ResizePreservesContentsAndZeroesFreshCapacity) {
+  ArenaBuffer<std::uint32_t> buffer;  // heap-backed (no arena attached)
+  buffer.resize(100);
+  EXPECT_TRUE(all_zero(buffer.data(), 100 * sizeof(std::uint32_t)));
+  std::iota(buffer.begin(), buffer.end(), 1u);
+  buffer.resize(1000);
+  ASSERT_EQ(buffer.size(), 1000u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(buffer[i], i + 1) << "grow lost element " << i;
+  }
+  // Capacity beyond the old size was never written: still zero.
+  for (std::size_t i = 100; i < 1000; ++i) {
+    EXPECT_EQ(buffer[i], 0u) << "fresh element " << i << " not zeroed";
+  }
+}
+
+TEST(ArenaBuffer, ShrinkThenRegrowDoesNotReallocate) {
+  ArenaConfig config;
+  config.enabled = true;
+  Arena arena(config);
+  ArenaBuffer<std::uint64_t> buffer;
+  buffer.set_arena(&arena);
+  buffer.resize(5000);
+  const std::uint64_t allocs = arena.allocation_count();
+  const std::uint64_t* data = buffer.data();
+  // The round loop's pattern: resize down and up within capacity.
+  for (int round = 0; round < 50; ++round) {
+    buffer.resize(4000 + static_cast<std::size_t>(round) % 1000);
+  }
+  buffer.clear();
+  buffer.resize(5000);
+  EXPECT_EQ(arena.allocation_count(), allocs)
+      << "within-capacity resizes must not allocate";
+  EXPECT_EQ(buffer.data(), data);
+}
+
+TEST(ArenaBuffer, GeometricGrowthAbsorbsJitter) {
+  // Growing by a whisker (the ±√ν round-to-round throw jitter) must
+  // reallocate at most once more: geometric headroom covers the rest.
+  ArenaBuffer<std::uint32_t> buffer;
+  buffer.resize(1'000'000);
+  buffer.resize(1'000'500);  // first wobble: grows with 50% headroom
+  const std::size_t settled = buffer.capacity();
+  for (std::size_t jitter = 0; jitter < 5000; jitter += 500) {
+    buffer.resize(1'000'500 + jitter);
+  }
+  EXPECT_EQ(buffer.capacity(), settled)
+      << "headroom should absorb subsequent jitter";
+}
+
+TEST(ArenaBuffer, AssignFillsExactly) {
+  ArenaBuffer<std::uint32_t> buffer;
+  buffer.assign(257, 7u);
+  ASSERT_EQ(buffer.size(), 257u);
+  for (const std::uint32_t v : buffer) EXPECT_EQ(v, 7u);
+  buffer.assign(100, 9u);
+  ASSERT_EQ(buffer.size(), 100u);
+  for (const std::uint32_t v : buffer) EXPECT_EQ(v, 9u);
+}
+
+TEST(ArenaBuffer, MoveTransfersOwnership) {
+  ArenaConfig config;
+  config.enabled = true;
+  Arena arena(config);
+  ArenaBuffer<std::uint32_t> a;
+  a.set_arena(&arena);
+  a.resize(300'000);  // above the threshold once widened to bytes
+  a[0] = 42;
+  const std::uint32_t* data = a.data();
+  ArenaBuffer<std::uint32_t> b = std::move(a);
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b.size(), 300'000u);
+  EXPECT_EQ(b[0], 42u);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+
+  ArenaBuffer<std::uint32_t> c;
+  c.resize(10);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), data);
+  EXPECT_EQ(c[0], 42u);
+}
+
+TEST(ArenaBuffer, ArenaBackedBuffersUseMappedMemoryWhenLarge) {
+  if (!Arena::mmap_supported()) GTEST_SKIP() << "no mmap on this platform";
+  ArenaConfig config;
+  config.enabled = true;
+  Arena arena(config);
+  ArenaBuffer<std::uint64_t> buffer;
+  buffer.set_arena(&arena);
+  buffer.resize(Arena::kMmapThreshold);  // 8 MiB of u64 — mapped
+  EXPECT_GT(arena.mapped_bytes(), 0u);
+  buffer.resize(0);
+  buffer.resize(Arena::kMmapThreshold);
+  EXPECT_EQ(arena.allocation_count(), 1u);
+}
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Differential tests of the round kernels: the scalar ball-at-a-time
 // path, the bin-major counting-sort kernel, and its sharded execution
-// (1 / 2 / 7 shards) must produce byte-identical trajectories — every
+// (2 / 4 / 7 / 8 shards, with and without the mmap arena and worker
+// pinning) must produce byte-identical trajectories — every
 // RoundMetrics field, the waiting-time statistics (including the
 // order-sensitive Welford moments), snapshots (pool, bin queues, engine
 // state), ball-trace span streams, snapshot-resume behaviour and
@@ -119,13 +120,27 @@ struct Variant {
   const char* name;
   RoundKernel kernel;
   std::uint32_t shards;
+  bool arena = false;  ///< mmap arena + MADV_HUGEPAGE — must be byte-inert
+  bool pin = false;    ///< worker CPU pinning — must be byte-inert
 };
+
+CappedConfig with_variant(CappedConfig config, const Variant& variant) {
+  config.kernel = variant.kernel;
+  config.shards = variant.shards;
+  config.arena.enabled = variant.arena;
+  config.arena.huge_pages = variant.arena;  // exercise the madvise path
+  config.pin_threads = variant.pin;
+  return config;
+}
 
 constexpr Variant kVariants[] = {
     {"scalar", RoundKernel::kScalar, 1},
     {"bin_major", RoundKernel::kBinMajor, 1},
     {"bin_major_2", RoundKernel::kBinMajor, 2},
+    {"bin_major_4_arena", RoundKernel::kBinMajor, 4, /*arena=*/true},
     {"bin_major_7", RoundKernel::kBinMajor, 7},
+    {"bin_major_8_arena_pin", RoundKernel::kBinMajor, 8, /*arena=*/true,
+     /*pin=*/true},
 };
 
 /// Everything observable from one run, for exact comparison.
@@ -235,7 +250,7 @@ TEST(KernelDifferential, AllVariantsMatchScalarEverywhere) {
     for (std::size_t v = 1; v < std::size(kVariants); ++v) {
       const Variant& variant = kVariants[v];
       const RunCapture capture =
-          run(with_kernel(scenario.config, variant.kernel, variant.shards),
+          run(with_variant(scenario.config, variant),
               kSeed, kRounds, /*trace=*/false);
       ASSERT_EQ(capture.metrics.size(), kRounds);
       for (std::uint64_t r = 0; r < kRounds; ++r) {
@@ -266,7 +281,7 @@ TEST(KernelDifferential, SpanStreamsAreByteIdentical) {
     for (std::size_t v = 1; v < std::size(kVariants); ++v) {
       const Variant& variant = kVariants[v];
       const RunCapture capture =
-          run(with_kernel(scenario.config, variant.kernel, variant.shards),
+          run(with_variant(scenario.config, variant),
               kSeed, kRounds, /*trace=*/true);
       EXPECT_EQ(reference.spans, capture.spans)
           << variant.name << " on " << scenario.name;
@@ -302,7 +317,7 @@ TEST(KernelDifferential, StepWithChoicesMatchesAcrossKernels) {
   std::vector<Capped> variants;
   for (const Variant& variant : kVariants) {
     variants.emplace_back(
-        with_kernel(config, variant.kernel, variant.shards), Engine(kSeed));
+        with_variant(config, variant), Engine(kSeed));
   }
   Engine choice_engine(99);
   std::vector<std::uint32_t> choices;
@@ -406,7 +421,7 @@ TEST(FaultDifferential, AllVariantsMatchScalarUnderEverySchedule) {
       for (std::size_t v = 1; v < std::size(kVariants); ++v) {
         const Variant& variant = kVariants[v];
         const RunCapture capture = run_with_faults(
-            with_kernel(scenario.config, variant.kernel, variant.shards),
+            with_variant(scenario.config, variant),
             schedule, kSeed, kRounds);
         for (std::uint64_t r = 0; r < kRounds; ++r) {
           expect_metrics_eq(reference.metrics[r], capture.metrics[r],
@@ -522,7 +537,7 @@ TEST(ControlDifferential, AllVariantsMatchScalarUnderEveryPolicy) {
     for (std::size_t v = 1; v < std::size(kVariants); ++v) {
       const Variant& variant = kVariants[v];
       const RunCapture capture = run_lambda_drop(
-          with_kernel(config, variant.kernel, variant.shards), kSeed,
+          with_variant(config, variant), kSeed,
           kRounds);
       for (std::uint64_t r = 0; r < kRounds; ++r) {
         expect_metrics_eq(reference.metrics[r], capture.metrics[r],
@@ -606,6 +621,57 @@ TEST(ControlDifferential, KillAndResumeMidShrinkDrain) {
   // restore() carries the counters, so totals line up exactly.
   EXPECT_EQ(uninterrupted.controller()->changes_total(),
             resumed.controller()->changes_total());
+}
+
+TEST(KernelDifferential, LargeNKillAndResumeWithArena) {
+  // The parallel scatter, arena and pinning at realistic scale: at
+  // n = 10^7, an arena-backed (huge-paged), pinned, 8-shard run must
+  // match the single-shard fused kernel round for round; a snapshot
+  // taken mid-flight and resumed under a different execution
+  // configuration (4 shards, no arena) must continue byte-identically.
+  // Few rounds — byte identity does not need steady state.
+  CappedConfig config;
+  config.n = 10'000'000;
+  config.capacity = 2;
+  config.lambda_n = 9'500'000;
+  config.kernel = RoundKernel::kBinMajor;
+  config.shards = 1;
+
+  constexpr int kLargeRounds = 4;
+  Capped reference(config, Engine(kSeed));
+  std::vector<RoundMetrics> reference_metrics;
+  for (int r = 0; r < kLargeRounds; ++r) {
+    reference_metrics.push_back(reference.step());
+  }
+
+  CappedConfig sharded = config;
+  sharded.shards = 8;
+  sharded.arena.enabled = true;
+  sharded.arena.huge_pages = true;
+  sharded.pin_threads = true;
+  Capped uninterrupted(sharded, Engine(kSeed));
+  for (int r = 0; r < kLargeRounds / 2; ++r) {
+    expect_metrics_eq(reference_metrics[static_cast<std::size_t>(r)],
+                      uninterrupted.step(), "large_n_shards8", r);
+  }
+
+  CappedSnapshot snap = uninterrupted.snapshot();
+  snap.config.shards = 4;  // execution hints are not process state
+  snap.config.arena.enabled = false;
+  snap.config.arena.huge_pages = false;
+  snap.config.pin_threads = false;
+  Capped resumed(snap);
+
+  for (int r = kLargeRounds / 2; r < kLargeRounds; ++r) {
+    const RoundMetrics expected =
+        reference_metrics[static_cast<std::size_t>(r)];
+    expect_metrics_eq(expected, uninterrupted.step(), "large_n_shards8", r);
+    expect_metrics_eq(expected, resumed.step(), "large_n_resume4", r);
+  }
+  expect_snapshot_eq(reference.snapshot(), uninterrupted.snapshot(),
+                     "large_n_shards8");
+  expect_snapshot_eq(reference.snapshot(), resumed.snapshot(),
+                     "large_n_resume4");
 }
 
 TEST(KernelDifferential, ConfigValidationRejectsShardedScalar) {
