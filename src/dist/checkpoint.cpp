@@ -1,0 +1,191 @@
+#include "dist/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+#include "scenario/progress.hpp"
+
+namespace iba::dist {
+
+namespace {
+
+constexpr std::string_view kShardMagic = "iba-dist-shard";
+constexpr std::string_view kManifestMagic = "iba-dist-manifest";
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& context,
+                       const std::string& message) {
+  throw std::runtime_error(context + ": " + message);
+}
+
+/// Reads one CRC-bound envelope (`<magic> <version> <crc> <bytes>` +
+/// body) and returns the validated body.
+std::string read_envelope(const std::string& path, std::string_view magic,
+                          const std::string& context) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(context, "cannot open: " + path);
+  std::string header;
+  if (!std::getline(in, header)) fail(context, "truncated header");
+  std::istringstream head(header);
+  std::string file_magic;
+  std::uint32_t version = 0;
+  std::uint32_t crc = 0;
+  std::size_t bytes = 0;
+  if (!(head >> file_magic >> version >> crc >> bytes) ||
+      file_magic != magic) {
+    fail(context, "bad header '" + header + "'");
+  }
+  if (version != kVersion) {
+    fail(context, "unsupported version " + std::to_string(version));
+  }
+  std::string body(bytes, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    fail(context, "truncated body");
+  }
+  if (common::crc32(body) != crc) fail(context, "CRC mismatch");
+  return body;
+}
+
+/// Writes `body` under the envelope, atomically. Returns the body CRC.
+std::uint32_t write_envelope(const std::string& body, std::string_view magic,
+                             const std::string& path,
+                             const std::string& context) {
+  const std::uint32_t crc = common::crc32(body);
+  std::ostringstream out;
+  out << magic << ' ' << kVersion << ' ' << crc << ' ' << body.size()
+      << '\n'
+      << body;
+  scenario::write_text_atomic(out.str(), path, context);
+  return crc;
+}
+
+std::uint64_t parse_u64(std::istringstream& in, const char* what,
+                        const std::string& context) {
+  std::uint64_t value = 0;
+  if (!(in >> value)) {
+    fail(context, std::string("truncated/invalid field: ") + what);
+  }
+  return value;
+}
+
+void expect_key(std::istringstream& in, std::string_view key,
+                const std::string& context) {
+  std::string word, eq;
+  if (!(in >> word >> eq) || word != key || eq != "=") {
+    fail(context, "expected '" + std::string(key) + " =', got '" + word +
+                      " " + eq + "'");
+  }
+}
+
+}  // namespace
+
+std::string shard_path(const std::string& base, std::uint64_t round,
+                       std::uint32_t worker) {
+  return base + ".r" + std::to_string(round) + ".shard" +
+         std::to_string(worker);
+}
+
+std::string coord_path(const std::string& base, std::uint64_t round) {
+  return base + ".r" + std::to_string(round) + ".coord";
+}
+
+std::string manifest_path(const std::string& base) {
+  return base + ".manifest";
+}
+
+std::uint32_t save_shard(const ShardState& shard, const std::string& path) {
+  std::ostringstream body;
+  body << "round = " << shard.round << '\n';
+  body << "bin-lo = " << shard.bin_lo << '\n';
+  body << "bin-count = " << shard.bin_count << '\n';
+  body << "capacity = " << shard.capacity << '\n';
+  for (const auto& queue : shard.queues) {
+    body << "queue = " << queue.size();
+    for (const std::uint64_t label : queue) body << ' ' << label;
+    body << '\n';
+  }
+  body << "end\n";
+  return write_envelope(body.str(), kShardMagic, path, "dist shard");
+}
+
+ShardState load_shard(const std::string& path) {
+  const std::string context = "dist shard";
+  const std::string body = read_envelope(path, kShardMagic, context);
+  std::istringstream in(body);
+  ShardState shard;
+  expect_key(in, "round", context);
+  shard.round = parse_u64(in, "round", context);
+  expect_key(in, "bin-lo", context);
+  shard.bin_lo = parse_u64(in, "bin-lo", context);
+  expect_key(in, "bin-count", context);
+  shard.bin_count = parse_u64(in, "bin-count", context);
+  expect_key(in, "capacity", context);
+  const std::uint64_t capacity = parse_u64(in, "capacity", context);
+  if (capacity < 1 || capacity > 0xFFFFu) {
+    fail(context, "capacity out of range");
+  }
+  shard.capacity = static_cast<std::uint32_t>(capacity);
+  shard.queues.resize(shard.bin_count);
+  for (auto& queue : shard.queues) {
+    expect_key(in, "queue", context);
+    const std::uint64_t length = parse_u64(in, "queue length", context);
+    if (length > capacity) fail(context, "queue longer than capacity");
+    queue.reserve(length);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      queue.push_back(parse_u64(in, "queue label", context));
+    }
+  }
+  std::string tail;
+  if (!(in >> tail) || tail != "end") fail(context, "missing end marker");
+  return shard;
+}
+
+void save_manifest(const Manifest& manifest, const std::string& path) {
+  std::ostringstream body;
+  body << "round = " << manifest.round << '\n';
+  body << "n = " << manifest.n << '\n';
+  body << "workers = " << manifest.workers << '\n';
+  body << "digest = " << manifest.digest << '\n';
+  body << "seed = " << manifest.seed << '\n';
+  body << "shard-crcs =";
+  for (const std::uint32_t crc : manifest.shard_crcs) body << ' ' << crc;
+  body << '\n';
+  body << "end\n";
+  write_envelope(body.str(), kManifestMagic, path, "dist manifest");
+}
+
+Manifest load_manifest(const std::string& path) {
+  const std::string context = "dist manifest";
+  const std::string body = read_envelope(path, kManifestMagic, context);
+  std::istringstream in(body);
+  Manifest manifest;
+  expect_key(in, "round", context);
+  manifest.round = parse_u64(in, "round", context);
+  expect_key(in, "n", context);
+  manifest.n = parse_u64(in, "n", context);
+  expect_key(in, "workers", context);
+  const std::uint64_t workers = parse_u64(in, "workers", context);
+  if (workers < 1 || workers > 0xFFFFu) {
+    fail(context, "workers out of range");
+  }
+  manifest.workers = static_cast<std::uint32_t>(workers);
+  expect_key(in, "digest", context);
+  if (!(in >> manifest.digest)) {
+    fail(context, "truncated/invalid field: digest");
+  }
+  expect_key(in, "seed", context);
+  manifest.seed = parse_u64(in, "seed", context);
+  expect_key(in, "shard-crcs", context);
+  manifest.shard_crcs.resize(manifest.workers);
+  for (auto& crc : manifest.shard_crcs) {
+    crc = static_cast<std::uint32_t>(parse_u64(in, "shard-crc", context));
+  }
+  std::string tail;
+  if (!(in >> tail) || tail != "end") fail(context, "missing end marker");
+  return manifest;
+}
+
+}  // namespace iba::dist

@@ -1,0 +1,82 @@
+// Distributed checkpoint artifacts (docs/DISTRIBUTED.md):
+//
+//  * shard file  — one worker's bin range: every queue front-first,
+//    written by the worker on kMsgCheckpoint;
+//  * coordinator file — the coordinator's own state, stored as a
+//    standard checkpoint-v3 CappedSnapshot whose bin_queues are empty
+//    (bins live in the shard files), via sim::save_checkpoint;
+//  * manifest — the commit record binding one generation: round,
+//    geometry, per-shard CRCs. Written (atomically) LAST, so at every
+//    crash point the manifest on disk references only complete,
+//    durable files.
+//
+// Generation layout under a base path B at round R with W workers:
+//
+//   B.r<R>.coord           coordinator snapshot (engine, pool, deferred,
+//                          waits, controller, totals)
+//   B.r<R>.coord.progress  the scenario Progress sidecar, written by the
+//                          runner before the manifest commit
+//   B.r<R>.shard<w>        worker w's queues, w in [0, W)
+//   B.manifest             points at R; replaced atomically per generation
+//
+// Round-stamped filenames mean a new generation never overwrites the
+// committed one; obsolete generations are garbage-collected one
+// checkpoint later (coordinator-side for its own files, via the next
+// kMsgCheckpoint's gc_path for shards), so a crash mid-save always
+// leaves the previous generation fully intact.
+//
+// All three files use the repo's standard CRC-bound text envelope
+// (`<magic> <version> <crc32> <bytes>` header + body + `end`), written
+// atomically (tmp + fsync + rename).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iba::dist {
+
+/// One worker's persisted bin range.
+struct ShardState {
+  std::uint64_t round = 0;     ///< last completed round
+  std::uint64_t bin_lo = 0;    ///< first global bin of the range
+  std::uint64_t bin_count = 0;
+  std::uint32_t capacity = 1;  ///< storage capacity at save time
+  /// Per local bin, front-first (next-to-delete first).
+  std::vector<std::vector<std::uint64_t>> queues;
+};
+
+/// The commit record of one checkpoint generation.
+struct Manifest {
+  std::uint64_t round = 0;
+  std::uint64_t n = 0;
+  std::uint32_t workers = 0;
+  std::string digest;      ///< Scenario::digest() of the run
+  std::uint64_t seed = 0;
+  std::vector<std::uint32_t> shard_crcs;  ///< body CRC per worker
+};
+
+/// Derived generation filenames (see the header comment).
+[[nodiscard]] std::string shard_path(const std::string& base,
+                                     std::uint64_t round,
+                                     std::uint32_t worker);
+[[nodiscard]] std::string coord_path(const std::string& base,
+                                     std::uint64_t round);
+[[nodiscard]] std::string manifest_path(const std::string& base);
+
+/// Atomically writes the shard file; returns the body's CRC-32 (which
+/// the worker reports in its kMsgCheckpointAck, and the manifest
+/// records). Throws std::runtime_error on IO failure.
+std::uint32_t save_shard(const ShardState& shard, const std::string& path);
+
+/// Reads and validates a shard file. Throws std::runtime_error on IO
+/// errors, bad header, CRC mismatch, or malformed fields.
+[[nodiscard]] ShardState load_shard(const std::string& path);
+
+/// Atomically writes the manifest — the generation's commit point.
+void save_manifest(const Manifest& manifest, const std::string& path);
+
+/// Reads and validates a manifest.
+[[nodiscard]] Manifest load_manifest(const std::string& path);
+
+}  // namespace iba::dist

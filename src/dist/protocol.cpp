@@ -1,0 +1,181 @@
+#include "dist/protocol.hpp"
+
+namespace iba::dist {
+
+namespace {
+
+void write_u32_list(net::WireWriter& out,
+                    const std::vector<std::uint32_t>& values) {
+  out.u32(static_cast<std::uint32_t>(values.size()));
+  for (const std::uint32_t v : values) out.u32(v);
+}
+
+std::vector<std::uint32_t> read_u32_list(net::WireReader& in,
+                                         const char* what) {
+  const std::uint32_t count = in.u32(what);
+  std::vector<std::uint32_t> values(count);
+  for (std::uint32_t i = 0; i < count; ++i) values[i] = in.u32(what);
+  return values;
+}
+
+}  // namespace
+
+void send_hello(int fd, const HelloMsg& msg) {
+  net::WireWriter out;
+  out.u32(msg.version);
+  out.u32(msg.worker);
+  net::write_frame(fd, kMsgHello, out.span());
+}
+
+HelloMsg decode_hello(net::WireReader& in) {
+  HelloMsg msg;
+  msg.version = in.u32("hello.version");
+  msg.worker = in.u32("hello.worker");
+  in.expect_end("hello");
+  return msg;
+}
+
+void send_init(int fd, const InitMsg& msg) {
+  net::WireWriter out;
+  out.u64(msg.n);
+  out.u64(msg.bin_lo);
+  out.u64(msg.bin_count);
+  out.u32(msg.capacity);
+  out.u64(msg.round);
+  out.str(msg.resume_shard);
+  net::write_frame(fd, kMsgInit, out.span());
+}
+
+InitMsg decode_init(net::WireReader& in) {
+  InitMsg msg;
+  msg.n = in.u64("init.n");
+  msg.bin_lo = in.u64("init.bin_lo");
+  msg.bin_count = in.u64("init.bin_count");
+  msg.capacity = in.u32("init.capacity");
+  msg.round = in.u64("init.round");
+  msg.resume_shard = in.str("init.resume_shard");
+  in.expect_end("init");
+  return msg;
+}
+
+void send_init_ack(int fd, const InitAckMsg& msg) {
+  net::WireWriter out;
+  out.u64(msg.round);
+  out.u64(msg.total_load);
+  net::write_frame(fd, kMsgInitAck, out.span());
+}
+
+InitAckMsg decode_init_ack(net::WireReader& in) {
+  InitAckMsg msg;
+  msg.round = in.u64("init_ack.round");
+  msg.total_load = in.u64("init_ack.total_load");
+  in.expect_end("init_ack");
+  return msg;
+}
+
+void send_round(int fd, const RoundMsg& msg) {
+  net::WireWriter out;
+  std::size_t throws = 0;
+  for (const auto& bucket : msg.bins) throws += bucket.size();
+  out.reserve(24 + msg.labels.size() * 16 + throws * 4);
+  out.u64(msg.round);
+  out.u32(msg.capacity);
+  out.u32(static_cast<std::uint32_t>(msg.labels.size()));
+  for (std::size_t b = 0; b < msg.labels.size(); ++b) {
+    out.u64(msg.labels[b]);
+    write_u32_list(out, msg.bins[b]);
+  }
+  net::write_frame(fd, kMsgRound, out.span());
+}
+
+RoundMsg decode_round(net::WireReader& in) {
+  RoundMsg msg;
+  msg.round = in.u64("round.round");
+  msg.capacity = in.u32("round.capacity");
+  const std::uint32_t buckets = in.u32("round.buckets");
+  msg.labels.resize(buckets);
+  msg.bins.resize(buckets);
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    msg.labels[b] = in.u64("round.label");
+    msg.bins[b] = read_u32_list(in, "round.bins");
+  }
+  in.expect_end("round");
+  return msg;
+}
+
+void send_round_result(int fd, const RoundResultMsg& msg) {
+  net::WireWriter out;
+  out.u64(msg.round);
+  out.u64(msg.accepted);
+  out.u64(msg.deleted);
+  out.u64(msg.total_load);
+  out.u64(msg.max_load);
+  out.u64(msg.empty_bins);
+  out.u64(msg.wait_count);
+  out.u64(msg.wait_sum);
+  out.u64(msg.wait_sumsq_hi);
+  out.u64(msg.wait_sumsq_lo);
+  out.u64(msg.wait_max);
+  out.u64_vec(msg.wait_histogram);
+  out.u64_vec(msg.rejected);
+  net::write_frame(fd, kMsgRoundResult, out.span());
+}
+
+RoundResultMsg decode_round_result(net::WireReader& in) {
+  RoundResultMsg msg;
+  msg.round = in.u64("result.round");
+  msg.accepted = in.u64("result.accepted");
+  msg.deleted = in.u64("result.deleted");
+  msg.total_load = in.u64("result.total_load");
+  msg.max_load = in.u64("result.max_load");
+  msg.empty_bins = in.u64("result.empty_bins");
+  msg.wait_count = in.u64("result.wait_count");
+  msg.wait_sum = in.u64("result.wait_sum");
+  msg.wait_sumsq_hi = in.u64("result.wait_sumsq_hi");
+  msg.wait_sumsq_lo = in.u64("result.wait_sumsq_lo");
+  msg.wait_max = in.u64("result.wait_max");
+  msg.wait_histogram = in.u64_vec("result.wait_histogram");
+  msg.rejected = in.u64_vec("result.rejected");
+  in.expect_end("result");
+  return msg;
+}
+
+void send_checkpoint(int fd, const CheckpointMsg& msg) {
+  net::WireWriter out;
+  out.u64(msg.round);
+  out.str(msg.path);
+  out.str(msg.gc_path);
+  net::write_frame(fd, kMsgCheckpoint, out.span());
+}
+
+CheckpointMsg decode_checkpoint(net::WireReader& in) {
+  CheckpointMsg msg;
+  msg.round = in.u64("checkpoint.round");
+  msg.path = in.str("checkpoint.path");
+  msg.gc_path = in.str("checkpoint.gc_path");
+  in.expect_end("checkpoint");
+  return msg;
+}
+
+void send_checkpoint_ack(int fd, const CheckpointAckMsg& msg) {
+  net::WireWriter out;
+  out.u64(msg.round);
+  out.u32(msg.crc);
+  out.u64(msg.balls);
+  net::write_frame(fd, kMsgCheckpointAck, out.span());
+}
+
+CheckpointAckMsg decode_checkpoint_ack(net::WireReader& in) {
+  CheckpointAckMsg msg;
+  msg.round = in.u64("checkpoint_ack.round");
+  msg.crc = in.u32("checkpoint_ack.crc");
+  msg.balls = in.u64("checkpoint_ack.balls");
+  in.expect_end("checkpoint_ack");
+  return msg;
+}
+
+void send_shutdown(int fd) {
+  net::write_frame(fd, kMsgShutdown, {});
+}
+
+}  // namespace iba::dist

@@ -1,0 +1,147 @@
+// Wire protocol of the distributed engine: the message vocabulary the
+// coordinator and its workers exchange as net:: frames (docs/
+// DISTRIBUTED.md).
+//
+// Topology and determinism: ALL randomness lives on the coordinator —
+// it owns the master engine, the pool, backpressure and the control
+// plane, exactly like a single-process run. Workers own only their
+// contiguous bin range. Per round the coordinator partitions the
+// pre-drawn bin choices by owning worker and ships each worker its
+// slice (kRound); workers run acceptance + FIFO deletion on their bins
+// — which draws nothing — and return exact-integer deltas
+// (kRoundResult) the coordinator merges order-independently. The merged
+// trajectory is therefore byte-identical to the single-process sharded
+// kernel by construction.
+//
+// The round protocol is synchronous (one kRound → one kRoundResult per
+// worker per round), so the coordinator's poll deadline on each
+// expected response doubles as the heartbeat: a crashed or stalled
+// worker surfaces as a timeout or EOF on the very next message.
+//
+// Encoding: every message is one frame (net/frame.hpp); payloads are
+// fixed-width little-endian scalars via WireWriter/WireReader, so the
+// bytes are platform-independent. Decoders bounds-check every field and
+// reject trailing bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace iba::dist {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame types. Values are wire format — append, never renumber.
+enum MsgType : std::uint32_t {
+  kMsgHello = 1,          ///< worker → coordinator, on connect
+  kMsgInit = 2,           ///< coordinator → worker: bin range + resume
+  kMsgInitAck = 3,        ///< worker → coordinator: range loaded
+  kMsgRound = 4,          ///< coordinator → worker: one round's throws
+  kMsgRoundResult = 5,    ///< worker → coordinator: round deltas
+  kMsgCheckpoint = 6,     ///< coordinator → worker: persist your range
+  kMsgCheckpointAck = 7,  ///< worker → coordinator: shard written
+  kMsgShutdown = 8,       ///< coordinator → worker: clean exit
+};
+
+/// Worker introduction: protocol version + which bin-range index this
+/// connection serves (workers connect in arbitrary order over TCP).
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t worker = 0;
+};
+
+/// Assigns a worker its contiguous bin range [bin_lo, bin_lo+bin_count)
+/// of the global n, sized for `capacity` slots per bin. `round` is the
+/// last completed round; a non-empty `resume_shard` names the shard
+/// checkpoint whose state (taken at exactly that round) the worker must
+/// load before serving.
+struct InitMsg {
+  std::uint64_t n = 0;
+  std::uint64_t bin_lo = 0;
+  std::uint64_t bin_count = 0;
+  std::uint32_t capacity = 1;
+  std::uint64_t round = 0;
+  std::string resume_shard;
+};
+
+struct InitAckMsg {
+  std::uint64_t round = 0;       ///< echoed init round
+  std::uint64_t total_load = 0;  ///< balls restored into the range
+};
+
+/// One round of throws for one worker, in the global acceptance visit
+/// order. `labels[b]` is the generation label of pool bucket b
+/// (oldest-first, ascending); `bins[b]` lists the worker-local bin of
+/// every throw of bucket b that landed in this worker's range, in
+/// arrival order. Bucket-major framing keeps the per-throw cost at one
+/// u32 and lets the worker replay acceptance exactly.
+struct RoundMsg {
+  std::uint64_t round = 0;     ///< the round being executed
+  std::uint32_t capacity = 0;  ///< acceptance bound c this round
+  std::vector<std::uint64_t> labels;
+  std::vector<std::vector<std::uint32_t>> bins;
+};
+
+/// A worker's exact per-round deltas. Sums and the wait moments are
+/// order-independent integers, so the coordinator's merge is identical
+/// to a single process having visited the bins in any order.
+struct RoundResultMsg {
+  std::uint64_t round = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t deleted = 0;
+  std::uint64_t total_load = 0;  ///< end-of-round, this range
+  std::uint64_t max_load = 0;
+  std::uint64_t empty_bins = 0;
+  // This round's wait-moment delta (stats::UintMoments parts + dyadic
+  // histogram counts + max), merged exactly on the coordinator.
+  std::uint64_t wait_count = 0;
+  std::uint64_t wait_sum = 0;
+  std::uint64_t wait_sumsq_hi = 0;
+  std::uint64_t wait_sumsq_lo = 0;
+  std::uint64_t wait_max = 0;
+  std::vector<std::uint64_t> wait_histogram;
+  std::vector<std::uint64_t> rejected;  ///< per bucket, survivors
+};
+
+/// Orders a shard checkpoint: write the range's state (at the just-
+/// completed `round`) atomically to `path`. `gc_path` names an obsolete
+/// shard file from two checkpoint generations back, safe to delete once
+/// the new file is durable ("" = nothing to collect) — the manifest on
+/// disk never references it at any crash point.
+struct CheckpointMsg {
+  std::uint64_t round = 0;
+  std::string path;
+  std::string gc_path;
+};
+
+struct CheckpointAckMsg {
+  std::uint64_t round = 0;
+  std::uint32_t crc = 0;    ///< CRC-32 of the shard body written
+  std::uint64_t balls = 0;  ///< balls persisted (conservation echo)
+};
+
+// -- frame I/O --------------------------------------------------------
+// Each send_* writes exactly one frame; read_message reads one frame
+// and returns its type + payload for the caller to decode_*.
+
+void send_hello(int fd, const HelloMsg& msg);
+void send_init(int fd, const InitMsg& msg);
+void send_init_ack(int fd, const InitAckMsg& msg);
+void send_round(int fd, const RoundMsg& msg);
+void send_round_result(int fd, const RoundResultMsg& msg);
+void send_checkpoint(int fd, const CheckpointMsg& msg);
+void send_checkpoint_ack(int fd, const CheckpointAckMsg& msg);
+void send_shutdown(int fd);
+
+[[nodiscard]] HelloMsg decode_hello(net::WireReader& in);
+[[nodiscard]] InitMsg decode_init(net::WireReader& in);
+[[nodiscard]] InitAckMsg decode_init_ack(net::WireReader& in);
+[[nodiscard]] RoundMsg decode_round(net::WireReader& in);
+[[nodiscard]] RoundResultMsg decode_round_result(net::WireReader& in);
+[[nodiscard]] CheckpointMsg decode_checkpoint(net::WireReader& in);
+[[nodiscard]] CheckpointAckMsg decode_checkpoint_ack(net::WireReader& in);
+
+}  // namespace iba::dist

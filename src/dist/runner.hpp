@@ -1,0 +1,62 @@
+// run_distributed — the coordinator-side scenario loop (docs/
+// DISTRIBUTED.md): drives a dist::Coordinator through a parsed Scenario
+// exactly as scenario::run_scenario drives a core::Capped, reusing the
+// same Progress accumulators, artifact assembly and expectation
+// evaluation (scenario/progress.hpp). That sharing, plus the
+// coordinator's byte-identical round replication, is why a distributed
+// run's artifact bytes equal the single-process run's for the same
+// (scenario, seed) — the acceptance property the differential tests and
+// the CI dist-smoke job hold us to.
+//
+// Not supported distributed (guarded with clear errors): fault
+// schedules (worker-side coins would fork the engine stream), the
+// invariant auditor and ball tracing (both need the full in-process
+// state), and recording sidecars. Backpressure, adaptive control,
+// arrival models and Zipf skew all run coordinator-side and work
+// unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+
+namespace iba::dist {
+
+struct DistRunOptions {
+  std::optional<std::uint64_t> seed;  ///< override [run] seed
+
+  /// Checkpoint generation base path ("" = no checkpoints). Files land
+  /// as `<base>.r<R>.{coord,coord.progress,shard<w>}` + `<base>.manifest`.
+  std::string checkpoint_base;
+  /// Cadence in rounds; 0 adopts the scenario's checkpoint-every.
+  std::uint64_t checkpoint_every = 0;
+  /// Resume from checkpoint_base's committed manifest generation.
+  bool resume = false;
+  /// Stop (checkpoint and return, complete = false) after this many
+  /// total rounds. Requires checkpoint_base. For kill-and-resume tests.
+  std::uint64_t stop_after = 0;
+
+  /// Poll deadline on every expected worker response, ms.
+  int timeout_ms = 30'000;
+  /// Sleep this long after every round (CI uses it to make "kill a
+  /// worker mid-run" land mid-run reliably). 0 = full speed.
+  std::uint64_t throttle_us = 0;
+  /// Called after every completed round (tests hook failure injection
+  /// and progress probes here). May be empty.
+  std::function<void(std::uint64_t round)> on_round;
+};
+
+/// Runs `scenario` across the connected workers. `worker_fds` are the
+/// accepted sockets (any order; the hello handshake assigns ranges) and
+/// stay owned by the caller. Throws common::ContractViolation on
+/// unsupported scenario features or broken resume identity, WorkerLost
+/// when a worker dies or stalls, and std::runtime_error on IO failures.
+[[nodiscard]] scenario::RunOutcome run_distributed(
+    const scenario::Scenario& scenario, const std::vector<int>& worker_fds,
+    const DistRunOptions& options = {});
+
+}  // namespace iba::dist

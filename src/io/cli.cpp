@@ -29,6 +29,48 @@ void guard_overwrite(const std::string& path, bool force,
              ": output exists (pass --force true to overwrite)");
 }
 
+HostPort parse_host_port(const std::string& text, const std::string& flag) {
+  const auto fail = [&](const std::string& why) -> void {
+    throw UsageError(flag + " '" + text + "': " + why);
+  };
+  if (text.empty()) fail("expected host:port");
+
+  HostPort result;
+  std::string port_text;
+  if (text.front() == '[') {
+    // Bracketed IPv6 literal: [::1]:9000.
+    const std::size_t close = text.find(']');
+    if (close == std::string::npos) fail("unterminated '[' in host");
+    result.host = text.substr(1, close - 1);
+    if (close + 1 >= text.size() || text[close + 1] != ':') {
+      fail("expected ':port' after the bracketed host");
+    }
+    port_text = text.substr(close + 2);
+  } else {
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos) {
+      port_text = text;  // bare port: every interface
+    } else {
+      if (text.find(':') != colon) {
+        fail("IPv6 hosts must be bracketed, e.g. [::1]:9000");
+      }
+      result.host = text.substr(0, colon);
+      port_text = text.substr(colon + 1);
+    }
+  }
+
+  if (port_text.empty()) fail("missing port");
+  std::uint64_t port = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') fail("port must be an unsigned integer");
+    port = port * 10 + static_cast<std::uint64_t>(c - '0');
+    if (port > 0xFFFFu) break;
+  }
+  if (port < 1 || port > 0xFFFFu) fail("port must lie in [1, 65535]");
+  result.port = static_cast<std::uint16_t>(port);
+  return result;
+}
+
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 

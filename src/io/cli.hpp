@@ -37,6 +37,20 @@ class UsageError : public ContractViolation {
 void guard_overwrite(const std::string& path, bool force,
                      const std::string& flag);
 
+/// A parsed "host:port" endpoint (see parse_host_port).
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (e.g. "127.0.0.1:9000", "[::1]:9000", ":9000" for
+/// every interface, or a bare "9000"). The port must be an integer in
+/// [1, 65535]. Throws UsageError naming `flag` and the offending text on
+/// any malformed or out-of-range input — binaries route it through
+/// parse_or_exit()/fail_usage() to exit code 2.
+[[nodiscard]] HostPort parse_host_port(const std::string& text,
+                                       const std::string& flag);
+
 /// Parses "--key value" / "--key=value" flags. Declare flags up front so
 /// --help can describe them and typos are rejected.
 class ArgParser {

@@ -1,0 +1,231 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace iba::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& op) {
+  throw NetError("net: " + op + ": " + std::strerror(errno));
+}
+
+/// getaddrinfo for one IPv4/IPv6 TCP endpoint; the caller frees.
+addrinfo* resolve(const std::string& host, std::uint16_t port, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  const std::string service = std::to_string(port);
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw NetError("net: cannot resolve '" + host + ":" + service +
+                   "': " + ::gai_strerror(rc));
+  }
+  return result;
+}
+
+}  // namespace
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  addrinfo* addrs = resolve(host, port, /*passive=*/true);
+  std::string last_error = "no addresses";
+  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      ::freeaddrinfo(addrs);
+      return Socket(fd);
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  throw NetError("net: cannot listen on " + host + ":" +
+                 std::to_string(port) + ": " + last_error);
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    fail_errno("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return 0;
+}
+
+Socket accept_client(const Socket& listener, int timeout_ms) {
+  return accept_client(listener.fd(), timeout_ms);
+}
+
+Socket accept_client(int listener_fd, int timeout_ms) {
+  if (!wait_readable(listener_fd, timeout_ms)) return Socket();
+  for (;;) {
+    const int client = ::accept(listener_fd, nullptr, nullptr);
+    if (client >= 0) {
+      // Request-response protocols (the distributed round loop) stall
+      // ~40ms per round under Nagle + delayed ACK; disable it, as
+      // connect_tcp already does. Fails harmlessly on non-TCP fds.
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(client);
+    }
+    if (errno == EINTR) continue;
+    // The pending connection can vanish between poll and accept;
+    // report a timeout-shaped miss rather than failing the listener.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Socket();
+    }
+    fail_errno("accept");
+  }
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo* addrs = resolve(host, port, /*passive=*/false);
+  std::string last_error = "no addresses";
+  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, a->ai_addr, a->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      ::freeaddrinfo(addrs);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  throw NetError("net: cannot connect to " + host + ":" +
+                 std::to_string(port) + ": " + last_error);
+}
+
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    fail_errno("socketpair");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+void write_full(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, cursor, remaining);
+#endif
+    if (n > 0) {
+      cursor += n;
+      remaining -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw PeerClosed("net: peer closed with " + std::to_string(remaining) +
+                       " of " + std::to_string(size) + " bytes unwritten");
+    }
+    fail_errno("write");
+  }
+}
+
+void read_full(int fd, void* data, std::size_t size) {
+  if (!read_full_or_eof(fd, data, size)) {
+    throw PeerClosed("net: peer closed before a " + std::to_string(size) +
+                     "-byte read");
+  }
+}
+
+bool read_full_or_eof(int fd, void* data, std::size_t size) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t have = 0;
+  while (have < size) {
+    const ssize_t n = ::read(fd, cursor + have, size - have);
+    if (n > 0) {
+      have += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0 || errno == ECONNRESET) {
+      if (have == 0) return false;
+      throw PeerClosed("net: peer closed after " + std::to_string(have) +
+                       " of " + std::to_string(size) + " bytes");
+    }
+    fail_errno("read");
+  }
+  return true;
+}
+
+std::size_t read_some(int fd, void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return 0;
+    fail_errno("read");
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      timeout_ms < 0 ? Clock::time_point::max()
+                     : Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int remaining = timeout_ms;
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, remaining);
+    if (ready > 0) return true;
+    if (ready == 0) return false;
+    if (errno != EINTR) fail_errno("poll");
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return false;
+      remaining = static_cast<int>(left.count());
+    }
+  }
+}
+
+}  // namespace iba::net

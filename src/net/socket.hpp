@@ -1,0 +1,121 @@
+// Minimal POSIX socket layer shared by the distributed engine
+// (src/dist/) and the telemetry scrape endpoint — extracted from the
+// original telemetry/scrape_server.cpp socket boilerplate and hardened:
+// every read/write helper retries EINTR and handles partial transfers,
+// which raw send()/recv() call sites historically got wrong (short
+// writes on large /timeseries responses).
+//
+// Design rules:
+//  * RAII Socket owns one fd; all helpers also accept a raw fd so the
+//    protocol layer (net/frame.hpp) works over socketpairs in tests
+//    exactly as over TCP in production.
+//  * Errors are exceptions: NetError for syscall failures and timeouts,
+//    PeerClosed (a NetError) for a clean EOF — callers that treat a
+//    vanished peer as routine (a crashed worker, a scraper that hung
+//    up) catch the subtype.
+//  * Nothing here draws randomness or reads the clock beyond poll
+//    timeouts, so transport can never perturb a simulation trajectory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace iba::net {
+
+/// Transport failure: refused connection, reset, poll timeout, syscall
+/// error. The message names the operation and the errno text.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The peer closed the connection (clean EOF). Subtype so callers can
+/// distinguish "worker went away" from "syscall failed".
+class PeerClosed : public NetError {
+ public:
+  explicit PeerClosed(const std::string& what) : NetError(what) {}
+};
+
+/// RAII owner of one socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Releases ownership of the fd to the caller.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (TCP, SO_REUSEADDR). Empty host
+/// means every interface. Port 0 picks an ephemeral port — read it back
+/// with local_port(). Throws NetError when the address cannot be bound.
+[[nodiscard]] Socket listen_tcp(const std::string& host, std::uint16_t port,
+                                int backlog = 16);
+
+/// The locally bound port of a listening (or connected) socket.
+[[nodiscard]] std::uint16_t local_port(const Socket& socket);
+
+/// Accepts one pending connection, waiting up to `timeout_ms`
+/// (-1 = forever). Returns an invalid Socket on timeout; retries EINTR.
+[[nodiscard]] Socket accept_client(const Socket& listener, int timeout_ms);
+/// Raw-fd flavor for callers that manage the listener fd themselves.
+[[nodiscard]] Socket accept_client(int listener_fd, int timeout_ms);
+
+/// Connects to `host:port` (TCP). Throws NetError on resolution or
+/// connection failure.
+[[nodiscard]] Socket connect_tcp(const std::string& host, std::uint16_t port);
+
+/// A connected AF_UNIX socket pair (for in-process tests and fakes).
+[[nodiscard]] std::pair<Socket, Socket> socket_pair();
+
+/// Writes exactly `size` bytes, retrying EINTR and partial writes.
+/// Throws PeerClosed when the peer resets mid-write, NetError otherwise.
+void write_full(int fd, const void* data, std::size_t size);
+
+/// Reads exactly `size` bytes, retrying EINTR and partial reads. Throws
+/// PeerClosed on EOF (at any offset; the message says how far it got),
+/// NetError on syscall failure.
+void read_full(int fd, void* data, std::size_t size);
+
+/// Like read_full, but a clean EOF *before the first byte* returns
+/// false instead of throwing — the idle-peer-hung-up case. EOF mid-way
+/// still throws PeerClosed (a truncated message is never routine).
+[[nodiscard]] bool read_full_or_eof(int fd, void* data, std::size_t size);
+
+/// One read() of at most `size` bytes, retrying EINTR only. Returns the
+/// byte count (0 = EOF). For request-line peeks where a partial read is
+/// acceptable. Throws NetError on syscall failure.
+[[nodiscard]] std::size_t read_some(int fd, void* data, std::size_t size);
+
+/// Waits until `fd` is readable, up to `timeout_ms` (-1 = forever).
+/// Returns false on timeout; retries EINTR with the remaining budget.
+[[nodiscard]] bool wait_readable(int fd, int timeout_ms);
+
+}  // namespace iba::net

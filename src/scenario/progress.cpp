@@ -1,0 +1,268 @@
+#include "scenario/progress.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+
+namespace iba::scenario {
+
+namespace {
+
+constexpr std::string_view kProgressMagic = "iba-scenario-progress";
+constexpr std::uint32_t kProgressVersion = 1;
+
+[[noreturn]] void fail_progress(const std::string& message) {
+  throw std::runtime_error("scenario progress: " + message);
+}
+
+std::string render_progress(const Progress& p) {
+  std::ostringstream out;
+  out << "digest = " << p.digest << '\n';
+  out << "seed = " << p.seed << '\n';
+  out << "rounds-done = " << p.rounds_done << '\n';
+  out << "audit-rounds = " << p.audit_rounds << '\n';
+  out << "audit-violations = " << p.audit_violations << '\n';
+  out << "pool-sum = " << p.pool_sum << '\n';
+  out << "pool-min = " << p.pool_min << '\n';
+  out << "pool-max = " << p.pool_max << '\n';
+  out << "pool-last = " << p.pool_last << '\n';
+  out << "load-sum = " << p.load_sum << '\n';
+  out << "max-load-peak = " << p.max_load_peak << '\n';
+  out << "empty-bins-last = " << p.empty_bins_last << '\n';
+  out << "requeued-sum = " << p.requeued_sum << '\n';
+  out << "faulted-bin-rounds = " << p.faulted_bin_rounds << '\n';
+  out << "shed-measured = " << p.shed_measured << '\n';
+  out << "oldest-age-max = " << p.oldest_age_max << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+}  // namespace
+
+void write_text_atomic(const std::string& text, const std::string& path,
+                       const std::string& context) {
+  const auto fail = [&context](const std::string& message) -> void {
+    throw std::runtime_error(context + ": " + message);
+  };
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) fail("cannot open for writing: " + tmp);
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+            std::fflush(out) == 0 && ::fsync(::fileno(out)) == 0;
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("write error: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+void save_progress(const Progress& progress, const std::string& path) {
+  const std::string body = render_progress(progress);
+  std::ostringstream out;
+  out << kProgressMagic << ' ' << kProgressVersion << ' '
+      << common::crc32(body) << ' ' << body.size() << '\n'
+      << body;
+  write_text_atomic(out.str(), path, "scenario progress");
+}
+
+Progress load_progress(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail_progress("cannot open: " + path);
+  std::string header;
+  if (!std::getline(in, header)) fail_progress("truncated header");
+  std::istringstream head(header);
+  std::string magic;
+  std::uint32_t version = 0;
+  std::uint32_t crc = 0;
+  std::size_t bytes = 0;
+  if (!(head >> magic >> version >> crc >> bytes) ||
+      magic != kProgressMagic) {
+    fail_progress("bad header '" + header + "'");
+  }
+  if (version != kProgressVersion) {
+    fail_progress("unsupported version " + std::to_string(version));
+  }
+  std::string body(bytes, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) {
+    fail_progress("truncated body");
+  }
+  if (common::crc32(body) != crc) fail_progress("CRC mismatch");
+
+  Progress p;
+  std::istringstream lines(body);
+  std::string line;
+  bool saw_end = false;
+  const auto parse_u64 = [](const std::string& text, const char* what) {
+    try {
+      return static_cast<std::uint64_t>(std::stoull(text));
+    } catch (const std::exception&) {
+      fail_progress(std::string("invalid field ") + what + ": '" + text +
+                    "'");
+    }
+  };
+  while (std::getline(lines, line)) {
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string::npos) {
+      fail_progress("malformed line '" + line + "'");
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 3);
+    if (key == "digest") {
+      p.digest = value;
+    } else if (key == "seed") {
+      p.seed = parse_u64(value, "seed");
+    } else if (key == "rounds-done") {
+      p.rounds_done = parse_u64(value, "rounds-done");
+    } else if (key == "audit-rounds") {
+      p.audit_rounds = parse_u64(value, "audit-rounds");
+    } else if (key == "audit-violations") {
+      p.audit_violations = parse_u64(value, "audit-violations");
+    } else if (key == "pool-sum") {
+      p.pool_sum = parse_u64(value, "pool-sum");
+    } else if (key == "pool-min") {
+      p.pool_min = parse_u64(value, "pool-min");
+    } else if (key == "pool-max") {
+      p.pool_max = parse_u64(value, "pool-max");
+    } else if (key == "pool-last") {
+      p.pool_last = parse_u64(value, "pool-last");
+    } else if (key == "load-sum") {
+      p.load_sum = parse_u64(value, "load-sum");
+    } else if (key == "max-load-peak") {
+      p.max_load_peak = parse_u64(value, "max-load-peak");
+    } else if (key == "empty-bins-last") {
+      p.empty_bins_last = parse_u64(value, "empty-bins-last");
+    } else if (key == "requeued-sum") {
+      p.requeued_sum = parse_u64(value, "requeued-sum");
+    } else if (key == "faulted-bin-rounds") {
+      p.faulted_bin_rounds = parse_u64(value, "faulted-bin-rounds");
+    } else if (key == "shed-measured") {
+      p.shed_measured = parse_u64(value, "shed-measured");
+    } else if (key == "oldest-age-max") {
+      p.oldest_age_max = parse_u64(value, "oldest-age-max");
+    } else {
+      fail_progress("unknown field '" + key + "'");
+    }
+  }
+  if (!saw_end) fail_progress("missing end marker");
+  return p;
+}
+
+void accumulate_progress(Progress& progress, const core::RoundMetrics& m) {
+  progress.pool_sum += m.pool_size;
+  if (m.pool_size < progress.pool_min) progress.pool_min = m.pool_size;
+  if (m.pool_size > progress.pool_max) progress.pool_max = m.pool_size;
+  progress.pool_last = m.pool_size;
+  progress.load_sum += m.total_load;
+  if (m.max_load > progress.max_load_peak) {
+    progress.max_load_peak = m.max_load;
+  }
+  progress.empty_bins_last = m.empty_bins;
+  progress.requeued_sum += m.requeued;
+  progress.faulted_bin_rounds += m.faulted_bins;
+  progress.shed_measured += m.shed;
+  if (m.oldest_pool_age > progress.oldest_age_max) {
+    progress.oldest_age_max = m.oldest_pool_age;
+  }
+}
+
+void fill_artifact(artifact::ResultArtifact& result, const Scenario& scn,
+                   const std::string& digest, std::uint64_t seed,
+                   const Progress& progress, const RunTotals& totals) {
+  result.scenario_name = scn.name;
+  result.scenario_digest = digest;
+  result.seed = seed;
+  result.n = scn.n;
+  result.capacity_initial = scn.capacity;
+  result.burn_in = scn.burn_in;
+  result.rounds = scn.rounds;
+
+  result.generated_total = totals.generated_total;
+  result.deleted_total = totals.deleted_total;
+  result.shed_total = totals.shed_total;
+  result.deferred_end = totals.deferred_end;
+
+  result.pool_sum = progress.pool_sum;
+  result.pool_min = progress.pool_min == UINT64_MAX ? 0 : progress.pool_min;
+  result.pool_max = progress.pool_max;
+  result.pool_last = progress.pool_last;
+  result.load_sum = progress.load_sum;
+  result.max_load_peak = progress.max_load_peak;
+  result.empty_bins_last = progress.empty_bins_last;
+  result.requeued_sum = progress.requeued_sum;
+  result.faulted_bin_rounds = progress.faulted_bin_rounds;
+  result.shed_measured = progress.shed_measured;
+  result.oldest_age_max = progress.oldest_age_max;
+
+  result.wait_count = totals.waits.count;
+  result.wait_sum = totals.waits.sum;
+  result.wait_sumsq_hi = totals.waits.sumsq_hi;
+  result.wait_sumsq_lo = totals.waits.sumsq_lo;
+  result.wait_max = totals.waits.max;
+  result.wait_p50 = totals.wait_p50;
+  result.wait_p99 = totals.wait_p99;
+  result.wait_histogram = totals.waits.histogram;
+}
+
+void evaluate_expectations(const Scenario& scn,
+                           artifact::ResultArtifact& artifact) {
+  const Expectations& expect = scn.expect;
+  const auto add = [&artifact](std::string name, std::string bound,
+                               std::string observed, bool pass) {
+    artifact.checks.push_back({std::move(name), std::move(bound),
+                               std::move(observed), pass});
+  };
+  const auto fmt = [](double value) { return detail::format_double(value); };
+
+  if (expect.max_pool_over_n > 0.0) {
+    // pool_max/n <= bound  ⇔  pool_max <= bound·n (one rounding, same
+    // everywhere).
+    const bool pass =
+        static_cast<double>(artifact.pool_max) <=
+        expect.max_pool_over_n * static_cast<double>(artifact.n);
+    add("max-pool-over-n", fmt(expect.max_pool_over_n),
+        std::to_string(artifact.pool_max) + "/" + std::to_string(artifact.n),
+        pass);
+  }
+  if (expect.max_wait_mean > 0.0) {
+    // wait_sum/wait_count <= bound  ⇔  wait_sum <= bound·count.
+    const bool pass =
+        static_cast<double>(artifact.wait_sum) <=
+        expect.max_wait_mean * static_cast<double>(artifact.wait_count);
+    add("max-wait-mean", fmt(expect.max_wait_mean),
+        std::to_string(artifact.wait_sum) + "/" +
+            std::to_string(artifact.wait_count),
+        artifact.wait_count == 0 || pass);
+  }
+  if (expect.max_wait_p99 > 0) {
+    add("max-wait-p99", std::to_string(expect.max_wait_p99),
+        std::to_string(artifact.wait_p99),
+        artifact.wait_p99 <= expect.max_wait_p99);
+  }
+  if (expect.max_wait_max > 0) {
+    add("max-wait-max", std::to_string(expect.max_wait_max),
+        std::to_string(artifact.wait_max),
+        artifact.wait_max <= expect.max_wait_max);
+  }
+  if (expect.max_shed != UINT64_MAX) {
+    add("max-shed", std::to_string(expect.max_shed),
+        std::to_string(artifact.shed_total),
+        artifact.shed_total <= expect.max_shed);
+  }
+}
+
+}  // namespace iba::scenario

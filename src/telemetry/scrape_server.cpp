@@ -1,16 +1,12 @@
 #include "telemetry/scrape_server.hpp"
 
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <sstream>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "net/socket.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/log.hpp"
 
@@ -32,15 +28,6 @@ std::string http_response(int status, std::string_view reason,
   return std::move(out).str();
 }
 
-void send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return;  // peer went away; nothing to salvage
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
 }  // namespace
 
 ScrapeServer::ScrapeServer(std::uint16_t port, SharedRegistry& registry,
@@ -50,28 +37,13 @@ ScrapeServer::ScrapeServer(std::uint16_t port, SharedRegistry& registry,
       spans_(std::move(spans)),
       timeseries_(std::move(timeseries)),
       profile_(std::move(profile)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  IBA_EXPECT(listen_fd_ >= 0, "ScrapeServer: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 8) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    IBA_EXPECT(false, std::string("ScrapeServer: cannot listen on port ") +
-                          std::to_string(port) + ": " + std::strerror(err));
+  try {
+    net::Socket listener = net::listen_tcp("0.0.0.0", port, 8);
+    port_ = net::local_port(listener);
+    listen_fd_ = listener.release();
+  } catch (const net::NetError& error) {
+    IBA_EXPECT(false, std::string("ScrapeServer: ") + error.what());
   }
-
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
 
   thread_ = std::thread([this] { serve(); });
   log_info("scrape_server_started", {{"port", port_}});
@@ -97,17 +69,24 @@ void ScrapeServer::stop() {
 
 void ScrapeServer::serve() {
   while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
-    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
-
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
+    net::Socket client;
+    try {
+      client = net::accept_client(listen_fd_, kPollTimeoutMs);
+    } catch (const net::NetError&) {
+      continue;
+    }
+    if (!client.valid()) continue;  // timeout: re-check the stop flag
 
     // The request line is all we route on; read one chunk (a GET with no
-    // body fits comfortably) and cut at the first CRLF.
+    // body fits comfortably) and cut at the first CRLF. read_some retries
+    // EINTR, so a signal never truncates the request line.
     char buf[2048];
-    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    std::size_t n = 0;
+    try {
+      n = net::read_some(client.fd(), buf, sizeof(buf) - 1);
+    } catch (const net::NetError&) {
+      continue;  // peer went away before sending anything
+    }
     if (n > 0) {
       buf[n] = '\0';
       std::string request_line(buf);
@@ -115,10 +94,17 @@ void ScrapeServer::serve() {
           eol != std::string::npos) {
         request_line.resize(eol);
       }
-      send_all(client, respond(request_line));
+      // write_full retries EINTR and loops over short writes — large
+      // /timeseries or /metrics bodies arrive whole, where the previous
+      // best-effort send() could truncate them under signal pressure.
+      try {
+        const std::string response = respond(request_line);
+        net::write_full(client.fd(), response.data(), response.size());
+      } catch (const net::NetError&) {
+        // Peer closed mid-response; nothing to salvage.
+      }
       requests_.fetch_add(1, std::memory_order_relaxed);
     }
-    ::close(client);
   }
 }
 

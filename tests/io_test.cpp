@@ -242,4 +242,48 @@ TEST(Cli, NegativeRejectedForUnsigned) {
   EXPECT_THROW((void)parser.get_uint("n"), iba::ContractViolation);
 }
 
+
+TEST(Cli, ParseHostPortAcceptsTheDocumentedShapes) {
+  const HostPort plain = parse_host_port("127.0.0.1:9000", "--listen");
+  EXPECT_EQ(plain.host, "127.0.0.1");
+  EXPECT_EQ(plain.port, 9000);
+
+  const HostPort named = parse_host_port("localhost:80", "--listen");
+  EXPECT_EQ(named.host, "localhost");
+  EXPECT_EQ(named.port, 80);
+
+  const HostPort v6 = parse_host_port("[::1]:9000", "--listen");
+  EXPECT_EQ(v6.host, "::1");
+  EXPECT_EQ(v6.port, 9000);
+
+  const HostPort any = parse_host_port(":9000", "--listen");
+  EXPECT_EQ(any.host, "");
+  EXPECT_EQ(any.port, 9000);
+
+  const HostPort bare = parse_host_port("9000", "--listen");
+  EXPECT_EQ(bare.host, "");
+  EXPECT_EQ(bare.port, 9000);
+
+  EXPECT_EQ(parse_host_port("h:65535", "--x").port, 65535);
+  EXPECT_EQ(parse_host_port("h:1", "--x").port, 1);
+}
+
+TEST(Cli, ParseHostPortRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "host:", ":", "host:0", "host:65536", "host:999999",
+        "host:12x", "::1:9000", "[::1]9000", "[::1", "host:-1"}) {
+    EXPECT_THROW((void)parse_host_port(bad, "--listen"), UsageError)
+        << "'" << bad << "' should have been rejected";
+  }
+  // The diagnostic names the flag and the offending text.
+  try {
+    (void)parse_host_port("host:70000", "--connect");
+    FAIL();
+  } catch (const UsageError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--connect"), std::string::npos) << what;
+    EXPECT_NE(what.find("host:70000"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
